@@ -1,0 +1,71 @@
+"""B1 — big-step vs small-step evaluation.
+
+§3.3 chooses the reduction presentation for its metatheory; a real
+engine would normalise.  This experiment quantifies the trade: the
+reduction machine pays decompose+plug per step, the big-step evaluator
+does one recursive pass — same answers (asserted), different constant
+factors, and the gap widens with data size (more steps = more plugs).
+"""
+
+import pytest
+
+import workloads
+from repro.semantics.bigstep import evaluate_bigstep
+from repro.semantics.evaluator import evaluate
+
+
+def test_smallstep_suite(benchmark):
+    db = workloads.hr()
+    queries = [db.parse(src) for src in workloads.HR_QUERIES]
+
+    def run():
+        return [
+            evaluate(db.machine, db.ee, db.oe, q).value for q in queries
+        ]
+
+    benchmark(run)
+
+
+def test_bigstep_suite(benchmark):
+    db = workloads.hr()
+    queries = [db.parse(src) for src in workloads.HR_QUERIES]
+    small = [evaluate(db.machine, db.ee, db.oe, q).value for q in queries]
+
+    def run():
+        return [
+            evaluate_bigstep(db.machine, db.ee, db.oe, q).value
+            for q in queries
+        ]
+
+    values = benchmark(run)
+    assert values == small  # presentations agree
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_bigstep_scaling(benchmark, n):
+    """Big-step over growing extents — compare the shape against
+    F2's ``test_comprehension_scaling`` (small-step): the reduction
+    machine grows superlinearly (plugging), big-step stays ~linear."""
+    db = workloads.hr(n_employees=n)
+    q = db.parse("{ e.EmpID | e <- Employees }")
+
+    def run():
+        return evaluate_bigstep(db.machine, db.ee, db.oe, q)
+
+    result = benchmark(run)
+    assert len(result.value.items) == n
+
+
+def test_join_bigstep(benchmark):
+    db = workloads.hr(n_employees=6)
+    q = db.parse(
+        "{ struct(a: e.EmpID, b: m.level) "
+        "| e <- Employees, m <- Managers, e.UniqueManager == m }"
+    )
+    small = evaluate(db.machine, db.ee, db.oe, q)
+
+    def run():
+        return evaluate_bigstep(db.machine, db.ee, db.oe, q)
+
+    result = benchmark(run)
+    assert result.value == small.value

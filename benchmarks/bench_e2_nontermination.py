@@ -1,0 +1,54 @@
+"""E2 — the §1 ``loop`` variant: schedule-dependent termination.
+
+The query terminates when Jill is visited first and diverges (fuel
+exhaustion on the ``while (true)`` method body) when Jack is.  The
+benchmarks time the terminating schedule, the cost of *detecting*
+divergence at a given fuel level, and the explorer's combined view.
+"""
+
+import pytest
+
+import workloads
+from repro.errors import FuelExhausted
+from repro.semantics.strategy import FIRST, LAST
+
+
+def test_terminating_schedule(benchmark):
+    db = workloads.jack_jill()
+    q = db.parse(workloads.JACK_JILL_LOOP_QUERY)
+
+    def run():
+        return db.run(q, strategy=LAST, commit=False)
+
+    result = benchmark(run)
+    assert result.python() == frozenset({"Jack", "Jill"})
+
+
+@pytest.mark.parametrize("fuel", [100, 1_000, 10_000])
+def test_divergence_detection_cost(benchmark, fuel):
+    """Time to conclude 'diverged' scales linearly with the fuel bound
+    — the price of making non-termination observable."""
+    db = workloads.jack_jill(method_fuel=fuel)
+    q = db.parse(workloads.JACK_JILL_LOOP_QUERY)
+
+    def run():
+        try:
+            db.run(q, strategy=FIRST, commit=False, max_steps=fuel)
+            return False
+        except FuelExhausted:
+            return True
+
+    assert benchmark(run) is True
+
+
+def test_explorer_mixed_outcomes(benchmark):
+    """One exploration seeing both the value and the divergence."""
+    db = workloads.jack_jill(method_fuel=200)
+    q = db.parse(workloads.JACK_JILL_LOOP_QUERY)
+
+    def run():
+        return db.explore(q, max_steps=1_000)
+
+    ex = benchmark(run)
+    assert ex.diverged
+    assert [str(v) for v in ex.distinct_values()] == ['{"Jack", "Jill"}']

@@ -1,0 +1,77 @@
+"""E3 — the §4 intersection-commutation counterexample.
+
+One Person ("Jack"/"Utah") and one Employee ("Jill"/"NYC"): the left
+operand of ∩ creates a Person per Employee, the right reads the Person
+extent.  Original answer: the singleton Jill/Utah object; commuted:
+"the empty set!".  ⊢″ refuses the rewrite; the optimizer declines it;
+and the benchmark re-verifies both answers every run.
+"""
+
+import workloads
+from repro.effects.commutativity import analyze_commutativity
+from repro.lang.ast import SetOp, SetOpKind
+from repro.optimizer.planner import try_commute
+
+CREATOR_SRC = '{ new Person(name: e.name, address: "Utah") | e <- Employees }'
+
+
+def _queries(db):
+    creator = db.parse(CREATOR_SRC)
+    reader = db.parse("Persons")
+    return (
+        SetOp(SetOpKind.INTERSECT, creator, reader),
+        SetOp(SetOpKind.INTERSECT, reader, creator),
+    )
+
+
+def test_original_vs_commuted_answers(benchmark):
+    db = workloads.sigma4()
+    original, commuted = _queries(db)
+
+    def run():
+        a = db.run(original, commit=False)
+        b = db.run(commuted, commit=False)
+        return a, b
+
+    a, b = benchmark(run)
+    assert len(a.value.items) == 1  # the Jill/Utah object
+    (only,) = a.value.items
+    rec = a.oe.get(only.name)
+    assert rec.attr("name").value == "Jill"
+    assert rec.attr("address").value == "Utah"
+    assert b.value.items == ()  # "the empty set!"
+
+
+def test_static_refusal(benchmark):
+    """⊢″ (Theorem 8's gate) detects the conflict without running."""
+    db = workloads.sigma4()
+    original, _ = _queries(db)
+
+    def run():
+        return analyze_commutativity(
+            db.schema, original, var_types=db.oid_types()
+        )
+
+    _, _, conflicts = benchmark(run)
+    assert len(conflicts) == 1
+
+
+def test_optimizer_declines(benchmark):
+    db = workloads.sigma4()
+    original, _ = _queries(db)
+
+    def run():
+        return try_commute(db, original)
+
+    assert not benchmark(run).changed
+
+
+def test_safe_commutation_applies(benchmark):
+    """Contrast: pure-read operands commute, and the rewrite is taken."""
+    db = workloads.sigma4()
+    q = db.parse("Persons intersect Employees")
+
+    def run():
+        return try_commute(db, q)
+
+    assert benchmark(run).changed

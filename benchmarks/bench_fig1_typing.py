@@ -1,0 +1,78 @@
+"""F1 — Figure 1: the IOQL type system.
+
+Regenerates the figure as an executable artifact: type-checks (a) the
+curated HR query suite covering every rule of Figure 1 and (b) random
+well-typed queries of increasing depth, measuring checker throughput.
+Correctness (acceptance of well-typed queries, rejection of ill-typed
+mutants) is asserted inside the benchmark bodies — a benchmark that
+passes has also re-verified the figure's rules on its inputs.
+"""
+
+import pytest
+
+import workloads
+from repro.errors import IOQLTypeError
+from repro.typing.checker import check_query
+
+
+def test_typecheck_hr_suite(benchmark):
+    """Throughput of Figure 1 over the curated rule-covering suite."""
+    db = workloads.hr()
+    queries = [db.parse(src) for src in workloads.HR_QUERIES]
+    ctx = db.type_context()
+
+    def run():
+        return [check_query(ctx, q) for q in queries]
+
+    types = benchmark(run)
+    assert len(types) == len(queries)
+
+
+@pytest.mark.parametrize("depth", [3, 5, 7])
+def test_typecheck_random_by_depth(benchmark, depth):
+    """Checker cost as query depth grows (random well-typed inputs)."""
+    _, _, _, _, ctx, queries = workloads.random_suite(
+        seed=depth, n_queries=30, depth=depth
+    )
+
+    def run():
+        return [check_query(ctx, q) for q in queries]
+
+    types = benchmark(run)
+    assert len(types) == 30
+
+
+def test_reject_ill_typed_mutants(benchmark):
+    """The figure's other half: ill-typed programs are *rejected*.
+
+    Mutants break one rule each (operand types, arity, unknown
+    attribute, downcast, heterogeneous set, non-bool guard…).
+    """
+    db = workloads.hr()
+    ctx = db.type_context()
+    mutants = [
+        db.parse(src)
+        for src in [
+            "1 + true",
+            "{1, true}",
+            "size(1)",
+            "(Manager) { p | p <- Persons }",  # cast of a set
+            "if 1 then 2 else 3",
+            "{ e.salary | e <- Employees }",  # unknown attribute
+            "{ e.NetSalary() | e <- Employees }",  # arity
+            '1 = "one"',
+            "1 == 2",
+            "{ x | x <- 5 }",
+        ]
+    ]
+
+    def run():
+        rejected = 0
+        for m in mutants:
+            try:
+                check_query(ctx, m)
+            except IOQLTypeError:
+                rejected += 1
+        return rejected
+
+    assert benchmark(run) == len(mutants)

@@ -1,0 +1,77 @@
+"""F2 — Figure 2: the small-step operational semantics.
+
+Measures the machine along three axes: single-step cost (decompose +
+rule + plug), full →→ evaluation of the HR suite, and step-count/time
+scaling as the database grows (comprehension evaluation is the
+dominant workload of any OQL engine).
+"""
+
+import pytest
+
+import workloads
+from repro.lang.values import is_value
+from repro.semantics.evaluator import evaluate
+from repro.semantics.machine import Config
+
+
+def test_single_step(benchmark):
+    """Cost of one reduction step on a mid-sized configuration."""
+    db = workloads.hr()
+    q = db.parse("{ e.EmpID + 1 | e <- Employees, e.GrossSalary > 4000 }")
+    cfg = Config(db.ee, db.oe, q)
+    machine = db.machine
+
+    def run():
+        return machine.step(cfg)
+
+    result = benchmark(run)
+    assert result.rule == "Extent"
+
+
+def test_evaluate_hr_suite(benchmark):
+    """Full evaluation of the curated rule-covering suite."""
+    db = workloads.hr()
+    queries = [db.parse(src) for src in workloads.HR_QUERIES]
+    machine, ee, oe = db.machine, db.ee, db.oe
+
+    def run():
+        return [evaluate(machine, ee, oe, q).steps for q in queries]
+
+    steps = benchmark(run)
+    assert all(s > 0 for s in steps)
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_comprehension_scaling(benchmark, n):
+    """Steps and time for one generator over an n-element extent.
+
+    The (ND comp) rule peels one element per step, so the step count is
+    linear in n while per-step plugging makes time superlinear — the
+    shape to observe here.
+    """
+    db = workloads.hr(n_employees=n)
+    q = db.parse("{ e.EmpID | e <- Employees }")
+    machine, ee, oe = db.machine, db.ee, db.oe
+
+    def run():
+        return evaluate(machine, ee, oe, q)
+
+    result = benchmark(run)
+    assert is_value(result.value)
+    assert len(result.value.items) == n
+
+
+def test_join_style_query(benchmark):
+    """Two nested generators (a join): the quadratic workload."""
+    db = workloads.hr(n_employees=6)
+    q = db.parse(
+        "{ struct(a: e.EmpID, b: m.level) "
+        "| e <- Employees, m <- Managers, e.UniqueManager == m }"
+    )
+    machine, ee, oe = db.machine, db.ee, db.oe
+
+    def run():
+        return evaluate(machine, ee, oe, q)
+
+    result = benchmark(run)
+    assert len(result.value.items) == 6

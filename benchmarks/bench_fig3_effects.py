@@ -1,0 +1,68 @@
+"""F3 — Figure 3: the effect type system.
+
+Measures effect inference throughput and its overhead relative to the
+plain Figure 1 checker (the effect system is "an adjunct to the type
+system" and "trivial to implement" — §7; the measured overhead
+quantifies that claim), and verifies on the suite that the inferred
+effect bounds the dynamic trace (Theorem 5's corollary).
+"""
+
+import pytest
+
+import workloads
+from repro.effects.checker import EffectChecker
+from repro.semantics.evaluator import evaluate
+from repro.typing.checker import check_query
+
+
+def test_effect_inference_hr_suite(benchmark):
+    db = workloads.hr()
+    queries = [db.parse(src) for src in workloads.HR_QUERIES]
+    ctx = db.type_context()
+    checker = EffectChecker()
+
+    def run():
+        return [checker.check(ctx, q)[1] for q in queries]
+
+    effects = benchmark(run)
+    # the suite reads extents; at least one effect must be non-empty
+    assert any(not e.is_empty() for e in effects)
+
+
+def test_overhead_vs_plain_typing(benchmark):
+    """Effect checking does strictly more work than Figure 1; measure
+    the combined judgement so the delta to F1's numbers is the latent
+    cost of the ε component."""
+    _, _, _, _, ctx, queries = workloads.random_suite(seed=3, n_queries=30, depth=5)
+    checker = EffectChecker()
+
+    def run():
+        out = []
+        for q in queries:
+            t1 = check_query(ctx, q)
+            t2, eff = checker.check(ctx, q)
+            assert t1 == t2
+            out.append(eff)
+        return out
+
+    benchmark(run)
+
+
+def test_static_bounds_dynamic(benchmark):
+    """ε_static ⊇ ε_dynamic on every suite query (checked in the loop)."""
+    db = workloads.hr()
+    queries = [db.parse(src) for src in workloads.HR_QUERIES]
+    ctx = db.type_context()
+    checker = EffectChecker()
+    machine, ee, oe = db.machine, db.ee, db.oe
+
+    def run():
+        ok = 0
+        for q in queries:
+            _, static = checker.check(ctx, q)
+            dynamic = evaluate(machine, ee, oe, q).effect
+            assert dynamic.subeffect_of(static)
+            ok += 1
+        return ok
+
+    assert benchmark(run) == len(queries)

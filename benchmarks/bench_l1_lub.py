@@ -1,0 +1,75 @@
+"""L1 — the introduction's LUB observation.
+
+"a least upper bound of two types need not necessarily exist (because
+we have both classes and interfaces)!" — measured as: LUB computation
+over class-only hierarchies (always defined), the search that exhibits
+the failure once interfaces join, and the ODMG counterexample checked
+on every run.
+"""
+
+import random
+
+import pytest
+
+from repro.model.lub import (
+    InterfaceHierarchy,
+    find_lub_failure,
+    odmg_counterexample,
+)
+from repro.model.types import OBJECT
+
+
+def _random_class_hierarchy(rng: random.Random, n: int) -> InterfaceHierarchy:
+    parents: dict[str, str | None] = {}
+    names = [f"C{i}" for i in range(n)]
+    for i, name in enumerate(names):
+        parents[name] = OBJECT if i == 0 else names[rng.randrange(i)]
+    return InterfaceHierarchy(class_parent=parents)
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+def test_class_only_lubs_always_exist(benchmark, n):
+    h = _random_class_hierarchy(random.Random(n), n)
+    names = sorted(h.class_parent)
+
+    def run():
+        lubs = 0
+        for a in names:
+            for b in names:
+                assert h.lub(a, b) is not None
+                lubs += 1
+        return lubs
+
+    assert benchmark(run) == len(names) ** 2
+
+
+def test_odmg_counterexample(benchmark):
+    """The failure the paper points out, re-exhibited each run."""
+
+    def run():
+        h = odmg_counterexample()
+        return h.lub("Clerk", "Temp"), h.minimal_upper_bounds("Clerk", "Temp")
+
+    lub, mins = benchmark(run)
+    assert lub is None
+    assert mins == frozenset({"Payable", "Insurable"})
+
+
+def test_failure_search(benchmark):
+    """Cost of scanning a mixed hierarchy for pairs without a LUB."""
+    h = InterfaceHierarchy(
+        class_parent={f"C{i}": OBJECT for i in range(12)},
+        implements={
+            f"C{i}": frozenset({"I", "J"} if i % 3 == 0 else {"I"})
+            for i in range(12)
+        },
+        iface_parents={"I": frozenset(), "J": frozenset()},
+    )
+
+    def run():
+        return find_lub_failure(h)
+
+    failure = benchmark(run)
+    assert failure is not None
+    a, b, mins = failure
+    assert len(mins) == 2

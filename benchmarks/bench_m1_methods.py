@@ -1,0 +1,107 @@
+"""M1 — the §5 method design space.
+
+Compares the two design points the paper delineates: read-only methods
+(§2 core, ε″ = ∅) and effectful methods (§5: bodies read extents,
+create objects, update attributes, threading EE/OE through ⇓).
+Measures invocation cost per mode, the method type/effect checker, and
+asserts soundness is preserved when queries call effectful methods.
+"""
+
+import pytest
+
+import workloads
+from repro.db.database import Database
+from repro.lang.ast import IntLit, MethodCall, OidRef
+from repro.metatheory.theorems import check_subject_reduction
+from repro.methods.ast import AccessMode
+from repro.methods.typing import check_schema_methods
+
+EFFECTFUL_ODL = """
+class Account extends Object (extent Accounts) {
+    attribute int balance;
+    int get() { return this.balance; }
+    int deposit(int amount) effect U(Account) {
+        this.balance := this.balance + amount;
+        return this.balance;
+    }
+    Account spawn() effect A(Account) {
+        return new Account(balance: 0);
+    }
+    int total() effect R(Account) {
+        var t : int := 0;
+        for (a in extent(Accounts)) { t := t + a.balance; }
+        return t;
+    }
+}
+"""
+
+
+def _bank(n: int = 5) -> Database:
+    db = Database.from_odl(EFFECTFUL_ODL, method_mode=AccessMode.EFFECTFUL)
+    for i in range(n):
+        db.insert("Account", balance=100 * i)
+    return db
+
+
+def test_readonly_method_invocation(benchmark):
+    """§2 mode: pure method calls inside a comprehension."""
+    db = workloads.hr()
+    q = db.parse("{ e.NetSalary(300) | e <- Employees }")
+
+    def run():
+        return db.run(q, commit=False)
+
+    result = benchmark(run)
+    assert result.effect.writes() == frozenset()
+
+
+def test_effectful_update_invocation(benchmark):
+    """§5 mode: an attribute-updating body, invoked from a query."""
+    db = _bank()
+    (a, *_)= sorted(db.extent("Accounts"))
+    q = MethodCall(OidRef(a), "deposit", (IntLit(1),))
+
+    def run():
+        return db.run(q, commit=False)
+
+    result = benchmark(run)
+    assert "Account" in result.effect.updates()
+
+
+def test_effectful_extent_scan(benchmark):
+    """§5 mode: a body that iterates its own extent (R effect)."""
+    db = _bank(8)
+    (a, *_) = sorted(db.extent("Accounts"))
+    q = MethodCall(OidRef(a), "total", ())
+
+    def run():
+        return db.run(q, commit=False)
+
+    result = benchmark(run)
+    assert result.python() == sum(100 * i for i in range(8))
+    assert "Account" in result.effect.reads()
+
+
+def test_method_checker_cost(benchmark):
+    """Type/effect checking every MJava body in the schema."""
+    db = _bank()
+
+    def run():
+        return check_schema_methods(db.schema, AccessMode.EFFECTFUL)
+
+    effects = benchmark(run)
+    assert effects[("Account", "get")].is_empty()
+    assert not effects[("Account", "deposit")].is_empty()
+
+
+def test_soundness_with_effectful_methods(benchmark):
+    """Theorem 1/5 hold with §5 methods in the loop (the extended
+    paper's soundness claim, sampled)."""
+    db = _bank(3)
+    q = db.parse("{ a.deposit(5) | a <- Accounts }")
+
+    def run():
+        return check_subject_reduction(db.machine, db.ee, db.oe, q)
+
+    report = benchmark(run)
+    assert report, report.detail

@@ -1,0 +1,85 @@
+"""O2 — cost-based generator reordering on catalog statistics.
+
+The System-R move in one rule: put the smaller relation in the outer
+loop.  Legality comes from the §4 effect discipline (both sources
+write-free and termination-safe); profitability from extent statistics.
+The benchmark measures the win growing with the size asymmetry — the
+classic join-ordering shape.
+"""
+
+import pytest
+
+from repro.db.database import Database
+from repro.optimizer.cost import CostModel, optimize_with_costs
+from repro.semantics.evaluator import evaluate
+
+ODL = """
+class Big extends Object (extent Bigs) { attribute int n; }
+class Small extends Object (extent Smalls) { attribute int n; }
+"""
+
+
+def _db(n_big: int, n_small: int = 1) -> Database:
+    db = Database.from_odl(ODL)
+    for i in range(n_big):
+        db.insert("Big", n=i)
+    for i in range(n_small):
+        db.insert("Small", n=100 + i)
+    return db
+
+
+JOIN = "{ struct(a: b.n, c: s.n) | b <- Bigs, s <- Smalls }"
+
+
+@pytest.mark.parametrize("n_big", [4, 8, 16])
+def test_reorder_win_grows_with_asymmetry(benchmark, n_big):
+    db = _db(n_big)
+    q = db.parse(JOIN)
+    res = optimize_with_costs(db, q)
+    assert "reorder-generators" in res.rules_fired()
+    baseline = evaluate(db.machine, db.ee, db.oe, q)
+
+    def run():
+        return evaluate(db.machine, db.ee, db.oe, res.query)
+
+    out = benchmark(run)
+    assert out.value == baseline.value
+    assert out.steps < baseline.steps
+
+
+def test_cost_model_snapshot(benchmark):
+    db = _db(16, 4)
+
+    def run():
+        m = CostModel.from_database(db)
+        return (
+            m.eval_cost(db.parse(JOIN)),
+            m.eval_cost(db.parse(
+                "{ struct(a: b.n, c: s.n) | s <- Smalls, b <- Bigs }"
+            )),
+        )
+
+    big_outer, small_outer = benchmark(run)
+    assert small_outer < big_outer
+
+
+def test_pipeline_with_costs(benchmark):
+    """All three rewrites compose: drop the true predicate, reorder the
+    generators (Smalls outer), then push the s-predicate inward."""
+    db = _db(8, 2)
+    q = db.parse(
+        "{ struct(a: b.n, c: s.n) | b <- Bigs, s <- Smalls, 1 = 1, s.n < 200 }"
+    )
+
+    def run():
+        return optimize_with_costs(db, q)
+
+    res = benchmark(run)
+    fired = res.rules_fired()
+    assert "reorder-generators" in fired
+    assert "true-pred" in fired
+    assert "pred-pushdown" in fired
+    # final shape: filter runs before the big extent is even read
+    assert res.query == db.parse(
+        "{ struct(a: b.n, c: s.n) | s <- Smalls, s.n < 200, b <- Bigs }"
+    )

@@ -1,0 +1,85 @@
+"""Q1 — contextual-equivalence testing (§7 future work).
+
+"We also plan to develop notions of query equivalence based upon
+'contextual equivalence'" — the refutation half, measured: the cost of
+sweeping the type-directed context family over (a) genuinely
+equivalent pairs (full sweep, no distinction — the expensive case) and
+(b) inequivalent pairs (early exit at the first separating context).
+"""
+
+import workloads
+from repro.optimizer.contextual import contextually_distinct
+
+
+def test_equivalent_pair_full_sweep(benchmark):
+    """No context separates ``{p | p <- Persons}`` from ``Persons``:
+    the search runs the whole family."""
+    db = workloads.sigma4()
+    a = db.parse("{p | p <- Persons}")
+    b = db.parse("Persons")
+
+    def run():
+        return contextually_distinct(db, a, b)
+
+    assert benchmark(run) is None
+
+
+def test_idempotent_union(benchmark):
+    db = workloads.sigma4()
+    a = db.parse("Persons union Persons")
+    b = db.parse("Persons")
+
+    def run():
+        return contextually_distinct(db, a, b)
+
+    assert benchmark(run) is None
+
+
+def test_inequivalent_pair_early_exit(benchmark):
+    """Identity context separates {1} from {2}: near-instant exit."""
+    db = workloads.sigma4()
+    a = db.parse("{1}")
+    b = db.parse("{2}")
+
+    def run():
+        return contextually_distinct(db, a, b)
+
+    assert benchmark(run) is not None
+
+
+def test_effectful_pair_detected(benchmark):
+    """Same answer, different side effect — a context exposes it."""
+    db = workloads.sigma4()
+    a = db.parse("size(Employees)")
+    b = db.parse(
+        'size({ struct(x: e, y: new Person(name: "p", address: "q")).x '
+        "| e <- Employees })"
+    )
+
+    def run():
+        return contextually_distinct(db, a, b)
+
+    d = benchmark(run)
+    assert d is not None
+
+
+def test_optimizer_rewrites_survive_sweep(benchmark):
+    """Every pipeline rewrite on the suite is contextually unseparated."""
+    from repro.optimizer.planner import optimize
+
+    db = workloads.hr(n_employees=2, n_managers=1)
+    pairs = []
+    for src in [
+        "{e.name | e <- Employees, 1 = 1}",
+        "struct(a: size(Persons), b: 1 + 1).a",
+    ]:
+        q = db.parse(src)
+        res = optimize(db, q)
+        assert res.changed
+        pairs.append((q, res.query))
+
+    def run():
+        return [contextually_distinct(db, a, b, depth=1) for a, b in pairs]
+
+    results = benchmark(run)
+    assert results == [None, None]

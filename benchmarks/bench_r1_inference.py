@@ -1,0 +1,79 @@
+"""R1 — schema-requirements inference (the paper's citation [23]).
+
+"We require that the types of the parameters are given (we do not
+provide type inference for definitions; this has been considered
+elsewhere for ODMG OQL [23])" — §3.1.  This experiment exercises our
+implementation of [23]'s idea: inference throughput on schema-less
+queries, and agreement with the Figure 1 checker (every requirement
+report of a checkable query is satisfied by the schema it was written
+against).
+"""
+
+import pytest
+
+import workloads
+from repro.lang.parser import parse_query
+from repro.typing.inference import check_against, infer_requirements
+
+SCHEMALESS = [
+    "{ e.name | e <- Employees, e.GrossSalary > 4000 }",
+    "{ struct(who: e.name, net: e.NetSalary(500)) | e <- Employees }",
+    "{ e.UniqueManager.name | e <- Employees, e.is_adult() }",
+    "size(Employees) + size(Managers) * 2",
+    "exists e in Employees : e.GrossSalary > 5000",
+    "{ struct(m: m.name, team: { e.EmpID | e <- Employees, "
+    "e.UniqueManager == m }) | m <- Managers }",
+]
+
+
+def test_inference_throughput(benchmark):
+    queries = [parse_query(src) for src in SCHEMALESS]
+
+    def run():
+        return [infer_requirements(q) for q in queries]
+
+    reports = benchmark(run)
+    # every query constrains at least one free identifier (its extents)
+    assert all(r.free_idents for r in reports)
+
+
+def test_requirements_satisfied_by_hr_schema(benchmark):
+    """Agreement with Figure 1: the HR schema meets every requirement
+    inferred from queries written against it."""
+    db = workloads.hr()
+    queries = [parse_query(src) for src in SCHEMALESS]
+
+    def run():
+        problems = []
+        for q in queries:
+            rep = infer_requirements(q)
+            problems.extend(check_against(rep, db.schema))
+        return problems
+
+    assert benchmark(run) == []
+
+
+def test_violation_detection(benchmark):
+    """A schema that misses a requirement is caught."""
+    db = workloads.hr()
+    q = parse_query("((Person) p).favourite_colour")
+
+    def run():
+        return check_against(infer_requirements(q), db.schema)
+
+    problems = benchmark(run)
+    assert any("favourite_colour" in p for p in problems)
+
+
+@pytest.mark.parametrize("n_gens", [1, 2, 3])
+def test_inference_scaling(benchmark, n_gens):
+    """Cost as the number of generators (join width) grows."""
+    gens = ", ".join(f"x{i} <- Src{i}" for i in range(n_gens))
+    fields = ", ".join(f"f{i}: x{i}.attr{i}" for i in range(n_gens))
+    q = parse_query(f"{{ struct({fields}) | {gens} }}")
+
+    def run():
+        return infer_requirements(q)
+
+    rep = benchmark(run)
+    assert len(rep.free_idents) == n_gens

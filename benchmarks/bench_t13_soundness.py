@@ -1,0 +1,77 @@
+"""T1–T3 — subject reduction, progress, type soundness.
+
+Runs the executable theorem checkers of
+:mod:`repro.metatheory.theorems` over seeded random well-typed
+configurations; the benchmark bodies assert every report holds, so a
+passing benchmark is also a (sampled) re-verification of §3.4.
+"""
+
+import pytest
+
+import workloads
+from repro.metatheory.theorems import (
+    check_progress,
+    check_subject_reduction,
+    check_type_soundness,
+)
+from repro.semantics.strategy import LAST, RandomStrategy
+
+
+def test_t1_subject_reduction(benchmark):
+    schema, ee, oe, machine, ctx, queries = workloads.random_suite(
+        seed=101, n_queries=10, depth=4
+    )
+
+    def run():
+        reports = [
+            check_subject_reduction(machine, ee, oe, q) for q in queries
+        ]
+        assert all(reports), [r.detail for r in reports if not r]
+        return sum(r.steps_checked for r in reports)
+
+    steps = benchmark(run)
+    assert steps > 0
+
+
+def test_t2_progress(benchmark):
+    schema, ee, oe, machine, ctx, queries = workloads.random_suite(
+        seed=102, n_queries=10, depth=4
+    )
+
+    def run():
+        reports = [check_progress(machine, ee, oe, q) for q in queries]
+        assert all(reports), [r.detail for r in reports if not r]
+        return len(reports)
+
+    benchmark(run)
+
+
+def test_t3_type_soundness_multi_strategy(benchmark):
+    schema, ee, oe, machine, ctx, queries = workloads.random_suite(
+        seed=103, n_queries=8, depth=4
+    )
+    strategies = (LAST, RandomStrategy(1), RandomStrategy(2))
+
+    def run():
+        reports = [
+            check_type_soundness(machine, ee, oe, q, strategies=strategies)
+            for q in queries
+        ]
+        assert all(reports), [r.detail for r in reports if not r]
+        return len(reports)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("depth", [3, 5])
+def test_t1_cost_by_depth(benchmark, depth):
+    """Verification cost grows with query depth (retype every step)."""
+    schema, ee, oe, machine, ctx, queries = workloads.random_suite(
+        seed=104 + depth, n_queries=5, depth=depth
+    )
+
+    def run():
+        for q in queries:
+            assert check_subject_reduction(machine, ee, oe, q)
+
+    benchmark(run)

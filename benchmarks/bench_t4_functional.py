@@ -1,0 +1,67 @@
+"""T4 — functional (``new``-free) queries are strictly deterministic.
+
+The explorer enumerates every reduction order of random functional
+queries and asserts a single structurally-identical outcome — exactly
+Theorem 4's statement (no oid bijection needed).  The scaling benchmark
+shows the factorial growth of the schedule space that makes the
+*static* guarantee valuable.
+"""
+
+import pytest
+
+import workloads
+from repro.lang.parser import parse_query
+from repro.metatheory.theorems import check_functional_determinism
+from repro.model.types import SetType
+from repro.semantics.explorer import count_schedules
+
+
+def test_t4_random_functional_queries(benchmark):
+    import random
+
+    from repro.metatheory.generators import QueryGenerator
+
+    schema, ee, oe, machine, ctx, _ = workloads.random_suite(
+        seed=201, n_queries=0
+    )
+    rng = random.Random(201)
+    gen = QueryGenerator(schema, oe, rng, allow_new=False, max_depth=3)
+    queries = [gen.query(SetType(gen.random_type(depth=0))) for _ in range(6)]
+
+    def run():
+        reports = [
+            check_functional_determinism(machine, ee, oe, q, max_paths=3_000)
+            for q in queries
+        ]
+        assert all(reports), [r.detail for r in reports if not r]
+        return len(reports)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_schedule_space_growth(benchmark, n):
+    """|schedules| = n! for one generator over n elements."""
+    import math
+
+    schema, ee, oe, machine, ctx, _ = workloads.random_suite(seed=202, n_queries=0)
+    items = ", ".join(str(i) for i in range(n))
+    q = parse_query(f"{{ x + 1 | x <- {{{items}}} }}")
+
+    def run():
+        return count_schedules(machine, ee, oe, q)
+
+    assert benchmark(run) == math.factorial(n)
+
+
+def test_hr_functional_query_all_orders(benchmark):
+    """A realistic functional query over the HR store: one outcome."""
+    db = workloads.hr(n_employees=3)
+    q = db.parse("{ struct(a: e.name, b: e.NetSalary(100)) | e <- Employees }")
+
+    def run():
+        return db.explore(q)
+
+    ex = benchmark(run)
+    assert len(ex.outcomes) == 1
+    assert ex.paths == 6  # 3! iteration orders, all agreeing

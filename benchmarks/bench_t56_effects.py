@@ -1,0 +1,85 @@
+"""T5–T6 — effect subject reduction and progress.
+
+Every reduction step's dynamic effect label, and the residual query's
+inferred effect, must stay within the statically inferred ε (Theorem
+5); and effect-typed non-values always step (Theorem 6).  The checkers
+re-typecheck after *every* step, which is what the timings quantify.
+"""
+
+import workloads
+from repro.effects.checker import EffectChecker
+from repro.metatheory.theorems import check_progress, check_subject_reduction
+from repro.semantics.evaluator import evaluate
+
+
+def test_t5_per_step_effect_bound(benchmark):
+    schema, ee, oe, machine, ctx, queries = workloads.random_suite(
+        seed=301, n_queries=10, depth=4
+    )
+
+    def run():
+        reports = [
+            check_subject_reduction(machine, ee, oe, q) for q in queries
+        ]
+        assert all(reports), [r.detail for r in reports if not r]
+        return len(reports)
+
+    benchmark(run)
+
+
+def test_t5_trace_containment_hr(benchmark):
+    """On the curated suite: final trace ⊆ inferred effect, per query."""
+    db = workloads.hr()
+    ctx = db.type_context()
+    checker = EffectChecker()
+    pairs = []
+    for src in workloads.HR_QUERIES:
+        q = db.parse(src)
+        _, static = checker.check(ctx, q)
+        pairs.append((q, static))
+    machine, ee, oe = db.machine, db.ee, db.oe
+
+    def run():
+        ok = 0
+        for q, static in pairs:
+            trace = evaluate(machine, ee, oe, q).effect
+            assert trace.subeffect_of(static)
+            ok += 1
+        return ok
+
+    assert benchmark(run) == len(pairs)
+
+
+def test_t5_strictness_gap(benchmark):
+    """The inferred effect may strictly exceed the trace (the (Does)
+    slack): conditionals whose untaken branch has effects."""
+    db = workloads.hr()
+    q = db.parse(
+        'if size(Managers) < 0 then {new Person(name: "x", age: 1)} '
+        "else { (Person) e | e <- Employees }"
+    )
+    ctx = db.type_context()
+    checker = EffectChecker()
+    machine, ee, oe = db.machine, db.ee, db.oe
+
+    def run():
+        _, static = checker.check(ctx, q)
+        trace = evaluate(machine, ee, oe, q).effect
+        return static, trace
+
+    static, trace = benchmark(run)
+    assert trace.subeffect_of(static)
+    assert trace != static  # A(Person) inferred but never performed
+
+
+def test_t6_progress_with_effects(benchmark):
+    schema, ee, oe, machine, ctx, queries = workloads.random_suite(
+        seed=302, n_queries=10, depth=4
+    )
+
+    def run():
+        reports = [check_progress(machine, ee, oe, q) for q in queries]
+        assert all(reports)
+        return len(reports)
+
+    benchmark(run)

@@ -1,0 +1,92 @@
+"""T8 — safe commutativity of binary set operators.
+
+The checker verifies that ⊢″-accepted unions/intersections yield
+∼-matching outcomes in both orders, over random operand pairs; plus
+the bijection matcher itself (the ∼ oracle the theorem is stated with)
+on object graphs of growing size.
+"""
+
+import pytest
+
+import workloads
+from repro.lang.ast import SetOp, SetOpKind
+from repro.metatheory.theorems import check_safe_commutativity
+from repro.model.types import SetType
+from repro.semantics.bijection import find_bijection
+
+
+def test_t8_random_unions(benchmark):
+    import random
+
+    from repro.metatheory.generators import QueryGenerator
+
+    schema, ee, oe, machine, ctx, _ = workloads.random_suite(seed=501, n_queries=0)
+    rng = random.Random(501)
+    gen = QueryGenerator(schema, oe, rng, max_depth=3)
+    pairs = []
+    for _ in range(6):
+        elem = gen.random_type(depth=0)
+        pairs.append(
+            SetOp(
+                SetOpKind.UNION,
+                gen.query(SetType(elem)),
+                gen.query(SetType(elem)),
+            )
+        )
+
+    def run():
+        reports = [
+            check_safe_commutativity(machine, ee, oe, q, max_paths=3_000)
+            for q in pairs
+        ]
+        assert all(reports), [r.detail for r in reports if not r]
+        return len(reports)
+
+    benchmark(run)
+
+
+def test_t8_add_add_commutes_up_to_bijection(benchmark):
+    """Both operands create objects (A/A): ⊢″ accepts and the theorem's
+    bijection absorbs the differing oid orders."""
+    db = workloads.sigma4()
+    q = db.parse(
+        '{new Person(name: "l", address: "x")} union '
+        '{new Person(name: "r", address: "y")}'
+    )
+    assert not db.commutation_conflicts(q)
+
+    def run():
+        return check_safe_commutativity(db.machine, db.ee, db.oe, q)
+
+    report = benchmark(run)
+    assert report, report.detail
+
+
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_bijection_matcher_scaling(benchmark, n):
+    """The ∼ oracle on two renamed copies of an n-object graph."""
+    from repro.lang.ast import IntLit, OidRef
+    from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord
+
+    def build(prefix):
+        oe = ObjectEnv()
+        members = set()
+        for i in range(n):
+            oid = f"@{prefix}_{i}"
+            nxt = f"@{prefix}_{(i + 1) % n}"
+            oe = oe.with_object(
+                oid,
+                ObjectRecord("P", (("k", IntLit(i % 7)), ("next", OidRef(nxt)))),
+            )
+            members.add(oid)
+        ee = ExtentEnv({"Ps": ("P", frozenset(members))})
+        return OidRef(f"@{prefix}_0"), ee, oe
+
+    v1, ee1, oe1 = build("a")
+    v2, ee2, oe2 = build("b")
+
+    def run():
+        return find_bijection(v1, ee1, oe1, v2, ee2, oe2)
+
+    bij = benchmark(run)
+    assert bij is not None and len(bij) == n

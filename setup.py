@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works on environments without the
+``wheel`` package (PEP 660 editable builds need it; ``setup.py
+develop`` does not).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""repro — an executable reproduction of G.M. Bierman,
+"Formal semantics and analysis of object queries" (SIGMOD 2003).
+
+The package implements, from scratch:
+
+* the §2 object data model (classes, single inheritance, extents) —
+  :mod:`repro.model`;
+* IOQL, the paper's idealized object query language, with a concrete
+  syntax, parser and pretty-printer — :mod:`repro.lang`;
+* the Figure 1 type system — :mod:`repro.typing`;
+* the Figure 2 small-step operational semantics with evaluation
+  contexts, plus the Figure 4 effect-instrumented variant —
+  :mod:`repro.semantics`;
+* the Figure 3 effect system and its ⊢′ (determinism, Theorem 7) and
+  ⊢″ (safe commutativity, Theorem 8) refinements — :mod:`repro.effects`;
+* MJava, a small Java-like method language realising the paper's
+  abstract ⇓ relation, in both the §2 read-only and §5 effectful
+  design points — :mod:`repro.methods`;
+* an object store (the EE/OE environments), an exhaustive
+  reduction-order explorer and the oid-bijection ∼ — :mod:`repro.db`,
+  :mod:`repro.semantics.explorer`, :mod:`repro.semantics.bijection`;
+* an effect-gated query optimizer — :mod:`repro.optimizer`;
+* executable checkers for Theorems 1–8 over randomly generated
+  well-typed configurations — :mod:`repro.metatheory`.
+
+Quick start::
+
+    import repro
+
+    db = repro.open_database('''
+        class Person extends Object (extent Persons) {
+            attribute string name;
+            attribute int age;
+        }
+    ''')
+    db.insert("Person", name="Ada", age=36)
+    result = repro.run(db, "{ p.name | p <- Persons, p.age > 30 }")
+    assert result.python() == frozenset({"Ada"})
+"""
+
+from repro.api import (
+    effects,
+    explore,
+    is_deterministic,
+    open_database,
+    optimize,
+    run,
+    typecheck,
+)
+from repro.db.database import Database, from_value, to_value
+from repro.effects.algebra import EMPTY, Effect
+from repro.errors import (
+    EvalError,
+    FuelExhausted,
+    IOQLEffectError,
+    IOQLTypeError,
+    MethodError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    StuckError,
+)
+from repro.lang.parser import parse_program, parse_query, parse_type
+from repro.lang.pprint import pretty
+from repro.methods.ast import AccessMode
+from repro.model.odl_parser import parse_schema
+from repro.model.schema import Schema
+from repro.semantics.strategy import (
+    FIRST,
+    LAST,
+    FirstStrategy,
+    LastStrategy,
+    RandomStrategy,
+    ScriptedStrategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "Database",
+    "EMPTY",
+    "Effect",
+    "EvalError",
+    "FIRST",
+    "FirstStrategy",
+    "FuelExhausted",
+    "IOQLEffectError",
+    "IOQLTypeError",
+    "LAST",
+    "LastStrategy",
+    "MethodError",
+    "ParseError",
+    "RandomStrategy",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "ScriptedStrategy",
+    "StuckError",
+    "__version__",
+    "effects",
+    "explore",
+    "from_value",
+    "is_deterministic",
+    "open_database",
+    "optimize",
+    "parse_program",
+    "parse_query",
+    "parse_schema",
+    "parse_type",
+    "pretty",
+    "run",
+    "to_value",
+    "typecheck",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — launch the interactive IOQL shell."""
+
+from repro.shell import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""One-stop convenience functions over the whole library.
+
+These are thin compositions of the real modules, for scripts and docs::
+
+    import repro
+
+    db = repro.open_database(ODL_TEXT)
+    print(repro.typecheck(db, "{ p.name | p <- Persons }"))
+    print(repro.effects(db, "new Person(name: \\"x\\")"))
+    print(repro.run(db, "{ p.name | p <- Persons }").python())
+
+Anything beyond a quick call should use :class:`repro.db.Database` and
+the analysis modules directly.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.effects.algebra import Effect
+from repro.lang.ast import Query
+from repro.methods.ast import AccessMode
+from repro.model.types import Type
+from repro.semantics.evaluator import EvalResult
+from repro.semantics.explorer import Exploration
+from repro.semantics.strategy import FIRST, Strategy
+
+
+def open_database(
+    odl: str, *, effectful_methods: bool = False, method_fuel: int = 10_000
+) -> Database:
+    """Parse ODL class definitions and return a fresh database."""
+    mode = AccessMode.EFFECTFUL if effectful_methods else AccessMode.READ_ONLY
+    return Database.from_odl(odl, method_mode=mode, method_fuel=method_fuel)
+
+
+def typecheck(db: Database, query: str | Query) -> Type:
+    """Figure 1: the query's type (raises IOQLTypeError if ill-typed)."""
+    return db.typecheck(query)
+
+
+def effects(db: Database, query: str | Query) -> Effect:
+    """Figure 3: the query's inferred effect ε."""
+    return db.effect_of(query)
+
+
+def run(
+    db: Database, query: str | Query, *, strategy: Strategy = FIRST
+) -> EvalResult:
+    """Evaluate under one strategy and commit the resulting database."""
+    return db.run(query, strategy=strategy)
+
+
+def explore(db: Database, query: str | Query) -> Exploration:
+    """Enumerate every reduction order (without committing anything)."""
+    return db.explore(query)
+
+
+def is_deterministic(db: Database, query: str | Query) -> bool:
+    """⊢′ (Theorem 7): is the query statically guaranteed deterministic?"""
+    return db.is_deterministic(query)
+
+
+def optimize(db: Database, query: str | Query) -> Query:
+    """The effect-gated rewriting pipeline; returns the rewritten query."""
+    return db.optimize(query)

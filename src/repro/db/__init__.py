@@ -1,0 +1,10 @@
+"""The runtime database: EE/OE environments, oid supply, and the façade."""
+
+from repro.db.database import Database, Snapshot
+from repro.db.persistence import load, save
+from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply, populate
+
+__all__ = [
+    "Database", "ExtentEnv", "ObjectEnv", "ObjectRecord", "OidSupply",
+    "Snapshot", "load", "populate", "save",
+]

@@ -1,0 +1,334 @@
+"""A high-level façade over the whole system: one object to hold the
+schema, the runtime environments (EE/OE), the definition environment
+(DE), and the analysis/evaluation entry points.
+
+This is the API a downstream user programs against::
+
+    db = Database.from_odl('''
+        class Person extends Object (extent Persons) {
+            attribute string name;
+        }
+    ''')
+    db.insert("Person", name="Ada")
+    result = db.query("{ p.name | p <- Persons }")
+    assert result.python() == {"Ada"}
+
+Everything the paper formalises is reachable from here:
+
+* :meth:`typecheck` — Figure 1;
+* :meth:`effect_of` — Figure 3;
+* :meth:`run` / :meth:`query` — Figures 2/4 under a chosen strategy;
+* :meth:`explore` — all reduction orders;
+* :meth:`is_deterministic` / :meth:`determinism_witnesses` — ⊢′;
+* :meth:`check_commutable` — ⊢″;
+* :meth:`optimize` — the effect-gated rewriter.
+
+The database itself is mutated by queries exactly as the paper
+dictates: a ``new`` in a query adds the object to its class extent and
+the change *persists* (the façade commits the final EE/OE of a
+successful evaluation).  Use :meth:`snapshot`/:meth:`restore` around
+speculative work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.effects.algebra import Effect
+from repro.effects.checker import EffectChecker
+from repro.effects.commutativity import CommutationConflict, analyze_commutativity
+from repro.effects.determinism import Interference, analyze_determinism
+from repro.errors import IOQLEffectError, IOQLTypeError
+from repro.lang.ast import Definition, OidRef, Query
+from repro.lang.parser import parse_program, parse_query
+from repro.lang.traversal import resolve_extents
+from repro.methods.ast import AccessMode
+from repro.methods.typing import check_schema_methods
+from repro.model.schema import Schema
+from repro.model.types import ClassType, FuncType, Type
+from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply
+from repro.semantics.evaluator import DEFAULT_MAX_STEPS, EvalResult, evaluate
+from repro.semantics.explorer import Exploration, explore
+from repro.semantics.machine import Machine
+from repro.semantics.strategy import FIRST, Strategy
+from repro.typing.checker import check_definition, check_query
+from repro.typing.context import TypeContext
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """An immutable copy of the database state (EE, OE, definitions)."""
+
+    ee: ExtentEnv
+    oe: ObjectEnv
+    definitions: tuple[Definition, ...]
+
+
+class Database:
+    """Schema + state + definitions + every checker and the machine."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        *,
+        method_mode: AccessMode = AccessMode.READ_ONLY,
+        method_fuel: int = 10_000,
+        check_methods: bool = True,
+    ):
+        self.schema = schema
+        self.ee = ExtentEnv.for_schema(schema)
+        self.oe = ObjectEnv()
+        self.supply = OidSupply()
+        self.method_mode = method_mode
+        self._definitions: dict[str, Definition] = {}
+        self._def_types: dict[str, FuncType] = {}
+        self.machine = Machine(
+            schema,
+            self._definitions,
+            method_mode=method_mode,
+            method_fuel=method_fuel,
+            oid_supply=self.supply,
+        )
+        if check_methods:
+            check_schema_methods(schema, method_mode)
+
+    @staticmethod
+    def from_odl(
+        source: str,
+        *,
+        method_mode: AccessMode = AccessMode.READ_ONLY,
+        method_fuel: int = 10_000,
+    ) -> "Database":
+        """Build a database from ODL class-definition text (§2 grammar)."""
+        from repro.model.odl_parser import parse_schema
+
+        schema = parse_schema(
+            source,
+            allow_method_effects=method_mode is AccessMode.EFFECTFUL,
+        )
+        return Database(
+            schema, method_mode=method_mode, method_fuel=method_fuel
+        )
+
+    # -- population ------------------------------------------------------
+    def insert(self, cname: str, **attrs: Any) -> OidRef:
+        """Create an object directly (outside any query) and return its oid.
+
+        Attribute values may be Python ints/bools/strs/oids or AST
+        values.  Performs the same extent maintenance as the (New)
+        rule, and type-checks the attributes against the schema.
+        """
+        declared = dict(self.schema.atypes(cname))
+        if set(attrs) != set(declared):
+            raise IOQLTypeError(
+                f"insert {cname}: need exactly {sorted(declared)}, "
+                f"got {sorted(attrs)}"
+            )
+        fields = tuple(
+            (a, to_value(attrs[a])) for a in (name for name, _ in self.schema.atypes(cname))
+        )
+        ctx = self.type_context()
+        for a, v in fields:
+            vt = check_query(ctx, v)
+            ctx.require_subtype(vt, declared[a], f"insert {cname}.{a}")
+        oid = self.supply.fresh(cname, self.oe)
+        self.oe = self.oe.with_object(oid, ObjectRecord(cname, fields))
+        self.ee = self.ee.with_member(self.schema.class_extent(cname), oid)
+        return OidRef(oid)
+
+    def define(self, source: str | Definition) -> FuncType:
+        """Add a ``define d(x:σ,…) as q;`` clause; returns its type.
+
+        Definitions are non-recursive and may reference earlier ones,
+        exactly as in the ⊢_prog rule.
+        """
+        if isinstance(source, Definition):
+            d = source
+        else:
+            prog = parse_program(source + " 0", schema=self.schema)
+            if len(prog.definitions) != 1:
+                raise IOQLTypeError("define() expects exactly one definition")
+            d = prog.definitions[0]
+        if d.name in self._definitions:
+            raise IOQLTypeError(f"definition {d.name!r} already exists")
+        ctx = self.type_context()
+        ftype_plain = check_definition(ctx, d)
+        # carry the latent effect on the stored type (Figure 3 view)
+        eff_type = EffectChecker().check_definition(ctx, d)
+        self._definitions[d.name] = d
+        self._def_types[d.name] = eff_type
+        self.machine.defs[d.name] = d
+        return eff_type if not eff_type.effect.is_empty() else ftype_plain
+
+    @property
+    def definitions(self) -> Mapping[str, Definition]:
+        return dict(self._definitions)
+
+    # -- contexts ----------------------------------------------------------
+    def oid_types(self) -> dict[str, Type]:
+        """The oid fragment of Q: every live oid at its dynamic class."""
+        return {
+            oid: ClassType(rec.cname) for oid, rec in self.oe.items()
+        }
+
+    def type_context(self) -> TypeContext:
+        """(E; D; Q) for this database's current state."""
+        return TypeContext(
+            self.schema, defs=dict(self._def_types), vars=self.oid_types()
+        )
+
+    # -- parsing -----------------------------------------------------------
+    def parse(self, source: str | Query) -> Query:
+        """Parse query text with this schema's extent names resolved."""
+        if isinstance(source, Query):
+            return resolve_extents(source, frozenset(self.schema.extents))
+        return parse_query(source, schema=self.schema)
+
+    # -- static analysis -----------------------------------------------------
+    def typecheck(self, source: str | Query) -> Type:
+        """Figure 1: the type of the query, or :class:`IOQLTypeError`."""
+        return check_query(self.type_context(), self.parse(source))
+
+    def effect_of(self, source: str | Query) -> Effect:
+        """Figure 3: the inferred effect ε of the query."""
+        _, eff = EffectChecker().check(self.type_context(), self.parse(source))
+        return eff
+
+    def typecheck_with_effect(self, source: str | Query) -> tuple[Type, Effect]:
+        """Figure 3 judgement ``q : σ ! ε`` in one call."""
+        return EffectChecker().check(self.type_context(), self.parse(source))
+
+    def determinism_witnesses(self, source: str | Query) -> list[Interference]:
+        """⊢′ analysis: the (possibly empty) interference witnesses."""
+        _, _, witnesses = analyze_determinism(
+            self.schema,
+            self.parse(source),
+            defs=self._def_types,
+            var_types=self.oid_types(),
+        )
+        return witnesses
+
+    def is_deterministic(self, source: str | Query) -> bool:
+        """Theorem 7's premise: does ⊢′ accept the query?"""
+        return not self.determinism_witnesses(source)
+
+    def commutation_conflicts(
+        self, source: str | Query
+    ) -> list[CommutationConflict]:
+        """⊢″ analysis: set operators whose operands interfere."""
+        _, _, conflicts = analyze_commutativity(
+            self.schema,
+            self.parse(source),
+            defs=self._def_types,
+            var_types=self.oid_types(),
+        )
+        return conflicts
+
+    def check_commutable(self, source: str | Query) -> None:
+        """Raise :class:`IOQLEffectError` unless ⊢″ accepts the query."""
+        conflicts = self.commutation_conflicts(source)
+        if conflicts:
+            raise IOQLEffectError("; ".join(str(c) for c in conflicts))
+
+    def optimize(self, source: str | Query) -> "Query":
+        """Apply the effect-gated rewriting pipeline; returns the query."""
+        from repro.optimizer.planner import optimize
+
+        return optimize(self, self.parse(source)).query
+
+    # -- evaluation -----------------------------------------------------------
+    def run(
+        self,
+        source: str | Query,
+        *,
+        strategy: Strategy = FIRST,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        commit: bool = True,
+        typecheck: bool = True,
+        engine: str = "reduction",
+    ) -> EvalResult:
+        """Evaluate a query under one strategy; optionally commit EE/OE.
+
+        ``typecheck=True`` (default) runs Figure 1 first, so evaluation
+        enjoys Theorem 3 and can never get stuck.  ``engine`` selects
+        the presentation: ``"reduction"`` is the paper's Figure 2/4
+        machine (step counts, rule traces); ``"bigstep"`` is the
+        normalisation evaluator of :mod:`repro.semantics.bigstep` —
+        same answers (tested), roughly an order of magnitude faster.
+        """
+        q = self.parse(source)
+        if typecheck:
+            self.typecheck(q)
+        if engine == "bigstep":
+            from repro.semantics.bigstep import evaluate_bigstep
+
+            big = evaluate_bigstep(
+                self.machine, self.ee, self.oe, q, strategy=strategy
+            )
+            result = EvalResult(
+                value=big.value, ee=big.ee, oe=big.oe, steps=0,
+                effect=big.effect,
+            )
+        elif engine == "reduction":
+            result = evaluate(
+                self.machine, self.ee, self.oe, q,
+                strategy=strategy, max_steps=max_steps,
+            )
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+        if commit:
+            self.ee, self.oe = result.ee, result.oe
+        return result
+
+    def query(self, source: str | Query, **kw: Any) -> EvalResult:
+        """Alias of :meth:`run` (reads nicely at call sites)."""
+        return self.run(source, **kw)
+
+    def explore(
+        self,
+        source: str | Query,
+        *,
+        max_steps: int = 10_000,
+        max_paths: int = 100_000,
+        typecheck: bool = True,
+    ) -> Exploration:
+        """Enumerate every reduction order (never commits)."""
+        q = self.parse(source)
+        if typecheck:
+            self.typecheck(q)
+        return explore(
+            self.machine, self.ee, self.oe, q,
+            max_steps=max_steps, max_paths=max_paths,
+        )
+
+    # -- state management ----------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """An immutable copy of the current state."""
+        return Snapshot(self.ee, self.oe, tuple(self._definitions.values()))
+
+    def restore(self, snap: Snapshot) -> None:
+        """Return to a snapshot (environments are immutable: O(1))."""
+        self.ee = snap.ee
+        self.oe = snap.oe
+        self._definitions.clear()
+        self._def_types.clear()
+        for d in snap.definitions:
+            self._definitions[d.name] = d
+            self._def_types[d.name] = EffectChecker().check_definition(
+                TypeContext(self.schema, defs=dict(self._def_types)), d
+            )
+        self.machine.defs = self._definitions
+
+    def extent(self, name: str) -> frozenset[str]:
+        """The oids currently in an extent."""
+        return self.ee.members(name)
+
+    def attr(self, oid: OidRef | str, name: str) -> Query:
+        """Read one attribute of a live object."""
+        key = oid.name if isinstance(oid, OidRef) else oid
+        return self.oe.get(key).attr(name)
+
+
+# Re-exported conversions (defined next to the value grammar).
+from repro.lang.values import from_value, to_value  # noqa: E402  (re-export)

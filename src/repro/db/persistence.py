@@ -1,0 +1,223 @@
+"""Saving and loading databases — making the "heart of the database"
+durable.
+
+The paper's EE/OE environments live only for a derivation; a library a
+downstream user adopts needs them on disk.  The format is a single
+JSON document containing:
+
+* the ODL source of the schema (the schema is re-parsed and
+  re-validated on load — well-formedness is checked again, not
+  trusted);
+* every object of OE as ``{"class": C, "attrs": {...}}`` with values in
+  a tagged JSON encoding (oids, sets, bags, lists and records nest);
+* every extent of EE as its member list;
+* the query definitions as their concrete syntax (re-parsed and
+  re-type-checked on load).
+
+Because values are re-validated through the same constructors the
+machine uses, a corrupted file fails loudly at load time rather than
+poisoning later reductions.  MJava method bodies travel inside the ODL
+source; native Python methods cannot be serialised — saving a database
+whose schema binds native methods raises, listing them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import EvalError, ReproError
+from repro.lang.ast import (
+    BagLit,
+    BoolLit,
+    IntLit,
+    ListLit,
+    OidRef,
+    Query,
+    RecordLit,
+    SetLit,
+    StrLit,
+)
+from repro.lang.values import make_bag_value, make_set_value
+from repro.methods.ast import AccessMode, NativeMethod
+from repro.db.database import Database
+from repro.db.store import ObjectRecord
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """Raised on unserialisable databases or malformed dump files."""
+
+
+# ---------------------------------------------------------------------------
+# value <-> JSON
+# ---------------------------------------------------------------------------
+
+
+def value_to_json(v: Query) -> Any:
+    """Encode a value as tagged JSON."""
+    if isinstance(v, IntLit):
+        return {"t": "int", "v": v.value}
+    if isinstance(v, BoolLit):
+        return {"t": "bool", "v": v.value}
+    if isinstance(v, StrLit):
+        return {"t": "str", "v": v.value}
+    if isinstance(v, OidRef):
+        return {"t": "oid", "v": v.name}
+    if isinstance(v, SetLit):
+        return {"t": "set", "v": [value_to_json(i) for i in v.items]}
+    if isinstance(v, BagLit):
+        return {"t": "bag", "v": [value_to_json(i) for i in v.items]}
+    if isinstance(v, ListLit):
+        return {"t": "list", "v": [value_to_json(i) for i in v.items]}
+    if isinstance(v, RecordLit):
+        return {
+            "t": "rec",
+            "v": [[l, value_to_json(q)] for l, q in v.fields],
+        }
+    raise PersistenceError(f"not a serialisable value: {v!r}")
+
+
+def value_from_json(doc: Any) -> Query:
+    """Decode tagged JSON back into a canonical value."""
+    try:
+        tag, payload = doc["t"], doc["v"]
+    except (TypeError, KeyError) as exc:
+        raise PersistenceError(f"malformed value document: {doc!r}") from exc
+    if tag == "int":
+        return IntLit(int(payload))
+    if tag == "bool":
+        return BoolLit(bool(payload))
+    if tag == "str":
+        return StrLit(str(payload))
+    if tag == "oid":
+        return OidRef(str(payload))
+    if tag == "set":
+        return make_set_value(value_from_json(i) for i in payload)
+    if tag == "bag":
+        return make_bag_value(value_from_json(i) for i in payload)
+    if tag == "list":
+        return ListLit(tuple(value_from_json(i) for i in payload))
+    if tag == "rec":
+        return RecordLit(
+            tuple((l, value_from_json(q)) for l, q in payload)
+        )
+    raise PersistenceError(f"unknown value tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# database <-> JSON document
+# ---------------------------------------------------------------------------
+
+
+def dump_database(db: Database, odl_source: str) -> dict:
+    """Serialise a database to a JSON-able document.
+
+    ``odl_source`` is the ODL text the schema was built from (the
+    schema object does not retain its source); it is embedded verbatim
+    and re-parsed on load.
+    """
+    natives = [
+        f"{cname}.{m.name}"
+        for cname, cd in sorted(db.schema.classes.items())
+        for m in cd.methods
+        if isinstance(m.body, NativeMethod)
+    ]
+    if natives:
+        raise PersistenceError(
+            "cannot serialise native Python methods: " + ", ".join(natives)
+        )
+    objects = {
+        oid: {
+            "class": rec.cname,
+            "attrs": {a: value_to_json(v) for a, v in rec.attrs},
+        }
+        for oid, rec in db.oe.items()
+    }
+    extents = {
+        e: sorted(db.ee.members(e)) for e in sorted(db.ee.names())
+    }
+    from repro.lang.pprint import pretty_definition
+
+    return {
+        "format": FORMAT_VERSION,
+        "odl": odl_source,
+        "method_mode": db.method_mode.value,
+        "objects": objects,
+        "extents": extents,
+        "definitions": [
+            pretty_definition(d) for d in db.definitions.values()
+        ],
+    }
+
+
+def load_database(doc: dict) -> Database:
+    """Rebuild a database from a document produced by :func:`dump_database`.
+
+    Everything is re-validated: the schema re-parses, every object's
+    attributes must be values of the right attribute set, extents must
+    reference live objects of the right class, and definitions re-type-
+    check.
+    """
+    if doc.get("format") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported dump format {doc.get('format')!r}"
+        )
+    mode = AccessMode(doc.get("method_mode", AccessMode.READ_ONLY.value))
+    db = Database.from_odl(doc["odl"], method_mode=mode)
+    # objects first — oids must exist before extents reference them
+    oe = db.oe
+    for oid, entry in sorted(doc.get("objects", {}).items()):
+        cname = entry["class"]
+        if cname not in db.schema:
+            raise PersistenceError(f"object {oid}: unknown class {cname!r}")
+        declared = [a for a, _ in db.schema.atypes(cname)]
+        given = entry.get("attrs", {})
+        if sorted(given) != sorted(declared):
+            raise PersistenceError(
+                f"object {oid}: attribute set {sorted(given)} does not "
+                f"match class {cname} ({sorted(declared)})"
+            )
+        attrs = tuple((a, value_from_json(given[a])) for a in declared)
+        try:
+            oe = oe.with_object(oid, ObjectRecord(cname, attrs))
+        except EvalError as exc:
+            raise PersistenceError(f"object {oid}: {exc}") from exc
+    db.oe = oe
+    ee = db.ee
+    for extent, members in sorted(doc.get("extents", {}).items()):
+        if extent not in ee:
+            raise PersistenceError(f"unknown extent {extent!r} in dump")
+        want_class = db.schema.extent_class(extent)
+        for oid in members:
+            if oid not in db.oe:
+                raise PersistenceError(
+                    f"extent {extent!r} references missing object {oid}"
+                )
+            if db.oe.class_of(oid) != want_class:
+                raise PersistenceError(
+                    f"extent {extent!r} holds {oid} of class "
+                    f"{db.oe.class_of(oid)!r}, expected {want_class!r}"
+                )
+            ee = ee.with_member(extent, oid)
+    db.ee = ee
+    for d in doc.get("definitions", []):
+        db.define(d)
+    return db
+
+
+def save(db: Database, odl_source: str, path: str) -> None:
+    """Serialise ``db`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(dump_database(db, odl_source), f, indent=1, sort_keys=True)
+
+
+def load(path: str) -> Database:
+    """Load a database saved with :func:`save`."""
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"not a database dump: {exc}") from exc
+    return load_database(doc)

@@ -1,0 +1,201 @@
+"""The runtime environments of §3.3 — "essentially the heart of the database!".
+
+* :class:`ExtentEnv` (EE) maps an extent identifier to a pair of the
+  class name and the set of oids currently in that extent;
+* :class:`ObjectEnv` (OE) maps an oid to the runtime representation of
+  the object, written ⟪C, a₁:v₁, …, aₖ:vₖ⟫ in the paper
+  (:class:`ObjectRecord` here);
+* :class:`OidSupply` generates fresh oids for the (New) rule.
+
+Both environments are **immutable**: every update returns a new
+environment sharing structure with the old one.  This is what lets the
+explorer fork a configuration down every non-deterministic branch, and
+the metatheory harness snapshot/restore configurations, without copying
+the whole database.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import EvalError
+from repro.lang.ast import OidRef, Query
+from repro.lang.values import is_value
+from repro.model.schema import Schema
+
+
+@dataclass(frozen=True)
+class ObjectRecord:
+    """The paper's ⟪C, a₁:v₁, …, aₖ:vₖ⟫ — one object's class and state."""
+
+    cname: str
+    attrs: tuple[tuple[str, Query], ...]
+
+    def __post_init__(self) -> None:
+        for a, v in self.attrs:
+            if not is_value(v):
+                raise EvalError(
+                    f"object attribute {a!r} holds a non-value {v!r}"
+                )
+
+    def attr(self, name: str) -> Query:
+        for a, v in self.attrs:
+            if a == name:
+                return v
+        raise EvalError(f"object of class {self.cname!r} has no attribute {name!r}")
+
+    def with_attr(self, name: str, value: Query) -> "ObjectRecord":
+        """A copy with one attribute replaced (§5 update support)."""
+        if not any(a == name for a, _ in self.attrs):
+            raise EvalError(
+                f"object of class {self.cname!r} has no attribute {name!r}"
+            )
+        return ObjectRecord(
+            self.cname,
+            tuple((a, value if a == name else v) for a, v in self.attrs),
+        )
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{a}: {v}" for a, v in self.attrs)
+        return f"⟪{self.cname}, {inner}⟫"
+
+
+class ObjectEnv:
+    """OE: oid → :class:`ObjectRecord`, persistent/immutable."""
+
+    __slots__ = ("_objects",)
+
+    def __init__(self, objects: Mapping[str, ObjectRecord] | None = None):
+        self._objects: dict[str, ObjectRecord] = dict(objects or {})
+
+    def get(self, oid: str) -> ObjectRecord:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise EvalError(f"dangling oid {oid!r}") from None
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self._objects
+
+    def oids(self) -> frozenset[str]:
+        return frozenset(self._objects)
+
+    def items(self) -> Iterator[tuple[str, ObjectRecord]]:
+        return iter(sorted(self._objects.items()))
+
+    def with_object(self, oid: str, rec: ObjectRecord) -> "ObjectEnv":
+        """OE[o ↦ ⟪…⟫] — add (or in §5 mode, replace) one object."""
+        new = dict(self._objects)
+        new[oid] = rec
+        return ObjectEnv(new)
+
+    def class_of(self, oid: str) -> str:
+        return self.get(oid).cname
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ObjectEnv) and self._objects == other._objects
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._objects.items()))
+
+    def __repr__(self) -> str:
+        return f"ObjectEnv({len(self._objects)} objects)"
+
+
+class ExtentEnv:
+    """EE: extent name → (class name, frozenset of oids), immutable."""
+
+    __slots__ = ("_extents",)
+
+    def __init__(self, extents: Mapping[str, tuple[str, frozenset[str]]] | None = None):
+        self._extents: dict[str, tuple[str, frozenset[str]]] = dict(extents or {})
+
+    @staticmethod
+    def for_schema(schema: Schema) -> "ExtentEnv":
+        """Empty extents for every class of ``schema``."""
+        return ExtentEnv(
+            {e: (c, frozenset()) for e, c in schema.extents.items()}
+        )
+
+    def get(self, extent: str) -> tuple[str, frozenset[str]]:
+        try:
+            return self._extents[extent]
+        except KeyError:
+            raise EvalError(f"unknown extent {extent!r}") from None
+
+    def members(self, extent: str) -> frozenset[str]:
+        return self.get(extent)[1]
+
+    def class_of(self, extent: str) -> str:
+        return self.get(extent)[0]
+
+    def __contains__(self, extent: str) -> bool:
+        return extent in self._extents
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self._extents)
+
+    def items(self) -> Iterator[tuple[str, tuple[str, frozenset[str]]]]:
+        return iter(sorted(self._extents.items()))
+
+    def with_member(self, extent: str, oid: str) -> "ExtentEnv":
+        """EE[e ↦ (C, v ∪ {o})] — the (New) rule's extent update."""
+        cname, members = self.get(extent)
+        new = dict(self._extents)
+        new[extent] = (cname, members | {oid})
+        return ExtentEnv(new)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ExtentEnv) and self._extents == other._extents
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._extents.items()))
+
+    def __repr__(self) -> str:
+        sizes = {e: len(v) for e, (_, v) in sorted(self._extents.items())}
+        return f"ExtentEnv({sizes})"
+
+
+class OidSupply:
+    """Fresh-oid generator: ``o ∉ dom(OE)`` of the (New) rule.
+
+    Oids are strings ``@C_n``.  The supply is the one *mutable* piece of
+    the runtime — freshness is global by construction, which is exactly
+    what the paper's side condition requires.  Forked explorations may
+    share a supply safely: sharing only makes oids "fresher than
+    necessary", which the bijection ∼ absorbs.
+    """
+
+    def __init__(self, start: int = 0):
+        self._counter = itertools.count(start)
+
+    def fresh(self, cname: str, oe: ObjectEnv) -> str:
+        """A fresh oid for a new ``cname`` object, not in ``oe``."""
+        while True:
+            oid = f"@{cname}_{next(self._counter)}"
+            if oid not in oe:
+                return oid
+
+
+def populate(
+    schema: Schema,
+    ee: ExtentEnv,
+    oe: ObjectEnv,
+    supply: OidSupply,
+    cname: str,
+    attrs: Iterable[tuple[str, Query]],
+) -> tuple[ExtentEnv, ObjectEnv, OidRef]:
+    """Insert one object directly (test/bootstrap helper, not a reduction).
+
+    Performs the same EE/OE updates as the (New) rule — the object joins
+    the extent of its class — but without going through the machine.
+    """
+    oid = supply.fresh(cname, oe)
+    rec = ObjectRecord(cname, tuple(attrs))
+    extent = schema.class_extent(cname)
+    return ee.with_member(extent, oid), oe.with_object(oid, rec), OidRef(oid)

@@ -1,0 +1,12 @@
+"""The Figure 3 effect system and its ⊢′ / ⊢″ refinements (§4)."""
+
+from repro.effects.algebra import EMPTY, AccessKind, Atom, Effect, add, read, update
+from repro.effects.checker import EffectChecker, effect_of
+from repro.effects.commutativity import CommutativityChecker, may_commute
+from repro.effects.determinism import DeterminismChecker, is_deterministic
+
+__all__ = [
+    "AccessKind", "Atom", "CommutativityChecker", "DeterminismChecker",
+    "EMPTY", "Effect", "EffectChecker", "add", "effect_of",
+    "is_deterministic", "may_commute", "read", "update",
+]

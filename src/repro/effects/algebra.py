@@ -1,0 +1,198 @@
+"""The effect algebra of §4.
+
+The paper defines effects by the grammar::
+
+    ε ::= ∅ | ε ∪ ε | R(C) | A(C)
+
+with equality modulo associativity, commutativity, idempotence and unit —
+i.e. an effect is exactly a *finite set* of atomic effects.  We therefore
+represent an :class:`Effect` as a frozenset of :class:`Atom` values.
+
+Atoms:
+
+* ``R(C)`` — the extent of class ``C`` may be *read* (the (Extent) rule);
+* ``A(C)`` — the extent of class ``C`` may be *added to* (the (New) rule);
+* ``U(C)`` — the state of some ``C`` object may be *updated in place*.
+  This third atom is our implementation of the §5 extension, where method
+  bodies may assign to attributes; it is empty in the paper's core.
+
+The subeffect relation ε ⊆ ε′ of the paper (∃ε″. ε′ = ε ∪ ε″) is exactly
+set inclusion, and the ``nonint`` predicate of §4 is::
+
+    nonint(ε)  ⇔  ∀ R(C) ∈ ε. ¬∃ A(C) ∈ ε
+
+generalised here to also exclude read/update and update/update conflicts
+when ``U`` atoms are present (the §5 mode).
+
+Effects over a class are *not* closed under subtyping by the algebra
+itself: ``R(C)`` names the extent of ``C`` precisely.  The checker is
+responsible for emitting atoms for the classes it actually touches; note
+that creating a ``C`` object inserts it into the extent of ``C`` (the
+paper attaches one extent per class, and (New) updates only that
+extent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+
+class AccessKind(Enum):
+    """The kind of extent/object access an atom records."""
+
+    READ = "R"
+    ADD = "A"
+    UPDATE = "U"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """An atomic effect ``R(C)``, ``A(C)`` or ``U(C)``."""
+
+    kind: AccessKind
+    cname: str
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.cname})"
+
+
+def read(cname: str) -> Atom:
+    """The atom ``R(C)``: the extent of ``C`` has been read."""
+    return Atom(AccessKind.READ, cname)
+
+
+def add(cname: str) -> Atom:
+    """The atom ``A(C)``: the extent of ``C`` has been added to."""
+    return Atom(AccessKind.ADD, cname)
+
+
+def update(cname: str) -> Atom:
+    """The atom ``U(C)``: a ``C`` object has been updated (§5 mode)."""
+    return Atom(AccessKind.UPDATE, cname)
+
+
+@dataclass(frozen=True, slots=True)
+class Effect:
+    """A finite set of atomic effects, the paper's ε.
+
+    Immutable and hashable.  Use :data:`EMPTY` for ∅ and
+    :meth:`union` / the ``|`` operator for ε ∪ ε′.
+    """
+
+    atoms: frozenset[Atom]
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def of(*atoms: Atom) -> "Effect":
+        """Build an effect from atoms: ``Effect.of(read("C"), add("D"))``."""
+        return Effect(frozenset(atoms))
+
+    @staticmethod
+    def union_all(effects: Iterable["Effect"]) -> "Effect":
+        """The n-ary union of a (possibly empty) iterable of effects."""
+        out: frozenset[Atom] = frozenset()
+        for e in effects:
+            out |= e.atoms
+        return Effect(out)
+
+    def union(self, other: "Effect") -> "Effect":
+        """ε ∪ ε′ — associative, commutative, idempotent, unit ∅."""
+        return Effect(self.atoms | other.atoms)
+
+    __or__ = union
+
+    # -- queries --------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True iff this is the empty effect ∅ (pure)."""
+        return not self.atoms
+
+    def subeffect_of(self, other: "Effect") -> bool:
+        """The paper's ε ⊆ ε′ (i.e. ∃ε″. ε′ = ε ∪ ε″): set inclusion."""
+        return self.atoms <= other.atoms
+
+    def __le__(self, other: "Effect") -> bool:
+        return self.subeffect_of(other)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self.atoms
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(sorted(self.atoms, key=lambda a: (a.cname, a.kind.value)))
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    # -- projections ----------------------------------------------------
+    def reads(self) -> frozenset[str]:
+        """Class names ``C`` with ``R(C)`` in this effect."""
+        return frozenset(a.cname for a in self.atoms if a.kind is AccessKind.READ)
+
+    def adds(self) -> frozenset[str]:
+        """Class names ``C`` with ``A(C)`` in this effect."""
+        return frozenset(a.cname for a in self.atoms if a.kind is AccessKind.ADD)
+
+    def updates(self) -> frozenset[str]:
+        """Class names ``C`` with ``U(C)`` in this effect (§5 mode)."""
+        return frozenset(a.cname for a in self.atoms if a.kind is AccessKind.UPDATE)
+
+    def writes(self) -> frozenset[str]:
+        """Class names written in any way: A(C) or U(C)."""
+        return self.adds() | self.updates()
+
+    # -- the paper's predicates ------------------------------------------
+    def noninterfering(self) -> bool:
+        """The §4 predicate ``nonint(ε)``: no class both read and written.
+
+        The paper states ``nonint(ε) ≔ ∀R(C) ∈ ε. ¬∃A(C) ∈ ε``; in the
+        core language (no ``U`` atoms) this method computes exactly that.
+
+        With the §5 ``U`` atoms we must be stricter on two counts: a
+        read/update pair on the same class interferes just like a
+        read/add pair, and the mere *presence* of an update makes the
+        effect self-interfering.  The latter is because ``nonint`` is
+        applied to the effect of a comprehension body to argue that its
+        per-element instances commute (Theorem 7); two instances that
+        each update objects of class ``C`` may hit the same object, and a
+        single effect-set cannot distinguish that from disjoint updates.
+        (Two ``A(C)`` instances, by contrast, always commute up to an oid
+        bijection, which is why the paper's predicate tolerates
+        add/add.)
+        """
+        if self.updates():
+            return False
+        return not (self.reads() & self.writes())
+
+    def interferes_with(self, other: "Effect") -> bool:
+        """True if commuting ``self`` and ``other`` could be observable.
+
+        Interference arises when one side writes (adds to / updates) a
+        class whose extent the other side *reads*, or when both sides
+        *update* the same class (they might hit the same object).  Two
+        adds to the same class do **not** interfere: each creates fresh
+        objects the other never observes, and the results agree up to
+        the oid bijection ∼ — which is exactly the equivalence Theorem 8
+        asserts.  Used by the ⊢″ system to gate commuting binary set
+        operators.
+        """
+        return bool(
+            (self.writes() & other.reads())
+            or (other.writes() & self.reads())
+            or (self.updates() & other.updates())
+        )
+
+    def __str__(self) -> str:
+        if not self.atoms:
+            return "∅"
+        return "{" + ", ".join(str(a) for a in self) + "}"
+
+    def __repr__(self) -> str:
+        return f"Effect({self})"
+
+
+EMPTY: Effect = Effect(frozenset())
+"""The empty effect ∅: the effect of every value (Lemma 2.1)."""

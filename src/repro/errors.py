@@ -1,0 +1,100 @@
+"""Exception hierarchy for the IOQL reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch a single exception type at an API boundary.  The
+sub-hierarchy mirrors the phases of the paper:
+
+* :class:`SchemaError` — ill-formed object schemas (§2);
+* :class:`ParseError` — concrete-syntax errors (lexing/parsing);
+* :class:`IOQLTypeError` — the query does not type-check (Figure 1);
+* :class:`IOQLEffectError` — the query is rejected by one of the effect
+  disciplines of §4 (e.g. the ⊢′ determinism system or the ⊢″ safe
+  commutativity system);
+* :class:`EvalError` — runtime failures of evaluation, further divided
+  into :class:`StuckError` (a non-value query with no applicable
+  reduction — ruled out for well-typed queries by Theorem 3) and
+  :class:`FuelExhausted` (the evaluator's divergence bound was hit —
+  the observable proxy for non-termination, cf. the ``loop`` example of
+  §1).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """An object schema violates a well-formedness condition of §2.
+
+    Examples: a class defined twice, a cycle in the ``extends`` relation,
+    an attribute whose type names an unknown class, duplicate extent
+    names, or an overriding method that changes its signature.
+    """
+
+
+class ParseError(ReproError):
+    """A concrete-syntax error in ODL, IOQL, or MJava input.
+
+    Carries the ``line`` and ``column`` (1-based) of the offending token
+    when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{line}:{column or 0}: {message}"
+        super().__init__(message)
+
+
+class IOQLTypeError(ReproError):
+    """The query is rejected by the type system of Figure 1."""
+
+
+class IOQLEffectError(ReproError):
+    """The query is rejected by an effect discipline of §4.
+
+    Raised by the ⊢′ system when a comprehension's body interferes with
+    itself (``nonint`` fails, Theorem 7) and by the ⊢″ system when the
+    operands of a commutative set operator interfere (Theorem 8).
+    """
+
+
+class MethodError(ReproError):
+    """A method body is ill-typed, or violates its declared access mode.
+
+    In the paper's core (§2) methods are read-only; a body that creates
+    objects or assigns attributes in read-only mode raises this error at
+    *check* time, not at run time.
+    """
+
+
+class EvalError(ReproError):
+    """Base class for runtime evaluation failures."""
+
+
+class StuckError(EvalError):
+    """A non-value query has no applicable reduction step.
+
+    Theorem 3 (type soundness) guarantees this never happens for
+    well-typed queries; the metatheory harness asserts exactly that.
+    """
+
+
+class FuelExhausted(EvalError):
+    """The step/fuel bound was exhausted before reaching a value.
+
+    This is how the implementation makes non-termination observable:
+    the paper's ``loop`` method (§1) manifests as ``FuelExhausted``
+    rather than an actual hang.
+    """
+
+    def __init__(self, message: str = "evaluation fuel exhausted", steps: int = 0):
+        self.steps = steps
+        super().__init__(message)
+
+
+class OptimizerError(ReproError):
+    """An optimizer rewrite was attempted whose side condition fails."""

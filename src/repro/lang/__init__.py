@@ -1,0 +1,11 @@
+"""IOQL: abstract syntax, values, parser, printer, traversals, sugar."""
+
+from repro.lang import ast
+from repro.lang.parser import parse_program, parse_query, parse_type
+from repro.lang.pprint import pretty, pretty_program
+from repro.lang.values import from_value, is_value, make_set_value, to_value
+
+__all__ = [
+    "ast", "from_value", "is_value", "make_set_value", "parse_program",
+    "parse_query", "parse_type", "pretty", "pretty_program", "to_value",
+]

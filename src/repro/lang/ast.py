@@ -1,0 +1,448 @@
+"""Abstract syntax of IOQL (§3.1) plus the runtime value forms (§3.3).
+
+The query grammar of the paper::
+
+    q ::= i | true | false | x
+        | {q₀, …, qₖ}              set literal
+        | q₁ sop q₂                set operators (∪, ∩, \\)
+        | q₁ iop q₂                integer operators (+, −, ×)
+        | q₁ = q₂                  primitive equality
+        | q₁ == q₂                 object (oid) equality
+        | ⟨l₁:q₁, …, lₖ:qₖ⟩        record
+        | q.l                      record access        ┐ one Field node,
+        | q.a                      attribute access     ┘ disambiguated by type
+        | d(q₀, …, qₖ)             definition call
+        | size(q)
+        | (C) q                    upcast
+        | q.m(q₀, …, qₖ)           method invocation
+        | new C(a₀:q₀, …, aₖ:qₖ)   object creation
+        | if q₁ then q₂ else q₃
+        | {q | cq₀, …, cqₖ}        comprehension
+    cq ::= q | x ← q               predicate / generator
+
+Design notes
+------------
+
+* The paper distinguishes record access ``q.l`` from attribute access
+  ``q.a`` only by its convention that labels and attribute names are
+  drawn from disjoint identifier sets.  A parser cannot see that
+  distinction, so we use a single :class:`Field` node; the type checker
+  applies the (Record access) rule when the target has record type and
+  the (Attribute) rule when it has class type, and the machine likewise
+  dispatches on the target *value* (record literal vs oid).  The two
+  paper rules remain disjoint — they are merely housed in one
+  constructor.
+
+* Oids are a designated subset of identifiers in the paper; we give
+  them their own node :class:`OidRef` so that freshness and the value
+  grammar are syntactically evident.
+
+* Extents are likewise identifiers; the parser initially produces
+  :class:`Var` for any name and the resolution pass
+  (:func:`repro.lang.traversal.resolve_extents`) rewrites free
+  occurrences of extent names into :class:`ExtentRef`.
+
+* Extensions beyond the paper's core (all flagged in DESIGN.md):
+  string literals, the comparison operator node :class:`Cmp`, and the
+  ``-``/``*`` integer operators.  Boolean connectives, quantifiers and
+  select-from-where are *derived forms* — the parser desugars them, so
+  they never appear in this AST.
+
+All nodes are immutable, hashable dataclasses.  Structural equality is
+intentional: after set-value canonicalisation (see
+:mod:`repro.lang.values`) two equal values are structurally equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Query:
+    """Abstract base class of all IOQL query nodes."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        from repro.lang.pprint import pretty
+
+        return pretty(self)
+
+
+# ---------------------------------------------------------------------------
+# literals and identifiers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class IntLit(Query):
+    """An integer literal ``i``."""
+
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class BoolLit(Query):
+    """``true`` or ``false``."""
+
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class StrLit(Query):
+    """A string literal (extension; see module docstring)."""
+
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Query):
+    """An identifier occurrence ``x`` (query variable or definition param)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ExtentRef(Query):
+    """A reference to a class extent ``e`` (a designated identifier).
+
+    Reading an extent is the (Extent) reduction rule and carries the
+    ``R(C)`` effect.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class OidRef(Query):
+    """An object identifier ``o`` — a value denoting a database object.
+
+    The paper treats oids as a designated subset of identifiers whose
+    types live in the environment Q; fresh oids are introduced only by
+    the (New) rule.
+    """
+
+    name: str
+
+
+# ---------------------------------------------------------------------------
+# operators
+# ---------------------------------------------------------------------------
+
+
+class SetOpKind(Enum):
+    """The collection ``sop`` of set operators.
+
+    The paper spells out only ∪ "to save space"; §4's running example
+    uses intersection, so the full trio is needed in practice.
+    """
+
+    UNION = "union"
+    INTERSECT = "intersect"
+    EXCEPT = "except"
+
+    @property
+    def symbol(self) -> str:
+        return {"union": "union", "intersect": "intersect", "except": "except"}[self.value]
+
+    @property
+    def commutative(self) -> bool:
+        """Whether the operator is commutative *as a set function*.
+
+        Theorem 8 concerns exactly these: ∪ and ∩ commute as functions,
+        but commuting their evaluation order is only safe when the
+        operands' effects do not interfere.
+        """
+        return self in (SetOpKind.UNION, SetOpKind.INTERSECT)
+
+
+@dataclass(frozen=True, slots=True)
+class SetOp(Query):
+    """``q₁ sop q₂`` — a binary set operator, evaluated left-to-right."""
+
+    op: SetOpKind
+    left: Query
+    right: Query
+
+
+class IntOpKind(Enum):
+    """The collection ``iop`` of integer operators (paper shows ``+``)."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+
+
+@dataclass(frozen=True, slots=True)
+class IntOp(Query):
+    """``q₁ iop q₂`` — integer arithmetic, left-to-right, call-by-value."""
+
+    op: IntOpKind
+    left: Query
+    right: Query
+
+
+@dataclass(frozen=True, slots=True)
+class PrimEq(Query):
+    """``q₁ = q₂`` — equality of primitive values.
+
+    The paper types this at ``int``; we extend it pointwise to ``bool``
+    and ``string`` (both operands must have the *same* primitive type).
+    """
+
+    left: Query
+    right: Query
+
+
+@dataclass(frozen=True, slots=True)
+class ObjEq(Query):
+    """``q₁ == q₂`` — object identity: equality of oids."""
+
+    left: Query
+    right: Query
+
+
+class CmpKind(Enum):
+    """Integer comparison operators (extension)."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+@dataclass(frozen=True, slots=True)
+class Cmp(Query):
+    """``q₁ < q₂`` etc. — integer comparison returning bool (extension)."""
+
+    op: CmpKind
+    left: Query
+    right: Query
+
+
+# ---------------------------------------------------------------------------
+# sets, records, control
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SetLit(Query):
+    """``{q₀, …, qₖ}`` — a set literal.
+
+    When every item is a value *and* the tuple is canonical (deduplicated
+    and sorted by the value order of :mod:`repro.lang.values`), the
+    literal is itself a value.
+    """
+
+    items: tuple[Query, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class BagLit(Query):
+    """``bag(q₀, …, qₖ)`` — a bag (multiset) literal.
+
+    §3.1 extension.  A bag of values is a value once canonical: items
+    sorted by the value order, duplicates *preserved*.
+    """
+
+    items: tuple[Query, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ListLit(Query):
+    """``list(q₀, …, qₖ)`` — a list literal.
+
+    §3.1 extension.  A list of values is a value as-is (order is
+    meaning; no canonicalisation).  Iterating a list is *deterministic*
+    (head first) — the §6.2/XQuery observation.
+    """
+
+    items: tuple[Query, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Sum(Query):
+    """``sum(q)`` — total of an integer collection (extension).
+
+    The one aggregate that is *total* — ``sum`` of the empty collection
+    is 0 — and therefore the one aggregate that can be added without
+    breaking Theorem 2/3 (``min``/``max`` of ``{}`` would introduce a
+    well-typed stuck state; the paper's core has no partial operators
+    and we keep it that way).  Over bags and lists duplicates count:
+    ``sum(bag(2, 2)) = 4`` while ``sum({2, 2}) = sum({2}) = 2`` — the
+    textbook reason query engines need bags.
+    """
+
+    arg: Query
+
+
+@dataclass(frozen=True, slots=True)
+class ToSet(Query):
+    """``toset(q)`` — convert a bag or list (or set) to a set.
+
+    The OQL ``listtoset``/``distinct`` family collapsed into one
+    coercion; duplicates are removed, order forgotten.
+    """
+
+    arg: Query
+
+
+@dataclass(frozen=True, slots=True)
+class RecordLit(Query):
+    """``⟨l₁:q₁, …, lₖ:qₖ⟩`` — a record constructor."""
+
+    fields: tuple[tuple[str, Query], ...]
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(l for l, _ in self.fields)
+
+    def field(self, label: str) -> Query | None:
+        for l, q in self.fields:
+            if l == label:
+                return q
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class Field(Query):
+    """``q.l`` / ``q.a`` — record projection or attribute access.
+
+    A single node for both paper rules; see the module docstring.
+    """
+
+    target: Query
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class DefCall(Query):
+    """``d(q₀, …, qₖ)`` — call of a top-level query definition."""
+
+    name: str
+    args: tuple[Query, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Size(Query):
+    """``size(q)`` — cardinality of a set."""
+
+    arg: Query
+
+
+@dataclass(frozen=True, slots=True)
+class Cast(Query):
+    """``(C) q`` — an upcast to superclass ``C`` (Note 2: no downcasts)."""
+
+    cname: str
+    arg: Query
+
+
+@dataclass(frozen=True, slots=True)
+class MethodCall(Query):
+    """``q.m(q₀, …, qₖ)`` — method invocation on an object."""
+
+    target: Query
+    mname: str
+    args: tuple[Query, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class New(Query):
+    """``new C(a₀:q₀, …, aₖ:qₖ)`` — object creation.
+
+    Returns a fresh oid; the new object joins the extent of ``C``
+    immediately ((New) reduction rule; effect ``A(C)``).  All attributes
+    — including inherited ones — must be supplied.
+    """
+
+    cname: str
+    fields: tuple[tuple[str, Query], ...]
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(l for l, _ in self.fields)
+
+
+@dataclass(frozen=True, slots=True)
+class If(Query):
+    """``if q₁ then q₂ else q₃`` — the conditional (lazy in the branches)."""
+
+    cond: Query
+    then: Query
+    els: Query
+
+
+# ---------------------------------------------------------------------------
+# comprehensions
+# ---------------------------------------------------------------------------
+
+
+class Qualifier:
+    """Abstract base of comprehension qualifiers ``cq``."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        from repro.lang.pprint import pretty_qualifier
+
+        return pretty_qualifier(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Pred(Qualifier):
+    """A predicate qualifier: a boolean query filtering the iteration."""
+
+    cond: Query
+
+
+@dataclass(frozen=True, slots=True)
+class Gen(Qualifier):
+    """A generator qualifier ``x ← q``: iterate ``x`` over the set ``q``.
+
+    Iteration order is *non-deterministic*: the (ND comp) rule picks an
+    arbitrary element each step.
+    """
+
+    var: str
+    source: Query
+
+
+@dataclass(frozen=True, slots=True)
+class Comp(Query):
+    """``{q | cq₀, …, cqₖ}`` — a set comprehension.
+
+    Generators bind their variable in all *subsequent* qualifiers and in
+    the head ``q``.
+    """
+
+    head: Query
+    qualifiers: tuple[Qualifier, ...]
+
+
+# ---------------------------------------------------------------------------
+# programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Definition:
+    """``define d(x₀:σ₀, …, xₙ:σₙ) as q;`` — a (non-recursive) definition.
+
+    ``param_types`` are :class:`repro.model.types.Type` values; parameter
+    types are required (no inference, as in the paper).
+    """
+
+    name: str
+    params: tuple[tuple[str, object], ...]  # (name, Type)
+    body: Query
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(x for x, _ in self.params)
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """An IOQL program: a sequence of definitions followed by a query."""
+
+    definitions: tuple[Definition, ...]
+    query: Query

@@ -1,0 +1,211 @@
+"""A fluent Python DSL for building IOQL queries without parsing.
+
+Useful in tests, generators and programs that assemble queries
+dynamically::
+
+    from repro.lang import builder as B
+
+    q = B.comp(
+        B.var("p").attr("name"),
+        B.gen("p", B.extent("Persons")),
+        B.var("p").attr("age") > B.int_(30),
+    )
+
+Every expression wrapper is a :class:`Q` carrying the underlying AST
+node in ``.node``; Python operators are overloaded where unambiguous
+(``+ - * < <= > >=``), while ``=``/``==`` — which Python cannot
+overload faithfully for this purpose — are the methods :meth:`Q.eq`
+(primitive equality) and :meth:`Q.same` (object identity).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    BoolLit,
+    Cast,
+    Cmp,
+    CmpKind,
+    Comp,
+    DefCall,
+    ExtentRef,
+    Field,
+    Gen,
+    If,
+    IntLit,
+    IntOp,
+    IntOpKind,
+    MethodCall,
+    New,
+    ObjEq,
+    OidRef,
+    Pred,
+    PrimEq,
+    Qualifier,
+    Query,
+    RecordLit,
+    SetLit,
+    SetOp,
+    SetOpKind,
+    Size,
+    StrLit,
+    Var,
+)
+
+
+class Q:
+    """A query-under-construction; wraps one AST node."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Query):
+        self.node = node
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: "Q | int") -> "Q":
+        return Q(IntOp(IntOpKind.ADD, self.node, _q(other).node))
+
+    def __sub__(self, other: "Q | int") -> "Q":
+        return Q(IntOp(IntOpKind.SUB, self.node, _q(other).node))
+
+    def __mul__(self, other: "Q | int") -> "Q":
+        return Q(IntOp(IntOpKind.MUL, self.node, _q(other).node))
+
+    # -- comparisons (extension ops) ----------------------------------------
+    def __lt__(self, other: "Q | int") -> "Q":
+        return Q(Cmp(CmpKind.LT, self.node, _q(other).node))
+
+    def __le__(self, other: "Q | int") -> "Q":
+        return Q(Cmp(CmpKind.LE, self.node, _q(other).node))
+
+    def __gt__(self, other: "Q | int") -> "Q":
+        return Q(Cmp(CmpKind.GT, self.node, _q(other).node))
+
+    def __ge__(self, other: "Q | int") -> "Q":
+        return Q(Cmp(CmpKind.GE, self.node, _q(other).node))
+
+    # -- equality (methods: Python == must stay Python) ------------------------
+    def eq(self, other: "Q | int | bool | str") -> "Q":
+        """Primitive equality ``q₁ = q₂``."""
+        return Q(PrimEq(self.node, _q(other).node))
+
+    def same(self, other: "Q") -> "Q":
+        """Object identity ``q₁ == q₂``."""
+        return Q(ObjEq(self.node, other.node))
+
+    # -- sets ----------------------------------------------------------------
+    def union(self, other: "Q") -> "Q":
+        return Q(SetOp(SetOpKind.UNION, self.node, other.node))
+
+    def intersect(self, other: "Q") -> "Q":
+        return Q(SetOp(SetOpKind.INTERSECT, self.node, other.node))
+
+    def except_(self, other: "Q") -> "Q":
+        return Q(SetOp(SetOpKind.EXCEPT, self.node, other.node))
+
+    # -- objects and records ----------------------------------------------------
+    def attr(self, name: str) -> "Q":
+        """``q.a`` / ``q.l`` — attribute or record projection."""
+        return Q(Field(self.node, name))
+
+    def call(self, mname: str, *args: "Q | int | bool | str") -> "Q":
+        """``q.m(args…)`` — method invocation."""
+        return Q(MethodCall(self.node, mname, tuple(_q(a).node for a in args)))
+
+    def cast(self, cname: str) -> "Q":
+        """``(C) q`` — upcast."""
+        return Q(Cast(cname, self.node))
+
+    def __str__(self) -> str:
+        return str(self.node)
+
+    def __repr__(self) -> str:
+        return f"Q({self.node!s})"
+
+
+def _q(x: "Q | Query | int | bool | str") -> Q:
+    if isinstance(x, Q):
+        return x
+    if isinstance(x, Query):
+        return Q(x)
+    if isinstance(x, bool):
+        return Q(BoolLit(x))
+    if isinstance(x, int):
+        return Q(IntLit(x))
+    if isinstance(x, str):
+        return Q(StrLit(x))
+    raise TypeError(f"cannot lift {type(x).__name__} into a query")
+
+
+# -- leaf constructors ---------------------------------------------------------
+
+
+def int_(v: int) -> Q:
+    return Q(IntLit(v))
+
+
+def bool_(v: bool) -> Q:
+    return Q(BoolLit(v))
+
+
+def str_(v: str) -> Q:
+    return Q(StrLit(v))
+
+
+def var(name: str) -> Q:
+    return Q(Var(name))
+
+
+def extent(name: str) -> Q:
+    return Q(ExtentRef(name))
+
+
+def oid(name: str) -> Q:
+    return Q(OidRef(name))
+
+
+def set_(*items: Q | int | bool | str) -> Q:
+    return Q(SetLit(tuple(_q(i).node for i in items)))
+
+
+def record(**fields: Q | int | bool | str) -> Q:
+    return Q(RecordLit(tuple((l, _q(v).node) for l, v in fields.items())))
+
+
+def size(q: Q) -> Q:
+    return Q(Size(q.node))
+
+
+def new(cname: str, **attrs: Q | int | bool | str) -> Q:
+    return Q(New(cname, tuple((a, _q(v).node) for a, v in attrs.items())))
+
+
+def if_(cond: Q, then: Q | int | bool | str, els: Q | int | bool | str) -> Q:
+    return Q(If(cond.node, _q(then).node, _q(els).node))
+
+
+def defcall(name: str, *args: Q | int | bool | str) -> Q:
+    return Q(DefCall(name, tuple(_q(a).node for a in args)))
+
+
+# -- comprehensions --------------------------------------------------------------
+
+
+def gen(varname: str, source: Q) -> Qualifier:
+    """A generator qualifier ``x ← source``."""
+    return Gen(varname, source.node)
+
+
+def comp(head: Q, *qualifiers: Qualifier | Q) -> Q:
+    """``{head | qualifiers…}`` — bare :class:`Q` args become predicates."""
+    quals: list[Qualifier] = []
+    for cq in qualifiers:
+        if isinstance(cq, Q):
+            quals.append(Pred(cq.node))
+        else:
+            quals.append(cq)
+    return Q(Comp(head.node, tuple(quals)))
+
+
+def build(q: Q | Query) -> Query:
+    """Unwrap to the raw AST node."""
+    return q.node if isinstance(q, Q) else q

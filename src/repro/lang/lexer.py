@@ -1,0 +1,250 @@
+"""Lexer shared by the IOQL, ODL and MJava parsers.
+
+The paper leaves concrete syntax informal; we fix one (documented in the
+README) close to ODMG OQL.  A single token stream serves all three
+grammars — keywords are reserved uniformly so an IOQL variable can never
+collide with, say, ``extends``.
+
+Token kinds: ``INT``, ``STRING``, ``IDENT``, keyword tokens (kind equals
+the keyword itself), punctuation/operator tokens (kind equals the
+lexeme), and ``EOF``.
+
+Lexical quirk (documented): ``<-`` lexes as the generator arrow, so the
+comparison "less than a negated literal" must be written with a space
+and parentheses, e.g. ``x < (-1)`` — same policy as Haskell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset(
+    {
+        "define",
+        "as",
+        "true",
+        "false",
+        "if",
+        "then",
+        "else",
+        "new",
+        "size",
+        "union",
+        "intersect",
+        "except",
+        "select",
+        "distinct",
+        "from",
+        "where",
+        "in",
+        "exists",
+        "forall",
+        "and",
+        "or",
+        "not",
+        "struct",
+        "set",
+        "bag",
+        "list",
+        "toset",
+        "sum",
+        "int",
+        "bool",
+        "string",
+        # ODL / MJava keywords
+        "class",
+        "extends",
+        "extent",
+        "attribute",
+        "effect",
+        "return",
+        "var",
+        "while",
+        "for",
+        "this",
+        "native",
+    }
+)
+
+# Multi-character operators, longest first.
+_MULTI_OPS = ("==", "<=", ">=", "<-", ":=", "->")
+_SINGLE_OPS = "(){}<>,:;.|=+-*/\\"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source`` into a list ending with an ``EOF`` token.
+
+    Supports ``//`` line comments and ``/* … */`` block comments.
+    Raises :class:`ParseError` on unknown characters or unterminated
+    strings/comments.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise ParseError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch.isdigit():
+            start_line, start_col = line, col
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token("INT", text, start_line, start_col))
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            j = i + 1
+            out: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    if j + 1 >= n:
+                        break
+                    esc = source[j + 1]
+                    out.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    j += 2
+                else:
+                    out.append(source[j])
+                    j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", start_line, start_col)
+            advance(j + 1 - i)
+            tokens.append(Token("STRING", "".join(out), start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = text if text in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        if ch == "@":
+            # oids are a designated subset of identifiers (§3.3); their
+            # concrete form is '@' + identifier, e.g. @Person_3
+            start_line, start_col = line, col
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise ParseError("'@' must begin an oid", line, col)
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(Token("OID", text, start_line, start_col))
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, line, col))
+                advance(len(op))
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token(ch, ch, line, col))
+            advance(1)
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("EOF", "", line, col))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with the usual parser conveniences."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @staticmethod
+    def of(source: str) -> "TokenStream":
+        return TokenStream(tokenize(source))
+
+    def peek(self, ahead: int = 0) -> Token:
+        """Look at the current (or a later) token without consuming it."""
+        idx = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def at(self, *kinds: str) -> bool:
+        """True iff the current token's kind is one of ``kinds``."""
+        return self.peek().kind in kinds
+
+    def next(self) -> Token:
+        """Consume and return the current token."""
+        tok = self._tokens[self._pos]
+        if tok.kind != "EOF":
+            self._pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        """Consume a token of ``kind`` or raise :class:`ParseError`."""
+        tok = self.peek()
+        if tok.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {tok.kind!r} ({tok.text!r})",
+                tok.line,
+                tok.column,
+            )
+        return self.next()
+
+    def accept(self, kind: str) -> Token | None:
+        """Consume the current token iff it has ``kind``; else None."""
+        if self.at(kind):
+            return self.next()
+        return None
+
+    def error(self, message: str) -> ParseError:
+        """Build a :class:`ParseError` at the current position."""
+        tok = self.peek()
+        return ParseError(message + f" (found {tok.kind!r})", tok.line, tok.column)
+
+    def at_eof(self) -> bool:
+        return self.at("EOF")

@@ -1,0 +1,516 @@
+"""Recursive-descent parser for IOQL queries, definitions and programs.
+
+Grammar (EBNF, binding loosest→tightest)::
+
+    program    ::= definition* expr
+    definition ::= "define" IDENT "(" [param ("," param)*] ")" "as" expr ";"
+    param      ::= IDENT ":" type
+
+    type       ::= "int" | "bool" | "string"
+                 | "set" "<" type ">"
+                 | "struct" "(" IDENT ":" type ("," IDENT ":" type)* ")"
+                 | IDENT                                  -- class name
+
+    expr       ::= "if" expr "then" expr "else" expr
+                 | "exists" IDENT "in" expr ":" expr
+                 | "forall" IDENT "in" expr ":" expr
+                 | select | or_expr
+    select     ::= "select" ["distinct"] expr "from" from ("," from)*
+                   ["where" expr]
+    from       ::= IDENT "in" expr
+    or_expr    ::= and_expr ("or" and_expr)*
+    and_expr   ::= not_expr ("and" not_expr)*
+    not_expr   ::= "not" not_expr | cmp_expr
+    cmp_expr   ::= set_expr [("="|"=="|"<"|"<="|">"|">=") set_expr]
+    set_expr   ::= add_expr (("union"|"intersect"|"except") add_expr)*
+    add_expr   ::= mul_expr (("+"|"-") mul_expr)*
+    mul_expr   ::= unary ("*" unary)*
+    unary      ::= "-" unary | cast
+    cast       ::= "(" IDENT ")" unary        -- only when followed by an
+                 | postfix                     -- expression start (lookahead)
+    postfix    ::= primary ("." IDENT ["(" args ")"])*
+    primary    ::= INT | STRING | "true" | "false"
+                 | "size" "(" expr ")"
+                 | "new" IDENT "(" IDENT ":" expr ("," IDENT ":" expr)* ")"
+                 | "struct" "(" IDENT ":" expr ("," …)* ")"
+                 | IDENT ["(" args ")"]        -- variable / definition call
+                 | "(" expr ")"
+                 | "{" set_or_comprehension "}"
+
+    set_or_comprehension ::= [expr ("," expr)*]                  -- set literal
+                           | expr "|" [qualifier ("," qualifier)*]
+    qualifier  ::= IDENT ("<-"|"in") expr | expr
+
+Boolean connectives, quantifiers and select-from-where are desugared
+(see :mod:`repro.lang.sugar`); the returned AST is pure core IOQL.
+
+Extent names parse as plain :class:`Var`; call
+:func:`repro.lang.traversal.resolve_extents` (or pass ``extents=`` /
+``schema=`` to the entry points here) to rewrite them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lang import sugar
+from repro.lang.ast import (
+    BagLit,
+    BoolLit,
+    Cast,
+    Cmp,
+    CmpKind,
+    Comp,
+    DefCall,
+    Definition,
+    Field,
+    Gen,
+    If,
+    IntLit,
+    IntOp,
+    IntOpKind,
+    ListLit,
+    MethodCall,
+    New,
+    ObjEq,
+    OidRef,
+    Pred,
+    PrimEq,
+    Program,
+    Qualifier,
+    Query,
+    RecordLit,
+    SetLit,
+    SetOp,
+    SetOpKind,
+    Size,
+    StrLit,
+    Sum,
+    ToSet,
+    Var,
+)
+from repro.lang.lexer import Token, TokenStream
+from repro.lang.traversal import resolve_extents
+from repro.model.types import BOOL, INT, STRING, BagType, ClassType, ListType, RecordType, SetType, Type
+
+_EXPR_START = frozenset(
+    {
+        "INT",
+        "STRING",
+        "IDENT",
+        "OID",
+        "true",
+        "false",
+        "if",
+        "new",
+        "size",
+        "struct",
+        "bag",
+        "list",
+        "toset",
+        "sum",
+        "select",
+        "exists",
+        "forall",
+        "not",
+        "this",
+        "extent",
+        "(",
+        "{",
+        "-",
+    }
+)
+
+_CMP_KINDS = {"<": CmpKind.LT, "<=": CmpKind.LE, ">": CmpKind.GT, ">=": CmpKind.GE}
+_SETOP_KINDS = {
+    "union": SetOpKind.UNION,
+    "intersect": SetOpKind.INTERSECT,
+    "except": SetOpKind.EXCEPT,
+}
+
+
+def parse_query(
+    source: str,
+    *,
+    extents: Iterable[str] | None = None,
+    schema: object | None = None,
+) -> Query:
+    """Parse a single IOQL query.
+
+    ``extents`` (or a ``schema`` with an ``extents`` mapping) enables
+    extent-name resolution; without it every identifier stays a
+    :class:`Var`.
+    """
+    ts = TokenStream.of(source)
+    q = Parser(ts).expr()
+    ts.expect("EOF")
+    return _resolve(q, extents, schema)
+
+
+def parse_program(
+    source: str,
+    *,
+    extents: Iterable[str] | None = None,
+    schema: object | None = None,
+) -> Program:
+    """Parse ``define … ; … define … ; query``."""
+    ts = TokenStream.of(source)
+    p = Parser(ts)
+    defs: list[Definition] = []
+    while ts.at("define"):
+        defs.append(p.definition())
+    q = p.expr()
+    ts.accept(";")
+    ts.expect("EOF")
+    names = _extent_names(extents, schema)
+    if names:
+        defs = [
+            Definition(d.name, d.params, resolve_extents(d.body, names))
+            for d in defs
+        ]
+        q = resolve_extents(q, names)
+    return Program(tuple(defs), q)
+
+
+def parse_type(source: str) -> Type:
+    """Parse a type expression, e.g. ``set<struct(n: int, c: Person)>``."""
+    ts = TokenStream.of(source)
+    t = Parser(ts).type_expr()
+    ts.expect("EOF")
+    return t
+
+
+def _extent_names(
+    extents: Iterable[str] | None, schema: object | None
+) -> frozenset[str]:
+    if extents is not None:
+        return frozenset(extents)
+    if schema is not None:
+        return frozenset(schema.extents)  # type: ignore[attr-defined]
+    return frozenset()
+
+
+def _resolve(
+    q: Query, extents: Iterable[str] | None, schema: object | None
+) -> Query:
+    names = _extent_names(extents, schema)
+    return resolve_extents(q, names) if names else q
+
+
+class Parser:
+    """The recursive-descent parser proper; one instance per stream.
+
+    Shared by the ODL parser (for types and initialiser expressions) and
+    the MJava parser (for expressions), both of which wrap an instance
+    of this class.
+    """
+
+    def __init__(self, ts: TokenStream):
+        self.ts = ts
+
+    # -- types ----------------------------------------------------------
+    def type_expr(self) -> Type:
+        ts = self.ts
+        if ts.accept("int"):
+            return INT
+        if ts.accept("bool"):
+            return BOOL
+        if ts.accept("string"):
+            return STRING
+        if ts.accept("set"):
+            ts.expect("<")
+            elem = self.type_expr()
+            ts.expect(">")
+            return SetType(elem)
+        if ts.accept("bag"):
+            ts.expect("<")
+            elem = self.type_expr()
+            ts.expect(">")
+            return BagType(elem)
+        if ts.accept("list"):
+            ts.expect("<")
+            elem = self.type_expr()
+            ts.expect(">")
+            return ListType(elem)
+        if ts.accept("struct"):
+            ts.expect("(")
+            fields: list[tuple[str, Type]] = []
+            while True:
+                label = ts.expect("IDENT").text
+                ts.expect(":")
+                fields.append((label, self.type_expr()))
+                if not ts.accept(","):
+                    break
+            ts.expect(")")
+            return RecordType(tuple(fields))
+        if ts.at("IDENT"):
+            return ClassType(ts.next().text)
+        raise ts.error("expected a type")
+
+    # -- definitions / programs ------------------------------------------
+    def definition(self) -> Definition:
+        ts = self.ts
+        ts.expect("define")
+        name = ts.expect("IDENT").text
+        ts.expect("(")
+        params: list[tuple[str, Type]] = []
+        if not ts.at(")"):
+            while True:
+                x = ts.expect("IDENT").text
+                ts.expect(":")
+                params.append((x, self.type_expr()))
+                if not ts.accept(","):
+                    break
+        ts.expect(")")
+        ts.expect("as")
+        body = self.expr()
+        ts.expect(";")
+        return Definition(name, tuple(params), body)
+
+    # -- expressions -------------------------------------------------------
+    def expr(self) -> Query:
+        ts = self.ts
+        if ts.accept("if"):
+            cond = self.expr()
+            ts.expect("then")
+            then = self.expr()
+            ts.expect("else")
+            els = self.expr()
+            return If(cond, then, els)
+        if ts.accept("exists"):
+            return self._quantifier(sugar.exists)
+        if ts.accept("forall"):
+            return self._quantifier(sugar.forall)
+        if ts.at("select"):
+            return self._select()
+        return self._or_expr()
+
+    def _quantifier(self, build) -> Query:
+        ts = self.ts
+        var = ts.expect("IDENT").text
+        ts.expect("in")
+        source = self.expr()
+        ts.expect(":")
+        pred = self.expr()
+        return build(var, source, pred)
+
+    def _select(self) -> Query:
+        ts = self.ts
+        ts.expect("select")
+        ts.accept("distinct")  # sets are duplicate-free already
+        head = self.expr()
+        ts.expect("from")
+        froms: list[tuple[str, Query]] = []
+        while True:
+            x = ts.expect("IDENT").text
+            ts.expect("in")
+            froms.append((x, self._or_expr()))
+            if not ts.accept(","):
+                break
+        where = None
+        if ts.accept("where"):
+            where = self.expr()
+        return sugar.select(head, froms, where)
+
+    def _or_expr(self) -> Query:
+        left = self._and_expr()
+        while self.ts.accept("or"):
+            left = sugar.or_(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Query:
+        left = self._not_expr()
+        while self.ts.accept("and"):
+            left = sugar.and_(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Query:
+        if self.ts.accept("not"):
+            return sugar.not_(self._not_expr())
+        return self._cmp_expr()
+
+    def _cmp_expr(self) -> Query:
+        ts = self.ts
+        left = self._set_expr()
+        if ts.accept("="):
+            return PrimEq(left, self._set_expr())
+        if ts.accept("=="):
+            return ObjEq(left, self._set_expr())
+        for text, kind in _CMP_KINDS.items():
+            if ts.at(text):
+                ts.next()
+                return Cmp(kind, left, self._set_expr())
+        return left
+
+    def _set_expr(self) -> Query:
+        ts = self.ts
+        left = self._add_expr()
+        while ts.at("union", "intersect", "except"):
+            op = _SETOP_KINDS[ts.next().kind]
+            left = SetOp(op, left, self._add_expr())
+        return left
+
+    def _add_expr(self) -> Query:
+        ts = self.ts
+        left = self._mul_expr()
+        while ts.at("+", "-"):
+            op = IntOpKind.ADD if ts.next().kind == "+" else IntOpKind.SUB
+            left = IntOp(op, left, self._mul_expr())
+        return left
+
+    def _mul_expr(self) -> Query:
+        left = self._unary()
+        while self.ts.accept("*"):
+            left = IntOp(IntOpKind.MUL, left, self._unary())
+        return left
+
+    def _unary(self) -> Query:
+        ts = self.ts
+        if ts.accept("-"):
+            inner = self._unary()
+            if isinstance(inner, IntLit):
+                return IntLit(-inner.value)
+            return IntOp(IntOpKind.SUB, IntLit(0), inner)
+        return self._cast()
+
+    def _cast(self) -> Query:
+        ts = self.ts
+        # "(C) expr" vs "(expr)": lookahead for ( IDENT ) <expr-start>
+        if (
+            ts.at("(")
+            and ts.peek(1).kind == "IDENT"
+            and ts.peek(2).kind == ")"
+            and ts.peek(3).kind in _EXPR_START
+        ):
+            ts.next()
+            cname = ts.next().text
+            ts.next()
+            return Cast(cname, self._cast())
+        return self._postfix()
+
+    def _postfix(self) -> Query:
+        ts = self.ts
+        q = self.primary()
+        while ts.accept("."):
+            name = ts.expect("IDENT").text
+            if ts.accept("("):
+                args = self._args()
+                q = MethodCall(q, name, args)
+            else:
+                q = Field(q, name)
+        return q
+
+    def _args(self) -> tuple[Query, ...]:
+        """Parse ``expr, …)`` — the opening paren is already consumed."""
+        ts = self.ts
+        args: list[Query] = []
+        if not ts.at(")"):
+            while True:
+                args.append(self.expr())
+                if not ts.accept(","):
+                    break
+        ts.expect(")")
+        return tuple(args)
+
+    def primary(self) -> Query:
+        ts = self.ts
+        tok = ts.peek()
+        if tok.kind == "INT":
+            ts.next()
+            return IntLit(int(tok.text))
+        if tok.kind == "STRING":
+            ts.next()
+            return StrLit(tok.text)
+        if ts.accept("true"):
+            return BoolLit(True)
+        if ts.accept("false"):
+            return BoolLit(False)
+        if ts.accept("size"):
+            ts.expect("(")
+            arg = self.expr()
+            ts.expect(")")
+            return Size(arg)
+        if ts.accept("toset"):
+            ts.expect("(")
+            arg = self.expr()
+            ts.expect(")")
+            return ToSet(arg)
+        if ts.accept("sum"):
+            ts.expect("(")
+            arg = self.expr()
+            ts.expect(")")
+            return Sum(arg)
+        if ts.accept("bag"):
+            ts.expect("(")
+            return BagLit(self._args())
+        if ts.accept("list"):
+            ts.expect("(")
+            return ListLit(self._args())
+        if ts.accept("new"):
+            cname = ts.expect("IDENT").text
+            ts.expect("(")
+            fields = self._labelled_args()
+            return New(cname, fields)
+        if ts.accept("struct"):
+            ts.expect("(")
+            fields = self._labelled_args()
+            return RecordLit(fields)
+        if tok.kind == "IDENT":
+            ts.next()
+            if ts.accept("("):
+                return DefCall(tok.text, self._args())
+            return Var(tok.text)
+        if tok.kind == "OID":
+            ts.next()
+            return OidRef(tok.text)
+        if ts.accept("("):
+            inner = self.expr()
+            ts.expect(")")
+            return inner
+        if ts.at("{"):
+            return self._braced()
+        raise ts.error("expected an expression")
+
+    def _labelled_args(self) -> tuple[tuple[str, Query], ...]:
+        """Parse ``l: expr, …)`` — the opening paren is already consumed."""
+        ts = self.ts
+        fields: list[tuple[str, Query]] = []
+        if not ts.at(")"):
+            while True:
+                label = ts.expect("IDENT").text
+                ts.expect(":")
+                fields.append((label, self.expr()))
+                if not ts.accept(","):
+                    break
+        ts.expect(")")
+        return tuple(fields)
+
+    def _braced(self) -> Query:
+        """``{…}``: empty set, set literal, or comprehension."""
+        ts = self.ts
+        ts.expect("{")
+        if ts.accept("}"):
+            return SetLit(())
+        first = self.expr()
+        if ts.accept("|"):
+            quals: list[Qualifier] = []
+            if not ts.at("}"):
+                while True:
+                    quals.append(self._qualifier())
+                    if not ts.accept(","):
+                        break
+            ts.expect("}")
+            return Comp(first, tuple(quals))
+        items = [first]
+        while ts.accept(","):
+            items.append(self.expr())
+        ts.expect("}")
+        return SetLit(tuple(items))
+
+    def _qualifier(self) -> Qualifier:
+        ts = self.ts
+        if ts.at("IDENT") and ts.peek(1).kind in ("<-", "in"):
+            var = ts.next().text
+            ts.next()
+            return Gen(var, self.expr())
+        return Pred(self.expr())

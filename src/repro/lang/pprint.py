@@ -1,0 +1,167 @@
+"""Pretty-printer for IOQL.
+
+Produces concrete syntax accepted by :mod:`repro.lang.parser`, so
+``parse(pretty(q))`` round-trips (modulo extent resolution; extent
+references print as bare identifiers).  The printer is fully
+parenthesised only where precedence demands it.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    BagLit,
+    BoolLit,
+    Cast,
+    Cmp,
+    Comp,
+    DefCall,
+    Definition,
+    ExtentRef,
+    Field,
+    Gen,
+    If,
+    IntLit,
+    IntOp,
+    IntOpKind,
+    ListLit,
+    MethodCall,
+    New,
+    ObjEq,
+    OidRef,
+    Pred,
+    PrimEq,
+    Program,
+    Qualifier,
+    Query,
+    RecordLit,
+    SetLit,
+    SetOp,
+    SetOpKind,
+    Size,
+    StrLit,
+    Sum,
+    ToSet,
+    Var,
+)
+
+# Precedence levels (higher binds tighter).
+_PREC_IF = 0
+_PREC_CMP = 1
+_PREC_SETOP = 2
+_PREC_ADD = 3
+_PREC_MUL = 4
+_PREC_CAST = 5
+_PREC_POSTFIX = 6
+_PREC_ATOM = 7
+
+_SETOP_NAMES = {
+    SetOpKind.UNION: "union",
+    SetOpKind.INTERSECT: "intersect",
+    SetOpKind.EXCEPT: "except",
+}
+
+
+def pretty(q: Query) -> str:
+    """Render ``q`` as parseable IOQL concrete syntax."""
+    return _pp(q, 0)
+
+
+def pretty_qualifier(cq: Qualifier) -> str:
+    """Render one comprehension qualifier."""
+    if isinstance(cq, Gen):
+        return f"{cq.var} <- {_pp(cq.source, _PREC_CMP)}"
+    assert isinstance(cq, Pred)
+    return _pp(cq.cond, 0)
+
+
+def pretty_definition(d: Definition) -> str:
+    """Render a ``define`` clause."""
+    params = ", ".join(f"{x}: {t}" for x, t in d.params)
+    return f"define {d.name}({params}) as {pretty(d.body)};"
+
+
+def pretty_program(p: Program) -> str:
+    """Render a whole program: definitions then the final query."""
+    parts = [pretty_definition(d) for d in p.definitions]
+    parts.append(pretty(p.query))
+    return "\n".join(parts)
+
+
+def _paren(s: str, inner: int, outer: int) -> str:
+    return f"({s})" if inner < outer else s
+
+
+def _pp(q: Query, outer: int) -> str:
+    if isinstance(q, IntLit):
+        s = str(q.value)
+        return _paren(s, _PREC_ATOM if q.value >= 0 else _PREC_CAST, outer)
+    if isinstance(q, BoolLit):
+        return "true" if q.value else "false"
+    if isinstance(q, StrLit):
+        escaped = q.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(q, (Var, ExtentRef, OidRef)):
+        return q.name
+    if isinstance(q, SetLit):
+        return "{" + ", ".join(_pp(i, 0) for i in q.items) + "}"
+    if isinstance(q, BagLit):
+        return "bag(" + ", ".join(_pp(i, 0) for i in q.items) + ")"
+    if isinstance(q, ListLit):
+        return "list(" + ", ".join(_pp(i, 0) for i in q.items) + ")"
+    if isinstance(q, ToSet):
+        return f"toset({_pp(q.arg, 0)})"
+    if isinstance(q, Sum):
+        return f"sum({_pp(q.arg, 0)})"
+    if isinstance(q, RecordLit):
+        inner = ", ".join(f"{l}: {_pp(v, 0)}" for l, v in q.fields)
+        return f"struct({inner})"
+    if isinstance(q, SetOp):
+        s = (
+            f"{_pp(q.left, _PREC_SETOP)} {_SETOP_NAMES[q.op]} "
+            f"{_pp(q.right, _PREC_SETOP + 1)}"
+        )
+        return _paren(s, _PREC_SETOP, outer)
+    if isinstance(q, IntOp):
+        if q.op is IntOpKind.MUL:
+            s = f"{_pp(q.left, _PREC_MUL)} * {_pp(q.right, _PREC_MUL + 1)}"
+            return _paren(s, _PREC_MUL, outer)
+        s = f"{_pp(q.left, _PREC_ADD)} {q.op.value} {_pp(q.right, _PREC_ADD + 1)}"
+        return _paren(s, _PREC_ADD, outer)
+    if isinstance(q, PrimEq):
+        s = f"{_pp(q.left, _PREC_CMP + 1)} = {_pp(q.right, _PREC_CMP + 1)}"
+        return _paren(s, _PREC_CMP, outer)
+    if isinstance(q, ObjEq):
+        s = f"{_pp(q.left, _PREC_CMP + 1)} == {_pp(q.right, _PREC_CMP + 1)}"
+        return _paren(s, _PREC_CMP, outer)
+    if isinstance(q, Cmp):
+        s = f"{_pp(q.left, _PREC_CMP + 1)} {q.op.value} {_pp(q.right, _PREC_CMP + 1)}"
+        return _paren(s, _PREC_CMP, outer)
+    if isinstance(q, Field):
+        return _paren(f"{_pp(q.target, _PREC_POSTFIX)}.{q.name}", _PREC_POSTFIX, outer)
+    if isinstance(q, DefCall):
+        args = ", ".join(_pp(a, 0) for a in q.args)
+        return f"{q.name}({args})"
+    if isinstance(q, Size):
+        return f"size({_pp(q.arg, 0)})"
+    if isinstance(q, Cast):
+        s = f"({q.cname}) {_pp(q.arg, _PREC_CAST)}"
+        return _paren(s, _PREC_CAST, outer)
+    if isinstance(q, MethodCall):
+        args = ", ".join(_pp(a, 0) for a in q.args)
+        s = f"{_pp(q.target, _PREC_POSTFIX)}.{q.mname}({args})"
+        return _paren(s, _PREC_POSTFIX, outer)
+    if isinstance(q, New):
+        inner = ", ".join(f"{a}: {_pp(v, 0)}" for a, v in q.fields)
+        return f"new {q.cname}({inner})"
+    if isinstance(q, If):
+        s = (
+            f"if {_pp(q.cond, _PREC_IF + 1)} then {_pp(q.then, _PREC_IF + 1)} "
+            f"else {_pp(q.els, _PREC_IF)}"
+        )
+        return _paren(s, _PREC_IF, outer)
+    if isinstance(q, Comp):
+        quals = ", ".join(pretty_qualifier(cq) for cq in q.qualifiers)
+        if not quals:
+            return "{" + _pp(q.head, 0) + " | }"
+        return "{" + f"{_pp(q.head, 0)} | {quals}" + "}"
+    raise TypeError(f"unknown query node {type(q).__name__}")  # pragma: no cover

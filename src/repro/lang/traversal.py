@@ -1,0 +1,344 @@
+"""Structural traversals over IOQL queries.
+
+Provides the generic machinery the rest of the system builds on:
+
+* :func:`map_subqueries` — rebuild a node with transformed immediate
+  subqueries (one place that knows every node shape);
+* :func:`subqueries` — the immediate subqueries, in evaluation order;
+* :func:`free_vars` — free identifiers (generator-bound variables are
+  the only binders inside queries);
+* :func:`subst` — the paper's capture-avoiding substitution ``q[x:=v]``
+  (capture can arise only when substituting *open* queries, which the
+  optimizer's unnesting rule does; generators are α-renamed on demand);
+* :func:`resolve_extents` — rewrite free occurrences of extent names
+  from :class:`Var` to :class:`ExtentRef` (the parser cannot know which
+  identifiers are extents);
+* size/depth metrics used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator
+
+from repro.lang.ast import (
+    BagLit,
+    BoolLit,
+    Cast,
+    Cmp,
+    Comp,
+    DefCall,
+    ExtentRef,
+    Field,
+    Gen,
+    If,
+    IntLit,
+    IntOp,
+    ListLit,
+    MethodCall,
+    New,
+    ObjEq,
+    OidRef,
+    Pred,
+    PrimEq,
+    Qualifier,
+    Query,
+    RecordLit,
+    SetLit,
+    SetOp,
+    Size,
+    StrLit,
+    Sum,
+    ToSet,
+    Var,
+)
+
+_ATOMS = (IntLit, BoolLit, StrLit, Var, ExtentRef, OidRef)
+
+
+def subqueries(q: Query) -> Iterator[Query]:
+    """The immediate subqueries of ``q``, left-to-right."""
+    if isinstance(q, _ATOMS):
+        return
+    if isinstance(q, (SetOp, IntOp, Cmp)):
+        yield q.left
+        yield q.right
+    elif isinstance(q, (PrimEq, ObjEq)):
+        yield q.left
+        yield q.right
+    elif isinstance(q, (SetLit, BagLit, ListLit)):
+        yield from q.items
+    elif isinstance(q, RecordLit):
+        for _, sub in q.fields:
+            yield sub
+    elif isinstance(q, Field):
+        yield q.target
+    elif isinstance(q, DefCall):
+        yield from q.args
+    elif isinstance(q, (Size, Sum, ToSet)):
+        yield q.arg
+    elif isinstance(q, Cast):
+        yield q.arg
+    elif isinstance(q, MethodCall):
+        yield q.target
+        yield from q.args
+    elif isinstance(q, New):
+        for _, sub in q.fields:
+            yield sub
+    elif isinstance(q, If):
+        yield q.cond
+        yield q.then
+        yield q.els
+    elif isinstance(q, Comp):
+        yield q.head
+        for cq in q.qualifiers:
+            yield cq.cond if isinstance(cq, Pred) else cq.source  # type: ignore[union-attr]
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown query node {type(q).__name__}")
+
+
+def map_subqueries(q: Query, f: Callable[[Query], Query]) -> Query:
+    """Rebuild ``q`` with ``f`` applied to each immediate subquery.
+
+    Structure-preserving and binder-oblivious: callers that care about
+    binding (substitution, free variables) handle :class:`Comp`
+    themselves before delegating here.
+    """
+    if isinstance(q, _ATOMS):
+        return q
+    if isinstance(q, SetOp):
+        return SetOp(q.op, f(q.left), f(q.right))
+    if isinstance(q, IntOp):
+        return IntOp(q.op, f(q.left), f(q.right))
+    if isinstance(q, Cmp):
+        return Cmp(q.op, f(q.left), f(q.right))
+    if isinstance(q, PrimEq):
+        return PrimEq(f(q.left), f(q.right))
+    if isinstance(q, ObjEq):
+        return ObjEq(f(q.left), f(q.right))
+    if isinstance(q, SetLit):
+        return SetLit(tuple(f(i) for i in q.items))
+    if isinstance(q, BagLit):
+        return BagLit(tuple(f(i) for i in q.items))
+    if isinstance(q, ListLit):
+        return ListLit(tuple(f(i) for i in q.items))
+    if isinstance(q, ToSet):
+        return ToSet(f(q.arg))
+    if isinstance(q, Sum):
+        return Sum(f(q.arg))
+    if isinstance(q, RecordLit):
+        return RecordLit(tuple((l, f(sub)) for l, sub in q.fields))
+    if isinstance(q, Field):
+        return Field(f(q.target), q.name)
+    if isinstance(q, DefCall):
+        return DefCall(q.name, tuple(f(a) for a in q.args))
+    if isinstance(q, Size):
+        return Size(f(q.arg))
+    if isinstance(q, Cast):
+        return Cast(q.cname, f(q.arg))
+    if isinstance(q, MethodCall):
+        return MethodCall(f(q.target), q.mname, tuple(f(a) for a in q.args))
+    if isinstance(q, New):
+        return New(q.cname, tuple((l, f(sub)) for l, sub in q.fields))
+    if isinstance(q, If):
+        return If(f(q.cond), f(q.then), f(q.els))
+    if isinstance(q, Comp):
+        quals: list[Qualifier] = []
+        for cq in q.qualifiers:
+            if isinstance(cq, Pred):
+                quals.append(Pred(f(cq.cond)))
+            else:
+                assert isinstance(cq, Gen)
+                quals.append(Gen(cq.var, f(cq.source)))
+        return Comp(f(q.head), tuple(quals))
+    raise TypeError(f"unknown query node {type(q).__name__}")  # pragma: no cover
+
+
+def walk(q: Query) -> Iterator[Query]:
+    """Pre-order traversal of every node in ``q`` (including ``q``)."""
+    yield q
+    for sub in subqueries(q):
+        yield from walk(sub)
+
+
+def free_vars(q: Query) -> frozenset[str]:
+    """The free query variables of ``q``.
+
+    Only :class:`Var` occurrences count — extent names and oids are
+    designated identifier subsets with their own node types.  The only
+    binders are comprehension generators, which scope over subsequent
+    qualifiers and the head.
+    """
+    if isinstance(q, Var):
+        return frozenset({q.name})
+    if isinstance(q, Comp):
+        out: frozenset[str] = frozenset()
+        bound: frozenset[str] = frozenset()
+        for cq in q.qualifiers:
+            if isinstance(cq, Pred):
+                out |= free_vars(cq.cond) - bound
+            else:
+                assert isinstance(cq, Gen)
+                out |= free_vars(cq.source) - bound
+                bound |= {cq.var}
+        return out | (free_vars(q.head) - bound)
+    out = frozenset()
+    for sub in subqueries(q):
+        out |= free_vars(sub)
+    return out
+
+
+def bound_vars(q: Query) -> frozenset[str]:
+    """Every variable bound by some generator anywhere in ``q``."""
+    out: frozenset[str] = frozenset()
+    for node in walk(q):
+        if isinstance(node, Comp):
+            out |= frozenset(
+                cq.var for cq in node.qualifiers if isinstance(cq, Gen)
+            )
+    return out
+
+
+def fresh_name(base: str, avoid: Iterable[str]) -> str:
+    """A variable name based on ``base`` not occurring in ``avoid``."""
+    avoid_set = set(avoid)
+    if base not in avoid_set:
+        return base
+    for i in itertools.count(1):
+        cand = f"{base}_{i}"
+        if cand not in avoid_set:
+            return cand
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def subst(q: Query, x: str, r: Query) -> Query:
+    """Capture-avoiding substitution ``q[x := r]``.
+
+    When ``r`` is a closed value (the common case in reduction, cf.
+    Lemma 1) this is plain replacement; when ``r`` is open (optimizer
+    rewrites), generators that would capture a free variable of ``r``
+    are α-renamed first.
+    """
+    fv_r = free_vars(r)
+    return _subst(q, x, r, fv_r)
+
+
+def _subst(q: Query, x: str, r: Query, fv_r: frozenset[str]) -> Query:
+    if isinstance(q, Var):
+        return r if q.name == x else q
+    if isinstance(q, Comp):
+        return _subst_comp(q, x, r, fv_r)
+    return map_subqueries(q, lambda sub: _subst(sub, x, r, fv_r))
+
+
+def _subst_comp(q: Comp, x: str, r: Query, fv_r: frozenset[str]) -> Query:
+    """Substitute under a comprehension, renaming binders as needed.
+
+    Processes qualifiers left-to-right, tracking (a) whether ``x`` has
+    been shadowed by a generator (substitution then stops) and (b) a
+    renaming for binders that collide with the free variables of ``r``.
+    """
+    quals: list[Qualifier] = []
+    rename: dict[str, str] = {}
+    shadowed = False
+
+    def apply(sub: Query) -> Query:
+        out = sub
+        for old, new in rename.items():
+            out = _subst(out, old, Var(new), frozenset({new}))
+        if not shadowed:
+            out = _subst(out, x, r, fv_r)
+        return out
+
+    used = set(free_vars(q)) | set(bound_vars(q)) | set(fv_r) | {x}
+    for cq in q.qualifiers:
+        if isinstance(cq, Pred):
+            quals.append(Pred(apply(cq.cond)))
+            continue
+        assert isinstance(cq, Gen)
+        source = apply(cq.source)
+        var = cq.var
+        if var == x:
+            # x is shadowed from here on
+            quals.append(Gen(var, source))
+            shadowed = True
+            rename.pop(var, None)
+            continue
+        if not shadowed and var in fv_r:
+            new_var = fresh_name(var, used)
+            used.add(new_var)
+            rename[var] = new_var
+            var = new_var
+        else:
+            rename.pop(cq.var, None)
+        quals.append(Gen(var, source))
+    return Comp(apply(q.head), tuple(quals))
+
+
+def subst_many(q: Query, bindings: dict[str, Query]) -> Query:
+    """Simultaneous substitution, applied sequentially.
+
+    Safe when the replacement queries are closed (values), which is the
+    only way the machine uses it (call-by-value argument passing).
+    """
+    out = q
+    for x, r in bindings.items():
+        out = subst(out, x, r)
+    return out
+
+
+def resolve_extents(q: Query, extent_names: frozenset[str] | set[str]) -> Query:
+    """Rewrite free ``Var(e)`` into ``ExtentRef(e)`` for known extents.
+
+    Respects shadowing: a generator variable named like an extent hides
+    the extent in its scope (the paper forbids this mixing by
+    convention; we make the convention harmless).
+    """
+
+    def go(node: Query, bound: frozenset[str]) -> Query:
+        if isinstance(node, Var):
+            if node.name in extent_names and node.name not in bound:
+                return ExtentRef(node.name)
+            return node
+        if isinstance(node, Comp):
+            quals: list[Qualifier] = []
+            b = bound
+            for cq in node.qualifiers:
+                if isinstance(cq, Pred):
+                    quals.append(Pred(go(cq.cond, b)))
+                else:
+                    assert isinstance(cq, Gen)
+                    quals.append(Gen(cq.var, go(cq.source, b)))
+                    b |= {cq.var}
+            return Comp(go(node.head, b), tuple(quals))
+        return map_subqueries(node, lambda sub: go(sub, bound))
+
+    return go(q, frozenset())
+
+
+def query_size(q: Query) -> int:
+    """Number of AST nodes in ``q`` (benchmark metric)."""
+    return 1 + sum(query_size(sub) for sub in subqueries(q))
+
+
+def query_depth(q: Query) -> int:
+    """Height of the AST (benchmark metric)."""
+    subs = list(subqueries(q))
+    return 1 if not subs else 1 + max(query_depth(s) for s in subs)
+
+
+def extents_mentioned(q: Query) -> frozenset[str]:
+    """All extent names syntactically referenced by ``q``."""
+    return frozenset(n.name for n in walk(q) if isinstance(n, ExtentRef))
+
+
+def classes_created(q: Query) -> frozenset[str]:
+    """All classes syntactically created (``new C``) by ``q``.
+
+    A query with no ``new`` anywhere (nor in the definitions it calls)
+    is the paper's *functional* query (Theorem 4); see
+    :func:`repro.metatheory.theorems.is_functional`.
+    """
+    from repro.lang.ast import New as _New
+
+    return frozenset(n.cname for n in walk(q) if isinstance(n, _New))

@@ -1,0 +1,294 @@
+"""The value grammar of §3.3 and canonical set representation.
+
+The paper's values::
+
+    v ::= i | true | false | o | {v₀, …, vₖ} | ⟨l₁:v₁, …, lₖ:vₖ⟩
+
+Values are a sub-grammar of queries, so we reuse the AST nodes.  Because
+``{…}`` denotes a *set*, the literal ``{1, 2}`` and the literal
+``{2, 1}`` (and ``{1, 1, 2}``) denote the same value.  To make
+structural equality of ASTs coincide with semantic equality of values,
+set values are kept **canonical**: items deduplicated and sorted by the
+total order :func:`value_sort_key`.  The machine's set-producing rules
+always construct canonical sets via :func:`make_set_value`, and a
+source-level set literal whose items have all been reduced to values is
+normalised by one administrative step (see
+:mod:`repro.semantics.machine`).
+
+This module also supplies the set-theoretic operations used by the
+(Union)/(Size)/(ND comp) reduction rules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lang.ast import (
+    BagLit,
+    BoolLit,
+    IntLit,
+    ListLit,
+    OidRef,
+    Query,
+    RecordLit,
+    SetLit,
+    StrLit,
+)
+
+
+def is_value(q: Query) -> bool:
+    """True iff ``q`` is in the value grammar (canonical sets/bags
+    required; lists keep their order)."""
+    if isinstance(q, (IntLit, BoolLit, StrLit, OidRef)):
+        return True
+    if isinstance(q, SetLit):
+        return all(is_value(i) for i in q.items) and _is_canonical(q)
+    if isinstance(q, BagLit):
+        return all(is_value(i) for i in q.items) and _is_bag_canonical(q)
+    if isinstance(q, ListLit):
+        return all(is_value(i) for i in q.items)
+    if isinstance(q, RecordLit):
+        return all(is_value(v) for _, v in q.fields)
+    return False
+
+
+def is_value_shaped(q: Query) -> bool:
+    """True iff ``q`` is a value up to set canonicalisation.
+
+    ``{2, 1+1}`` is not value-shaped; ``{2, 2}`` is value-shaped but not
+    a value (it needs the administrative canonicalisation step).
+    """
+    if isinstance(q, (SetLit, BagLit, ListLit)):
+        return all(is_value_shaped(i) for i in q.items)
+    if isinstance(q, RecordLit):
+        return all(is_value_shaped(v) for _, v in q.fields)
+    return isinstance(q, (IntLit, BoolLit, StrLit, OidRef))
+
+
+def _is_canonical(s: SetLit) -> bool:
+    keys = [value_sort_key(i) for i in s.items]
+    return all(keys[i] < keys[i + 1] for i in range(len(keys) - 1))
+
+
+def _is_bag_canonical(b: BagLit) -> bool:
+    keys = [value_sort_key(i) for i in b.items]
+    return all(keys[i] <= keys[i + 1] for i in range(len(keys) - 1))
+
+
+def value_sort_key(v: Query) -> tuple:
+    """A total order on values, used to canonicalise set literals.
+
+    The order is arbitrary but fixed: booleans < integers < strings <
+    oids < records < sets, with componentwise comparison inside
+    structures.  Only defined on value-shaped queries.
+    """
+    if isinstance(v, BoolLit):
+        return (0, v.value)
+    if isinstance(v, IntLit):
+        return (1, v.value)
+    if isinstance(v, StrLit):
+        return (2, v.value)
+    if isinstance(v, OidRef):
+        return (3, v.name)
+    if isinstance(v, RecordLit):
+        return (4, tuple((l, value_sort_key(q)) for l, q in v.fields))
+    if isinstance(v, SetLit):
+        return (5, tuple(sorted(value_sort_key(i) for i in v.items)))
+    if isinstance(v, BagLit):
+        return (6, tuple(sorted(value_sort_key(i) for i in v.items)))
+    if isinstance(v, ListLit):
+        return (7, tuple(value_sort_key(i) for i in v.items))
+    raise TypeError(f"not a value: {v!r}")
+
+
+def canonicalize(v: Query) -> Query:
+    """Recursively canonicalise every set/bag inside a value-shaped query."""
+    if isinstance(v, SetLit):
+        items = [canonicalize(i) for i in v.items]
+        return make_set_value(items)
+    if isinstance(v, BagLit):
+        return make_bag_value(canonicalize(i) for i in v.items)
+    if isinstance(v, ListLit):
+        return ListLit(tuple(canonicalize(i) for i in v.items))
+    if isinstance(v, RecordLit):
+        return RecordLit(tuple((l, canonicalize(q)) for l, q in v.fields))
+    return v
+
+
+def make_set_value(items: Iterable[Query]) -> SetLit:
+    """Construct a canonical set value from value items.
+
+    Deduplicates (after canonicalising each item) and sorts by
+    :func:`value_sort_key`, so that structurally equal ASTs ⇔ equal set
+    values.
+    """
+    canon = {canonicalize(i) for i in items}
+    return SetLit(tuple(sorted(canon, key=value_sort_key)))
+
+
+def make_bag_value(items) -> BagLit:
+    """Construct a canonical bag value: items sorted, duplicates kept."""
+    return BagLit(tuple(sorted(items, key=value_sort_key)))
+
+
+EMPTY_SET = SetLit(())
+"""The canonical empty set value ``{}``."""
+
+
+TRUE = BoolLit(True)
+FALSE = BoolLit(False)
+
+
+def set_union(a: SetLit, b: SetLit) -> SetLit:
+    """``v₁ ∪ v₂`` of the (Union) rule, canonical."""
+    return make_set_value((*a.items, *b.items))
+
+
+def set_intersect(a: SetLit, b: SetLit) -> SetLit:
+    """``v₁ ∩ v₂``, canonical."""
+    bs = set(b.items)
+    return make_set_value(i for i in a.items if i in bs)
+
+
+def set_except(a: SetLit, b: SetLit) -> SetLit:
+    """``v₁ \\ v₂``, canonical."""
+    bs = set(b.items)
+    return make_set_value(i for i in a.items if i not in bs)
+
+
+def set_remove(a: SetLit, item: Query) -> SetLit:
+    """``{v₁,…,vₖ} − vᵢ`` used by the (ND comp) rule."""
+    return make_set_value(i for i in a.items if i != item)
+
+
+def bag_union(a: BagLit, b: BagLit) -> BagLit:
+    """Additive bag union (multiset sum), canonical."""
+    return make_bag_value((*a.items, *b.items))
+
+
+def _counts(items) -> dict:
+    out: dict = {}
+    for i in items:
+        out[i] = out.get(i, 0) + 1
+    return out
+
+
+def bag_intersect(a: BagLit, b: BagLit) -> BagLit:
+    """Bag intersection: per-element minimum multiplicity."""
+    cb = _counts(b.items)
+    out = []
+    ca: dict = {}
+    for i in a.items:
+        ca[i] = ca.get(i, 0) + 1
+        if ca[i] <= cb.get(i, 0):
+            out.append(i)
+    return make_bag_value(out)
+
+
+def bag_except(a: BagLit, b: BagLit) -> BagLit:
+    """Bag difference (monus): multiplicities subtract, floored at 0."""
+    cb = dict(_counts(b.items))
+    out = []
+    for i in a.items:
+        if cb.get(i, 0) > 0:
+            cb[i] -= 1
+        else:
+            out.append(i)
+    return make_bag_value(out)
+
+
+def bag_remove_one(a: BagLit, item: Query) -> BagLit:
+    """Remove exactly one occurrence (the bag (ND comp) residue)."""
+    out = list(a.items)
+    out.remove(item)
+    return make_bag_value(out)
+
+
+def list_concat(a: ListLit, b: ListLit) -> ListLit:
+    """List concatenation (the list reading of ``union``)."""
+    return ListLit((*a.items, *b.items))
+
+
+def collection_to_set(v: Query) -> SetLit:
+    """``toset``: forget order and multiplicity."""
+    assert isinstance(v, (SetLit, BagLit, ListLit))
+    return make_set_value(v.items)
+
+
+def values_equal(a: Query, b: Query) -> bool:
+    """Semantic equality of two values (canonicalises both sides)."""
+    return canonicalize(a) == canonicalize(b)
+
+
+def to_value(x: object) -> Query:
+    """Lift a Python value (or AST value) into the IOQL value grammar.
+
+    ``bool``/``int``/``str`` become literals; sets/frozensets/lists/
+    tuples become canonical set values; dicts become records; AST
+    values pass through.  Raises :class:`~repro.errors.ReproError`
+    otherwise.
+    """
+    from repro.errors import IOQLTypeError
+
+    if isinstance(x, Query):
+        if not is_value(x):
+            raise IOQLTypeError(f"{x} is not a value")
+        return x
+    if isinstance(x, bool):
+        return BoolLit(x)
+    if isinstance(x, int):
+        return IntLit(x)
+    if isinstance(x, str):
+        return StrLit(x)
+    if isinstance(x, (set, frozenset, list, tuple)):
+        return make_set_value(to_value(i) for i in x)
+    if isinstance(x, dict):
+        return RecordLit(tuple((k, to_value(v)) for k, v in x.items()))
+    raise IOQLTypeError(f"cannot convert {type(x).__name__} to an IOQL value")
+
+
+def from_value(v: Query) -> object:
+    """Lower an IOQL value to Python.
+
+    Oids become their name strings; sets become frozensets; records
+    become dicts.  A set whose elements are unhashable in Python (e.g.
+    records → dicts) comes back as a tuple in canonical value order
+    instead — deterministic, and still duplicate-free.  The inverse of
+    :func:`to_value` up to oid identity.
+    """
+    from repro.errors import IOQLTypeError
+
+    if isinstance(v, (IntLit, BoolLit, StrLit)):
+        return v.value
+    if isinstance(v, OidRef):
+        return v.name
+    if isinstance(v, SetLit):
+        items = [from_value(i) for i in v.items]
+        try:
+            return frozenset(items)
+        except TypeError:
+            return tuple(items)
+    if isinstance(v, (BagLit, ListLit)):
+        # bags come back as canonical tuples (Python has no multiset);
+        # lists keep their order
+        return tuple(from_value(i) for i in v.items)
+    if isinstance(v, RecordLit):
+        return {l: from_value(q) for l, q in v.fields}
+    raise IOQLTypeError(f"{v} is not a value")
+
+
+def oids_in(v: Query) -> frozenset[str]:
+    """All oids occurring in a value — used by the bijection matcher."""
+    if isinstance(v, OidRef):
+        return frozenset({v.name})
+    if isinstance(v, (SetLit, BagLit, ListLit)):
+        out: frozenset[str] = frozenset()
+        for i in v.items:
+            out |= oids_in(i)
+        return out
+    if isinstance(v, RecordLit):
+        out = frozenset()
+        for _, q in v.fields:
+            out |= oids_in(q)
+        return out
+    return frozenset()

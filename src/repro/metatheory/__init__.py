@@ -1,0 +1,23 @@
+"""Random generators and executable checkers for Theorems 1–8."""
+
+from repro.metatheory.generators import (
+    QueryGenerator, make_random_schema, make_random_store,
+)
+from repro.metatheory.theorems import (
+    TheoremReport,
+    check_determinism,
+    check_functional_determinism,
+    check_progress,
+    check_safe_commutativity,
+    check_subject_reduction,
+    check_type_soundness,
+    is_functional,
+)
+
+__all__ = [
+    "QueryGenerator", "TheoremReport", "check_determinism",
+    "check_functional_determinism", "check_progress",
+    "check_safe_commutativity", "check_subject_reduction",
+    "check_type_soundness", "is_functional", "make_random_schema",
+    "make_random_store",
+]

@@ -1,0 +1,395 @@
+"""Random generation of schemas, stores and *well-typed* queries.
+
+The metatheory of §3.4/§4 is universally quantified over queries and
+runtime environments; we test it by sampling.  The generator is
+type-directed: :meth:`QueryGenerator.query` takes a target type and
+produces a random query of (a subtype of) that type, so every sample is
+well-typed *by construction* — which the test-suite double-checks
+against the Figure 1 checker (a disagreement would be a bug in one of
+the two).
+
+Generation is seeded and deterministic (a ``random.Random`` instance),
+making every hypothesis/benchmark failure replayable.
+
+Knobs:
+
+* ``allow_new`` — with ``False``, generated queries are *functional*
+  in the paper's sense (no object creation), the premise of Theorem 4;
+* ``allow_methods`` — method calls can diverge; theorems about
+  termination-sensitive properties sample with this off;
+* ``depth`` — maximum expression depth.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.lang.ast import (
+    BoolLit,
+    Cast,
+    Cmp,
+    CmpKind,
+    Comp,
+    Field,
+    Gen,
+    If,
+    IntLit,
+    IntOp,
+    IntOpKind,
+    New,
+    ObjEq,
+    OidRef,
+    Pred,
+    PrimEq,
+    Query,
+    RecordLit,
+    SetLit,
+    SetOp,
+    SetOpKind,
+    Size,
+    StrLit,
+    Var,
+    ExtentRef,
+)
+from repro.model.schema import AttrDef, ClassDef, MethodDef, Schema
+from repro.model.types import (
+    BOOL,
+    INT,
+    STRING,
+    ClassType,
+    RecordType,
+    SetType,
+    Type,
+)
+from repro.db.store import ExtentEnv, ObjectEnv, OidSupply, populate
+
+_NAMES = ["Alpha", "Beta", "Gamma", "Delta", "Epsilon", "Zeta"]
+_STRINGS = ["ada", "grace", "edsger", "barbara", "tony", "leslie"]
+
+
+def make_random_schema(rng: random.Random, *, n_classes: int | None = None) -> Schema:
+    """A random single-inheritance schema with primitive and object refs.
+
+    Class ``Cᵢ`` may extend any earlier class (or Object) and its
+    attributes may reference only earlier classes — this stratification
+    makes random store population trivially well-founded.
+    """
+    n = n_classes if n_classes is not None else rng.randint(2, len(_NAMES))
+    classes: list[ClassDef] = []
+    for i in range(n):
+        name = _NAMES[i]
+        superclass = "Object" if i == 0 or rng.random() < 0.5 else _NAMES[rng.randrange(i)]
+        inherited = set()
+        # collect inherited attribute names to avoid shadowing
+        sup = superclass
+        while sup != "Object":
+            cd = next(c for c in classes if c.name == sup)
+            inherited |= {a.name for a in cd.attributes}
+            sup = cd.superclass
+        attrs: list[AttrDef] = []
+        for j in range(rng.randint(1, 3)):
+            aname = f"{name.lower()}_a{j}"
+            if aname in inherited:
+                continue
+            choices: list[Type] = [INT, BOOL, STRING]
+            if i > 0 and rng.random() < 0.4:
+                choices.append(ClassType(_NAMES[rng.randrange(i)]))
+            attrs.append(AttrDef(aname, rng.choice(choices)))
+        methods: list[MethodDef] = []
+        classes.append(
+            ClassDef(name, superclass, f"{name}s", tuple(attrs), tuple(methods))
+        )
+    return Schema(classes)
+
+
+def make_random_store(
+    schema: Schema, rng: random.Random, *, per_class: int = 2
+) -> tuple[ExtentEnv, ObjectEnv, OidSupply]:
+    """Populate 1..per_class objects of every class (stratified refs)."""
+    ee = ExtentEnv.for_schema(schema)
+    oe = ObjectEnv()
+    supply = OidSupply()
+    by_class: dict[str, list[str]] = {c: [] for c in schema.class_names()}
+    order = [n for n in _NAMES if n in schema.class_names()]
+    for cname in order:
+        for _ in range(rng.randint(1, per_class)):
+            attrs = []
+            for a, t in schema.atypes(cname):
+                attrs.append((a, _random_prim_or_ref(t, by_class, schema, rng)))
+            ee, oe, oid = populate(schema, ee, oe, supply, cname, attrs)
+            for anc in schema.hierarchy.ancestors(cname):
+                if anc in by_class:
+                    by_class[anc].append(oid.name)
+    return ee, oe, supply
+
+
+def _random_prim_or_ref(
+    t: Type, by_class: dict[str, list[str]], schema: Schema, rng: random.Random
+) -> Query:
+    if t == INT:
+        return IntLit(rng.randint(-5, 20))
+    if t == BOOL:
+        return BoolLit(rng.random() < 0.5)
+    if t == STRING:
+        return StrLit(rng.choice(_STRINGS))
+    assert isinstance(t, ClassType)
+    pool = by_class.get(t.name, [])
+    if not pool:
+        raise AssertionError(
+            f"stratification violated: no object of {t.name} yet"
+        )
+    return OidRef(rng.choice(pool))
+
+
+class QueryGenerator:
+    """Type-directed random query generation against one (schema, OE)."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        oe: ObjectEnv,
+        rng: random.Random,
+        *,
+        allow_new: bool = True,
+        allow_methods: bool = True,
+        max_depth: int = 5,
+    ):
+        self.schema = schema
+        self.oe = oe
+        self.rng = rng
+        self.allow_new = allow_new
+        self.allow_methods = allow_methods
+        self.max_depth = max_depth
+        self._oids_by_class: dict[str, list[str]] = {}
+        for oid, rec in oe.items():
+            for anc in schema.hierarchy.ancestors(rec.cname):
+                self._oids_by_class.setdefault(anc, []).append(oid)
+        self._fresh = 0
+
+    # ------------------------------------------------------------------
+    def query(self, target: Type, env: dict[str, Type] | None = None) -> Query:
+        """A random well-typed query of type ≤ ``target``."""
+        return self._gen(target, dict(env or {}), self.max_depth)
+
+    def random_type(self, *, depth: int = 2) -> Type:
+        """A random target type (primitives weighted up)."""
+        r = self.rng.random()
+        if depth <= 0 or r < 0.5:
+            prims: list[Type] = [INT, BOOL, STRING]
+            classes = sorted(self.schema.class_names())
+            if classes and self.rng.random() < 0.4:
+                return ClassType(self.rng.choice(classes))
+            return self.rng.choice(prims)
+        if r < 0.8:
+            return SetType(self.random_type(depth=depth - 1))
+        fields = tuple(
+            (f"f{i}", self.random_type(depth=depth - 1))
+            for i in range(self.rng.randint(1, 3))
+        )
+        return RecordType(fields)
+
+    # ------------------------------------------------------------------
+    def _gen(self, target: Type, env: dict[str, Type], depth: int) -> Query:
+        producers = self._producers(target, env, depth)
+        self.rng.shuffle(producers)
+        for p in producers:
+            out = p()
+            if out is not None:
+                return out
+        raise AssertionError(f"no producer succeeded for {target}")
+
+    def _producers(
+        self, target: Type, env: dict[str, Type], depth: int
+    ) -> list[Callable[[], Query | None]]:
+        rng = self.rng
+        deep = depth > 0
+        ps: list[Callable[[], Query | None]] = []
+
+        # a variable of a suitable type is always a candidate
+        def from_env() -> Query | None:
+            cands = [
+                x for x, t in env.items() if self.schema.subtype(t, target)
+            ]
+            return Var(rng.choice(cands)) if cands else None
+
+        ps.append(from_env)
+
+        if target == INT:
+            ps.append(lambda: IntLit(rng.randint(-5, 20)))
+            if deep:
+                ps.append(
+                    lambda: IntOp(
+                        rng.choice(list(IntOpKind)),
+                        self._gen(INT, env, depth - 1),
+                        self._gen(INT, env, depth - 1),
+                    )
+                )
+                ps.append(
+                    lambda: Size(
+                        self._gen(SetType(self.random_type(depth=0)), env, depth - 1)
+                    )
+                )
+                ps.append(lambda: self._if(INT, env, depth))
+                ps.append(lambda: self._attr_of(INT, env, depth))
+        elif target == BOOL:
+            ps.append(lambda: BoolLit(rng.random() < 0.5))
+            if deep:
+                ps.append(
+                    lambda: PrimEq(
+                        self._gen(INT, env, depth - 1),
+                        self._gen(INT, env, depth - 1),
+                    )
+                )
+                ps.append(
+                    lambda: Cmp(
+                        rng.choice(list(CmpKind)),
+                        self._gen(INT, env, depth - 1),
+                        self._gen(INT, env, depth - 1),
+                    )
+                )
+                ps.append(lambda: self._objeq(env, depth))
+                ps.append(lambda: self._if(BOOL, env, depth))
+        elif target == STRING:
+            ps.append(lambda: StrLit(rng.choice(_STRINGS)))
+            if deep:
+                ps.append(lambda: self._if(STRING, env, depth))
+                ps.append(lambda: self._attr_of(STRING, env, depth))
+        elif isinstance(target, ClassType):
+            ps.append(lambda: self._some_oid(target.name))
+            if deep and self.allow_new:
+                ps.append(lambda: self._new(target.name, env, depth))
+            if deep:
+                ps.append(lambda: self._upcast(target.name, env, depth))
+        elif isinstance(target, SetType):
+            elem = target.elem
+            ps.append(lambda: SetLit(()))
+            if deep:
+                ps.append(
+                    lambda: SetLit(
+                        tuple(
+                            self._gen(elem, env, depth - 1)
+                            for _ in range(rng.randint(1, 3))
+                        )
+                    )
+                )
+                ps.append(
+                    lambda: SetOp(
+                        rng.choice(list(SetOpKind)),
+                        self._gen(target, env, depth - 1),
+                        self._gen(target, env, depth - 1),
+                    )
+                )
+                ps.append(lambda: self._comp(elem, env, depth))
+            ps.append(lambda: self._extent_of(elem))
+        elif isinstance(target, RecordType):
+            ps.append(
+                lambda: RecordLit(
+                    tuple(
+                        (l, self._gen(t, env, max(0, depth - 1)))
+                        for l, t in target.fields
+                    )
+                )
+            )
+        return ps
+
+    # -- individual productions ----------------------------------------------
+    def _if(self, target: Type, env: dict[str, Type], depth: int) -> Query:
+        return If(
+            self._gen(BOOL, env, depth - 1),
+            self._gen(target, env, depth - 1),
+            self._gen(target, env, depth - 1),
+        )
+
+    def _some_oid(self, cname: str) -> Query | None:
+        pool = self._oids_by_class.get(cname)
+        return OidRef(self.rng.choice(pool)) if pool else None
+
+    def _new(self, cname: str, env: dict[str, Type], depth: int) -> Query | None:
+        # pick a concrete subclass (possibly cname itself)
+        subs = sorted(
+            c
+            for c in self.schema.hierarchy.subclasses(cname)
+            if c in self.schema
+        )
+        if not subs:
+            return None
+        chosen = self.rng.choice(subs)
+        fields = tuple(
+            (a, self._gen(t, env, max(0, depth - 1)))
+            for a, t in self.schema.atypes(chosen)
+        )
+        return New(chosen, fields)
+
+    def _upcast(self, cname: str, env: dict[str, Type], depth: int) -> Query | None:
+        subs = sorted(
+            c
+            for c in self.schema.hierarchy.subclasses(cname)
+            if c != cname and self._oids_by_class.get(c)
+        )
+        if not subs:
+            return None
+        sub = self.rng.choice(subs)
+        inner = self._some_oid(sub)
+        if inner is None:
+            return None
+        return Cast(cname, inner)
+
+    def _objeq(self, env: dict[str, Type], depth: int) -> Query | None:
+        classes = sorted(self._oids_by_class)
+        if not classes:
+            return None
+        c = self.rng.choice(classes)
+        a = self._some_oid(c)
+        b = self._some_oid(c)
+        if a is None or b is None:
+            return None
+        return ObjEq(a, b)
+
+    def _attr_of(self, target: Type, env: dict[str, Type], depth: int) -> Query | None:
+        """``obj.a`` where some class has an attribute of the target type."""
+        cands: list[tuple[str, str]] = []
+        for cname in sorted(self.schema.class_names()):
+            for a, t in self.schema.atypes(cname):
+                if t == target:
+                    cands.append((cname, a))
+        self.rng.shuffle(cands)
+        for cname, a in cands:
+            obj = self._class_expr(cname, env, depth - 1)
+            if obj is not None:
+                return Field(obj, a)
+        return None
+
+    def _class_expr(self, cname: str, env: dict[str, Type], depth: int) -> Query | None:
+        cands = [
+            x
+            for x, t in env.items()
+            if isinstance(t, ClassType)
+            and self.schema.hierarchy.is_subclass(t.name, cname)
+        ]
+        if cands and self.rng.random() < 0.7:
+            return Var(self.rng.choice(cands))
+        return self._some_oid(cname)
+
+    def _extent_of(self, elem: Type) -> Query | None:
+        if not isinstance(elem, ClassType):
+            return None
+        cands = [
+            e
+            for e, c in sorted(self.schema.extents.items())
+            if self.schema.hierarchy.is_subclass(c, elem.name)
+        ]
+        return ExtentRef(self.rng.choice(cands)) if cands else None
+
+    def _comp(self, elem: Type, env: dict[str, Type], depth: int) -> Query:
+        src_elem = self.random_type(depth=0)
+        source = self._gen(SetType(src_elem), env, depth - 1)
+        self._fresh += 1
+        var = f"v{self._fresh}"
+        inner = dict(env)
+        inner[var] = src_elem
+        quals: list = [Gen(var, source)]
+        if self.rng.random() < 0.6:
+            quals.append(Pred(self._gen(BOOL, inner, depth - 1)))
+        head = self._gen(elem, inner, depth - 1)
+        return Comp(head, tuple(quals))

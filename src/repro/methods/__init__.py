@@ -1,0 +1,12 @@
+"""MJava — the method language realising the paper's ⇓ relation."""
+
+from repro.methods.ast import AccessMode, MethodBody, NativeMethod
+from repro.methods.interp import Fuel, MethodInterpreter, NativeContext
+from repro.methods.parser import parse_method_body
+from repro.methods.typing import check_method, check_schema_methods
+
+__all__ = [
+    "AccessMode", "Fuel", "MethodBody", "MethodInterpreter", "NativeContext",
+    "NativeMethod", "check_method", "check_schema_methods",
+    "parse_method_body",
+]

@@ -1,0 +1,137 @@
+"""Abstract syntax of MJava, the method language.
+
+The paper assumes methods are "written in a third-party programming
+language" and models their execution by an abstract big-step relation
+⇓ ((Method) rule, §3.3); the extended paper uses "a valid fragment of
+Java".  MJava is our executable stand-in for that fragment:
+
+* **expressions** reuse the IOQL :class:`~repro.lang.ast.Query` nodes —
+  literals, locals/parameters/``this`` (:class:`Var`), attribute access
+  (:class:`Field`), method calls, arithmetic, comparisons, equality,
+  conditionals, object creation (:class:`New`, §5 mode only), and
+  extent reads (:class:`ExtentRef`, §5 mode only).  Comprehensions,
+  definition calls, sets and records are *not* MJava (Note 1: the
+  method language only handles data-model types φ), and the method
+  type checker rejects them;
+* **statements** are MJava's own: local declarations, assignments,
+  attribute updates (§5 mode), ``if``, ``while`` and ``return``.
+
+``while`` gives MJava genuine non-termination — the ``loop`` method of
+the paper's §1 example is ``while (true) { }``.
+
+Two *access modes* delimit the §2 / §5 design space:
+
+* ``READ_ONLY`` (§2 core): bodies may read ``this``/arguments and
+  attributes, call other read-only methods, and compute — effect ∅;
+* ``EFFECTFUL`` (§5): bodies may additionally read extents (``R(C)``),
+  create objects (``A(C)``) and update attributes (``U(C)``); the body's
+  inferred effect must be within the method's declared effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.lang.ast import Query
+from repro.model.types import Type
+
+
+class AccessMode(Enum):
+    """How much of the database a method body may touch (§2 vs §5)."""
+
+    READ_ONLY = "read-only"
+    EFFECTFUL = "effectful"
+
+
+class Stmt:
+    """Abstract base of MJava statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class VarDecl(Stmt):
+    """``var x : φ := e;`` — declare and initialise a local."""
+
+    name: str
+    type: Type
+    init: Query
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Stmt):
+    """``x := e;`` — assign a local variable or parameter."""
+
+    name: str
+    expr: Query
+
+
+@dataclass(frozen=True, slots=True)
+class AttrAssign(Stmt):
+    """``e.a := e′;`` — update an object attribute (§5 mode, effect U)."""
+
+    target: Query
+    attr: str
+    expr: Query
+
+
+@dataclass(frozen=True, slots=True)
+class IfStmt(Stmt):
+    """``if (e) { … } else { … }`` — the else branch may be empty."""
+
+    cond: Query
+    then: tuple[Stmt, ...]
+    els: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class While(Stmt):
+    """``while (e) { … }`` — the source of method non-termination."""
+
+    cond: Query
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ForEach(Stmt):
+    """``for (x in extent(e)) { … }`` — iterate an extent (§5 mode).
+
+    This is how an MJava body *reads* the database (effect ``R(C)``):
+    Note 1 keeps set types out of the method language, so extents are
+    consumed by iteration rather than flowing as values.  Iteration
+    order is deterministic (sorted oids) — the method-language relation
+    ⇓ is deterministic in the paper.
+    """
+
+    var: str
+    extent: str
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Return(Stmt):
+    """``return e;`` — every execution path must reach one."""
+
+    expr: Query
+
+
+@dataclass(frozen=True, slots=True)
+class MethodBody(Stmt):
+    """A full MJava method body: a statement block."""
+
+    stmts: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class NativeMethod:
+    """A method implemented as a Python callable — the "third-party
+    programming language" door of the paper, fully open.
+
+    ``fn`` receives a :class:`repro.methods.interp.NativeContext` (a
+    capability-limited view of the database honouring the access mode)
+    plus the receiver oid and argument values, and returns a value.
+    """
+
+    fn: object  # Callable[[NativeContext, str, tuple[Query, ...]], Query]
+    name: str = "<native>"

@@ -1,0 +1,329 @@
+"""The big-step method evaluation relation ⇓ of §3.3 / §5, executable.
+
+Core mode (§2, read-only)::
+
+    OE, body[x⃗ := v⃗, this := o] ⇓ v
+
+Extended mode (§5, effectful)::
+
+    EE, OE, body[x⃗ := v⃗, this := o] ⇓ EE′, OE′, v
+
+The interpreter is **deterministic** (as the paper assumes of ⇓) and
+**fuel-bounded**: a body that does not terminate within its fuel budget
+raises :class:`FuelExhausted`, which the IOQL machine reports as
+divergence of the enclosing (Method) step — this is how the §1 ``loop``
+example becomes observable.
+
+Effects are traced as the body executes; in read-only mode the trace is
+necessarily ∅ (the type checker guarantees it, and the interpreter
+asserts it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.effects.algebra import EMPTY, Effect, add, read, update
+from repro.errors import EvalError, FuelExhausted, MethodError
+from repro.lang.ast import (
+    BoolLit,
+    Cast,
+    Cmp,
+    CmpKind,
+    Field,
+    If,
+    IntLit,
+    IntOp,
+    IntOpKind,
+    MethodCall,
+    New,
+    ObjEq,
+    OidRef,
+    PrimEq,
+    Query,
+    StrLit,
+    Var,
+)
+from repro.lang.values import is_value
+from repro.methods.ast import (
+    AccessMode,
+    Assign,
+    AttrAssign,
+    ForEach,
+    IfStmt,
+    MethodBody,
+    NativeMethod,
+    Return,
+    Stmt,
+    VarDecl,
+    While,
+)
+from repro.model.schema import Schema
+from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply
+
+
+class Fuel:
+    """A shared, mutable step budget for one method invocation tree."""
+
+    def __init__(self, amount: int):
+        self.remaining = amount
+
+    def tick(self, what: str = "method body") -> None:
+        if self.remaining <= 0:
+            raise FuelExhausted(f"{what} exceeded its fuel budget")
+        self.remaining -= 1
+
+
+class _ReturnSignal(Exception):
+    """Internal control flow for ``return``; never escapes the module."""
+
+    def __init__(self, value: Query):
+        self.value = value
+
+
+@dataclass
+class MethodOutcome:
+    """Result of one ⇓ derivation: final environments, value, effect."""
+
+    ee: ExtentEnv
+    oe: ObjectEnv
+    value: Query
+    effect: Effect
+
+
+class NativeContext:
+    """The capability surface a native (Python) method body sees.
+
+    Mirrors the MJava interpreter exactly: reads and writes go through
+    the same effect accounting, and read-only mode refuses mutation —
+    so a native body cannot do anything an MJava body could not.
+    """
+
+    def __init__(self, interp: "MethodInterpreter"):
+        self._interp = interp
+
+    def class_of(self, oid: str) -> str:
+        """The dynamic class of an object."""
+        return self._interp.oe.get(oid).cname
+
+    def attr(self, oid: str, name: str) -> Query:
+        """Read an attribute value."""
+        return self._interp.oe.get(oid).attr(name)
+
+    def call(self, oid: str, mname: str, args: tuple[Query, ...]) -> Query:
+        """Invoke another method on the same budget."""
+        return self._interp.invoke_on_current(oid, mname, args)
+
+    def extent(self, name: str) -> frozenset[str]:
+        """Read an extent (effect R(C)); §5 mode only."""
+        self._interp.require_effectful("extent access")
+        cname, members = self._interp.ee.get(name)
+        self._interp.effect |= Effect.of(read(cname))
+        return members
+
+    def create(self, cname: str, attrs: dict[str, Query]) -> str:
+        """Create an object (effect A(C)); §5 mode only."""
+        self._interp.require_effectful("object creation")
+        return self._interp.create_object(cname, tuple(sorted(attrs.items())))
+
+    def set_attr(self, oid: str, name: str, value: Query) -> None:
+        """Update an attribute in place (effect U(C)); §5 mode only."""
+        self._interp.require_effectful("attribute update")
+        self._interp.update_attr(oid, name, value)
+
+    def tick(self) -> None:
+        """Charge one unit of fuel (long native loops should call this)."""
+        self._interp.fuel.tick("native method")
+
+
+class MethodInterpreter:
+    """One ⇓ derivation: evaluates a single method invocation tree."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        ee: ExtentEnv,
+        oe: ObjectEnv,
+        *,
+        mode: AccessMode = AccessMode.READ_ONLY,
+        fuel: Fuel | None = None,
+        oid_supply: OidSupply | None = None,
+    ):
+        self.schema = schema
+        self.ee = ee
+        self.oe = oe
+        self.mode = mode
+        self.fuel = fuel or Fuel(10_000)
+        self.supply = oid_supply or OidSupply()
+        self.effect: Effect = EMPTY
+
+    # -- public entry --------------------------------------------------------
+    def invoke(self, oid: str, mname: str, args: tuple[Query, ...]) -> MethodOutcome:
+        """Run ``oid.mname(args)`` to completion (or FuelExhausted)."""
+        value = self.invoke_on_current(oid, mname, args)
+        if self.mode is AccessMode.READ_ONLY:
+            assert self.effect.is_empty(), "read-only method produced effects"
+        return MethodOutcome(self.ee, self.oe, value, self.effect)
+
+    # -- helpers shared with NativeContext --------------------------------------
+    def require_effectful(self, what: str) -> None:
+        if self.mode is not AccessMode.EFFECTFUL:
+            raise MethodError(f"{what} attempted by a read-only method at run time")
+
+    def create_object(self, cname: str, attrs: tuple[tuple[str, Query], ...]) -> str:
+        declared = dict(self.schema.atypes(cname))
+        if set(dict(attrs)) != set(declared):
+            raise EvalError(f"new {cname}: attribute set mismatch")
+        oid = self.supply.fresh(cname, self.oe)
+        self.oe = self.oe.with_object(oid, ObjectRecord(cname, attrs))
+        self.ee = self.ee.with_member(self.schema.class_extent(cname), oid)
+        self.effect |= Effect.of(add(cname))
+        return oid
+
+    def update_attr(self, oid: str, name: str, value: Query) -> None:
+        rec = self.oe.get(oid)
+        self.oe = self.oe.with_object(oid, rec.with_attr(name, value))
+        self.effect |= Effect.of(update(rec.cname))
+
+    def invoke_on_current(
+        self, oid: str, mname: str, args: tuple[Query, ...]
+    ) -> Query:
+        """Dispatch and run one method against the current EE/OE."""
+        self.fuel.tick("method invocation")
+        cname = self.oe.get(oid).cname
+        mdef = self.schema.mbody(cname, mname)
+        if len(args) != len(mdef.params):
+            raise EvalError(f"{cname}.{mname}: arity mismatch")
+        body = mdef.body
+        if body is None:
+            raise EvalError(f"{cname}.{mname} has no implementation bound")
+        if isinstance(body, NativeMethod):
+            result = body.fn(NativeContext(self), oid, args)  # type: ignore[operator]
+            if not isinstance(result, Query) or not is_value(result):
+                raise EvalError(
+                    f"native method {cname}.{mname} returned a non-value "
+                    f"{result!r}"
+                )
+            return result
+        if not isinstance(body, MethodBody):
+            raise EvalError(f"{cname}.{mname}: unrecognised body")
+        env: dict[str, Query] = {"this": OidRef(oid)}
+        for (x, _), v in zip(mdef.params, args):
+            env[x] = v
+        try:
+            self._block(env, body.stmts)
+        except _ReturnSignal as r:
+            return r.value
+        raise EvalError(f"{cname}.{mname} fell off the end without returning")
+
+    # -- statements ----------------------------------------------------------------
+    def _block(self, env: dict[str, Query], stmts: tuple[Stmt, ...]) -> None:
+        for s in stmts:
+            self._stmt(env, s)
+
+    def _stmt(self, env: dict[str, Query], s: Stmt) -> None:
+        self.fuel.tick()
+        if isinstance(s, VarDecl):
+            env[s.name] = self._expr(env, s.init)
+            return
+        if isinstance(s, Assign):
+            env[s.name] = self._expr(env, s.expr)
+            return
+        if isinstance(s, AttrAssign):
+            target = self._expr(env, s.target)
+            if not isinstance(target, OidRef):
+                raise EvalError("attribute update on a non-object")
+            self.require_effectful("attribute update")
+            self.update_attr(target.name, s.attr, self._expr(env, s.expr))
+            return
+        if isinstance(s, IfStmt):
+            branch = s.then if self._bool(env, s.cond) else s.els
+            self._block(env, branch)
+            return
+        if isinstance(s, While):
+            while self._bool(env, s.cond):
+                self.fuel.tick("while loop")
+                self._block(env, s.body)
+            return
+        if isinstance(s, ForEach):
+            self.require_effectful("extent iteration")
+            cname, members = self.ee.get(s.extent)
+            self.effect |= Effect.of(read(cname))
+            for oid in sorted(members):
+                self.fuel.tick("for loop")
+                env[s.var] = OidRef(oid)
+                self._block(env, s.body)
+            env.pop(s.var, None)
+            return
+        if isinstance(s, Return):
+            raise _ReturnSignal(self._expr(env, s.expr))
+        raise EvalError(f"unknown statement {type(s).__name__}")
+
+    def _bool(self, env: dict[str, Query], e: Query) -> bool:
+        v = self._expr(env, e)
+        if not isinstance(v, BoolLit):
+            raise EvalError(f"condition evaluated to non-bool {v}")
+        return v.value
+
+    # -- expressions ------------------------------------------------------------------
+    def _expr(self, env: dict[str, Query], e: Query) -> Query:
+        self.fuel.tick()
+        if isinstance(e, (IntLit, BoolLit, StrLit, OidRef)):
+            return e
+        if isinstance(e, Var):
+            try:
+                return env[e.name]
+            except KeyError:
+                raise EvalError(f"unbound method-local {e.name!r}") from None
+        if isinstance(e, Field):
+            target = self._expr(env, e.target)
+            if not isinstance(target, OidRef):
+                raise EvalError(f"attribute access on non-object {target}")
+            return self.oe.get(target.name).attr(e.name)
+        if isinstance(e, MethodCall):
+            target = self._expr(env, e.target)
+            if not isinstance(target, OidRef):
+                raise EvalError(f"method call on non-object {target}")
+            args = tuple(self._expr(env, a) for a in e.args)
+            return self.invoke_on_current(target.name, e.mname, args)
+        if isinstance(e, New):
+            self.require_effectful("object creation")
+            attrs = tuple((a, self._expr(env, sub)) for a, sub in e.fields)
+            return OidRef(self.create_object(e.cname, attrs))
+        if isinstance(e, Cast):
+            return self._expr(env, e.arg)
+        if isinstance(e, IntOp):
+            l = self._int(env, e.left)
+            r = self._int(env, e.right)
+            if e.op is IntOpKind.ADD:
+                return IntLit(l + r)
+            if e.op is IntOpKind.SUB:
+                return IntLit(l - r)
+            return IntLit(l * r)
+        if isinstance(e, Cmp):
+            l = self._int(env, e.left)
+            r = self._int(env, e.right)
+            result = {
+                CmpKind.LT: l < r,
+                CmpKind.LE: l <= r,
+                CmpKind.GT: l > r,
+                CmpKind.GE: l >= r,
+            }[e.op]
+            return BoolLit(result)
+        if isinstance(e, PrimEq):
+            return BoolLit(self._expr(env, e.left) == self._expr(env, e.right))
+        if isinstance(e, ObjEq):
+            l = self._expr(env, e.left)
+            r = self._expr(env, e.right)
+            if not isinstance(l, OidRef) or not isinstance(r, OidRef):
+                raise EvalError("'==' on non-objects")
+            return BoolLit(l.name == r.name)
+        if isinstance(e, If):
+            return self._expr(env, e.then if self._bool(env, e.cond) else e.els)
+        raise EvalError(f"{type(e).__name__} is not an MJava expression")
+
+    def _int(self, env: dict[str, Query], e: Query) -> int:
+        v = self._expr(env, e)
+        if not isinstance(v, IntLit):
+            raise EvalError(f"expected an int, got {v}")
+        return v.value

@@ -1,0 +1,133 @@
+"""Parser for MJava method bodies.
+
+Grammar::
+
+    body  ::= "{" stmt* "}"
+    stmt  ::= "var" IDENT ":" type ":=" expr ";"
+            | "return" expr ";"
+            | "if" "(" expr ")" block ["else" block]
+            | "while" "(" expr ")" block
+            | IDENT ":=" expr ";"              -- local assignment
+            | postfix "." IDENT ":=" expr ";"  -- attribute update (§5)
+    block ::= "{" stmt* "}"
+
+Expressions are IOQL expressions (shared parser) extended with two
+primaries: ``this`` and ``extent(e)``.  The *type checker* — not the
+parser — rejects expression forms that are not MJava (comprehensions,
+sets, records, definition calls) and enforces the access mode.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import ExtentRef, Field, Query, Var
+from repro.lang.lexer import TokenStream
+from repro.lang.parser import Parser
+from repro.methods.ast import (
+    Assign,
+    AttrAssign,
+    ForEach,
+    IfStmt,
+    MethodBody,
+    Return,
+    Stmt,
+    VarDecl,
+    While,
+)
+
+
+class MethodExprParser(Parser):
+    """IOQL expression parser extended with ``this`` and ``extent(e)``."""
+
+    def primary(self) -> Query:
+        ts = self.ts
+        if ts.accept("this"):
+            return Var("this")
+        if ts.accept("extent"):
+            ts.expect("(")
+            name = ts.expect("IDENT").text
+            ts.expect(")")
+            return ExtentRef(name)
+        return super().primary()
+
+
+class MethodBodyParser:
+    """Statement-level parser wrapping :class:`MethodExprParser`."""
+
+    def __init__(self, ts: TokenStream):
+        self.ts = ts
+        self.exprs = MethodExprParser(ts)
+
+    def body(self) -> MethodBody:
+        """Parse ``{ stmt* }``."""
+        return MethodBody(self._block())
+
+    def _block(self) -> tuple[Stmt, ...]:
+        ts = self.ts
+        ts.expect("{")
+        stmts: list[Stmt] = []
+        while not ts.at("}"):
+            stmts.append(self._stmt())
+        ts.expect("}")
+        return tuple(stmts)
+
+    def _stmt(self) -> Stmt:
+        ts = self.ts
+        if ts.accept("var"):
+            name = ts.expect("IDENT").text
+            ts.expect(":")
+            t = self.exprs.type_expr()
+            ts.expect(":=")
+            init = self.exprs.expr()
+            ts.expect(";")
+            return VarDecl(name, t, init)
+        if ts.accept("return"):
+            expr = self.exprs.expr()
+            ts.expect(";")
+            return Return(expr)
+        if ts.accept("if"):
+            ts.expect("(")
+            cond = self.exprs.expr()
+            ts.expect(")")
+            then = self._block()
+            els: tuple[Stmt, ...] = ()
+            if ts.accept("else"):
+                els = self._block()
+            return IfStmt(cond, then, els)
+        if ts.accept("while"):
+            ts.expect("(")
+            cond = self.exprs.expr()
+            ts.expect(")")
+            return While(cond, self._block())
+        if ts.accept("for"):
+            ts.expect("(")
+            var = ts.expect("IDENT").text
+            ts.expect("in")
+            ts.expect("extent")
+            ts.expect("(")
+            extent = ts.expect("IDENT").text
+            ts.expect(")")
+            ts.expect(")")
+            return ForEach(var, extent, self._block())
+        # assignment forms: local, or attribute update
+        if ts.at("IDENT") and ts.peek(1).kind == ":=":
+            name = ts.next().text
+            ts.next()
+            expr = self.exprs.expr()
+            ts.expect(";")
+            return Assign(name, expr)
+        target = self.exprs.expr()
+        if ts.accept(":="):
+            if not isinstance(target, Field):
+                raise ts.error("only locals and attributes are assignable")
+            expr = self.exprs.expr()
+            ts.expect(";")
+            return AttrAssign(target.target, target.name, expr)
+        raise ts.error("expected a statement")
+
+
+def parse_method_body(source: str) -> MethodBody:
+    """Parse a standalone ``{ … }`` method body string."""
+    ts = TokenStream.of(source)
+    body = MethodBodyParser(ts).body()
+    ts.expect("EOF")
+    return body

@@ -1,0 +1,322 @@
+"""Type and effect checking of MJava method bodies.
+
+The paper assumes "methods have also been typed using an effects
+system" ((Method) effect rule, §4) and that in the core model "methods
+both can not read the extents and can not side-effect the database, so
+the value of ε″ will always be ∅".  This module supplies exactly that:
+
+* :func:`check_method` types a method body against its declared
+  signature, infers its effect, enforces the :class:`AccessMode`
+  (read-only bodies must be pure), and checks the inferred effect is
+  within the *declared* latent effect carried by the
+  :class:`~repro.model.schema.MethodDef`;
+* :func:`check_schema_methods` runs that over every MJava body in a
+  schema (native bodies are trusted to their declaration — they are the
+  "third-party language" the paper warns about).
+
+MJava expressions reuse IOQL AST nodes but only the method-language
+fragment is admitted (Note 1: only data-model types φ cross the
+boundary): comprehensions, set/record construction, ``size`` and
+definition calls are rejected here.
+"""
+
+from __future__ import annotations
+
+from repro.effects.algebra import EMPTY, Effect, add, read, update
+from repro.errors import MethodError, SchemaError
+from repro.lang.ast import (
+    BoolLit,
+    Cast,
+    Cmp,
+    ExtentRef,
+    Field,
+    If,
+    IntLit,
+    IntOp,
+    MethodCall,
+    New,
+    ObjEq,
+    PrimEq,
+    Query,
+    StrLit,
+    Var,
+)
+from repro.methods.ast import (
+    AccessMode,
+    Assign,
+    AttrAssign,
+    ForEach,
+    IfStmt,
+    MethodBody,
+    NativeMethod,
+    Return,
+    Stmt,
+    VarDecl,
+    While,
+)
+from repro.model.schema import MethodDef, Schema
+from repro.model.types import BOOL, INT, STRING, ClassType, Type, is_data_model_type
+
+
+class _Env:
+    """Local typing environment: parameters, ``this`` and declared locals."""
+
+    def __init__(self, bindings: dict[str, Type]):
+        self.bindings = dict(bindings)
+
+    def lookup(self, name: str) -> Type:
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise MethodError(f"unbound identifier {name!r} in method body") from None
+
+    def declare(self, name: str, t: Type) -> None:
+        if name in self.bindings:
+            raise MethodError(f"local {name!r} redeclared")
+        self.bindings[name] = t
+
+
+class MethodChecker:
+    """Checks one method body; accumulates the inferred effect."""
+
+    def __init__(self, schema: Schema, mode: AccessMode):
+        self.schema = schema
+        self.mode = mode
+        self.effect = EMPTY
+
+    # -- expressions --------------------------------------------------------
+    def expr(self, env: _Env, e: Query) -> Type:
+        if isinstance(e, IntLit):
+            return INT
+        if isinstance(e, BoolLit):
+            return BOOL
+        if isinstance(e, StrLit):
+            return STRING
+        if isinstance(e, Var):
+            return env.lookup(e.name)
+        if isinstance(e, Field):
+            tt = self.expr(env, e.target)
+            if not isinstance(tt, ClassType):
+                raise MethodError(
+                    f"attribute access .{e.name} needs an object, got {tt}"
+                )
+            try:
+                return self.schema.atype(tt.name, e.name)
+            except SchemaError as exc:
+                raise MethodError(str(exc)) from None
+        if isinstance(e, MethodCall):
+            tt = self.expr(env, e.target)
+            if not isinstance(tt, ClassType):
+                raise MethodError(f"method call on non-object type {tt}")
+            try:
+                mt = self.schema.mtype(tt.name, e.mname)
+            except SchemaError as exc:
+                raise MethodError(str(exc)) from None
+            if len(e.args) != len(mt.params):
+                raise MethodError(
+                    f"{tt.name}.{e.mname} expects {len(mt.params)} args"
+                )
+            for i, (a, pt) in enumerate(zip(e.args, mt.params)):
+                at = self.expr(env, a)
+                if not self.schema.subtype(at, pt):
+                    raise MethodError(
+                        f"argument {i} of {tt.name}.{e.mname}: {at} ≰ {pt}"
+                    )
+            self.effect |= mt.effect
+            return mt.result
+        if isinstance(e, New):
+            self._require_effectful("object creation")
+            declared = dict(self.schema.atypes(e.cname)) if e.cname in self.schema else None
+            if declared is None:
+                raise MethodError(f"new of unknown class {e.cname!r}")
+            if set(e.labels()) != set(declared) or len(e.labels()) != len(declared):
+                raise MethodError(
+                    f"new {e.cname} must define exactly its attributes"
+                )
+            for a, sub in e.fields:
+                at = self.expr(env, sub)
+                if not self.schema.subtype(at, declared[a]):
+                    raise MethodError(f"attribute {e.cname}.{a}: {at} ≰ {declared[a]}")
+            self.effect |= Effect.of(add(e.cname))
+            return ClassType(e.cname)
+        if isinstance(e, ExtentRef):
+            # No set types cross the method-language boundary (Note 1),
+            # so extents are not MJava *values*; they are read only via
+            # the `for (x in extent(e))` statement.
+            raise MethodError(
+                "extent(...) is not an MJava value (no set types in the "
+                "method language, Note 1); iterate it with "
+                "`for (x in extent(...))`"
+            )
+        if isinstance(e, Cast):
+            at = self.expr(env, e.arg)
+            if not isinstance(at, ClassType) or not self.schema.hierarchy.is_subclass(
+                at.name, e.cname
+            ):
+                raise MethodError(f"illegal cast ({e.cname}) on {at}")
+            return ClassType(e.cname)
+        if isinstance(e, IntOp):
+            self._expect(env, e.left, INT, e.op.value)
+            self._expect(env, e.right, INT, e.op.value)
+            return INT
+        if isinstance(e, Cmp):
+            self._expect(env, e.left, INT, e.op.value)
+            self._expect(env, e.right, INT, e.op.value)
+            return BOOL
+        if isinstance(e, PrimEq):
+            lt = self.expr(env, e.left)
+            rt = self.expr(env, e.right)
+            if lt != rt or not lt.is_primitive():
+                raise MethodError(f"'=' on mismatched/non-primitive: {lt}, {rt}")
+            return BOOL
+        if isinstance(e, ObjEq):
+            for side in (e.left, e.right):
+                if not isinstance(self.expr(env, side), ClassType):
+                    raise MethodError("'==' compares objects")
+            return BOOL
+        if isinstance(e, If):
+            self._expect(env, e.cond, BOOL, "if condition")
+            tt = self.expr(env, e.then)
+            et = self.expr(env, e.els)
+            j = self.schema.hierarchy.lub(tt, et)
+            if j is None:
+                raise MethodError(f"if branches have no common type: {tt}, {et}")
+            return j
+        raise MethodError(
+            f"{type(e).__name__} is not an MJava expression (the method "
+            f"language handles only data-model types φ — Note 1)"
+        )
+
+    def _expect(self, env: _Env, e: Query, want: Type, what: str) -> None:
+        got = self.expr(env, e)
+        if not self.schema.subtype(got, want):
+            raise MethodError(f"operand of {what} must be {want}, got {got}")
+
+    def _require_effectful(self, what: str) -> None:
+        if self.mode is not AccessMode.EFFECTFUL:
+            raise MethodError(
+                f"{what} is not allowed in read-only methods (§2 core); "
+                f"enable AccessMode.EFFECTFUL for the §5 design point"
+            )
+
+    # -- statements ------------------------------------------------------------
+    def block(self, env: _Env, stmts: tuple[Stmt, ...], result: Type) -> bool:
+        """Check a block; returns True iff it definitely returns."""
+        returned = False
+        for s in stmts:
+            if returned:
+                raise MethodError("unreachable statement after return")
+            returned = self.stmt(env, s, result)
+        return returned
+
+    def stmt(self, env: _Env, s: Stmt, result: Type) -> bool:
+        if isinstance(s, VarDecl):
+            if not is_data_model_type(s.type):
+                raise MethodError(
+                    f"local {s.name!r} has non-φ type {s.type} (Note 1)"
+                )
+            it = self.expr(env, s.init)
+            if not self.schema.subtype(it, s.type):
+                raise MethodError(f"initialiser of {s.name!r}: {it} ≰ {s.type}")
+            env.declare(s.name, s.type)
+            return False
+        if isinstance(s, Assign):
+            if s.name == "this":
+                raise MethodError("'this' is not assignable")
+            lt = env.lookup(s.name)
+            rt = self.expr(env, s.expr)
+            if not self.schema.subtype(rt, lt):
+                raise MethodError(f"assignment to {s.name!r}: {rt} ≰ {lt}")
+            return False
+        if isinstance(s, AttrAssign):
+            self._require_effectful("attribute update")
+            tt = self.expr(env, s.target)
+            if not isinstance(tt, ClassType):
+                raise MethodError(f"attribute update on non-object {tt}")
+            try:
+                at = self.schema.atype(tt.name, s.attr)
+            except SchemaError as exc:
+                raise MethodError(str(exc)) from None
+            rt = self.expr(env, s.expr)
+            if not self.schema.subtype(rt, at):
+                raise MethodError(f"update {tt.name}.{s.attr}: {rt} ≰ {at}")
+            self.effect |= Effect.of(update(tt.name))
+            return False
+        if isinstance(s, IfStmt):
+            self._expect(env, s.cond, BOOL, "if condition")
+            t = self.block(_Env(env.bindings), s.then, result)
+            e = self.block(_Env(env.bindings), s.els, result)
+            return t and e
+        if isinstance(s, While):
+            self._expect(env, s.cond, BOOL, "while condition")
+            self.block(_Env(env.bindings), s.body, result)
+            # `while (true)` never falls through: treat as terminal so the
+            # paper's diverging `loop` method type-checks.
+            return s.cond == BoolLit(True)
+        if isinstance(s, ForEach):
+            self._require_effectful("extent iteration")
+            try:
+                cname = self.schema.extent_class(s.extent)
+            except SchemaError as exc:
+                raise MethodError(str(exc)) from None
+            self.effect |= Effect.of(read(cname))
+            inner = _Env(env.bindings)
+            inner.declare(s.var, ClassType(cname))
+            self.block(inner, s.body, result)
+            return False
+        if isinstance(s, Return):
+            rt = self.expr(env, s.expr)
+            if not self.schema.subtype(rt, result):
+                raise MethodError(f"return type {rt} ≰ declared {result}")
+            return True
+        raise MethodError(f"unknown statement {type(s).__name__}")
+
+
+def check_method(
+    schema: Schema,
+    cname: str,
+    mdef: MethodDef,
+    mode: AccessMode = AccessMode.READ_ONLY,
+) -> Effect:
+    """Type/effect-check one method; returns the *inferred* effect.
+
+    Raises :class:`MethodError` if the body is ill-typed, violates the
+    access mode, fails to return on some path, or has an inferred
+    effect outside its declared one.  Native bodies (and abstract
+    declarations) are trusted to their declared effect.
+    """
+    if mdef.body is None or isinstance(mdef.body, NativeMethod):
+        if mode is AccessMode.READ_ONLY and not mdef.effect.is_empty():
+            raise MethodError(
+                f"native/abstract method {cname}.{mdef.name} declares "
+                f"effect {mdef.effect} in read-only mode"
+            )
+        return mdef.effect
+    if not isinstance(mdef.body, MethodBody):
+        raise MethodError(
+            f"method {cname}.{mdef.name} has unrecognised body "
+            f"{type(mdef.body).__name__}"
+        )
+    checker = MethodChecker(schema, mode)
+    env = _Env({"this": ClassType(cname), **{x: t for x, t in mdef.params}})
+    if not checker.block(env, mdef.body.stmts, mdef.result):
+        raise MethodError(
+            f"method {cname}.{mdef.name}: not all paths return"
+        )
+    if not checker.effect.subeffect_of(mdef.effect):
+        raise MethodError(
+            f"method {cname}.{mdef.name}: inferred effect {checker.effect} "
+            f"exceeds declared {mdef.effect}"
+        )
+    return checker.effect
+
+
+def check_schema_methods(
+    schema: Schema, mode: AccessMode = AccessMode.READ_ONLY
+) -> dict[tuple[str, str], Effect]:
+    """Check every method body in the schema; map (class, method) → effect."""
+    out: dict[tuple[str, str], Effect] = {}
+    for cname, cd in sorted(schema.classes.items()):
+        for m in cd.methods:
+            out[(cname, m.name)] = check_method(schema, cname, m, mode)
+    return out

@@ -1,0 +1,26 @@
+"""The object data model of §2: types, subtyping, schemas, LUB analysis."""
+
+from repro.model.schema import AttrDef, ClassDef, MethodDef, Schema
+from repro.model.subtyping import ClassHierarchy
+from repro.model.types import (
+    BOOL,
+    INT,
+    NEVER,
+    OBJECT,
+    STRING,
+    BoolType,
+    ClassType,
+    FuncType,
+    IntType,
+    NeverType,
+    RecordType,
+    SetType,
+    StringType,
+    Type,
+)
+
+__all__ = [
+    "AttrDef", "BOOL", "BoolType", "ClassDef", "ClassHierarchy", "ClassType",
+    "FuncType", "INT", "IntType", "MethodDef", "NEVER", "NeverType", "OBJECT",
+    "RecordType", "STRING", "Schema", "SetType", "StringType", "Type",
+]

@@ -1,0 +1,159 @@
+"""Least upper bounds and the introduction's counter-observation.
+
+The paper's introduction makes a sharp methodological point: the ODMG
+object model *defines* (informally) a least upper bound of any two
+types, but "a few moment's formality soon reveals that a least upper
+bound of two types need not necessarily exist (because we have both
+classes and interfaces)!".
+
+The core data model of §2 deliberately omits interfaces, and there —
+with single inheritance and a common root — LUBs of class types always
+exist (:meth:`ClassHierarchy.lub_class`).  This module adds the
+*minimal* extension that reproduces the observation: an
+:class:`InterfaceHierarchy` where a class may additionally implement
+multiple interfaces and interfaces may extend multiple interfaces.
+Upper bounds are then sets of supertypes that need not have a least
+element: two classes implementing the same two unrelated interfaces
+``I`` and ``J`` have upper bounds {I, J, Object} with both I and J
+minimal — no least one.
+
+:func:`find_lub_failure` searches a hierarchy for such a pair, and the
+``L1`` benchmark exhibits the failure on the canonical example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.model.types import OBJECT
+
+
+@dataclass(frozen=True)
+class InterfaceHierarchy:
+    """Classes with single inheritance plus multiply-inherited interfaces.
+
+    ``class_parent`` is the §2 ``extends`` relation; ``implements`` maps
+    a class to the interfaces it declares; ``iface_parents`` maps an
+    interface to the interfaces it extends.  ``Object`` is the top of
+    both worlds.
+    """
+
+    class_parent: dict[str, str | None] = field(default_factory=dict)
+    implements: dict[str, frozenset[str]] = field(default_factory=dict)
+    iface_parents: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        cp = dict(self.class_parent)
+        cp.setdefault(OBJECT, None)
+        object.__setattr__(self, "class_parent", cp)
+        for c, ifaces in self.implements.items():
+            if c not in cp:
+                raise SchemaError(f"implements clause for unknown class {c!r}")
+            for i in ifaces:
+                if i not in self.iface_parents:
+                    raise SchemaError(f"class {c!r} implements unknown {i!r}")
+        self._check_iface_acyclic()
+
+    def _check_iface_acyclic(self) -> None:
+        state: dict[str, int] = {}
+
+        def visit(i: str, path: tuple[str, ...]) -> None:
+            if state.get(i) == 2:
+                return
+            if state.get(i) == 1:
+                raise SchemaError(f"interface cycle through {i!r}")
+            state[i] = 1
+            for p in self.iface_parents.get(i, frozenset()):
+                if p not in self.iface_parents:
+                    raise SchemaError(f"interface {i!r} extends unknown {p!r}")
+                visit(p, path + (i,))
+            state[i] = 2
+
+        for i in self.iface_parents:
+            visit(i, ())
+
+    # ------------------------------------------------------------------
+    def types(self) -> frozenset[str]:
+        """All named types: classes, interfaces and Object."""
+        return frozenset(self.class_parent) | frozenset(self.iface_parents)
+
+    def supertypes(self, t: str) -> frozenset[str]:
+        """All supertypes of ``t`` (reflexive), classes and interfaces."""
+        if t in self.class_parent:
+            out: set[str] = set()
+            cur: str | None = t
+            while cur is not None:
+                out.add(cur)
+                for i in self.implements.get(cur, frozenset()):
+                    out |= self._iface_ups(i)
+                cur = self.class_parent[cur]
+            out.add(OBJECT)
+            return frozenset(out)
+        if t in self.iface_parents:
+            return frozenset(self._iface_ups(t) | {OBJECT})
+        raise SchemaError(f"unknown type {t!r}")
+
+    def _iface_ups(self, i: str) -> set[str]:
+        out = {i}
+        for p in self.iface_parents.get(i, frozenset()):
+            out |= self._iface_ups(p)
+        return out
+
+    def subtype(self, s: str, t: str) -> bool:
+        return t in self.supertypes(s)
+
+    # ------------------------------------------------------------------
+    def upper_bounds(self, a: str, b: str) -> frozenset[str]:
+        """Common supertypes of ``a`` and ``b`` (never empty: Object)."""
+        return self.supertypes(a) & self.supertypes(b)
+
+    def minimal_upper_bounds(self, a: str, b: str) -> frozenset[str]:
+        """The minimal elements of the common-supertype set."""
+        ubs = self.upper_bounds(a, b)
+        return frozenset(
+            u
+            for u in ubs
+            if not any(v != u and self.subtype(v, u) for v in ubs)
+        )
+
+    def lub(self, a: str, b: str) -> str | None:
+        """The least upper bound — or None, the ODMG's missing case."""
+        mins = self.minimal_upper_bounds(a, b)
+        if len(mins) == 1:
+            return next(iter(mins))
+        return None
+
+
+def find_lub_failure(h: InterfaceHierarchy) -> tuple[str, str, frozenset[str]] | None:
+    """Search for a pair of types with no least upper bound.
+
+    Returns (a, b, minimal-upper-bounds) for the first failing pair in
+    lexicographic order, or None when every pair has a LUB (which is
+    guaranteed if there are no interfaces — the §2 model).
+    """
+    names = sorted(h.types())
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            mins = h.minimal_upper_bounds(a, b)
+            if len(mins) > 1:
+                return (a, b, mins)
+    return None
+
+
+def odmg_counterexample() -> InterfaceHierarchy:
+    """The textbook failure: two classes sharing two unrelated interfaces.
+
+    ``Clerk`` and ``Temp`` both implement ``Payable`` and ``Insurable``;
+    their upper bounds are {Payable, Insurable, Object} with two
+    minimal elements — no least upper bound, precisely the gap the
+    introduction points out in ODMG [8, p.100].
+    """
+    return InterfaceHierarchy(
+        class_parent={"Clerk": OBJECT, "Temp": OBJECT},
+        implements={
+            "Clerk": frozenset({"Payable", "Insurable"}),
+            "Temp": frozenset({"Payable", "Insurable"}),
+        },
+        iface_parents={"Payable": frozenset(), "Insurable": frozenset()},
+    )

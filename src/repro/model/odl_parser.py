@@ -1,0 +1,117 @@
+"""Parser for the §2 class-definition grammar (an ODMG ODL fragment).
+
+Concrete syntax::
+
+    class C extends C′ (extent e) {
+        attribute φ a;
+        φ m(φ₀ x₀, …, φₘ xₘ);                      -- declaration only
+        φ m(φ₀ x₀, …) native;                      -- bound to Python later
+        φ m(φ₀ x₀, …) { …MJava… }                  -- inline body
+        φ m(φ₀ x₀, …) effect R(C), A(D) { … }      -- §5 declared effect
+    }
+
+The paper insists every class states its superclass explicitly; so do
+we (``extends Object`` for roots).  Method result/parameter types are φ
+types only (Note 1); the shared type parser accepts more, and
+:class:`~repro.model.schema.Schema` validation rejects the rest.
+"""
+
+from __future__ import annotations
+
+from repro.effects.algebra import EMPTY, Atom, AccessKind, Effect
+from repro.errors import ParseError
+from repro.lang.lexer import TokenStream
+from repro.model.schema import AttrDef, ClassDef, MethodDef, Schema
+from repro.model.types import Type
+
+_ATOM_KINDS = {"R": AccessKind.READ, "A": AccessKind.ADD, "U": AccessKind.UPDATE}
+
+
+def parse_class_defs(source: str) -> list[ClassDef]:
+    """Parse a sequence of class definitions."""
+    from repro.lang.parser import Parser
+    from repro.methods.parser import MethodBodyParser
+
+    ts = TokenStream.of(source)
+    type_parser = Parser(ts)
+    out: list[ClassDef] = []
+    while not ts.at_eof():
+        out.append(_class_def(ts, type_parser, MethodBodyParser))
+    return out
+
+
+def parse_schema(source: str, *, allow_method_effects: bool = False) -> Schema:
+    """Parse class definitions and build a validated :class:`Schema`."""
+    return Schema(parse_class_defs(source), allow_method_effects=allow_method_effects)
+
+
+def _class_def(ts: TokenStream, type_parser, body_parser_cls) -> ClassDef:
+    ts.expect("class")
+    name = ts.expect("IDENT").text
+    ts.expect("extends")
+    superclass = ts.expect("IDENT").text
+    ts.expect("(")
+    ts.expect("extent")
+    extent = ts.expect("IDENT").text
+    ts.expect(")")
+    ts.expect("{")
+    attrs: list[AttrDef] = []
+    methods: list[MethodDef] = []
+    while not ts.at("}"):
+        if ts.accept("attribute"):
+            t = type_parser.type_expr()
+            a = ts.expect("IDENT").text
+            ts.expect(";")
+            attrs.append(AttrDef(a, t))
+            continue
+        methods.append(_method_def(ts, type_parser, body_parser_cls))
+    ts.expect("}")
+    return ClassDef(name, superclass, extent, tuple(attrs), tuple(methods))
+
+
+def _method_def(ts: TokenStream, type_parser, body_parser_cls) -> MethodDef:
+    result: Type = type_parser.type_expr()
+    mname = ts.expect("IDENT").text
+    ts.expect("(")
+    params: list[tuple[str, Type]] = []
+    if not ts.at(")"):
+        while True:
+            pt = type_parser.type_expr()
+            px = ts.expect("IDENT").text
+            params.append((px, pt))
+            if not ts.accept(","):
+                break
+    ts.expect(")")
+    effect = EMPTY
+    if ts.accept("effect"):
+        effect = _effect(ts)
+    if ts.accept(";"):
+        return MethodDef(mname, tuple(params), result, body=None, effect=effect)
+    if ts.accept("native"):
+        ts.expect(";")
+        return MethodDef(mname, tuple(params), result, body=None, effect=effect)
+    if ts.at("{"):
+        body = body_parser_cls(ts).body()
+        return MethodDef(mname, tuple(params), result, body=body, effect=effect)
+    raise ts.error("expected ';', 'native;' or a method body")
+
+
+def _effect(ts: TokenStream) -> Effect:
+    """Parse ``R(C), A(D), …`` after the ``effect`` keyword."""
+    atoms: list[Atom] = []
+    while True:
+        tok = ts.expect("IDENT")
+        kind = _ATOM_KINDS.get(tok.text)
+        if kind is None:
+            raise ParseError(
+                f"expected effect atom R/A/U, found {tok.text!r}",
+                tok.line,
+                tok.column,
+            )
+        ts.expect("(")
+        cname = ts.expect("IDENT").text
+        ts.expect(")")
+        atoms.append(Atom(kind, cname))
+        if not ts.accept(","):
+            break
+    return Effect(frozenset(atoms))

@@ -1,0 +1,332 @@
+"""The object data model of §2: class definitions and object schemas.
+
+The paper's grammar::
+
+    cd ::= class C₁ extends C₂ (extent e) { ad₁ … adₖ  md₁ … mdₙ }
+    ad ::= attribute φ a;
+    md ::= φ m (φ₀ x₀, …, φₘ xₘ);
+
+An **object schema** is a collection of class definitions, subject to
+well-formedness conditions the paper elides "from this short paper";
+we state and enforce them here (they follow Featherweight Java [16]):
+
+* no class is defined twice, and ``Object`` is not redefined;
+* every ``extends`` target is a declared class and the relation is
+  acyclic;
+* every class declares an extent, and extent names are unique;
+* attribute and method-parameter/result types are φ types (primitives
+  or declared classes — Note 1: representable in the method language);
+* attribute names are unique within a class *and* do not shadow an
+  inherited attribute;
+* a method may override an inherited method only with the *same*
+  signature (parameter and result types), as in FJ.
+
+The schema also provides the paper's auxiliary functions:
+
+* ``atype(C, a)``  — the type of attribute ``a`` in class ``C``;
+* ``atypes(C)``    — all attributes of ``C`` with their types, inherited
+  first (superclass order), as the (New) typing rule requires;
+* ``mtype(C, m)``  — the (function) type of method ``m``, resolving
+  inheritance and overriding (footnote 2 of the paper);
+* ``mbody(C, m)``  — the implementation of ``m`` as seen from ``C``
+  (used by the (Method) reduction rule).  Bodies are opaque at this
+  layer — they are MJava ASTs or native Python callables, interpreted
+  by :mod:`repro.methods.interp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.effects.algebra import EMPTY, Effect
+from repro.errors import SchemaError
+from repro.model.subtyping import ClassHierarchy
+from repro.model.types import (
+    OBJECT,
+    ClassType,
+    FuncType,
+    Type,
+    is_data_model_type,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AttrDef:
+    """``attribute φ a;`` — a single attribute declaration."""
+
+    name: str
+    type: Type
+
+    def __str__(self) -> str:
+        return f"attribute {self.type} {self.name};"
+
+
+@dataclass(frozen=True)
+class MethodDef:
+    """``φ m (φ₀ x₀, …, φₘ xₘ);`` — a method signature plus its body.
+
+    ``body`` is opaque here: an MJava AST (:mod:`repro.methods.ast`) or
+    a native Python callable ``(db_view, self_oid, args) -> value``.
+    ``effect`` is the method's *declared* latent effect; the paper's
+    core insists methods are read-only with effect ∅, and the schema
+    checker enforces that unless the schema is built with
+    ``allow_method_effects=True`` (the §5 design point).
+    """
+
+    name: str
+    params: tuple[tuple[str, Type], ...]
+    result: Type
+    body: Any | None = None
+    effect: Effect = field(default=EMPTY)
+
+    def signature(self) -> FuncType:
+        """The method's type as a :class:`FuncType` (with latent effect)."""
+        return FuncType(tuple(t for _, t in self.params), self.result, self.effect)
+
+    def __str__(self) -> str:
+        ps = ", ".join(f"{t} {x}" for x, t in self.params)
+        return f"{self.result} {self.name}({ps});"
+
+
+@dataclass(frozen=True)
+class ClassDef:
+    """One ``class C extends C′ (extent e) { … }`` definition."""
+
+    name: str
+    superclass: str
+    extent: str
+    attributes: tuple[AttrDef, ...] = ()
+    methods: tuple[MethodDef, ...] = ()
+
+    def attr(self, name: str) -> AttrDef | None:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        return None
+
+    def method(self, name: str) -> MethodDef | None:
+        for m in self.methods:
+            if m.name == name:
+                return m
+        return None
+
+
+class Schema:
+    """A well-formed object schema: the paper's collection of class defs.
+
+    Construction validates every well-formedness condition listed in the
+    module docstring and raises :class:`SchemaError` on the first
+    violation.  The schema exposes the typing-side views the rest of
+    the system needs: the class hierarchy, the extent environment
+    ``E : extent-name → class``, and ``atype``/``atypes``/``mtype``/
+    ``mbody``.
+    """
+
+    def __init__(
+        self,
+        classes: Iterable[ClassDef],
+        *,
+        allow_method_effects: bool = False,
+    ):
+        self.classes: dict[str, ClassDef] = {}
+        for cd in classes:
+            if cd.name == OBJECT:
+                raise SchemaError("the root class Object cannot be redefined")
+            if cd.name in self.classes:
+                raise SchemaError(f"class {cd.name!r} defined twice")
+            self.classes[cd.name] = cd
+
+        self.hierarchy = ClassHierarchy(
+            {name: cd.superclass for name, cd in self.classes.items()}
+        )
+        self.allow_method_effects = allow_method_effects
+        self._extent_of_class: dict[str, str] = {}
+        self.extents: dict[str, str] = {}  # E: extent name -> class name
+        for cd in self.classes.values():
+            if cd.extent in self.extents:
+                raise SchemaError(
+                    f"extent {cd.extent!r} declared by both "
+                    f"{self.extents[cd.extent]!r} and {cd.name!r}"
+                )
+            self.extents[cd.extent] = cd.name
+            self._extent_of_class[cd.name] = cd.extent
+        self._validate_members()
+
+    # -- well-formedness ---------------------------------------------------
+    def _validate_members(self) -> None:
+        for cd in self.classes.values():
+            seen_attrs: set[str] = set()
+            for a in cd.attributes:
+                if a.name in seen_attrs:
+                    raise SchemaError(
+                        f"duplicate attribute {a.name!r} in class {cd.name!r}"
+                    )
+                seen_attrs.add(a.name)
+                self._check_member_type(a.type, f"attribute {cd.name}.{a.name}")
+                inherited = self._lookup_attr(cd.superclass, a.name)
+                if inherited is not None:
+                    raise SchemaError(
+                        f"attribute {a.name!r} in class {cd.name!r} shadows "
+                        f"an inherited attribute"
+                    )
+            seen_methods: set[str] = set()
+            for m in cd.methods:
+                if m.name in seen_methods:
+                    raise SchemaError(
+                        f"duplicate method {m.name!r} in class {cd.name!r} "
+                        f"(no overloading)"
+                    )
+                seen_methods.add(m.name)
+                pnames = [x for x, _ in m.params]
+                if len(pnames) != len(set(pnames)):
+                    raise SchemaError(
+                        f"duplicate parameter name in {cd.name}.{m.name}"
+                    )
+                for x, t in m.params:
+                    self._check_member_type(t, f"parameter {x} of {cd.name}.{m.name}")
+                self._check_member_type(m.result, f"result of {cd.name}.{m.name}")
+                if not self.allow_method_effects and not m.effect.is_empty():
+                    raise SchemaError(
+                        f"method {cd.name}.{m.name} declares effect {m.effect} "
+                        f"but this schema is read-only (§2 core); build the "
+                        f"Schema with allow_method_effects=True for §5 mode"
+                    )
+                overridden = self._lookup_method(cd.superclass, m.name)
+                if overridden is not None and (
+                    tuple(t for _, t in overridden.params)
+                    != tuple(t for _, t in m.params)
+                    or overridden.result != m.result
+                ):
+                    raise SchemaError(
+                        f"method {cd.name}.{m.name} overrides with a "
+                        f"different signature (FJ-style overriding requires "
+                        f"identical signatures)"
+                    )
+
+    def _check_member_type(self, t: Type, what: str) -> None:
+        if not is_data_model_type(t):
+            raise SchemaError(
+                f"{what} has type {t}, but class members must use data-model "
+                f"types φ (primitives or class names) — Note 1"
+            )
+        if isinstance(t, ClassType) and not self.hierarchy.declared(t.name):
+            raise SchemaError(f"{what} mentions unknown class {t.name!r}")
+
+    # -- internal lookups ----------------------------------------------------
+    def _lookup_attr(self, cname: str, attr: str) -> AttrDef | None:
+        cur: str | None = cname
+        while cur is not None and cur != OBJECT:
+            cd = self.classes.get(cur)
+            if cd is None:
+                return None
+            a = cd.attr(attr)
+            if a is not None:
+                return a
+            cur = cd.superclass
+        return None
+
+    def _lookup_method(self, cname: str, mname: str) -> MethodDef | None:
+        cur: str | None = cname
+        while cur is not None and cur != OBJECT:
+            cd = self.classes.get(cur)
+            if cd is None:
+                return None
+            m = cd.method(mname)
+            if m is not None:
+                return m
+            cur = cd.superclass
+        return None
+
+    # -- the paper's auxiliary functions --------------------------------------
+    def atype(self, cname: str, attr: str) -> Type:
+        """``atype(C, a)``: the type of attribute ``a`` of class ``C``.
+
+        Searches the inheritance chain.  Raises :class:`SchemaError` if
+        the class or attribute is unknown.
+        """
+        self._require_class(cname)
+        a = self._lookup_attr(cname, attr)
+        if a is None:
+            raise SchemaError(f"class {cname!r} has no attribute {attr!r}")
+        return a.type
+
+    def atypes(self, cname: str) -> tuple[tuple[str, Type], ...]:
+        """``atypes(C)``: all attributes of ``C`` with types.
+
+        Inherited attributes come first (root-most superclass first), as
+        object initialisation must supply every attribute (the paper
+        "insists that all attributes are defined" in ``new``).
+        """
+        self._require_class(cname)
+        chain = self.hierarchy.ancestors(cname)
+        out: list[tuple[str, Type]] = []
+        for c in reversed(chain):
+            cd = self.classes.get(c)
+            if cd is not None:
+                out.extend((a.name, a.type) for a in cd.attributes)
+        return tuple(out)
+
+    def mtype(self, cname: str, mname: str) -> FuncType:
+        """``mtype(C, m)``: the function type of method ``m`` on ``C``.
+
+        Handles inheritance and overriding (paper footnote 2): the most
+        derived declaration along the chain wins (signatures are forced
+        identical by well-formedness, so the type is unambiguous).
+        """
+        self._require_class(cname)
+        m = self._lookup_method(cname, mname)
+        if m is None:
+            raise SchemaError(f"class {cname!r} has no method {mname!r}")
+        return m.signature()
+
+    def mbody(self, cname: str, mname: str) -> MethodDef:
+        """``mbody(C, m)``: the most-derived definition of ``m`` for ``C``."""
+        self._require_class(cname)
+        m = self._lookup_method(cname, mname)
+        if m is None:
+            raise SchemaError(f"class {cname!r} has no method {mname!r}")
+        return m
+
+    # -- extents ---------------------------------------------------------------
+    def extent_class(self, extent: str) -> str:
+        """The class whose extent is named ``extent`` (the E function)."""
+        try:
+            return self.extents[extent]
+        except KeyError:
+            raise SchemaError(f"unknown extent {extent!r}") from None
+
+    def class_extent(self, cname: str) -> str:
+        """The extent name of class ``cname``."""
+        self._require_class(cname)
+        try:
+            return self._extent_of_class[cname]
+        except KeyError:
+            raise SchemaError(f"class {cname!r} has no extent") from None
+
+    def extent_env(self) -> Mapping[str, str]:
+        """The typing-environment view E: extent name → class name."""
+        return dict(self.extents)
+
+    # -- misc --------------------------------------------------------------------
+    def _require_class(self, cname: str) -> None:
+        if cname != OBJECT and cname not in self.classes:
+            raise SchemaError(f"unknown class {cname!r}")
+
+    def class_names(self) -> frozenset[str]:
+        """All declared class names (excluding ``Object``)."""
+        return frozenset(self.classes)
+
+    def subtype(self, s: Type, t: Type, **kw: Any) -> bool:
+        """Convenience passthrough to the hierarchy's subtype check."""
+        return self.hierarchy.subtype(s, t, **kw)
+
+    def __contains__(self, cname: str) -> bool:
+        return cname in self.classes
+
+    def __repr__(self) -> str:
+        return f"Schema({sorted(self.classes)})"
+
+
+EMPTY_SCHEMA = Schema(())
+"""A schema with no classes — handy for pure set/record/int queries."""

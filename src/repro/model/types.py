@@ -1,0 +1,247 @@
+"""IOQL types (§3.2).
+
+The paper's type grammar is::
+
+    σ ::= φ | set(σ) | ⟨l₁:σ₁, …, lₖ:σₖ⟩
+    φ ::= int | bool | C            (data-model types, §2)
+
+plus function types ``σ⃗ →ᵋ σ′`` for definitions and methods, where the
+effect annotation ε is the §4 extension (∅ for the plain Figure 1
+system).
+
+Extensions (documented in DESIGN.md): a ``string`` primitive type —
+required to express the paper's own §1 examples (``"Jack"``/``"Jill"``)
+— which behaves exactly like ``int``/``bool`` in every rule.
+
+All types are immutable, hashable dataclasses; record fields are stored
+in the order written.  Following the paper's record-subtyping rule, two
+record types are comparable only when they have the *same labels in the
+same order* (depth subtyping only; Note 3 points out width subtyping as
+an easy extension, which we expose as an opt-in flag on the subtype
+check, see :mod:`repro.model.subtyping`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.effects.algebra import EMPTY, Effect
+
+OBJECT: str = "Object"
+"""Name of the root class; superclass of all classes (§2)."""
+
+
+class Type:
+    """Abstract base of all IOQL types."""
+
+    __slots__ = ()
+
+    def is_primitive(self) -> bool:
+        """True for ``int``, ``bool`` and the ``string`` extension."""
+        return isinstance(self, (IntType, BoolType, StringType))
+
+    def class_names(self) -> frozenset[str]:
+        """All class names mentioned anywhere in this type."""
+        return frozenset()
+
+
+@dataclass(frozen=True, slots=True)
+class NeverType(Type):
+    """The bottom type ⊥ — subtype of every type; checker-internal.
+
+    The paper's value grammar contains the empty set ``{}``, and the
+    (False comp) / (Triv comp) reduction rules produce ``{}`` from a
+    comprehension of *any* set type, so subject reduction (Theorem 1)
+    forces ``{}`` to be typable at a subtype of every set type.  We
+    realise the paper's implicit polymorphic empty-set axiom
+    algorithmically by giving ``{}`` the type ``set(⊥)`` and making
+    ``set`` covariant (see :mod:`repro.model.subtyping`).  ⊥ never
+    appears in user-written schemas or definitions.
+    """
+
+    def __str__(self) -> str:
+        return "never"
+
+
+@dataclass(frozen=True, slots=True)
+class IntType(Type):
+    """The primitive type ``int``."""
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True, slots=True)
+class BoolType(Type):
+    """The primitive type ``bool``."""
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True, slots=True)
+class StringType(Type):
+    """The primitive type ``string`` (extension; see module docstring)."""
+
+    def __str__(self) -> str:
+        return "string"
+
+
+@dataclass(frozen=True, slots=True)
+class ClassType(Type):
+    """A class name ``C`` used as a type."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def class_names(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+
+@dataclass(frozen=True, slots=True)
+class SetType(Type):
+    """The collection type ``set(σ)``."""
+
+    elem: Type
+
+    def __str__(self) -> str:
+        return f"set<{self.elem}>"
+
+    def class_names(self) -> frozenset[str]:
+        return self.elem.class_names()
+
+
+@dataclass(frozen=True, slots=True)
+class BagType(Type):
+    """The collection type ``bag(σ)`` — duplicates allowed, unordered.
+
+    §3.1 extension ("we could have easily added others (bags, lists)").
+    Bag iteration is non-deterministic like set iteration; bag union is
+    additive (multiset sum).
+    """
+
+    elem: Type
+
+    def __str__(self) -> str:
+        return f"bag<{self.elem}>"
+
+    def class_names(self) -> frozenset[str]:
+        return self.elem.class_names()
+
+
+@dataclass(frozen=True, slots=True)
+class ListType(Type):
+    """The collection type ``list(σ)`` — ordered, duplicates allowed.
+
+    §3.1 extension.  List iteration is *ordered* and therefore
+    deterministic — the property §6.2 credits for XQuery's determinism;
+    the ⊢′ system exploits it (no ``nonint`` obligation for list
+    generators).
+    """
+
+    elem: Type
+
+    def __str__(self) -> str:
+        return f"list<{self.elem}>"
+
+    def class_names(self) -> frozenset[str]:
+        return self.elem.class_names()
+
+
+@dataclass(frozen=True, slots=True)
+class RecordType(Type):
+    """A record type ``⟨l₁:σ₁, …, lₖ:σₖ⟩`` (OQL ``struct``, unnamed).
+
+    ``fields`` preserves the written label order; the paper's subtyping
+    rule compares records positionally, label-for-label.
+    """
+
+    fields: tuple[tuple[str, Type], ...]
+
+    def __post_init__(self) -> None:
+        labels = [l for l, _ in self.fields]
+        if len(labels) != len(set(labels)):
+            raise ValueError(f"duplicate record labels in {labels}")
+
+    @staticmethod
+    def of(**fields: Type) -> "RecordType":
+        """Convenience constructor: ``RecordType.of(name=STRING, age=INT)``."""
+        return RecordType(tuple(fields.items()))
+
+    def labels(self) -> tuple[str, ...]:
+        return tuple(l for l, _ in self.fields)
+
+    def field_type(self, label: str) -> Type | None:
+        """The type of ``label``, or None if absent."""
+        for l, t in self.fields:
+            if l == label:
+                return t
+        return None
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{l}: {t}" for l, t in self.fields)
+        return f"struct({inner})"
+
+    def class_names(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for _, t in self.fields:
+            out |= t.class_names()
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class FuncType(Type):
+    """A function type ``σ₀, …, σₖ →ᵋ σ′`` for definitions and methods.
+
+    The ``effect`` annotation is the §4 latent effect: the effect that
+    occurs when the definition/method is *applied*.  In the plain
+    Figure 1 system it is ∅.
+    """
+
+    params: tuple[Type, ...]
+    result: Type
+    effect: Effect = field(default=EMPTY)
+
+    def __str__(self) -> str:
+        ps = ", ".join(str(p) for p in self.params)
+        arrow = "->" if self.effect.is_empty() else f"-{self.effect}->"
+        return f"({ps}) {arrow} {self.result}"
+
+    def class_names(self) -> frozenset[str]:
+        out = self.result.class_names()
+        for p in self.params:
+            out |= p.class_names()
+        return out
+
+
+INT: Type = IntType()
+BOOL: Type = BoolType()
+STRING: Type = StringType()
+NEVER: Type = NeverType()
+OBJECT_T: Type = ClassType(OBJECT)
+EMPTY_SET_T: Type = SetType(NEVER)
+"""The type of the empty set literal ``{}`` — ``set(⊥)``."""
+
+
+def set_of(elem: Type) -> SetType:
+    """Shorthand for ``SetType(elem)``."""
+    return SetType(elem)
+
+
+def record(fields: Iterable[tuple[str, Type]]) -> RecordType:
+    """Shorthand for ``RecordType(tuple(fields))``."""
+    return RecordType(tuple(fields))
+
+
+def is_data_model_type(t: Type) -> bool:
+    """True for the φ types of §2: primitives and class names.
+
+    These are the only types allowed for attributes and method
+    signatures in class definitions (Note 1: attribute/method types must
+    be representable in the method language, so no ``set(σ)`` or record
+    types inside classes).
+    """
+    return t.is_primitive() or isinstance(t, ClassType)

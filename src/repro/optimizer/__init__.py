@@ -1,0 +1,17 @@
+"""Effect-gated query rewriting (§4's application) and equivalence testing."""
+
+from repro.optimizer.contextual import contextually_distinct
+from repro.optimizer.cost import CostModel, make_reorder_rule, optimize_with_costs
+from repro.optimizer.equivalence import observationally_equal
+from repro.optimizer.planner import (
+    OptimizationResult, Planner, explain_commutation, optimize, try_commute,
+)
+from repro.optimizer.rules import DEFAULT_RULES, RewriteContext, Rule
+
+__all__ = [
+    "CostModel", "DEFAULT_RULES", "OptimizationResult", "Planner",
+    "RewriteContext", "make_reorder_rule", "optimize_with_costs",
+    "Rule", "contextually_distinct", "explain_commutation",
+    "observationally_equal", "optimize",
+    "try_commute",
+]

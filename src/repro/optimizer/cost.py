@@ -1,0 +1,177 @@
+"""A cost model over reduction steps, and cost-based generator reordering.
+
+The effect system answers *may I* rewrite (§4); a real optimizer also
+needs *should I*.  This module supplies the smallest useful cost
+machinery:
+
+* :class:`CostModel` — cardinality and evaluation-cost estimates driven
+  by catalog statistics (extent sizes from the live EE), with textbook
+  selectivity defaults for predicates;
+* the ``reorder-generators`` rewrite: swap *adjacent, independent*
+  generators so the cheaper/smaller source runs in the outer position.
+  Legality is effect-gated exactly like every other rule (both sources
+  must be write-free and termination-safe — swapping changes how many
+  times each source is evaluated); profitability is the cost model's
+  call.
+
+The estimates are intentionally crude (uniformity, independence, fixed
+selectivity) — the classic System-R simplifications — because the
+*correctness* story is carried entirely by the effect side conditions;
+a bad estimate can only cost performance, never answers.  The test
+suite verifies both halves separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast import (
+    BagLit,
+    Comp,
+    ExtentRef,
+    Gen,
+    If,
+    ListLit,
+    Query,
+    SetLit,
+    SetOp,
+    SetOpKind,
+    ToSet,
+)
+from repro.lang.traversal import free_vars, subqueries
+from repro.optimizer.rules import RewriteContext, Rule
+
+DEFAULT_SELECTIVITY = 0.5
+"""Fraction of elements assumed to survive one predicate qualifier."""
+
+UNKNOWN_CARDINALITY = 8.0
+"""Guess for collections the model cannot see through (e.g. variables)."""
+
+
+@dataclass
+class CostModel:
+    """Cardinality/cost estimation from extent statistics."""
+
+    extent_sizes: dict[str, int] = field(default_factory=dict)
+    selectivity: float = DEFAULT_SELECTIVITY
+
+    @staticmethod
+    def from_database(db) -> "CostModel":
+        """Snapshot the live catalog: extent name → current size."""
+        return CostModel(
+            {e: len(db.ee.members(e)) for e in db.ee.names()}
+        )
+
+    # -- cardinality -------------------------------------------------------
+    def cardinality(self, q: Query) -> float:
+        """Estimated number of elements of a collection-valued query."""
+        if isinstance(q, ExtentRef):
+            return float(self.extent_sizes.get(q.name, UNKNOWN_CARDINALITY))
+        if isinstance(q, (SetLit, BagLit, ListLit)):
+            return float(len(q.items))
+        if isinstance(q, SetOp):
+            l = self.cardinality(q.left)
+            r = self.cardinality(q.right)
+            if q.op is SetOpKind.UNION:
+                return l + r
+            if q.op is SetOpKind.INTERSECT:
+                return min(l, r) * self.selectivity
+            return l * self.selectivity  # EXCEPT
+        if isinstance(q, ToSet):
+            return self.cardinality(q.arg)
+        if isinstance(q, Comp):
+            card = 1.0
+            for cq in q.qualifiers:
+                if isinstance(cq, Gen):
+                    card *= self.cardinality(cq.source)
+                else:
+                    card *= self.selectivity
+            return card
+        if isinstance(q, If):
+            return max(self.cardinality(q.then), self.cardinality(q.els))
+        return UNKNOWN_CARDINALITY
+
+    # -- evaluation cost ------------------------------------------------------
+    def eval_cost(self, q: Query) -> float:
+        """Estimated reduction steps to evaluate ``q`` once.
+
+        Comprehension cost models the machine: the first generator's
+        source is evaluated once, each later qualifier once per
+        iteration of everything before it, and the head once per
+        surviving binding.
+        """
+        if isinstance(q, Comp):
+            cost = 1.0
+            iterations = 1.0
+            for cq in q.qualifiers:
+                if isinstance(cq, Gen):
+                    cost += iterations * self.eval_cost(cq.source)
+                    iterations *= max(self.cardinality(cq.source), 0.0)
+                else:
+                    cost += iterations * self.eval_cost(cq.cond)
+                    iterations *= self.selectivity
+            cost += iterations * self.eval_cost(q.head)
+            return cost
+        base = 1.0
+        for sub in subqueries(q):
+            base += self.eval_cost(sub)
+        if isinstance(q, ExtentRef):
+            base += self.extent_sizes.get(q.name, UNKNOWN_CARDINALITY)
+        return base
+
+
+def make_reorder_rule(model: CostModel) -> Rule:
+    """The cost-directed ``reorder-generators`` rewrite.
+
+    Swaps one adjacent generator pair per application when
+
+    * the second generator's source does not use the first's variable
+      (independence),
+    * both sources are write-free and termination-safe (the swap changes
+      their evaluation counts — the §4 discipline), and
+    * the cost model predicts a strict improvement.
+    """
+
+    def fn(rc: RewriteContext, q: Query):
+        if not isinstance(q, Comp):
+            return None
+        quals = q.qualifiers
+        for i in range(len(quals) - 1):
+            g1, g2 = quals[i], quals[i + 1]
+            if not (isinstance(g1, Gen) and isinstance(g2, Gen)):
+                continue
+            if g1.var in free_vars(g2.source):
+                continue  # dependent: not swappable
+            rc_i = rc
+            for prior in quals[:i]:
+                if isinstance(prior, Gen):
+                    rc_i = rc_i.bind(prior.var, prior.source)
+            if not (rc_i.skippable(g1.source) and rc_i.skippable(g2.source)):
+                continue
+            before = _pair_cost(model, g1, g2)
+            after = _pair_cost(model, g2, g1)
+            if after < before:
+                swapped = list(quals)
+                swapped[i], swapped[i + 1] = g2, g1
+                return Comp(q.head, tuple(swapped))
+        return None
+
+    return Rule("reorder-generators", fn)
+
+
+def _pair_cost(model: CostModel, outer: Gen, inner: Gen) -> float:
+    """Source-evaluation cost of running ``outer`` then ``inner``:
+    outer's source once, inner's source once per outer element."""
+    return model.eval_cost(outer.source) + max(
+        model.cardinality(outer.source), 0.0
+    ) * model.eval_cost(inner.source)
+
+
+def optimize_with_costs(db, q: Query):
+    """The default pipeline plus cost-based generator reordering."""
+    from repro.optimizer.planner import optimize
+    from repro.optimizer.rules import DEFAULT_RULES
+
+    model = CostModel.from_database(db)
+    rules = DEFAULT_RULES + (make_reorder_rule(model),)
+    return optimize(db, q, rules)

@@ -1,0 +1,84 @@
+"""Empirical query equivalence — the oracle behind optimizer testing.
+
+The paper's future work proposes notions of query equivalence based on
+contextual equivalence; here we provide the *observational testing*
+half: two queries are judged equivalent on a database when the sets of
+observable outcomes of **all** their reduction orders coincide up to
+the oid bijection ∼, with agreement also on divergence and stuckness.
+
+This is sound as a refutation tool (a mismatch is a real inequivalence
+on that database) and is how every optimizer rewrite is validated in
+the test-suite: ``optimize`` preserves :func:`observationally_equal` on
+the databases at hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import Query
+from repro.semantics.bijection import equivalent
+from repro.semantics.explorer import Exploration, Outcome, explore
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """The verdict plus the evidence."""
+
+    equal: bool
+    reason: str
+    left: Exploration
+    right: Exploration
+
+
+def _outcomes_match(a: list[Outcome], b: list[Outcome]) -> bool:
+    """Multiset equality of outcomes modulo ∼ (sizes already dedup'd)."""
+    remaining = list(b)
+    for oa in a:
+        for i, ob in enumerate(remaining):
+            if equivalent(oa.value, oa.ee, oa.oe, ob.value, ob.ee, ob.oe):
+                del remaining[i]
+                break
+        else:
+            return False
+    return not remaining
+
+
+def observationally_equal(
+    db,
+    q1: Query,
+    q2: Query,
+    *,
+    max_steps: int = 10_000,
+    max_paths: int = 50_000,
+) -> EquivalenceReport:
+    """Compare all schedules of two queries on the current database."""
+    e1 = db.explore(q1, max_steps=max_steps, max_paths=max_paths)
+    e2 = db.explore(q2, max_steps=max_steps, max_paths=max_paths)
+    if e1.truncated or e2.truncated:
+        return EquivalenceReport(
+            False, "exploration truncated: verdict unavailable", e1, e2
+        )
+    if e1.diverged != e2.diverged:
+        return EquivalenceReport(
+            False,
+            f"divergence mismatch: left={'yes' if e1.diverged else 'no'}, "
+            f"right={'yes' if e2.diverged else 'no'}",
+            e1,
+            e2,
+        )
+    if bool(e1.stuck) != bool(e2.stuck):
+        return EquivalenceReport(False, "stuckness mismatch", e1, e2)
+    if len(e1.outcomes) != len(e2.outcomes):
+        return EquivalenceReport(
+            False,
+            f"distinct-outcome counts differ: {len(e1.outcomes)} vs "
+            f"{len(e2.outcomes)}",
+            e1,
+            e2,
+        )
+    if not _outcomes_match(e1.outcomes, e2.outcomes):
+        return EquivalenceReport(
+            False, "some outcome has no ∼-match on the other side", e1, e2
+        )
+    return EquivalenceReport(True, "all outcomes match up to ∼", e1, e2)

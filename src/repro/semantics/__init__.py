@@ -1,0 +1,22 @@
+"""Operational semantics: contexts, the machine, strategies, explorer, ∼."""
+
+from repro.semantics.bijection import equivalent, find_bijection
+from repro.semantics.contexts import Decomposition, decompose
+from repro.semantics.evaluator import EvalResult, evaluate, trace_steps
+from repro.semantics.explorer import Exploration, explore
+from repro.semantics.machine import Config, Machine, StepResult
+from repro.semantics.bigstep import BigStepEvaluator, evaluate_bigstep
+from repro.semantics.tracing import Trace, trace
+from repro.semantics.strategy import (
+    FIRST, LAST, FirstStrategy, LastStrategy, RandomStrategy,
+    ScriptedStrategy, Strategy,
+)
+
+__all__ = [
+    "Config", "Decomposition", "EvalResult", "Exploration", "FIRST",
+    "FirstStrategy", "LAST", "LastStrategy", "Machine", "RandomStrategy",
+    "BigStepEvaluator", "ScriptedStrategy", "StepResult", "Strategy",
+    "Trace", "decompose", "evaluate_bigstep",
+    "equivalent", "trace",
+    "evaluate", "explore", "find_bijection", "trace_steps",
+]

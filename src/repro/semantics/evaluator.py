@@ -1,0 +1,111 @@
+"""Driving the machine: →→ (the reflexive–transitive closure).
+
+:func:`evaluate` iterates :meth:`Machine.step` until the query is a
+value, the step budget runs out (:class:`FuelExhausted` — observable
+non-termination), or no rule applies (:class:`StuckError` — ruled out
+for well-typed queries by Theorem 3).
+
+The result carries the accumulated effect trace ε₁ ∪ … ∪ εₙ of the
+instrumented semantics (Figure 4, (Transitivity) rule), the step count
+and the rule history — Theorem 5 is checked against exactly this trace
+by the metatheory harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.effects.algebra import EMPTY, Effect
+from repro.errors import FuelExhausted
+from repro.lang.ast import Query
+from repro.lang.values import is_value
+from repro.db.store import ExtentEnv, ObjectEnv
+from repro.semantics.machine import Config, Machine, StepResult
+from repro.semantics.strategy import FIRST, Strategy
+
+DEFAULT_MAX_STEPS = 100_000
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """A finished evaluation: final value, environments, and the trace."""
+
+    value: Query
+    ee: ExtentEnv
+    oe: ObjectEnv
+    steps: int
+    effect: Effect
+    rules: tuple[str, ...] = field(default=(), repr=False)
+
+    @property
+    def config(self) -> Config:
+        return Config(self.ee, self.oe, self.value)
+
+    def python(self) -> object:
+        """The final value as a plain Python object (sets → frozensets,
+        records → dicts, oids → their name strings)."""
+        from repro.lang.values import from_value
+
+        return from_value(self.value)
+
+
+def trace_steps(
+    machine: Machine,
+    config: Config,
+    strategy: Strategy = FIRST,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Iterator[StepResult]:
+    """Yield each reduction step from ``config`` until a value is reached.
+
+    Raises :class:`FuelExhausted` when ``max_steps`` is hit — the
+    executable rendering of a non-terminating query (§1's ``loop``).
+    """
+    steps = 0
+    while not is_value(config.query):
+        if steps >= max_steps:
+            raise FuelExhausted(
+                f"no value after {steps} steps (query diverges or the "
+                f"budget is too small)",
+                steps=steps,
+            )
+        result = machine.step(config, strategy)
+        yield result
+        config = result.config
+        steps += 1
+
+
+def evaluate(
+    machine: Machine,
+    ee: ExtentEnv,
+    oe: ObjectEnv,
+    query: Query,
+    *,
+    strategy: Strategy = FIRST,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    keep_rules: bool = False,
+) -> EvalResult:
+    """Run ``query`` to a value under one strategy.
+
+    The returned :class:`EvalResult` contains the final (EE′, OE′, v)
+    and the union of the per-step effects — i.e. one derivation of the
+    instrumented →→ of Figure 4.
+    """
+    config = Config(ee, oe, query)
+    effect = EMPTY
+    rules: list[str] = []
+    steps = 0
+    for result in trace_steps(machine, config, strategy, max_steps):
+        effect |= result.effect
+        if keep_rules:
+            rules.append(result.rule)
+        config = result.config
+        steps += 1
+    return EvalResult(
+        value=config.query,
+        ee=config.ee,
+        oe=config.oe,
+        steps=steps,
+        effect=effect,
+        rules=tuple(rules),
+    )

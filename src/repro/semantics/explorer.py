@@ -1,0 +1,148 @@
+"""Exhaustive exploration of all reduction orders.
+
+The theorems quantify over every derivation of →→; the explorer makes
+that quantification executable.  Starting from a configuration it
+forks on every (ND comp) choice (via
+:meth:`~repro.semantics.machine.Machine.possible_steps`) and collects:
+
+* ``outcomes`` — the distinct final configurations, deduplicated
+  structurally and (optionally) up to the oid bijection ∼;
+* ``diverged`` — whether some path exceeded the step budget (the §1
+  ``loop`` example terminates on one schedule and not another: both
+  facts are reported);
+* ``stuck`` — stuck non-value configurations (none, for well-typed
+  queries — Theorem 3);
+* counters (paths, configurations) for the benchmarks.
+
+The state space is exponential in the number of generator elements, so
+the explorer is meant for the small, sharply-designed databases of the
+examples and the metatheory harness; ``max_paths`` bounds the walk
+defensively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EvalError, FuelExhausted, StuckError
+from repro.lang.ast import Query
+from repro.lang.values import is_value
+from repro.db.store import ExtentEnv, ObjectEnv
+from repro.semantics.bijection import equivalent
+from repro.semantics.machine import Config, Machine
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One distinct terminal result (value + final environments)."""
+
+    value: Query
+    ee: ExtentEnv
+    oe: ObjectEnv
+
+
+@dataclass
+class Exploration:
+    """Everything observed while enumerating reduction orders."""
+
+    outcomes: list[Outcome] = field(default_factory=list)
+    diverged: bool = False
+    stuck: list[Config] = field(default_factory=list)
+    paths: int = 0
+    truncated: bool = False
+
+    def distinct_values(self) -> list[Query]:
+        """The distinct *answers* (ignoring final environments)."""
+        seen: list[Query] = []
+        for o in self.outcomes:
+            if o.value not in seen:
+                seen.append(o.value)
+        return seen
+
+    def deterministic(self, *, up_to_bijection: bool = True) -> bool:
+        """Did every schedule agree (Theorem 7's conclusion)?
+
+        With ``up_to_bijection`` the comparison is the paper's ∼;
+        without it, strict structural equality of (v, EE, OE).
+        A diverging or stuck path counts as disagreement.
+        """
+        if self.diverged or self.stuck or self.truncated:
+            return False
+        if len(self.outcomes) <= 1:
+            return True
+        if not up_to_bijection:
+            return False  # outcomes list is already structurally deduped
+        first = self.outcomes[0]
+        return all(
+            equivalent(first.value, first.ee, first.oe, o.value, o.ee, o.oe)
+            for o in self.outcomes[1:]
+        )
+
+
+def explore(
+    machine: Machine,
+    ee: ExtentEnv,
+    oe: ObjectEnv,
+    query: Query,
+    *,
+    max_steps: int = 10_000,
+    max_paths: int = 100_000,
+) -> Exploration:
+    """Enumerate all reduction orders of ``query`` (depth-first).
+
+    ``max_steps`` bounds each *path*; exceeding it marks the exploration
+    ``diverged`` (observable non-termination on that schedule).
+    ``max_paths`` bounds the total number of explored paths; exceeding
+    it sets ``truncated`` — results are then a sample, not a proof.
+    """
+    result = Exploration()
+    seen_outcomes: set[tuple[Query, ExtentEnv, ObjectEnv]] = set()
+    # stack of (config, depth)
+    stack: list[tuple[Config, int]] = [(Config(ee, oe, query), 0)]
+    while stack:
+        config, depth = stack.pop()
+        if result.paths >= max_paths:
+            result.truncated = True
+            break
+        if is_value(config.query):
+            result.paths += 1
+            key = (config.query, config.ee, config.oe)
+            if key not in seen_outcomes:
+                seen_outcomes.add(key)
+                result.outcomes.append(
+                    Outcome(config.query, config.ee, config.oe)
+                )
+            continue
+        if depth >= max_steps:
+            result.paths += 1
+            result.diverged = True
+            continue
+        try:
+            successors = machine.possible_steps(config)
+        except (StuckError, EvalError) as exc:
+            if isinstance(exc, FuelExhausted):
+                result.paths += 1
+                result.diverged = True
+                continue
+            result.paths += 1
+            result.stuck.append(config)
+            continue
+        if not successors:  # non-value with no successors: stuck
+            result.paths += 1
+            result.stuck.append(config)
+            continue
+        for s in successors:
+            stack.append((s.config, depth + 1))
+    return result
+
+
+def count_schedules(
+    machine: Machine,
+    ee: ExtentEnv,
+    oe: ObjectEnv,
+    query: Query,
+    *,
+    max_steps: int = 10_000,
+) -> int:
+    """Number of complete reduction paths (distinct schedules)."""
+    return explore(machine, ee, oe, query, max_steps=max_steps).paths

@@ -1,0 +1,436 @@
+"""The single-step reduction machine: Figures 2 and 4 in executable form.
+
+A step is the paper's judgement::
+
+    DE ⊢ EE, OE, q  ─ε→  EE′, OE′, q′
+
+:class:`Machine.step` performs one reduction: decompose the query into
+ℰ[redex] (:mod:`repro.semantics.contexts`), apply the unique matching
+rule to the redex, and plug the result back ((Context) rule).  The
+effect label ε implements the *instrumented* semantics of Figure 4; a
+caller that ignores it has exactly Figure 2.
+
+The only non-deterministic rule is (ND comp); the pick is delegated to
+a :class:`~repro.semantics.strategy.Strategy`.
+:meth:`Machine.possible_steps` instead returns *every* outcome — one
+per choosable element — which is what the exhaustive explorer and the
+metatheory theorems quantify over.
+
+Rule-by-rule correspondence (names match Figure 4):
+
+=================  ====================================================
+(Definition)       ``d(v⃗) → q[x⃗ := v⃗]``, ε = ∅
+(Extent)           ``e → v`` where EE(e) = (C, v), ε = R(C)
+(Size)             ``size({v₀,…,vₖ}) → k``
+(Union)/(…)        ``v₁ sop v₂ → v₃``
+(Addition)/(…)     ``i₁ iop i₂ → i₃``
+(Int eq)           ``i₁ = i₂ → b`` (extended to bool/string literals)
+(Object eq)        ``o₁ == o₂ → b``   (both oids must be live in OE)
+(Cond1)/(Cond2)    ``if b then q₁ else q₂ → q₁/q₂``
+(Record)           ``⟨…⟩.lᵢ → vᵢ``
+(Attribute)        ``o.aᵢ → vᵢ`` where OE(o) = ⟪C, …⟫
+(Upcast)           ``(C′)o → o`` where class(o) ≤ C′
+(New)              fresh o; OE′ = OE[o ↦ ⟪C, a⃗:v⃗⟫]; EE′ adds o to C's
+                   extent; ε = A(C)
+(Method)           ``o.m(v⃗) → v`` via the big-step ⇓ of
+                   :mod:`repro.methods.interp`; in §5 mode the body may
+                   change EE/OE and ε is the body's traced effect
+(Empty comp)       ``{v | } → {v}``
+(True comp)        ``{q | true, c⃗q} → {q | c⃗q}``
+(False comp)       ``{q | false, c⃗q} → {}``
+(Triv comp)        ``{q | x ← {}, c⃗q} → {}``
+(ND comp)          ``{q | x ← {v₁,…,vₖ}, c⃗q} →
+                   ({q | c⃗q}[x := vᵢ]) ∪ {q | x ← v_rest, c⃗q}``
+(Set canon)        administrative: an all-value, non-canonical set
+                   literal normalises to the canonical set value
+                   (see :mod:`repro.semantics.contexts`)
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.effects.algebra import EMPTY, Effect, add as add_effect, read as read_effect
+from repro.errors import StuckError
+from repro.lang.ast import (
+    BagLit,
+    BoolLit,
+    Cast,
+    Cmp,
+    CmpKind,
+    Comp,
+    DefCall,
+    Definition,
+    ExtentRef,
+    Field,
+    Gen,
+    If,
+    IntLit,
+    IntOp,
+    IntOpKind,
+    ListLit,
+    MethodCall,
+    New,
+    ObjEq,
+    OidRef,
+    Pred,
+    PrimEq,
+    Query,
+    RecordLit,
+    SetLit,
+    SetOp,
+    SetOpKind,
+    Size,
+    StrLit,
+    Sum,
+    ToSet,
+)
+from repro.lang.traversal import subst, subst_many
+from repro.lang.values import (
+    bag_except,
+    bag_intersect,
+    bag_remove_one,
+    bag_union,
+    collection_to_set,
+    list_concat,
+    make_bag_value,
+    make_set_value,
+    set_except,
+    set_intersect,
+    set_remove,
+    set_union,
+)
+from repro.methods.ast import AccessMode
+from repro.methods.interp import Fuel, MethodInterpreter
+from repro.model.schema import Schema
+from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply
+from repro.semantics.contexts import Decomposition, decompose
+from repro.semantics.strategy import FIRST, Strategy
+
+
+@dataclass(frozen=True)
+class Config:
+    """One machine configuration (EE, OE, q) — hashable, explorable."""
+
+    ee: ExtentEnv
+    oe: ObjectEnv
+    query: Query
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """One reduction: the new configuration, its effect ε, and the rule."""
+
+    config: Config
+    effect: Effect
+    rule: str
+
+
+class Machine:
+    """The reduction relation for one database (schema + definitions).
+
+    ``DE`` is the definition environment: name → :class:`Definition`
+    (λ-notation in the paper).  The machine owns an oid supply and the
+    method-invocation settings (access mode, fuel per invocation).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        definitions: Mapping[str, Definition] | None = None,
+        *,
+        method_mode: AccessMode = AccessMode.READ_ONLY,
+        method_fuel: int = 10_000,
+        oid_supply: OidSupply | None = None,
+    ):
+        self.schema = schema
+        self.defs: dict[str, Definition] = dict(definitions or {})
+        self.method_mode = method_mode
+        self.method_fuel = method_fuel
+        self.supply = oid_supply or OidSupply()
+
+    # ------------------------------------------------------------------
+    def step(self, config: Config, strategy: Strategy = FIRST) -> StepResult:
+        """One reduction step; raises :class:`StuckError` on stuck redexes.
+
+        A value configuration raises StuckError too — callers check
+        :func:`repro.lang.values.is_value` first (the evaluator does).
+        """
+        decomp = decompose(config.query)
+        if decomp is None:
+            raise StuckError("cannot step: the query is already a value")
+        outcomes = self._apply(config, decomp, strategy=strategy)
+        assert len(outcomes) == 1
+        return outcomes[0]
+
+    def possible_steps(self, config: Config) -> list[StepResult]:
+        """All single-step successors — one per (ND comp) choice.
+
+        Deterministic redexes yield exactly one successor; an (ND comp)
+        redex over a k-element set yields k.  Values yield the empty
+        list.
+        """
+        decomp = decompose(config.query)
+        if decomp is None:
+            return []
+        return self._apply(config, decomp, strategy=None)
+
+    # ------------------------------------------------------------------
+    def _apply(
+        self,
+        config: Config,
+        decomp: Decomposition,
+        *,
+        strategy: Strategy | None,
+    ) -> list[StepResult]:
+        """Apply the rule matching ``decomp.redex``; plug via (Context).
+
+        ``strategy=None`` requests *all* outcomes of (ND comp);
+        otherwise the strategy picks one.
+        """
+        ee, oe = config.ee, config.oe
+        r = decomp.redex
+        plug = decomp.plug
+
+        def out(
+            q: Query,
+            rule: str,
+            effect: Effect = EMPTY,
+            new_ee: ExtentEnv | None = None,
+            new_oe: ObjectEnv | None = None,
+        ) -> list[StepResult]:
+            cfg = Config(new_ee or ee, new_oe or oe, plug(q))
+            return [StepResult(cfg, effect, rule)]
+
+        # (Definition)
+        if isinstance(r, DefCall):
+            d = self.defs.get(r.name)
+            if d is None:
+                raise StuckError(f"unknown definition {r.name!r}")
+            if len(r.args) != len(d.params):
+                raise StuckError(f"definition {r.name!r}: arity mismatch")
+            body = subst_many(d.body, dict(zip(d.param_names(), r.args)))
+            return out(body, "Definition")
+
+        # (Extent)
+        if isinstance(r, ExtentRef):
+            cname, members = ee.get(r.name)
+            v = make_set_value(OidRef(o) for o in members)
+            return out(v, "Extent", Effect.of(read_effect(cname)))
+
+        # (Size) — with multiplicity for bags, length for lists
+        if isinstance(r, Size):
+            if not isinstance(r.arg, (SetLit, BagLit, ListLit)):
+                raise StuckError(f"size of a non-collection {r.arg}")
+            return out(IntLit(len(r.arg.items)), "Size")
+
+        # (Sum) — total integer aggregate (extension)
+        if isinstance(r, Sum):
+            if not isinstance(r.arg, (SetLit, BagLit, ListLit)):
+                raise StuckError(f"sum of a non-collection {r.arg}")
+            total = 0
+            for item in r.arg.items:
+                if not isinstance(item, IntLit):
+                    raise StuckError(f"sum over non-integers in {r}")
+                total += item.value
+            return out(IntLit(total), "Sum")
+
+        # (ToSet) — the bag/list → set coercion (extension)
+        if isinstance(r, ToSet):
+            if not isinstance(r.arg, (SetLit, BagLit, ListLit)):
+                raise StuckError(f"toset of a non-collection {r.arg}")
+            return out(collection_to_set(r.arg), "ToSet")
+
+        # (Union) and friends — dispatch on the collection kind
+        if isinstance(r, SetOp):
+            if isinstance(r.left, SetLit) and isinstance(r.right, SetLit):
+                fn = {
+                    SetOpKind.UNION: set_union,
+                    SetOpKind.INTERSECT: set_intersect,
+                    SetOpKind.EXCEPT: set_except,
+                }[r.op]
+                return out(fn(r.left, r.right), r.op.value.capitalize())
+            if isinstance(r.left, BagLit) and isinstance(r.right, BagLit):
+                fn = {
+                    SetOpKind.UNION: bag_union,
+                    SetOpKind.INTERSECT: bag_intersect,
+                    SetOpKind.EXCEPT: bag_except,
+                }[r.op]
+                return out(fn(r.left, r.right), "Bag " + r.op.value)
+            if isinstance(r.left, ListLit) and isinstance(r.right, ListLit):
+                if r.op is not SetOpKind.UNION:
+                    raise StuckError(f"lists support only union in {r}")
+                return out(list_concat(r.left, r.right), "List concat")
+            raise StuckError(f"set operator on mismatched collections in {r}")
+
+        # (Addition) and friends
+        if isinstance(r, IntOp):
+            if not isinstance(r.left, IntLit) or not isinstance(r.right, IntLit):
+                raise StuckError(f"integer operator on non-ints in {r}")
+            fn = {
+                IntOpKind.ADD: lambda a, b: a + b,
+                IntOpKind.SUB: lambda a, b: a - b,
+                IntOpKind.MUL: lambda a, b: a * b,
+            }[r.op]
+            return out(IntLit(fn(r.left.value, r.right.value)), "Addition")
+
+        # (Int eq) — extended pointwise to bool/string literals
+        if isinstance(r, PrimEq):
+            lk, rk = type(r.left), type(r.right)
+            if lk is not rk or lk not in (IntLit, BoolLit, StrLit):
+                raise StuckError(f"'=' on non-primitive operands in {r}")
+            return out(BoolLit(r.left == r.right), "Int eq")
+
+        # (Object eq)
+        if isinstance(r, ObjEq):
+            if not isinstance(r.left, OidRef) or not isinstance(r.right, OidRef):
+                raise StuckError(f"'==' on non-oids in {r}")
+            # the paper's side condition: both objects are live
+            oe.get(r.left.name)
+            oe.get(r.right.name)
+            return out(BoolLit(r.left.name == r.right.name), "Object eq")
+
+        # comparisons (extension)
+        if isinstance(r, Cmp):
+            if not isinstance(r.left, IntLit) or not isinstance(r.right, IntLit):
+                raise StuckError(f"comparison on non-ints in {r}")
+            l, rr = r.left.value, r.right.value
+            res = {
+                CmpKind.LT: l < rr,
+                CmpKind.LE: l <= rr,
+                CmpKind.GT: l > rr,
+                CmpKind.GE: l >= rr,
+            }[r.op]
+            return out(BoolLit(res), "Comparison")
+
+        # (Cond1) / (Cond2)
+        if isinstance(r, If):
+            if not isinstance(r.cond, BoolLit):
+                raise StuckError(f"conditional guard is not a boolean in {r}")
+            return (
+                out(r.then, "Cond1") if r.cond.value else out(r.els, "Cond2")
+            )
+
+        # (Record) / (Attribute)
+        if isinstance(r, Field):
+            if isinstance(r.target, RecordLit):
+                v = r.target.field(r.name)
+                if v is None:
+                    raise StuckError(f"record has no label {r.name!r}")
+                return out(v, "Record")
+            if isinstance(r.target, OidRef):
+                rec = oe.get(r.target.name)
+                return out(rec.attr(r.name), "Attribute")
+            raise StuckError(f"projection from non-record/object in {r}")
+
+        # (Upcast)
+        if isinstance(r, Cast):
+            if not isinstance(r.arg, OidRef):
+                raise StuckError(f"cast of a non-object in {r}")
+            cname = oe.get(r.arg.name).cname
+            if not self.schema.hierarchy.is_subclass(cname, r.cname):
+                raise StuckError(
+                    f"failed upcast: {cname} is not a subclass of {r.cname}"
+                )
+            return out(r.arg, "Upcast")
+
+        # (New)
+        if isinstance(r, New):
+            oid = self.supply.fresh(r.cname, oe)
+            rec = ObjectRecord(r.cname, r.fields)
+            new_oe = oe.with_object(oid, rec)
+            extent = self.schema.class_extent(r.cname)
+            new_ee = ee.with_member(extent, oid)
+            return out(
+                OidRef(oid),
+                "New",
+                Effect.of(add_effect(r.cname)),
+                new_ee=new_ee,
+                new_oe=new_oe,
+            )
+
+        # (Method)
+        if isinstance(r, MethodCall):
+            if not isinstance(r.target, OidRef):
+                raise StuckError(f"method call on a non-object in {r}")
+            interp = MethodInterpreter(
+                self.schema,
+                ee,
+                oe,
+                mode=self.method_mode,
+                fuel=Fuel(self.method_fuel),
+                oid_supply=self.supply,
+            )
+            outcome = interp.invoke(r.target.name, r.mname, r.args)
+            return out(
+                outcome.value,
+                "Method",
+                outcome.effect,
+                new_ee=outcome.ee,
+                new_oe=outcome.oe,
+            )
+
+        # comprehension rules
+        if isinstance(r, Comp):
+            if not r.qualifiers:
+                # (Empty comp): {v | } → {v}
+                return out(make_set_value([r.head]), "Empty comp")
+            first, rest = r.qualifiers[0], r.qualifiers[1:]
+            if isinstance(first, Pred):
+                if not isinstance(first.cond, BoolLit):
+                    raise StuckError(f"non-boolean predicate in {r}")
+                if first.cond.value:
+                    return out(Comp(r.head, rest), "True comp")
+                return out(SetLit(()), "False comp")
+            assert isinstance(first, Gen)
+            src = first.source
+            if not isinstance(src, (SetLit, BagLit, ListLit)):
+                raise StuckError(f"generator over a non-collection in {r}")
+            if not src.items:
+                return out(SetLit(()), "Triv comp")
+            if isinstance(src, ListLit):
+                # (List comp): ordered, hence *deterministic* — take the
+                # head (the §6.2/XQuery observation)
+                v0 = src.items[0]
+                rest_list = ListLit(src.items[1:])
+                taken = subst(Comp(r.head, rest), first.var, v0)
+                residual = Comp(r.head, (Gen(first.var, rest_list), *rest))
+                split = SetOp(SetOpKind.UNION, taken, residual)
+                return out(split, "List comp")
+            # (ND comp) — sets and bags iterate in arbitrary order
+            results: list[StepResult] = []
+            if strategy is None:
+                # one successor per *distinct* element (choosing another
+                # occurrence of an equal bag element is the same step)
+                indices = []
+                seen = set()
+                for i, v in enumerate(src.items):
+                    if v not in seen:
+                        seen.add(v)
+                        indices.append(i)
+            else:
+                indices = [strategy.choose(src.items)]
+            rule = "ND comp"
+            for i in indices:
+                vi = src.items[i]
+                if isinstance(src, SetLit):
+                    rest_coll: Query = set_remove(src, vi)
+                else:
+                    rest_coll = bag_remove_one(src, vi)
+                taken = subst(Comp(r.head, rest), first.var, vi)
+                residual = Comp(r.head, (Gen(first.var, rest_coll), *rest))
+                split = SetOp(SetOpKind.UNION, taken, residual)
+                cfg = Config(ee, oe, plug(split))
+                results.append(StepResult(cfg, EMPTY, rule))
+            return results
+
+        # (Set canon) — administrative normalisation of value-shaped
+        # sets and bags (lists need no canonical step)
+        if isinstance(r, SetLit):
+            return out(make_set_value(r.items), "Set canon")
+        if isinstance(r, BagLit):
+            return out(make_bag_value(r.items), "Bag canon")
+
+        raise StuckError(f"no reduction rule applies to {r}")

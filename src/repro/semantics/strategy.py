@@ -1,0 +1,106 @@
+"""Choice strategies for the non-deterministic (ND comp) rule.
+
+The paper's rule reads "for some i ∈ 1..k" — mathematically, an
+arbitrary pick.  Executable semantics must *realise* the pick; a
+:class:`Strategy` is that realisation, injected into the machine.  The
+metatheory quantifies over all strategies (Theorems 4, 7, 8), which the
+exhaustive explorer (:mod:`repro.semantics.explorer`) implements by
+forking on every possible index.
+
+Strategies see the candidate elements (a canonical, sorted tuple of
+values) and return the index of the element the generator takes first.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import EvalError
+from repro.lang.ast import Query
+
+
+class Strategy:
+    """Base class: picks which set element the (ND comp) rule takes."""
+
+    def choose(self, items: Sequence[Query]) -> int:
+        """Return an index into ``items`` (which is non-empty)."""
+        raise NotImplementedError
+
+    def fork(self) -> "Strategy":
+        """An independent copy (explorer/fairness helpers)."""
+        return self
+
+
+class FirstStrategy(Strategy):
+    """Always take the least element in the canonical value order.
+
+    This is the deterministic "textbook" schedule; with it the machine
+    is a function.
+    """
+
+    def choose(self, items: Sequence[Query]) -> int:
+        return 0
+
+
+class LastStrategy(Strategy):
+    """Always take the greatest element — the mirror schedule.
+
+    Comparing :class:`FirstStrategy` and :class:`LastStrategy` runs is
+    the cheapest witness of observable non-determinism (it is exactly
+    the "Jack first" vs "Jill first" contrast of the §1 example).
+    """
+
+    def choose(self, items: Sequence[Query]) -> int:
+        return len(items) - 1
+
+
+class RandomStrategy(Strategy):
+    """A seeded uniformly-random schedule.
+
+    Distinct seeds simulate distinct physical iteration orders; the
+    metatheory harness samples several seeds per query.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, items: Sequence[Query]) -> int:
+        return self._rng.randrange(len(items))
+
+    def fork(self) -> "RandomStrategy":
+        return RandomStrategy(self._rng.randrange(2**31))
+
+
+class ScriptedStrategy(Strategy):
+    """Replays a fixed list of indices — the explorer's oracle.
+
+    Each (ND comp) step consumes one index from the script; running
+    past the end raises, so scripts must be exactly as long as the
+    number of non-deterministic choices on the path being replayed.
+    """
+
+    def __init__(self, script: Sequence[int]):
+        self.script = list(script)
+        self._pos = 0
+
+    def choose(self, items: Sequence[Query]) -> int:
+        if self._pos >= len(self.script):
+            raise EvalError("scripted strategy exhausted")
+        idx = self.script[self._pos]
+        self._pos += 1
+        if not 0 <= idx < len(items):
+            raise EvalError(
+                f"scripted choice {idx} out of range for {len(items)} items"
+            )
+        return idx
+
+    def fork(self) -> "ScriptedStrategy":
+        s = ScriptedStrategy(self.script)
+        s._pos = self._pos
+        return s
+
+
+FIRST = FirstStrategy()
+LAST = LastStrategy()

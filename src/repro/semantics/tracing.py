@@ -1,0 +1,126 @@
+"""Human-readable reduction traces.
+
+Renders a →→ derivation the way the paper writes it::
+
+    DE ⊢ EE, OE, q  ─ε→  EE′, OE′, q′        (Rule)
+
+one line per step, with the extent environment summarised (sizes only —
+full OE dumps drown the signal) and the effect label shown when non-∅.
+Used by the ``.trace`` shell command, the examples, and anyone
+debugging a reduction sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.effects.algebra import EMPTY, Effect
+from repro.errors import FuelExhausted, StuckError
+from repro.lang.ast import Query
+from repro.db.store import ExtentEnv, ObjectEnv
+from repro.semantics.evaluator import trace_steps
+from repro.semantics.machine import Config, Machine
+from repro.semantics.strategy import FIRST, Strategy
+
+
+@dataclass
+class TraceLine:
+    """One rendered step."""
+
+    index: int
+    rule: str
+    effect: Effect
+    query_after: Query
+    extents_after: dict[str, int]
+
+    def render(self, *, max_width: int = 100) -> str:
+        eff = "" if self.effect == EMPTY else f"  ─{self.effect}→"
+        q = str(self.query_after)
+        if len(q) > max_width:
+            q = q[: max_width - 1] + "…"
+        return f"{self.index:>4}  ({self.rule}){eff}\n      {q}"
+
+
+@dataclass
+class Trace:
+    """A complete (or truncated) derivation."""
+
+    initial: Query
+    lines: list[TraceLine] = field(default_factory=list)
+    outcome: str = "value"  # value | diverged | stuck
+    final: Query | None = None
+
+    @property
+    def steps(self) -> int:
+        return len(self.lines)
+
+    def effect(self) -> Effect:
+        """The accumulated ε₁ ∪ … ∪ εₙ of the derivation."""
+        out = EMPTY
+        for line in self.lines:
+            out |= line.effect
+        return out
+
+    def rules_used(self) -> dict[str, int]:
+        """Histogram of rule applications — which Figure 2/4 rules fired."""
+        hist: dict[str, int] = {}
+        for line in self.lines:
+            hist[line.rule] = hist.get(line.rule, 0) + 1
+        return hist
+
+    def render(self, *, max_lines: int = 50, max_width: int = 100) -> str:
+        header = f"      {self.initial}"
+        body = [
+            line.render(max_width=max_width)
+            for line in self.lines[:max_lines]
+        ]
+        if len(self.lines) > max_lines:
+            body.append(f"      … {len(self.lines) - max_lines} more steps …")
+        tail = {
+            "value": f"value after {self.steps} step(s); trace effect {self.effect()}",
+            "diverged": f"no value after {self.steps} step(s) (diverged/fuel)",
+            "stuck": f"STUCK after {self.steps} step(s)",
+        }[self.outcome]
+        return "\n".join([header, *body, tail])
+
+
+def trace(
+    machine: Machine,
+    ee: ExtentEnv,
+    oe: ObjectEnv,
+    query: Query,
+    *,
+    strategy: Strategy = FIRST,
+    max_steps: int = 1_000,
+) -> Trace:
+    """Run and record a derivation under one strategy.
+
+    Never raises for divergence or stuckness — both are recorded as the
+    trace outcome, which is what a debugging tool wants.
+    """
+    t = Trace(initial=query)
+    config = Config(ee, oe, query)
+    try:
+        for i, step in enumerate(
+            trace_steps(machine, config, strategy, max_steps), start=1
+        ):
+            config = step.config
+            t.lines.append(
+                TraceLine(
+                    index=i,
+                    rule=step.rule,
+                    effect=step.effect,
+                    query_after=config.query,
+                    extents_after={
+                        e: len(config.ee.members(e))
+                        for e in sorted(config.ee.names())
+                    },
+                )
+            )
+        t.outcome = "value"
+        t.final = config.query
+    except FuelExhausted:
+        t.outcome = "diverged"
+    except StuckError:
+        t.outcome = "stuck"
+    return t

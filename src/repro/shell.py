@@ -1,0 +1,201 @@
+"""An interactive IOQL shell.
+
+Run as::
+
+    python -m repro [schema.odl]
+
+Lines starting with ``.`` are commands; ``define …;`` adds a query
+definition; anything else is a query — it is type-checked, effect-
+checked and evaluated, and the shell prints ``value : type ! effect``.
+
+Commands::
+
+    .help                 this text
+    .schema <file>        load an ODL schema file (replaces the database)
+    .type <query>         Figure 1: type only
+    .effect <query>       Figure 3: inferred effect
+    .infer <query>        schema-less requirements inference
+    .det <query>          ⊢′ determinism analysis (Theorem 7)
+    .explore <query>      enumerate all reduction orders
+    .trace <query>        print the step-by-step derivation (Figure 2/4)
+    .optimize <query>     effect-gated rewriting with provenance
+    .explain <query>      cost estimate, statistics and chosen rewrites
+    .extents              extent sizes
+    .snapshot / .restore  save / roll back the database state
+    .quit                 leave
+
+The shell is a thin veneer over :class:`repro.db.Database`; every line
+handler returns the printed text, so the whole surface is unit-testable
+without a terminal (see ``tests/test_shell.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.db.database import Database, Snapshot
+from repro.errors import ReproError
+from repro.lang.parser import parse_query
+from repro.methods.ast import AccessMode
+from repro.typing.inference import infer_requirements
+
+_BANNER = (
+    "IOQL shell — Bierman, 'Formal semantics and analysis of object "
+    "queries' (SIGMOD 2003), executable.\nType .help for commands."
+)
+
+_DEFAULT_ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+}
+"""
+
+
+class Shell:
+    """The command interpreter; one database at a time."""
+
+    def __init__(self, db: Database | None = None):
+        self.db = db or Database.from_odl(_DEFAULT_ODL)
+        self._snapshot: Snapshot | None = None
+
+    # ------------------------------------------------------------------
+    def handle(self, line: str) -> str:
+        """Process one input line; returns the text to print."""
+        line = line.strip()
+        if not line or line.startswith("//"):
+            return ""
+        try:
+            if line.startswith("."):
+                return self._command(line)
+            if line.startswith("define"):
+                if not line.endswith(";"):
+                    line += ";"
+                ftype = self.db.define(line)
+                return f"defined : {ftype}"
+            return self._query(line)
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    # ------------------------------------------------------------------
+    def _query(self, src: str) -> str:
+        t, eff = self.db.typecheck_with_effect(src)
+        result = self.db.run(src)
+        eff_str = "" if eff.is_empty() else f" ! {eff}"
+        return f"{result.value} : {t}{eff_str}   ({result.steps} steps)"
+
+    def _command(self, line: str) -> str:
+        cmd, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if cmd == ".help":
+            return __doc__.split("Commands::", 1)[1].strip()
+        if cmd == ".schema":
+            with open(rest, encoding="utf-8") as f:
+                self.db = Database.from_odl(f.read())
+            return f"loaded schema with classes {sorted(self.db.schema.class_names())}"
+        if cmd == ".type":
+            return str(self.db.typecheck(rest))
+        if cmd == ".effect":
+            return str(self.db.effect_of(rest))
+        if cmd == ".infer":
+            return infer_requirements(parse_query(rest)).describe()
+        if cmd == ".det":
+            witnesses = self.db.determinism_witnesses(rest)
+            if not witnesses:
+                return "deterministic (⊢′ accepts; Theorem 7 applies)"
+            return "\n".join(f"⊢′ rejects: {w}" for w in witnesses)
+        if cmd == ".explore":
+            ex = self.db.explore(rest)
+            lines = [
+                f"schedules: {ex.paths}"
+                + (" (truncated)" if ex.truncated else ""),
+                f"distinct answers: "
+                + ", ".join(str(v) for v in ex.distinct_values()),
+            ]
+            if ex.diverged:
+                lines.append("some schedule diverges")
+            lines.append(f"deterministic up to ∼: {ex.deterministic()}")
+            return "\n".join(lines)
+        if cmd == ".trace":
+            from repro.semantics.tracing import trace
+
+            q = self.db.parse(rest)
+            self.db.typecheck(q)
+            t = trace(self.db.machine, self.db.ee, self.db.oe, q)
+            return t.render()
+        if cmd == ".optimize":
+            from repro.optimizer.planner import optimize
+
+            res = optimize(self.db, self.db.parse(rest))
+            if not res.changed:
+                return f"no rewrites apply\n{res.query}"
+            fired = ", ".join(res.rules_fired())
+            return f"{res.query}\n(fired: {fired})"
+        if cmd == ".explain":
+            from repro.optimizer.cost import CostModel, optimize_with_costs
+
+            q = self.db.parse(rest)
+            self.db.typecheck(q)
+            model = CostModel.from_database(self.db)
+            res = optimize_with_costs(self.db, q)
+            lines = [
+                f"estimated cost : {model.eval_cost(q):.0f} steps",
+            ]
+            if res.changed:
+                lines.append(f"rewritten to   : {res.query}")
+                lines.append(f"rules fired    : {', '.join(res.rules_fired())}")
+                lines.append(
+                    f"estimated cost : {model.eval_cost(res.query):.0f} steps "
+                    f"(after rewriting)"
+                )
+            else:
+                lines.append("no rewrites apply")
+            lines.append(f"effect         : {self.db.effect_of(q)}")
+            det = "yes" if self.db.is_deterministic(q) else "NO (⊢′ rejects)"
+            lines.append(f"deterministic  : {det}")
+            return "\n".join(lines)
+        if cmd == ".extents":
+            rows = [
+                f"{e}: {len(self.db.extent(e))} object(s)"
+                for e in sorted(self.db.schema.extents)
+            ]
+            return "\n".join(rows) if rows else "(no extents)"
+        if cmd == ".snapshot":
+            self._snapshot = self.db.snapshot()
+            return "snapshot taken"
+        if cmd == ".restore":
+            if self._snapshot is None:
+                return "error: no snapshot to restore"
+            self.db.restore(self._snapshot)
+            return "restored"
+        if cmd == ".quit":
+            raise SystemExit(0)
+        return f"error: unknown command {cmd!r} (try .help)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        with open(argv[0], encoding="utf-8") as f:
+            db = Database.from_odl(f.read())
+        shell = Shell(db)
+    else:
+        shell = Shell()
+    print(_BANNER)
+    while True:
+        try:
+            line = input("ioql> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        try:
+            out = shell.handle(line)
+        except SystemExit:
+            return 0
+        if out:
+            print(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

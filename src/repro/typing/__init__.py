@@ -1,0 +1,19 @@
+"""The Figure 1 type system and schema-requirements inference."""
+
+from repro.typing.checker import check_definition, check_program, check_query
+from repro.typing.context import TypeContext
+from repro.typing.inference import (
+    InferenceReport,
+    check_against,
+    infer_requirements,
+)
+
+__all__ = [
+    "InferenceReport",
+    "TypeContext",
+    "check_against",
+    "check_definition",
+    "check_program",
+    "check_query",
+    "infer_requirements",
+]

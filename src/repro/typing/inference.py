@@ -1,0 +1,544 @@
+"""Schema-requirements inference for schema-less queries.
+
+The paper (§3.1) notes that type *inference* for definitions "has been
+considered elsewhere for ODMG OQL", citing its companion work
+(Trigoni & Bierman, *Inferring the principal type and schema
+requirements of an OQL query*, BNCOD 2001).  This module implements
+that idea for IOQL: given a query with **no schema and no variable
+types**, infer
+
+* a type for the query (possibly containing inference variables);
+* the *requirements* the query places on its environment — the types
+  of its free identifiers (which is how extent requirements surface:
+  a free ``Employees`` used as a generator source demands
+  ``set<?a>``), the attributes/methods demanded of object-like values
+  (``x.name`` demands a field ``name``), and the attribute types
+  demanded of each class instantiated with ``new``.
+
+Any schema/database satisfying the requirements can run the query;
+:func:`check_against` verifies a concrete
+:class:`~repro.model.schema.Schema` against a report, and the
+test-suite confirms inferred-then-checked queries agree with the
+Figure 1 checker.
+
+Scope (honest simplifications, documented):
+
+* constraints are *equalities* solved by unification — no subtype
+  polymorphism, so a query requiring ``x : Person`` will not also be
+  reported as satisfiable with ``x : Employee`` (checking against a
+  schema re-admits subtyping);
+* a dotted access ``q.l`` yields an *open requirement* usable by either
+  a record or a class — it stays a requirement unless unification
+  resolves the target;
+* casts ``(C) q`` pin ``q`` to exactly ``C`` (no subclass search).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import IOQLTypeError
+from repro.lang.ast import (
+    BagLit,
+    BoolLit,
+    Cast,
+    Cmp,
+    Comp,
+    DefCall,
+    ExtentRef,
+    Field,
+    Gen,
+    If,
+    IntLit,
+    IntOp,
+    ListLit,
+    MethodCall,
+    New,
+    ObjEq,
+    OidRef,
+    Pred,
+    PrimEq,
+    Query,
+    RecordLit,
+    SetLit,
+    SetOp,
+    Size,
+    StrLit,
+    Sum,
+    ToSet,
+    Var,
+)
+from repro.model.types import (
+    BOOL,
+    INT,
+    STRING,
+    BagType,
+    ClassType,
+    ListType,
+    RecordType,
+    SetType,
+    Type,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TVar(Type):
+    """An inference variable ?n — never appears in user schemas."""
+
+    id: int
+
+    def __str__(self) -> str:
+        return f"?{self.id}"
+
+
+@dataclass
+class Requirements:
+    """What one inference variable must support to be satisfiable."""
+
+    fields: dict[str, Type] = field(default_factory=dict)
+    methods: dict[str, tuple[tuple[Type, ...], Type]] = field(default_factory=dict)
+    must_be_object: bool = False  # from ==, method calls, casts
+
+    def is_empty(self) -> bool:
+        return not self.fields and not self.methods and not self.must_be_object
+
+
+@dataclass
+class InferenceReport:
+    """The outcome: the query's type plus its environment demands."""
+
+    type: Type
+    free_idents: dict[str, Type]
+    open_requirements: dict[int, Requirements]
+    class_attrs: dict[str, dict[str, Type]]
+
+    def describe(self) -> str:
+        """A human-readable requirements summary."""
+        lines = [f"query type: {self.type}"]
+        for name, t in sorted(self.free_idents.items()):
+            lines.append(f"requires identifier {name} : {t}")
+        for cname, attrs in sorted(self.class_attrs.items()):
+            sig = ", ".join(f"{a}: {t}" for a, t in sorted(attrs.items()))
+            lines.append(f"requires class {cname} with attributes ({sig})")
+        for vid, req in sorted(self.open_requirements.items()):
+            wants = []
+            if req.fields:
+                wants.append(
+                    "fields " + ", ".join(f"{l}: {t}" for l, t in sorted(req.fields.items()))
+                )
+            if req.methods:
+                wants.append(
+                    "methods "
+                    + ", ".join(
+                        f"{m}({', '.join(map(str, ps))}) -> {r}"
+                        for m, (ps, r) in sorted(req.methods.items())
+                    )
+                )
+            if req.must_be_object:
+                wants.append("an object type")
+            lines.append(f"requires ?{vid} to have " + "; ".join(wants))
+        return "\n".join(lines)
+
+
+class Inferencer:
+    """One inference run: Hindley–Milner-style unification plus the
+    open field/method requirement store."""
+
+    def __init__(self) -> None:
+        self._fresh = itertools.count()
+        self.subst: dict[int, Type] = {}
+        self.reqs: dict[int, Requirements] = {}
+        self.class_attrs: dict[str, dict[str, Type]] = {}
+
+    # -- variables ---------------------------------------------------------
+    def fresh(self) -> TVar:
+        return TVar(next(self._fresh))
+
+    def resolve(self, t: Type) -> Type:
+        """Walk the substitution; normalise inner structure."""
+        while isinstance(t, TVar) and t.id in self.subst:
+            t = self.subst[t.id]
+        if isinstance(t, SetType):
+            return SetType(self.resolve(t.elem))
+        if isinstance(t, BagType):
+            return BagType(self.resolve(t.elem))
+        if isinstance(t, ListType):
+            return ListType(self.resolve(t.elem))
+        if isinstance(t, RecordType):
+            return RecordType(tuple((l, self.resolve(f)) for l, f in t.fields))
+        return t
+
+    def _occurs(self, vid: int, t: Type) -> bool:
+        t = self.resolve(t)
+        if isinstance(t, TVar):
+            return t.id == vid
+        if isinstance(t, (SetType, BagType, ListType)):
+            return self._occurs(vid, t.elem)
+        if isinstance(t, RecordType):
+            return any(self._occurs(vid, f) for _, f in t.fields)
+        return False
+
+    # -- unification ----------------------------------------------------------
+    def unify(self, a: Type, b: Type, what: str = "") -> None:
+        a = self.resolve(a)
+        b = self.resolve(b)
+        if a == b:
+            return
+        if isinstance(a, TVar):
+            self._bind(a, b, what)
+            return
+        if isinstance(b, TVar):
+            self._bind(b, a, what)
+            return
+        for kind in (SetType, BagType, ListType):
+            if isinstance(a, kind) and isinstance(b, kind):
+                self.unify(a.elem, b.elem, what)
+                return
+        if isinstance(a, RecordType) and isinstance(b, RecordType):
+            if a.labels() != b.labels():
+                raise IOQLTypeError(
+                    f"cannot unify records {a} and {b}"
+                    + (f" in {what}" if what else "")
+                )
+            for (_, fa), (_, fb) in zip(a.fields, b.fields):
+                self.unify(fa, fb, what)
+            return
+        raise IOQLTypeError(
+            f"cannot unify {a} with {b}" + (f" in {what}" if what else "")
+        )
+
+    def _bind(self, v: TVar, t: Type, what: str) -> None:
+        if self._occurs(v.id, t):
+            raise IOQLTypeError(f"infinite type: ?{v.id} occurs in {t}")
+        self.subst[v.id] = t
+        # discharge accumulated requirements against the solution
+        req = self.reqs.pop(v.id, None)
+        if req is None:
+            return
+        t = self.resolve(t)
+        if isinstance(t, TVar):
+            merged = self.reqs.setdefault(t.id, Requirements())
+            for l, ft in req.fields.items():
+                if l in merged.fields:
+                    self.unify(merged.fields[l], ft, f"field {l}")
+                else:
+                    merged.fields[l] = ft
+            for m, sig in req.methods.items():
+                if m in merged.methods:
+                    ops, ores = merged.methods[m]
+                    nps, nres = sig
+                    if len(ops) != len(nps):
+                        raise IOQLTypeError(f"method {m} used at two arities")
+                    for x, y in zip(ops, nps):
+                        self.unify(x, y, f"method {m}")
+                    self.unify(ores, nres, f"method {m}")
+                else:
+                    merged.methods[m] = sig
+            merged.must_be_object |= req.must_be_object
+            return
+        if isinstance(t, RecordType):
+            if req.must_be_object or req.methods:
+                raise IOQLTypeError(
+                    f"{t} must be an object type (methods/identity used)"
+                )
+            for l, ft in req.fields.items():
+                have = t.field_type(l)
+                if have is None:
+                    raise IOQLTypeError(f"record {t} lacks required label {l!r}")
+                self.unify(have, ft, f"field {l}")
+            return
+        if isinstance(t, ClassType):
+            attrs = self.class_attrs.setdefault(t.name, {})
+            for l, ft in req.fields.items():
+                if l in attrs:
+                    self.unify(attrs[l], ft, f"attribute {t.name}.{l}")
+                else:
+                    attrs[l] = ft
+            # method requirements transfer to the named class;
+            # check_against validates them against a real schema
+            if req.methods:
+                methods = self._class_methods.setdefault(t.name, {})
+                for m, sig in req.methods.items():
+                    if m in methods:
+                        ops, ores = methods[m]
+                        nps, nres = sig
+                        if len(ops) != len(nps):
+                            raise IOQLTypeError(
+                                f"method {m} used at two arities"
+                            )
+                        for x, y in zip(ops, nps):
+                            self.unify(x, y, f"method {m}")
+                        self.unify(ores, nres, f"method {m}")
+                    else:
+                        methods[m] = sig
+            return
+        if req.is_empty():
+            return
+        raise IOQLTypeError(
+            f"{t} cannot satisfy object/record requirements"
+        )
+
+    _class_methods: dict[str, dict]  # set per run by infer_requirements
+
+    # -- the inference walk ------------------------------------------------------
+    def infer(self, env: dict[str, Type], q: Query) -> Type:
+        if isinstance(q, IntLit):
+            return INT
+        if isinstance(q, BoolLit):
+            return BOOL
+        if isinstance(q, StrLit):
+            return STRING
+        if isinstance(q, (Var, ExtentRef, OidRef)):
+            name = q.name
+            if name not in env:
+                env[name] = self.fresh()
+            return env[name]
+        if isinstance(q, SetLit):
+            elem = self.fresh()
+            for i in q.items:
+                self.unify(self.infer(env, i), elem, "set literal")
+            return SetType(elem)
+        if isinstance(q, BagLit):
+            elem = self.fresh()
+            for i in q.items:
+                self.unify(self.infer(env, i), elem, "bag literal")
+            return BagType(elem)
+        if isinstance(q, ListLit):
+            elem = self.fresh()
+            for i in q.items:
+                self.unify(self.infer(env, i), elem, "list literal")
+            return ListType(elem)
+        if isinstance(q, ToSet):
+            at = self.resolve(self.infer(env, q.arg))
+            elem = self.fresh()
+            if isinstance(at, TVar):
+                # commit to the most common source kind: a bag
+                self.unify(at, BagType(elem), "toset")
+            elif isinstance(at, (SetType, BagType, ListType)):
+                self.unify(at.elem, elem, "toset")
+            else:
+                raise IOQLTypeError(f"toset of non-collection {at}")
+            return SetType(elem)
+        if isinstance(q, SetOp):
+            lt = self.infer(env, q.left)
+            rt = self.infer(env, q.right)
+            elem = self.fresh()
+            # default collection kind: set (the core language)
+            self.unify(lt, SetType(elem), q.op.symbol)
+            self.unify(rt, SetType(elem), q.op.symbol)
+            return SetType(elem)
+        if isinstance(q, IntOp):
+            self.unify(self.infer(env, q.left), INT, q.op.value)
+            self.unify(self.infer(env, q.right), INT, q.op.value)
+            return INT
+        if isinstance(q, Cmp):
+            self.unify(self.infer(env, q.left), INT, q.op.value)
+            self.unify(self.infer(env, q.right), INT, q.op.value)
+            return BOOL
+        if isinstance(q, PrimEq):
+            self.unify(
+                self.infer(env, q.left), self.infer(env, q.right), "'='"
+            )
+            return BOOL
+        if isinstance(q, ObjEq):
+            for side in (q.left, q.right):
+                t = self.resolve(self.infer(env, side))
+                if isinstance(t, TVar):
+                    self.reqs.setdefault(t.id, Requirements()).must_be_object = True
+                elif not isinstance(t, ClassType):
+                    raise IOQLTypeError(f"'==' on non-object {t}")
+            return BOOL
+        if isinstance(q, RecordLit):
+            return RecordType(
+                tuple((l, self.infer(env, sub)) for l, sub in q.fields)
+            )
+        if isinstance(q, Field):
+            tt = self.resolve(self.infer(env, q.target))
+            if isinstance(tt, TVar):
+                req = self.reqs.setdefault(tt.id, Requirements())
+                if q.name not in req.fields:
+                    req.fields[q.name] = self.fresh()
+                return req.fields[q.name]
+            if isinstance(tt, RecordType):
+                ft = tt.field_type(q.name)
+                if ft is None:
+                    raise IOQLTypeError(f"record {tt} has no label {q.name!r}")
+                return ft
+            if isinstance(tt, ClassType):
+                attrs = self.class_attrs.setdefault(tt.name, {})
+                if q.name not in attrs:
+                    attrs[q.name] = self.fresh()
+                return attrs[q.name]
+            raise IOQLTypeError(f".{q.name} on {tt}")
+        if isinstance(q, MethodCall):
+            tt = self.resolve(self.infer(env, q.target))
+            arg_types = tuple(self.infer(env, a) for a in q.args)
+            result = self.fresh()
+            if isinstance(tt, TVar):
+                req = self.reqs.setdefault(tt.id, Requirements())
+                req.must_be_object = True
+                if q.mname in req.methods:
+                    ps, r = req.methods[q.mname]
+                    if len(ps) != len(arg_types):
+                        raise IOQLTypeError(
+                            f"method {q.mname} used at two arities"
+                        )
+                    for x, y in zip(ps, arg_types):
+                        self.unify(x, y, f"method {q.mname}")
+                    return r
+                req.methods[q.mname] = (arg_types, result)
+                return result
+            if isinstance(tt, ClassType):
+                methods = self._class_methods.setdefault(tt.name, {})
+                if q.mname in methods:
+                    ps, r = methods[q.mname]
+                    for x, y in zip(ps, arg_types):
+                        self.unify(x, y, f"method {q.mname}")
+                    return r
+                methods[q.mname] = (arg_types, result)
+                return result
+            raise IOQLTypeError(f"method call on {tt}")
+        if isinstance(q, New):
+            attrs = self.class_attrs.setdefault(q.cname, {})
+            for a, sub in q.fields:
+                at = self.infer(env, sub)
+                if a in attrs:
+                    self.unify(attrs[a], at, f"attribute {q.cname}.{a}")
+                else:
+                    attrs[a] = at
+            return ClassType(q.cname)
+        if isinstance(q, Cast):
+            self.unify(
+                self.infer(env, q.arg), ClassType(q.cname), f"cast ({q.cname})"
+            )
+            return ClassType(q.cname)
+        if isinstance(q, Size):
+            at = self.resolve(self.infer(env, q.arg))
+            if isinstance(at, TVar):
+                self.unify(at, SetType(self.fresh()), "size")
+            elif not isinstance(at, (SetType, BagType, ListType)):
+                raise IOQLTypeError(f"size of non-collection {at}")
+            return INT
+        if isinstance(q, Sum):
+            at = self.resolve(self.infer(env, q.arg))
+            if isinstance(at, TVar):
+                self.unify(at, SetType(INT), "sum")
+            elif isinstance(at, (SetType, BagType, ListType)):
+                self.unify(at.elem, INT, "sum")
+            else:
+                raise IOQLTypeError(f"sum of non-collection {at}")
+            return INT
+        if isinstance(q, If):
+            self.unify(self.infer(env, q.cond), BOOL, "if condition")
+            tt = self.infer(env, q.then)
+            self.unify(self.infer(env, q.els), tt, "if branches")
+            return tt
+        if isinstance(q, Comp):
+            inner = dict(env)
+            bound: set[str] = set()
+            for cq in q.qualifiers:
+                if isinstance(cq, Pred):
+                    self.unify(
+                        self.infer(inner, cq.cond), BOOL, "comprehension predicate"
+                    )
+                else:
+                    assert isinstance(cq, Gen)
+                    st = self.resolve(self.infer(inner, cq.source))
+                    elem = self.fresh()
+                    if isinstance(st, TVar):
+                        self.unify(st, SetType(elem), f"generator {cq.var}")
+                    elif isinstance(st, (SetType, BagType, ListType)):
+                        self.unify(st.elem, elem, f"generator {cq.var}")
+                    else:
+                        raise IOQLTypeError(
+                            f"generator {cq.var} over non-collection {st}"
+                        )
+                    inner[cq.var] = elem
+                    bound.add(cq.var)
+            head = self.infer(inner, q.head)
+            # free identifiers discovered under the comprehension stay
+            # required in the outer environment; generator-bound
+            # variables are scoped away
+            for k, v in inner.items():
+                if k not in bound and (k not in env or env[k] is not v):
+                    env[k] = v
+            return SetType(head)
+        if isinstance(q, DefCall):
+            raise IOQLTypeError(
+                "definition calls are not supported by schema-less "
+                "inference (definitions carry explicit types)"
+            )
+        raise IOQLTypeError(f"unknown query node {type(q).__name__}")
+
+
+def infer_requirements(q: Query) -> InferenceReport:
+    """Infer the type and schema requirements of a schema-less query."""
+    inf = Inferencer()
+    inf._class_methods = {}
+    env: dict[str, Type] = {}
+    t = inf.infer(env, q)
+    report = InferenceReport(
+        type=inf.resolve(t),
+        free_idents={k: inf.resolve(v) for k, v in env.items()},
+        open_requirements={
+            vid: Requirements(
+                fields={l: inf.resolve(f) for l, f in r.fields.items()},
+                methods={
+                    m: (tuple(inf.resolve(p) for p in ps), inf.resolve(res))
+                    for m, (ps, res) in r.methods.items()
+                },
+                must_be_object=r.must_be_object,
+            )
+            for vid, r in inf.reqs.items()
+            if not r.is_empty()
+        },
+        class_attrs={
+            c: {a: inf.resolve(t) for a, t in attrs.items()}
+            for c, attrs in inf.class_attrs.items()
+        },
+    )
+    report.class_methods = {  # type: ignore[attr-defined]
+        c: {
+            m: (tuple(inf.resolve(p) for p in ps), inf.resolve(res))
+            for m, (ps, res) in ms.items()
+        }
+        for c, ms in inf._class_methods.items()
+    }
+    return report
+
+
+def check_against(report: InferenceReport, schema) -> list[str]:
+    """Check a concrete schema against inferred requirements.
+
+    Returns a list of violations (empty = the schema satisfies every
+    *named-class* requirement; free-identifier and open requirements
+    describe the query's environment, not the schema, and are reported
+    by :meth:`InferenceReport.describe`).
+    """
+    problems: list[str] = []
+    for cname, attrs in report.class_attrs.items():
+        if cname not in schema:
+            problems.append(f"schema lacks class {cname!r}")
+            continue
+        declared = dict(schema.atypes(cname))
+        for a, want in attrs.items():
+            if a not in declared:
+                problems.append(f"class {cname} lacks attribute {a!r}")
+            elif not isinstance(want, TVar) and declared[a] != want and not schema.subtype(declared[a], want):
+                problems.append(
+                    f"class {cname}.{a}: schema has {declared[a]}, query "
+                    f"needs {want}"
+                )
+    for cname, methods in getattr(report, "class_methods", {}).items():
+        if cname not in schema:
+            continue
+        for m, (ps, res) in methods.items():
+            try:
+                mt = schema.mtype(cname, m)
+            except Exception:
+                problems.append(f"class {cname} lacks method {m!r}")
+                continue
+            if len(mt.params) != len(ps):
+                problems.append(f"method {cname}.{m}: arity mismatch")
+    return problems

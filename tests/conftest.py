@@ -1,0 +1,102 @@
+"""Shared fixtures: the paper's schemas and small curated databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database
+from repro.methods.ast import AccessMode
+
+# The §2 running example, extended with enough structure to exercise
+# inheritance, object-valued attributes and methods.
+EMPLOYEE_ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+    attribute string address;
+    bool is_adult() { return this.age >= 18; }
+}
+class Manager extends Person (extent Managers) {
+    attribute int level;
+}
+class Employee extends Person (extent Employees) {
+    attribute int EmpID;
+    attribute int GrossSalary;
+    attribute Manager UniqueManager;
+    int NetSalary(int TaxRate) { return this.GrossSalary - TaxRate; }
+}
+"""
+
+# The §1 example: class P (name), class F (name, pal), with a diverging
+# method on P.
+JACK_JILL_ODL = """
+class P extends Object (extent Ps) {
+    attribute string name;
+    string loop() { while (true) { } }
+}
+class F extends Object (extent Fs) {
+    attribute string name;
+    attribute P pal;
+}
+"""
+
+# The paper's §1 non-deterministic query: per P object, if no F object
+# exists yet, create one and answer "Peter"; otherwise answer the
+# object's own name.  Visiting Jack first yields {"Peter","Jill"};
+# visiting Jill first yields {"Peter","Jack"}.
+JACK_JILL_QUERY = """
+{ (if size(Fs) = 0
+   then struct(result: "Peter", witness: new F(name: "Peter", pal: p)).result
+   else p.name)
+  | p <- Ps }
+"""
+
+# The §1 variant with the diverging method: terminates iff Jill is
+# visited first.
+JACK_JILL_LOOP_QUERY = """
+{ (if p.name = "Jack"
+    then (if size(Fs) = 0 then p.loop() else "Jack")
+    else struct(r: p.name, w: new F(name: "Peter", pal: p)).r)
+  | p <- Ps }
+"""
+
+
+@pytest.fixture
+def hr_db() -> Database:
+    """Employee/Manager database with a few objects."""
+    db = Database.from_odl(EMPLOYEE_ODL)
+    boss = db.insert("Manager", name="Grace", age=50, address="NYC", level=3)
+    db.insert(
+        "Employee",
+        name="Ada",
+        age=36,
+        address="London",
+        EmpID=1,
+        GrossSalary=5000,
+        UniqueManager=boss,
+    )
+    db.insert(
+        "Employee",
+        name="Edsger",
+        age=45,
+        address="Austin",
+        EmpID=2,
+        GrossSalary=4200,
+        UniqueManager=boss,
+    )
+    return db
+
+
+@pytest.fixture
+def jack_jill_db() -> Database:
+    """The §1 database: two P objects, no F objects."""
+    db = Database.from_odl(JACK_JILL_ODL, method_fuel=300)
+    db.insert("P", name="Jack")
+    db.insert("P", name="Jill")
+    return db
+
+
+@pytest.fixture
+def empty_hr_db() -> Database:
+    """The Employee schema with no objects."""
+    return Database.from_odl(EMPLOYEE_ODL)

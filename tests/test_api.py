@@ -1,0 +1,104 @@
+"""Tests for the top-level convenience API (repro.api / repro.__init__)."""
+
+import pytest
+
+import repro
+from repro.api import (
+    effects,
+    explore,
+    is_deterministic,
+    open_database,
+    optimize,
+    run,
+    typecheck,
+)
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+}
+"""
+
+
+@pytest.fixture
+def db():
+    d = open_database(ODL)
+    d.insert("Person", name="Ada", age=36)
+    return d
+
+
+class TestApiSurface:
+    def test_open_database_default_readonly(self, db):
+        from repro.methods.ast import AccessMode
+
+        assert db.method_mode is AccessMode.READ_ONLY
+
+    def test_open_database_effectful(self):
+        from repro.methods.ast import AccessMode
+
+        d = open_database(ODL, effectful_methods=True)
+        assert d.method_mode is AccessMode.EFFECTFUL
+
+    def test_typecheck(self, db):
+        assert str(typecheck(db, "{p.age | p <- Persons}")) == "set<int>"
+
+    def test_effects(self, db):
+        assert "R(Person)" in str(effects(db, "Persons"))
+
+    def test_run_commits(self, db):
+        run(db, 'new Person(name: "x", age: 1)')
+        assert len(db.extent("Persons")) == 2
+
+    def test_run_strategy(self, db):
+        assert run(db, "{p.name | p <- Persons}", strategy=repro.LAST).python() == frozenset({"Ada"})
+
+    def test_explore(self, db):
+        assert explore(db, "{p.age | p <- Persons}").deterministic()
+
+    def test_is_deterministic(self, db):
+        assert is_deterministic(db, "{p.age | p <- Persons}")
+
+    def test_optimize(self, db):
+        assert optimize(db, "2 * 3") == db.parse("6")
+
+
+class TestPackageExports:
+    def test_dunder_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.IOQLTypeError, repro.ReproError)
+        assert issubclass(repro.FuelExhausted, repro.EvalError)
+        assert issubclass(repro.StuckError, repro.EvalError)
+        assert issubclass(repro.SchemaError, repro.ReproError)
+        assert issubclass(repro.ParseError, repro.ReproError)
+
+    def test_parse_error_position(self):
+        err = repro.ParseError("boom", 3, 7)
+        assert err.line == 3 and err.column == 7
+        assert "3:7" in str(err)
+
+    def test_fuel_exhausted_steps(self):
+        assert repro.FuelExhausted(steps=12).steps == 12
+
+    def test_strategies_exported(self):
+        assert repro.FIRST.choose((1, 2, 3)) == 0
+        assert repro.LAST.choose((1, 2, 3)) == 2
+
+    def test_parse_helpers(self):
+        assert repro.parse_query("1 + 1") == repro.parse_query("1 + 1")
+        assert repro.pretty(repro.parse_query("1+1")) == "1 + 1"
+        t = repro.parse_type("set<int>")
+        assert str(t) == "set<int>"
+
+    def test_parse_schema_export(self):
+        schema = repro.parse_schema(ODL)
+        assert "Person" in schema
+
+    def test_to_from_value(self):
+        assert repro.from_value(repro.to_value({1, 2})) == frozenset({1, 2})

@@ -1,0 +1,263 @@
+"""Tests for the bag/list collection extension (§3.1) and the ordered-
+iteration determinism observation (§6.2 / XQuery)."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.errors import IOQLTypeError
+from repro.lang.ast import BagLit, IntLit, ListLit
+from repro.lang.parser import parse_query, parse_type
+from repro.lang.pprint import pretty
+from repro.lang.values import (
+    bag_except,
+    bag_intersect,
+    bag_remove_one,
+    bag_union,
+    collection_to_set,
+    is_value,
+    list_concat,
+    make_bag_value,
+    make_set_value,
+)
+from repro.model.types import INT, BagType, ListType, SetType
+
+ODL = """
+class P extends Object (extent Ps) {
+    attribute string name;
+}
+class F extends Object (extent Fs) {
+    attribute string name;
+}
+"""
+
+
+@pytest.fixture
+def db():
+    d = Database.from_odl(ODL)
+    d.insert("P", name="Jack")
+    d.insert("P", name="Jill")
+    return d
+
+
+class TestValuesAndCanonicalForm:
+    def test_bag_keeps_duplicates(self):
+        b = make_bag_value([IntLit(2), IntLit(1), IntLit(2)])
+        assert b == BagLit((IntLit(1), IntLit(2), IntLit(2)))
+        assert is_value(b)
+
+    def test_unsorted_bag_not_a_value(self):
+        assert not is_value(BagLit((IntLit(2), IntLit(1))))
+
+    def test_list_keeps_order(self):
+        l = ListLit((IntLit(2), IntLit(1), IntLit(2)))
+        assert is_value(l)
+
+    def test_lists_differ_by_order(self):
+        assert ListLit((IntLit(1), IntLit(2))) != ListLit((IntLit(2), IntLit(1)))
+
+    def test_bag_ops(self):
+        a = make_bag_value([IntLit(1), IntLit(2), IntLit(2)])
+        b = make_bag_value([IntLit(2), IntLit(3)])
+        assert bag_union(a, b) == make_bag_value(
+            [IntLit(1), IntLit(2), IntLit(2), IntLit(2), IntLit(3)]
+        )
+        assert bag_intersect(a, b) == make_bag_value([IntLit(2)])
+        assert bag_except(a, b) == make_bag_value([IntLit(1), IntLit(2)])
+
+    def test_bag_remove_one(self):
+        a = make_bag_value([IntLit(2), IntLit(2)])
+        assert bag_remove_one(a, IntLit(2)) == make_bag_value([IntLit(2)])
+
+    def test_list_concat(self):
+        assert list_concat(
+            ListLit((IntLit(1),)), ListLit((IntLit(1),))
+        ) == ListLit((IntLit(1), IntLit(1)))
+
+    def test_collection_to_set(self):
+        b = make_bag_value([IntLit(1), IntLit(1), IntLit(2)])
+        assert collection_to_set(b) == make_set_value([IntLit(1), IntLit(2)])
+
+
+class TestSyntax:
+    def test_parse_literals(self):
+        assert parse_query("bag(1, 2)") == BagLit((IntLit(1), IntLit(2)))
+        assert parse_query("list(1, 2)") == ListLit((IntLit(1), IntLit(2)))
+        assert parse_query("bag()") == BagLit(())
+        assert parse_query("list()") == ListLit(())
+
+    def test_parse_types(self):
+        assert parse_type("bag<int>") == BagType(INT)
+        assert parse_type("list<bag<int>>") == ListType(BagType(INT))
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "bag(1, 2, 2)",
+            "list(1, 2) union list(3)",
+            "toset(bag(1, 1))",
+            "{x | x <- list(1, 2), x < 2}",
+            "size(bag(1, 1))",
+        ],
+    )
+    def test_roundtrip(self, src):
+        q = parse_query(src)
+        assert parse_query(pretty(q)) == q
+
+
+class TestTyping:
+    def test_literal_types(self, db):
+        assert db.typecheck("bag(1, 2)") == BagType(INT)
+        assert db.typecheck("list(1, 2)") == ListType(INT)
+        assert db.typecheck("toset(bag(1))") == SetType(INT)
+
+    def test_kind_mixing_rejected(self, db):
+        with pytest.raises(IOQLTypeError, match="one collection kind"):
+            db.typecheck("{1} union bag(1)")
+
+    def test_list_intersect_rejected(self, db):
+        with pytest.raises(IOQLTypeError, match="only union"):
+            db.typecheck("list(1) intersect list(2)")
+
+    def test_list_except_rejected(self, db):
+        with pytest.raises(IOQLTypeError, match="only union"):
+            db.typecheck("list(1) except list(2)")
+
+    def test_generator_over_bag_and_list(self, db):
+        assert db.typecheck("{x + 1 | x <- bag(1, 2)}") == SetType(INT)
+        assert db.typecheck("{x + 1 | x <- list(1, 2)}") == SetType(INT)
+
+    def test_size_and_toset(self, db):
+        assert db.typecheck("size(list(1, 1))") == INT
+        assert db.typecheck("toset(list(1, 1))") == SetType(INT)
+
+    def test_covariance(self, db):
+        h = db.schema.hierarchy
+        from repro.model.types import ClassType, NEVER
+
+        assert h.subtype(BagType(NEVER), BagType(ClassType("P")))
+        assert h.subtype(ListType(NEVER), ListType(INT))
+
+
+class TestSemantics:
+    def test_bag_union_additive(self, db):
+        assert db.run("bag(1, 2) union bag(2)").value == make_bag_value(
+            [IntLit(1), IntLit(2), IntLit(2)]
+        )
+
+    def test_bag_intersect_min(self, db):
+        r = db.run("bag(1, 2, 2) intersect bag(2, 2, 2)")
+        assert r.value == make_bag_value([IntLit(2), IntLit(2)])
+
+    def test_bag_except_monus(self, db):
+        r = db.run("bag(2, 2, 1) except bag(2)")
+        assert r.value == make_bag_value([IntLit(1), IntLit(2)])
+
+    def test_list_concat_ordered(self, db):
+        r = db.run("list(3, 1) union list(2)")
+        assert r.value == ListLit((IntLit(3), IntLit(1), IntLit(2)))
+
+    def test_size_counts_multiplicity(self, db):
+        assert db.run("size(bag(7, 7, 7))").python() == 3
+        assert db.run("size({7, 7, 7})").python() == 1
+
+    def test_toset_deduplicates(self, db):
+        assert db.run("toset(bag(1, 1, 2))").value == make_set_value(
+            [IntLit(1), IntLit(2)]
+        )
+
+    def test_comprehension_over_bag(self, db):
+        r = db.run("{x * 10 | x <- bag(1, 1, 2)}")
+        assert r.python() == frozenset({10, 20})
+
+    def test_comprehension_over_list(self, db):
+        r = db.run("{x * 10 | x <- list(2, 1, 2)}")
+        assert r.python() == frozenset({10, 20})
+
+    def test_bag_canon_step(self, db):
+        from repro.semantics.machine import Config
+
+        cfg = Config(db.ee, db.oe, BagLit((IntLit(2), IntLit(1))))
+        step = db.machine.step(cfg)
+        assert step.rule == "Bag canon"
+        assert step.config.query == make_bag_value([IntLit(1), IntLit(2)])
+
+
+class TestOrderedIterationDeterminism:
+    """The §6.2 observation: sequence (list) iteration is deterministic,
+    so an interfering body over a *list* is still deterministic, while
+    the same body over a set/bag is not."""
+
+    BODY = (
+        '(if size(Fs) = 0 '
+        ' then struct(r: "first", w: new F(name: "first")).r '
+        ' else struct(r: "later", w: new F(name: "later")).r)'
+    )
+
+    def test_list_iteration_single_schedule(self, db):
+        ex = db.explore("{x | x <- list(1, 2, 3)}")
+        assert ex.paths == 1  # (List comp) is deterministic
+
+    def test_set_iteration_many_schedules(self, db):
+        assert db.explore("{x | x <- {1, 2, 3}}").paths == 6
+
+    def test_bag_iteration_schedules(self, db):
+        # distinct elements only fork the exploration once per value
+        assert db.explore("{x | x <- bag(1, 1, 2)}").paths == 3
+
+    def test_interfering_body_over_set_rejected(self, db):
+        src = "{ %s | p <- Ps }" % self.BODY
+        assert not db.is_deterministic(src)
+
+    def test_same_body_over_list_accepted(self, db):
+        """⊢′ with the list exemption: ordered iteration removes the
+        non-determinism, so no nonint obligation arises."""
+        src = "{ %s | x <- list(1, 2) }" % self.BODY
+        assert db.is_deterministic(src)
+
+    def test_list_acceptance_is_dynamically_justified(self, db):
+        src = "{ %s | x <- list(1, 2) }" % self.BODY
+        ex = db.explore(src)
+        assert ex.paths == 1
+        assert [str(v) for v in ex.distinct_values()] == ['{"first", "later"}']
+
+    def test_commuting_list_concat_refused(self, db):
+        q = db.parse("list(1) union list(2)")
+        from repro.optimizer.planner import try_commute
+
+        assert not try_commute(db, q).changed
+
+    def test_list_concat_not_flagged_by_commutativity_checker(self, db):
+        # ⊢″ says nothing about list concatenation (not commutative);
+        # no conflict — but also no licence (the optimizer refuses)
+        assert db.commutation_conflicts("list(1) union list(2)") == []
+
+
+class TestMetatheoryWithCollections:
+    def test_subject_reduction_through_collections(self, db):
+        from repro.metatheory.theorems import check_subject_reduction
+
+        for src in [
+            "{x | x <- bag(1, 1, 2), x < 2}",
+            "size(list(1, 2) union list(3))",
+            "toset(bag(1, 1)) union {2}",
+            "{ struct(a: x, b: new F(name: p.name)).a | x <- list(1, 2), p <- Ps }",
+        ]:
+            report = check_subject_reduction(
+                db.machine, db.ee, db.oe, db.parse(src)
+            )
+            assert report, f"{src}: {report.detail}"
+
+    def test_bijection_handles_lists_and_bags(self, db):
+        from repro.semantics.bijection import values_equivalent
+        from repro.lang.ast import OidRef
+        from repro.db.store import ObjectEnv, ObjectRecord
+        from repro.lang.ast import StrLit
+
+        oe1 = ObjectEnv({"@a": ObjectRecord("P", (("name", StrLit("x")),))})
+        oe2 = ObjectEnv({"@b": ObjectRecord("P", (("name", StrLit("x")),))})
+        v1 = ListLit((OidRef("@a"), OidRef("@a")))
+        v2 = ListLit((OidRef("@b"), OidRef("@b")))
+        assert values_equivalent(v1, oe1, v2, oe2)
+        v3 = ListLit((OidRef("@b"), OidRef("@b")))
+        oe3 = ObjectEnv({"@b": ObjectRecord("F", (("name", StrLit("x")),))})
+        assert not values_equivalent(v1, oe1, v3, oe3)

@@ -1,0 +1,142 @@
+"""Unit tests for the EE/OE environments and oid supply (repro.db.store)."""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.lang.ast import IntLit, OidRef, StrLit, Var
+from repro.model.odl_parser import parse_schema
+from repro.db.store import (
+    ExtentEnv,
+    ObjectEnv,
+    ObjectRecord,
+    OidSupply,
+    populate,
+)
+
+ODL = """
+class P extends Object (extent Ps) { attribute int x; }
+class Q extends P (extent Qs) { attribute int y; }
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(ODL)
+
+
+class TestObjectRecord:
+    def test_attr_lookup(self):
+        rec = ObjectRecord("P", (("x", IntLit(1)),))
+        assert rec.attr("x") == IntLit(1)
+
+    def test_missing_attr(self):
+        rec = ObjectRecord("P", (("x", IntLit(1)),))
+        with pytest.raises(EvalError, match="no attribute"):
+            rec.attr("y")
+
+    def test_non_value_attr_rejected(self):
+        with pytest.raises(EvalError, match="non-value"):
+            ObjectRecord("P", (("x", Var("q")),))
+
+    def test_with_attr_replaces(self):
+        rec = ObjectRecord("P", (("x", IntLit(1)), ("y", IntLit(2))))
+        rec2 = rec.with_attr("x", IntLit(9))
+        assert rec2.attr("x") == IntLit(9)
+        assert rec2.attr("y") == IntLit(2)
+        assert rec.attr("x") == IntLit(1)  # original immutable
+
+    def test_with_attr_unknown(self):
+        rec = ObjectRecord("P", (("x", IntLit(1)),))
+        with pytest.raises(EvalError):
+            rec.with_attr("zz", IntLit(0))
+
+    def test_str(self):
+        assert "P" in str(ObjectRecord("P", (("x", IntLit(1)),)))
+
+
+class TestObjectEnv:
+    def test_empty(self):
+        oe = ObjectEnv()
+        assert len(oe) == 0
+        assert "@a" not in oe
+
+    def test_with_object_is_persistent(self):
+        oe = ObjectEnv()
+        oe2 = oe.with_object("@a", ObjectRecord("P", ()))
+        assert "@a" in oe2
+        assert "@a" not in oe
+
+    def test_dangling_lookup(self):
+        with pytest.raises(EvalError, match="dangling"):
+            ObjectEnv().get("@ghost")
+
+    def test_equality_and_hash(self):
+        a = ObjectEnv().with_object("@a", ObjectRecord("P", ()))
+        b = ObjectEnv().with_object("@a", ObjectRecord("P", ()))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_class_of(self):
+        oe = ObjectEnv().with_object("@a", ObjectRecord("Q", ()))
+        assert oe.class_of("@a") == "Q"
+
+    def test_items_sorted(self):
+        oe = (
+            ObjectEnv()
+            .with_object("@b", ObjectRecord("P", ()))
+            .with_object("@a", ObjectRecord("P", ()))
+        )
+        assert [k for k, _ in oe.items()] == ["@a", "@b"]
+
+
+class TestExtentEnv:
+    def test_for_schema(self, schema):
+        ee = ExtentEnv.for_schema(schema)
+        assert ee.names() == frozenset({"Ps", "Qs"})
+        assert ee.members("Ps") == frozenset()
+        assert ee.class_of("Qs") == "Q"
+
+    def test_with_member_persistent(self, schema):
+        ee = ExtentEnv.for_schema(schema)
+        ee2 = ee.with_member("Ps", "@a")
+        assert ee2.members("Ps") == frozenset({"@a"})
+        assert ee.members("Ps") == frozenset()
+
+    def test_unknown_extent(self, schema):
+        with pytest.raises(EvalError, match="unknown extent"):
+            ExtentEnv.for_schema(schema).members("Zs")
+
+    def test_equality_hash(self, schema):
+        a = ExtentEnv.for_schema(schema).with_member("Ps", "@a")
+        b = ExtentEnv.for_schema(schema).with_member("Ps", "@a")
+        assert a == b and hash(a) == hash(b)
+
+
+class TestOidSupply:
+    def test_fresh_oids_distinct(self):
+        supply = OidSupply()
+        oe = ObjectEnv()
+        a = supply.fresh("P", oe)
+        b = supply.fresh("P", oe)
+        assert a != b
+
+    def test_freshness_respects_oe(self):
+        supply = OidSupply()
+        oe = ObjectEnv().with_object("@P_0", ObjectRecord("P", ()))
+        assert supply.fresh("P", oe) != "@P_0"
+
+    def test_name_mentions_class(self):
+        assert "Q" in OidSupply().fresh("Q", ObjectEnv())
+
+
+class TestPopulate:
+    def test_joins_class_extent_only(self, schema):
+        """populate mirrors (New): the object joins its *own* class's
+        extent (the paper attaches one extent per class)."""
+        ee, oe, supply = ExtentEnv.for_schema(schema), ObjectEnv(), OidSupply()
+        ee, oe, q = populate(
+            schema, ee, oe, supply, "Q", [("x", IntLit(1)), ("y", IntLit(2))]
+        )
+        assert q.name in ee.members("Qs")
+        assert q.name not in ee.members("Ps")
+        assert oe.get(q.name).cname == "Q"

@@ -1,0 +1,164 @@
+"""Unit tests for the effect algebra of §4 (repro.effects.algebra)."""
+
+import pytest
+
+from repro.effects.algebra import (
+    EMPTY,
+    AccessKind,
+    Atom,
+    Effect,
+    add,
+    read,
+    update,
+)
+
+
+class TestConstruction:
+    def test_empty_is_empty(self):
+        assert EMPTY.is_empty()
+        assert len(EMPTY) == 0
+
+    def test_of_builds_set(self):
+        e = Effect.of(read("C"), add("D"))
+        assert read("C") in e
+        assert add("D") in e
+        assert len(e) == 2
+
+    def test_idempotence(self):
+        assert Effect.of(read("C"), read("C")) == Effect.of(read("C"))
+
+    def test_union_all(self):
+        e = Effect.union_all([Effect.of(read("A")), Effect.of(add("B")), EMPTY])
+        assert e == Effect.of(read("A"), add("B"))
+
+    def test_union_all_empty_iterable(self):
+        assert Effect.union_all([]) == EMPTY
+
+    def test_atom_str(self):
+        assert str(read("C")) == "R(C)"
+        assert str(add("C")) == "A(C)"
+        assert str(update("C")) == "U(C)"
+
+    def test_effect_str(self):
+        assert str(EMPTY) == "∅"
+        assert "R(C)" in str(Effect.of(read("C")))
+
+
+class TestAlgebraLaws:
+    """∪ is associative, commutative, idempotent with unit ∅."""
+
+    a = Effect.of(read("A"))
+    b = Effect.of(add("B"))
+    c = Effect.of(update("C"))
+
+    def test_associative(self):
+        assert (self.a | self.b) | self.c == self.a | (self.b | self.c)
+
+    def test_commutative(self):
+        assert self.a | self.b == self.b | self.a
+
+    def test_idempotent(self):
+        assert self.a | self.a == self.a
+
+    def test_unit(self):
+        assert self.a | EMPTY == self.a
+        assert EMPTY | self.a == self.a
+
+
+class TestSubeffect:
+    def test_empty_below_everything(self):
+        assert EMPTY.subeffect_of(Effect.of(read("C")))
+        assert EMPTY <= EMPTY
+
+    def test_inclusion(self):
+        small = Effect.of(read("C"))
+        big = Effect.of(read("C"), add("C"))
+        assert small <= big
+        assert not big <= small
+
+    def test_reflexive(self):
+        e = Effect.of(read("X"), add("Y"))
+        assert e <= e
+
+
+class TestProjections:
+    e = Effect.of(read("A"), add("B"), update("C"), read("B"))
+
+    def test_reads(self):
+        assert self.e.reads() == frozenset({"A", "B"})
+
+    def test_adds(self):
+        assert self.e.adds() == frozenset({"B"})
+
+    def test_updates(self):
+        assert self.e.updates() == frozenset({"C"})
+
+    def test_writes(self):
+        assert self.e.writes() == frozenset({"B", "C"})
+
+
+class TestNonInterference:
+    """The paper's nonint(ε) predicate."""
+
+    def test_pure_is_noninterfering(self):
+        assert EMPTY.noninterfering()
+
+    def test_read_only_is_noninterfering(self):
+        assert Effect.of(read("A"), read("B")).noninterfering()
+
+    def test_add_only_is_noninterfering(self):
+        # two adds of the same class commute up to oid bijection
+        assert Effect.of(add("A")).noninterfering()
+
+    def test_read_add_different_classes_ok(self):
+        assert Effect.of(read("A"), add("B")).noninterfering()
+
+    def test_read_add_same_class_interferes(self):
+        # the §1 example's effect: {R(F), A(F)}
+        assert not Effect.of(read("F"), add("F")).noninterfering()
+
+    def test_update_always_interferes(self):
+        assert not Effect.of(update("C")).noninterfering()
+
+
+class TestPairwiseInterference:
+    """interferes_with: the ⊢″ side condition (Theorem 8)."""
+
+    def test_pure_never_interferes(self):
+        assert not EMPTY.interferes_with(Effect.of(read("A"), add("A")))
+
+    def test_reads_never_interfere(self):
+        assert not Effect.of(read("A")).interferes_with(Effect.of(read("A")))
+
+    def test_write_vs_read_same_class(self):
+        # the §4 intersection example: A(Person) vs R(Person)
+        assert Effect.of(add("Person")).interferes_with(Effect.of(read("Person")))
+        assert Effect.of(read("Person")).interferes_with(Effect.of(add("Person")))
+
+    def test_add_add_same_class_commutes(self):
+        assert not Effect.of(add("A")).interferes_with(Effect.of(add("A")))
+
+    def test_update_update_same_class(self):
+        assert Effect.of(update("A")).interferes_with(Effect.of(update("A")))
+
+    def test_update_different_classes_ok(self):
+        assert not Effect.of(update("A")).interferes_with(Effect.of(update("B")))
+
+    def test_symmetry(self):
+        pairs = [
+            (Effect.of(read("A")), Effect.of(add("A"))),
+            (Effect.of(update("A")), Effect.of(read("A"))),
+            (Effect.of(add("A")), Effect.of(add("A"))),
+        ]
+        for x, y in pairs:
+            assert x.interferes_with(y) == y.interferes_with(x)
+
+
+class TestIterationOrder:
+    def test_iteration_is_sorted(self):
+        e = Effect.of(read("Z"), add("A"), update("M"))
+        names = [a.cname for a in e]
+        assert names == sorted(names)
+
+    def test_hashable(self):
+        assert len({EMPTY, Effect.of(read("A")), Effect.of(read("A"))}) == 2

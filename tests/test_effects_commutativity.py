@@ -1,0 +1,111 @@
+"""Unit tests for the ⊢″ safe-commutativity system (Theorem 8 gate)."""
+
+import pytest
+
+from repro.effects.commutativity import (
+    analyze_commutativity,
+    check_commutable,
+    may_commute,
+)
+from repro.errors import IOQLEffectError
+from repro.lang.parser import parse_query
+from repro.model.odl_parser import parse_schema
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute string address;
+}
+class Employee extends Person (extent Employees) {
+    attribute int salary;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(ODL)
+
+
+def q(schema, src):
+    return parse_query(src, schema=schema)
+
+
+class TestAccepted:
+    def test_pure_operands(self, schema):
+        assert not analyze_commutativity(schema, q(schema, "{1} union {2}"))[2]
+
+    def test_read_read(self, schema):
+        src = "Persons intersect Persons"
+        _, _, conflicts = analyze_commutativity(schema, q(schema, src))
+        assert not conflicts
+
+    def test_add_add_same_class(self, schema):
+        # two creations commute up to oid bijection
+        src = (
+            '{new Person(name: "a", address: "x")} union '
+            '{new Person(name: "b", address: "y")}'
+        )
+        _, _, conflicts = analyze_commutativity(schema, q(schema, src))
+        assert not conflicts
+
+    def test_write_left_read_right_different_class(self, schema):
+        src = '{ (Person) e | e <- Employees } union {new Person(name: "a", address: "x")}'
+        _, _, conflicts = analyze_commutativity(schema, q(schema, src))
+        # left reads Employee, right adds Person — distinct classes
+        assert not conflicts
+
+    def test_except_never_checked(self, schema):
+        # \\ is not commutative as a set function: ⊢″ has nothing to say
+        src = 'Persons except { new Person(name: "x", address: "y") | p <- Persons }'
+        _, _, conflicts = analyze_commutativity(schema, q(schema, src))
+        assert not conflicts
+
+
+class TestRejected:
+    # the §4 example: the right operand of ∩ creates a Person while the
+    # left operand reads the Person extent
+    PAPER_SRC = (
+        "Persons intersect "
+        '{ struct(a: p, b: new Person(name: p.name, address: "Utah")).a '
+        "  | p <- Persons }"
+    )
+
+    def test_paper_intersection_rejected(self, schema):
+        _, _, conflicts = analyze_commutativity(schema, q(schema, self.PAPER_SRC))
+        assert len(conflicts) == 1
+        c = conflicts[0]
+        assert "Person" in str(c.left_effect) or "Person" in str(c.right_effect)
+
+    def test_check_raises(self, schema):
+        with pytest.raises(IOQLEffectError, match="⊢″"):
+            check_commutable(schema, q(schema, self.PAPER_SRC))
+
+    def test_union_read_vs_add(self, schema):
+        src = 'Persons union {new Person(name: "x", address: "y")}'
+        _, _, conflicts = analyze_commutativity(schema, q(schema, src))
+        assert len(conflicts) == 1
+
+    def test_nested_conflict_found(self, schema):
+        src = "{ size(Persons union {new Person(name: p.name, address: p.name)}) | p <- Persons }"
+        _, _, conflicts = analyze_commutativity(schema, q(schema, src))
+        assert conflicts
+
+
+class TestMayCommute:
+    def test_pairwise_pure(self, schema):
+        assert may_commute(schema, q(schema, "{1}"), q(schema, "{2}"))
+
+    def test_pairwise_reads(self, schema):
+        assert may_commute(schema, q(schema, "Persons"), q(schema, "Employees"))
+
+    def test_pairwise_conflict(self, schema):
+        left = q(schema, "Persons")
+        right = q(schema, '{new Person(name: "x", address: "y")}')
+        assert not may_commute(schema, left, right)
+        assert not may_commute(schema, right, left)
+
+    def test_pairwise_add_add(self, schema):
+        a = q(schema, '{new Person(name: "a", address: "x")}')
+        b = q(schema, '{new Person(name: "b", address: "y")}')
+        assert may_commute(schema, a, b)

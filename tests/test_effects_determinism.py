@@ -1,0 +1,119 @@
+"""Unit tests for the ⊢′ determinism system (repro.effects.determinism)."""
+
+import pytest
+
+from repro.effects.determinism import (
+    analyze_determinism,
+    check_deterministic,
+    is_deterministic,
+)
+from repro.errors import IOQLEffectError
+from repro.lang.parser import parse_query
+from repro.model.odl_parser import parse_schema
+
+ODL = """
+class P extends Object (extent Ps) {
+    attribute string name;
+}
+class F extends Object (extent Fs) {
+    attribute string name;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(ODL)
+
+
+def q(schema, src):
+    return parse_query(src, schema=schema)
+
+
+class TestAccepted:
+    def test_pure_comprehension(self, schema):
+        assert is_deterministic(schema, q(schema, "{p.name | p <- Ps}"))
+
+    def test_read_in_body_ok_without_write(self, schema):
+        assert is_deterministic(
+            schema, q(schema, "{size(Fs) | p <- Ps}")
+        )
+
+    def test_write_in_body_ok_without_read_of_same(self, schema):
+        # body adds to F but never reads F: instances cannot see each
+        # other; deterministic up to the oid bijection (Theorem 7)
+        src = '{ struct(a: p.name, b: new F(name: p.name)).a | p <- Ps }'
+        assert is_deterministic(schema, q(schema, src))
+
+    def test_read_and_write_disjoint_classes(self, schema):
+        src = '{ struct(a: size(Ps), b: new F(name: "x")).a | p <- Ps }'
+        # body reads Ps and adds F — different classes, no interference
+        assert is_deterministic(schema, q(schema, src))
+
+    def test_source_effect_not_constrained(self, schema):
+        # ε₂ (the generator source) is unconstrained by (Comp2′); only
+        # the residual body ε₁ must be non-interfering
+        src = "{ x.name | x <- Ps union Ps }"
+        assert is_deterministic(schema, q(schema, src))
+
+    def test_no_generators_always_ok(self, schema):
+        src = 'struct(a: size(Fs), b: new F(name: "x")).a'
+        assert is_deterministic(schema, q(schema, src))
+
+
+class TestRejected:
+    SRC = (
+        '{ (if size(Fs) = 0 '
+        '   then struct(r: "Peter", w: new F(name: "Peter")).r '
+        '   else p.name) | p <- Ps }'
+    )
+
+    def test_paper_example_rejected(self, schema):
+        """The §1 Jack/Jill query: body reads and adds F."""
+        assert not is_deterministic(schema, q(schema, self.SRC))
+
+    def test_witness_names_conflicting_class(self, schema):
+        _, _, wit = analyze_determinism(schema, q(schema, self.SRC))
+        assert len(wit) == 1
+        assert wit[0].conflicting == frozenset({"F"})
+        assert "F" in str(wit[0])
+
+    def test_check_raises(self, schema):
+        with pytest.raises(IOQLEffectError, match="⊢′"):
+            check_deterministic(schema, q(schema, self.SRC))
+
+    def test_nested_interference_detected(self, schema):
+        # the interfering generator is nested one level down
+        src = "{ size({ y | y <- Fs, size({new F(name: y.name)}) = 1 }) | p <- Ps }"
+        assert not is_deterministic(schema, q(schema, src))
+
+    def test_outer_generator_sees_inner_effects(self, schema):
+        # inner comp is fine on its own, but its effect propagates into
+        # the outer body, which also reads F... here outer body both
+        # reads Fs (via inner generator) and adds F (via head)
+        src = "{ struct(a: f, b: new F(name: f.name)).a | f <- Ps, g <- Fs }"
+        # body of generator g: reads nothing further, adds F; body of f:
+        # reads Fs (source of g) and adds F → interference
+        assert not is_deterministic(schema, q(schema, src))
+
+
+class TestAnalysisOutput:
+    def test_accepted_returns_type_and_effect(self, schema):
+        t, eff, wit = analyze_determinism(
+            schema, q(schema, "{p.name | p <- Ps}")
+        )
+        assert not wit
+        assert str(t) == "set<string>"
+        assert eff.reads() == frozenset({"P"})
+
+    def test_multiple_witnesses_collected(self, schema):
+        src = (
+            "{ size({ (if size(Fs) = 0 "
+            "          then struct(a: x.name, b: new F(name: x.name)).a "
+            "          else x.name) | x <- Fs }) "
+            "  | p <- Fs, size({new F(name: p.name)}) = 1 }"
+        )
+        _, _, wit = analyze_determinism(schema, q(schema, src))
+        # both the inner generator (reads+adds F) and the outer one are
+        # interference witnesses
+        assert len(wit) >= 2

@@ -1,0 +1,176 @@
+"""End-to-end scenarios exercising the whole pipeline together."""
+
+import pytest
+
+import repro
+from repro.db.database import Database
+from repro.methods.ast import AccessMode
+
+
+class TestTopLevelApi:
+    def test_quickstart_from_docs(self):
+        db = repro.open_database(
+            """
+            class Person extends Object (extent Persons) {
+                attribute string name;
+                attribute int age;
+            }
+            """
+        )
+        db.insert("Person", name="Ada", age=36)
+        result = repro.run(db, "{ p.name | p <- Persons, p.age > 30 }")
+        assert result.python() == frozenset({"Ada"})
+
+    def test_typecheck_effects_explore(self):
+        db = repro.open_database(
+            "class P extends Object (extent Ps) { attribute int n; }"
+        )
+        db.insert("P", n=1)
+        assert str(repro.typecheck(db, "{ p.n | p <- Ps }")) == "set<int>"
+        assert "R(P)" in str(repro.effects(db, "Ps"))
+        assert repro.is_deterministic(db, "{ p.n | p <- Ps }")
+        ex = repro.explore(db, "{ p.n | p <- Ps }")
+        assert ex.deterministic()
+
+    def test_optimize_api(self):
+        db = repro.open_database(
+            "class P extends Object (extent Ps) { attribute int n; }"
+        )
+        assert repro.optimize(db, "1 + 1") == db.parse("2")
+
+
+class TestHrScenario:
+    """A realistic multi-step workload over the §2-style schema."""
+
+    def test_full_session(self, hr_db):
+        db = hr_db
+        # 1. definitions building on each other
+        db.define("define tax() as 500;")
+        db.define(
+            "define net(e: Employee) as e.NetSalary(tax());"
+        )
+        db.define(
+            "define well_paid(limit: int) as "
+            "{ e | e <- Employees, net(e) > limit };"
+        )
+        # 2. a query through the definition stack
+        r = db.query("{ e.name | e <- well_paid(4000) }")
+        assert r.python() == frozenset({"Ada"})
+        # 3. the effect of the definition-based query is still visible
+        assert "Employee" in db.effect_of("well_paid(0)").reads()
+        # 4. insert another employee, then re-query
+        (mgr,) = db.extent("Managers")
+        from repro.lang.ast import OidRef
+
+        db.insert(
+            "Employee",
+            name="Niklaus", age=40, address="Zurich", EmpID=3,
+            GrossSalary=9000, UniqueManager=OidRef(mgr),
+        )
+        r2 = db.query("{ e.name | e <- well_paid(4000) }")
+        assert r2.python() == frozenset({"Ada", "Niklaus"})
+
+    def test_upcast_and_heterogeneous_sets(self, hr_db):
+        r = hr_db.query(
+            "{ p.name | p <- { (Person) e | e <- Employees } union Persons }"
+        )
+        # Persons extent holds only direct Person instances (none were
+        # inserted), so the union is exactly the upcast employees
+        assert r.python() == frozenset({"Ada", "Edsger"})
+
+    def test_aggregation_style_query(self, hr_db):
+        r = hr_db.query(
+            "{ struct(mgr: m.name, n: size({ e | e <- Employees, "
+            "e.UniqueManager == m })) | m <- Managers }"
+        )
+        assert r.python() == ({"mgr": "Grace", "n": 2},)
+
+
+class TestEffectfulMethodScenario:
+    """The §5 design point end-to-end: methods that update the database."""
+
+    ODL = """
+    class Account extends Object (extent Accounts) {
+        attribute int balance;
+        attribute int version;
+        int deposit(int amount) effect U(Account) {
+            this.balance := this.balance + amount;
+            this.version := this.version + 1;
+            return this.balance;
+        }
+        Account spawn() effect A(Account) {
+            return new Account(balance: 0, version: 0);
+        }
+        int bank_total() effect R(Account) {
+            var t : int := 0;
+            for (a in extent(Accounts)) { t := t + a.balance; }
+            return t;
+        }
+    }
+    """
+
+    @pytest.fixture
+    def db(self):
+        d = Database.from_odl(self.ODL, method_mode=AccessMode.EFFECTFUL)
+        d.insert("Account", balance=100, version=0)
+        d.insert("Account", balance=50, version=0)
+        return d
+
+    def test_updating_method_via_query(self, db):
+        (a, b) = sorted(db.extent("Accounts"))
+        from repro.lang.ast import MethodCall, OidRef, IntLit
+
+        r = db.run(MethodCall(OidRef(a), "deposit", (IntLit(25),)))
+        assert r.python() == 125
+        assert db.attr(a, "balance").value == 125
+        assert db.attr(a, "version").value == 1
+        assert "Account" in r.effect.updates()
+
+    def test_creating_method_via_query(self, db):
+        (a, _) = sorted(db.extent("Accounts"))
+        from repro.lang.ast import MethodCall, OidRef
+
+        before = len(db.extent("Accounts"))
+        db.run(MethodCall(OidRef(a), "spawn", ()))
+        assert len(db.extent("Accounts")) == before + 1
+
+    def test_reading_method_effect_propagates(self, db):
+        eff = db.effect_of("{ a.bank_total() | a <- Accounts }")
+        assert "Account" in eff.reads()
+
+    def test_updating_iteration_is_flagged_nondeterministic(self, db):
+        """Per-element updates + reads: ⊢′ must reject."""
+        src = "{ a.deposit(a.bank_total()) | a <- Accounts }"
+        assert not db.is_deterministic(src)
+
+    def test_pure_update_iteration_also_flagged(self, db):
+        # updates alone self-interfere (could hit the same object)
+        src = "{ a.deposit(1) | a <- Accounts }"
+        assert not db.is_deterministic(src)
+
+    def test_update_order_actually_observable(self, db):
+        """Dynamic confirmation of the static warning above."""
+        src = "{ a.deposit(a.bank_total()) | a <- Accounts }"
+        ex = db.explore(src)
+        assert len(ex.distinct_values()) > 1
+
+
+class TestCrossFeatureSmoke:
+    def test_everything_at_once(self, hr_db):
+        """One query touching records, sets, paths, methods, sugar,
+        casts and quantifiers, checked and executed."""
+        src = (
+            "select struct(who: e.name, boss: e.UniqueManager.name, "
+            "ok: e.is_adult() and e.NetSalary(100) > 4000) "
+            "from e in Employees "
+            "where exists m in Managers : m == e.UniqueManager"
+        )
+        t = hr_db.typecheck(src)
+        assert "who: string" in str(t)
+        r = hr_db.query(src)
+        rows = r.python()
+        rows = set(tuple(sorted(d.items())) for d in (rows if isinstance(rows, tuple) else rows))
+        assert rows == {
+            (("boss", "Grace"), ("ok", True), ("who", "Ada")),
+            (("boss", "Grace"), ("ok", True), ("who", "Edsger")),
+        }

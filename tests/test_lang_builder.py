@@ -1,0 +1,104 @@
+"""Unit tests for the fluent builder DSL (repro.lang.builder)."""
+
+import pytest
+
+from repro.lang import builder as B
+from repro.lang.parser import parse_query
+
+
+class TestLeaves:
+    def test_literals(self):
+        assert B.build(B.int_(3)) == parse_query("3")
+        assert B.build(B.bool_(True)) == parse_query("true")
+        assert B.build(B.str_("x")) == parse_query('"x"')
+
+    def test_identifiers(self):
+        assert B.build(B.var("x")) == parse_query("x")
+        assert B.build(B.oid("@p")) == parse_query("@p")
+
+    def test_extent(self):
+        from repro.lang.ast import ExtentRef
+
+        assert B.build(B.extent("Ps")) == ExtentRef("Ps")
+
+
+class TestOperators:
+    def test_arithmetic(self):
+        q = B.int_(1) + B.int_(2) * B.int_(3)
+        # builder applies Python precedence: * binds first
+        assert B.build(q) == parse_query("1 + 2 * 3")
+
+    def test_int_coercion(self):
+        assert B.build(B.var("x") + 1) == parse_query("x + 1")
+
+    def test_comparisons(self):
+        assert B.build(B.var("x") < 3) == parse_query("x < 3")
+        assert B.build(B.var("x") >= 3) == parse_query("x >= 3")
+
+    def test_equality_methods(self):
+        assert B.build(B.var("x").eq(1)) == parse_query("x = 1")
+        assert B.build(B.var("a").same(B.var("b"))) == parse_query("a == b")
+
+    def test_set_ops(self):
+        q = B.set_(1).union(B.set_(2)).intersect(B.set_(3))
+        assert B.build(q) == parse_query("{1} union {2} intersect {3}")
+
+    def test_except(self):
+        assert B.build(B.set_(1).except_(B.set_(2))) == parse_query("{1} except {2}")
+
+
+class TestStructures:
+    def test_set(self):
+        assert B.build(B.set_(1, 2, 3)) == parse_query("{1, 2, 3}")
+
+    def test_record(self):
+        assert B.build(B.record(a=1, b=True)) == parse_query("struct(a: 1, b: true)")
+
+    def test_attr_chain(self):
+        assert B.build(B.var("x").attr("foo").attr("bar")) == parse_query("x.foo.bar")
+
+    def test_method_call(self):
+        assert B.build(B.var("x").call("m", 1, 2)) == parse_query("x.m(1, 2)")
+
+    def test_new(self):
+        q = B.new("P", a=1, b="s")
+        assert B.build(q) == parse_query('new P(a: 1, b: "s")')
+
+    def test_cast(self):
+        assert B.build(B.var("x").cast("Person")) == parse_query("(Person) x")
+
+    def test_size(self):
+        assert B.build(B.size(B.set_(1))) == parse_query("size({1})")
+
+    def test_if(self):
+        assert B.build(B.if_(B.bool_(True), 1, 2)) == parse_query(
+            "if true then 1 else 2"
+        )
+
+    def test_defcall(self):
+        assert B.build(B.defcall("f", 1)) == parse_query("f(1)")
+
+
+class TestComprehensions:
+    def test_generator_and_predicate(self):
+        q = B.comp(
+            B.var("p").attr("name"),
+            B.gen("p", B.extent("Persons")),
+            B.var("p").attr("age") > 30,
+        )
+        expected = parse_query(
+            "{p.name | p <- Persons, p.age > 30}", extents={"Persons"}
+        )
+        assert B.build(q) == expected
+
+    def test_no_qualifiers(self):
+        assert B.build(B.comp(B.int_(1))) == parse_query("{1 | }")
+
+
+class TestErgonomics:
+    def test_str_renders_pretty(self):
+        assert str(B.var("x") + 1) == "x + 1"
+
+    def test_bad_lift_rejected(self):
+        with pytest.raises(TypeError):
+            B.var("x") + 1.5  # floats are not IOQL values

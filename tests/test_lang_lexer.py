@@ -1,0 +1,129 @@
+"""Unit tests for the shared lexer (repro.lang.lexer)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import Token, TokenStream, tokenize
+
+
+def kinds(src: str) -> list[str]:
+    return [t.kind for t in tokenize(src)]
+
+
+class TestBasicTokens:
+    def test_integers(self):
+        toks = tokenize("12 345")
+        assert [(t.kind, t.text) for t in toks[:-1]] == [("INT", "12"), ("INT", "345")]
+
+    def test_identifiers_vs_keywords(self):
+        toks = tokenize("foo select Person")
+        assert [t.kind for t in toks[:-1]] == ["IDENT", "select", "IDENT"]
+
+    def test_string_literal(self):
+        toks = tokenize('"hello world"')
+        assert toks[0].kind == "STRING"
+        assert toks[0].text == "hello world"
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\"b\\c\nd"')
+        assert toks[0].text == 'a"b\\c\nd'
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated string"):
+            tokenize('"abc')
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+        assert tokenize("x")[-1].kind == "EOF"
+
+
+class TestOperators:
+    def test_multichar_maximal_munch(self):
+        assert kinds("== <= >= <- :=")[:-1] == ["==", "<=", ">=", "<-", ":="]
+
+    def test_eq_vs_eqeq(self):
+        assert kinds("= ==")[:-1] == ["=", "=="]
+
+    def test_arrow_vs_lt(self):
+        # the documented quirk: `<-` wins over `<` `-`
+        assert kinds("x <- y")[:-1] == ["IDENT", "<-", "IDENT"]
+        assert kinds("x < - y")[:-1] == ["IDENT", "<", "-", "IDENT"]
+
+    def test_punctuation(self):
+        assert kinds("( ) { } . , ; : |")[:-1] == list("(){}.,;:|")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("1 // comment\n2")[:-1] == ["INT", "INT"]
+
+    def test_block_comment(self):
+        assert kinds("1 /* multi\nline */ 2")[:-1] == ["INT", "INT"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError, match="unterminated block"):
+            tokenize("1 /* oops")
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ab\n cd $")
+        except ParseError as exc:
+            assert exc.line == 2
+            assert exc.column == 5
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestTokenStream:
+    def test_peek_does_not_consume(self):
+        ts = TokenStream.of("a b")
+        assert ts.peek().text == "a"
+        assert ts.peek().text == "a"
+
+    def test_peek_ahead(self):
+        ts = TokenStream.of("a b c")
+        assert ts.peek(2).text == "c"
+        assert ts.peek(99).kind == "EOF"
+
+    def test_next_consumes(self):
+        ts = TokenStream.of("a b")
+        assert ts.next().text == "a"
+        assert ts.next().text == "b"
+        assert ts.next().kind == "EOF"
+        assert ts.next().kind == "EOF"  # EOF is sticky
+
+    def test_expect_success(self):
+        ts = TokenStream.of("define x")
+        assert ts.expect("define").text == "define"
+
+    def test_expect_failure(self):
+        ts = TokenStream.of("define")
+        with pytest.raises(ParseError, match="expected 'IDENT'"):
+            ts.expect("IDENT")
+
+    def test_accept(self):
+        ts = TokenStream.of(", x")
+        assert ts.accept(",") is not None
+        assert ts.accept(",") is None
+        assert ts.peek().text == "x"
+
+    def test_at(self):
+        ts = TokenStream.of("{ }")
+        assert ts.at("{")
+        assert ts.at("{", "}")
+        assert not ts.at("}")
+
+    def test_at_eof(self):
+        ts = TokenStream.of("")
+        assert ts.at_eof()

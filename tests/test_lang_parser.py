@@ -1,0 +1,302 @@
+"""Unit tests for the IOQL parser (repro.lang.parser)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    BoolLit,
+    Cast,
+    Cmp,
+    CmpKind,
+    Comp,
+    DefCall,
+    ExtentRef,
+    Field,
+    Gen,
+    If,
+    IntLit,
+    IntOp,
+    IntOpKind,
+    MethodCall,
+    New,
+    ObjEq,
+    Pred,
+    PrimEq,
+    RecordLit,
+    SetLit,
+    SetOp,
+    SetOpKind,
+    Size,
+    StrLit,
+    Var,
+)
+from repro.lang.parser import parse_program, parse_query, parse_type
+from repro.model.types import BOOL, INT, STRING, ClassType, RecordType, SetType
+
+
+class TestLiterals:
+    def test_int(self):
+        assert parse_query("42") == IntLit(42)
+
+    def test_negative_int(self):
+        assert parse_query("-42") == IntLit(-42)
+
+    def test_bools(self):
+        assert parse_query("true") == BoolLit(True)
+        assert parse_query("false") == BoolLit(False)
+
+    def test_string(self):
+        assert parse_query('"hi"') == StrLit("hi")
+
+    def test_var(self):
+        assert parse_query("x") == Var("x")
+
+
+class TestOperators:
+    def test_addition_left_assoc(self):
+        q = parse_query("1 + 2 + 3")
+        assert q == IntOp(IntOpKind.ADD, IntOp(IntOpKind.ADD, IntLit(1), IntLit(2)), IntLit(3))
+
+    def test_mul_binds_tighter(self):
+        q = parse_query("1 + 2 * 3")
+        assert q == IntOp(IntOpKind.ADD, IntLit(1), IntOp(IntOpKind.MUL, IntLit(2), IntLit(3)))
+
+    def test_parens(self):
+        q = parse_query("(1 + 2) * 3")
+        assert q == IntOp(IntOpKind.MUL, IntOp(IntOpKind.ADD, IntLit(1), IntLit(2)), IntLit(3))
+
+    def test_unary_minus_expression(self):
+        q = parse_query("-(x)")
+        assert q == IntOp(IntOpKind.SUB, IntLit(0), Var("x"))
+
+    def test_prim_eq(self):
+        assert parse_query("1 = 2") == PrimEq(IntLit(1), IntLit(2))
+
+    def test_obj_eq(self):
+        assert parse_query("x == y") == ObjEq(Var("x"), Var("y"))
+
+    def test_comparisons(self):
+        assert parse_query("1 < 2") == Cmp(CmpKind.LT, IntLit(1), IntLit(2))
+        assert parse_query("1 >= 2") == Cmp(CmpKind.GE, IntLit(1), IntLit(2))
+
+    def test_set_ops(self):
+        q = parse_query("a union b intersect c")
+        assert q == SetOp(
+            SetOpKind.INTERSECT,
+            SetOp(SetOpKind.UNION, Var("a"), Var("b")),
+            Var("c"),
+        )
+
+    def test_setop_binds_looser_than_arith(self):
+        q = parse_query("{1} union {1 + 2}")
+        assert isinstance(q, SetOp)
+        assert q.right == SetLit((IntOp(IntOpKind.ADD, IntLit(1), IntLit(2)),))
+
+
+class TestPostfix:
+    def test_field(self):
+        assert parse_query("x.name") == Field(Var("x"), "name")
+
+    def test_path_expression(self):
+        q = parse_query("x.foo.bar")
+        assert q == Field(Field(Var("x"), "foo"), "bar")
+
+    def test_method_call(self):
+        q = parse_query("x.m(1, y)")
+        assert q == MethodCall(Var("x"), "m", (IntLit(1), Var("y")))
+
+    def test_method_no_args(self):
+        assert parse_query("x.m()") == MethodCall(Var("x"), "m", ())
+
+    def test_defcall(self):
+        assert parse_query("f(1, 2)") == DefCall("f", (IntLit(1), IntLit(2)))
+
+    def test_defcall_no_args(self):
+        assert parse_query("f()") == DefCall("f", ())
+
+
+class TestCast:
+    def test_cast(self):
+        assert parse_query("(Person) x") == Cast("Person", Var("x"))
+
+    def test_cast_vs_parens(self):
+        # "(x) + 1" is a parenthesised variable, not a cast
+        q = parse_query("(x) + 1")
+        assert q == IntOp(IntOpKind.ADD, Var("x"), IntLit(1))
+
+    def test_nested_cast(self):
+        q = parse_query("(A) (B) x")
+        assert q == Cast("A", Cast("B", Var("x")))
+
+
+class TestStructures:
+    def test_empty_set(self):
+        assert parse_query("{}") == SetLit(())
+
+    def test_set_literal(self):
+        assert parse_query("{1, 2, 3}") == SetLit((IntLit(1), IntLit(2), IntLit(3)))
+
+    def test_record(self):
+        q = parse_query("struct(a: 1, b: true)")
+        assert q == RecordLit((("a", IntLit(1)), ("b", BoolLit(True))))
+
+    def test_new(self):
+        q = parse_query('new Person(name: "x", age: 3)')
+        assert q == New("Person", (("name", StrLit("x")), ("age", IntLit(3))))
+
+    def test_size(self):
+        assert parse_query("size({1})") == Size(SetLit((IntLit(1),)))
+
+    def test_if(self):
+        q = parse_query("if true then 1 else 2")
+        assert q == If(BoolLit(True), IntLit(1), IntLit(2))
+
+
+class TestComprehensions:
+    def test_empty_qualifiers(self):
+        assert parse_query("{x | }") == Comp(Var("x"), ())
+
+    def test_generator_arrow(self):
+        q = parse_query("{x | x <- s}")
+        assert q == Comp(Var("x"), (Gen("x", Var("s")),))
+
+    def test_generator_in(self):
+        assert parse_query("{x | x in s}") == parse_query("{x | x <- s}")
+
+    def test_generator_and_predicate(self):
+        q = parse_query("{x | x <- s, x < 3}")
+        assert q == Comp(
+            Var("x"),
+            (Gen("x", Var("s")), Pred(Cmp(CmpKind.LT, Var("x"), IntLit(3)))),
+        )
+
+    def test_multiple_generators(self):
+        q = parse_query("{1 | x <- s, y <- t}")
+        assert q == Comp(IntLit(1), (Gen("x", Var("s")), Gen("y", Var("t"))))
+
+    def test_nested_comprehension(self):
+        q = parse_query("{ {y | y <- x} | x <- s }")
+        assert isinstance(q, Comp)
+        assert isinstance(q.head, Comp)
+
+
+class TestSugar:
+    def test_and(self):
+        q = parse_query("true and false")
+        assert q == If(BoolLit(True), BoolLit(False), BoolLit(False))
+
+    def test_or(self):
+        q = parse_query("true or false")
+        assert q == If(BoolLit(True), BoolLit(True), BoolLit(False))
+
+    def test_not(self):
+        q = parse_query("not true")
+        assert q == If(BoolLit(True), BoolLit(False), BoolLit(True))
+
+    def test_select_from_where(self):
+        q = parse_query("select x.a from x in s where x.b")
+        assert q == Comp(
+            Field(Var("x"), "a"),
+            (Gen("x", Var("s")), Pred(Field(Var("x"), "b"))),
+        )
+
+    def test_select_multiple_froms(self):
+        q = parse_query("select 1 from x in s, y in t")
+        assert q == Comp(IntLit(1), (Gen("x", Var("s")), Gen("y", Var("t"))))
+
+    def test_select_distinct_is_noop(self):
+        assert parse_query("select distinct 1 from x in s") == parse_query(
+            "select 1 from x in s"
+        )
+
+    def test_exists(self):
+        q = parse_query("exists x in s : x < 3")
+        assert q == PrimEq(
+            IntLit(1),
+            Size(Comp(BoolLit(True), (Gen("x", Var("s")), Pred(Cmp(CmpKind.LT, Var("x"), IntLit(3)))))),
+        )
+
+    def test_forall(self):
+        q = parse_query("forall x in s : x < 3")
+        assert isinstance(q, PrimEq)
+        assert q.left == IntLit(0)
+
+
+class TestExtentResolution:
+    def test_without_extents_identifiers_stay_vars(self):
+        assert parse_query("{p | p <- Persons}").qualifiers[0].source == Var("Persons")
+
+    def test_with_extents(self):
+        q = parse_query("{p | p <- Persons}", extents={"Persons"})
+        assert q.qualifiers[0].source == ExtentRef("Persons")
+
+    def test_shadowing_respected(self):
+        q = parse_query("{Persons | Persons <- Persons}", extents={"Persons"})
+        assert q.qualifiers[0].source == ExtentRef("Persons")
+        assert q.head == Var("Persons")
+
+
+class TestPrograms:
+    def test_single_definition(self):
+        p = parse_program("define inc(x: int) as x + 1; inc(2)")
+        assert len(p.definitions) == 1
+        d = p.definitions[0]
+        assert d.name == "inc"
+        assert d.params == (("x", INT),)
+        assert p.query == DefCall("inc", (IntLit(2),))
+
+    def test_multiple_definitions(self):
+        p = parse_program(
+            "define a() as 1; define b() as a() + 1; b()"
+        )
+        assert [d.name for d in p.definitions] == ["a", "b"]
+
+    def test_trailing_semicolon_ok(self):
+        parse_program("1;")
+
+    def test_garbage_after_query(self):
+        with pytest.raises(ParseError):
+            parse_program("1 1")
+
+
+class TestTypes:
+    def test_primitives(self):
+        assert parse_type("int") == INT
+        assert parse_type("bool") == BOOL
+        assert parse_type("string") == STRING
+
+    def test_set(self):
+        assert parse_type("set<int>") == SetType(INT)
+        assert parse_type("set<set<bool>>") == SetType(SetType(BOOL))
+
+    def test_struct(self):
+        assert parse_type("struct(a: int, b: Person)") == RecordType(
+            (("a", INT), ("b", ClassType("Person")))
+        )
+
+    def test_class(self):
+        assert parse_type("Person") == ClassType("Person")
+
+    def test_bad_type(self):
+        with pytest.raises(ParseError):
+            parse_type("set<>")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "1 +",
+            "{1, }",
+            "if true then 1",
+            "new P(a 1)",
+            "struct(a 1)",
+            "{x | x <- }",
+            "(1",
+            "x.",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse_query(bad)

@@ -1,0 +1,96 @@
+"""Unit tests for the pretty-printer (round-trips with the parser)."""
+
+import pytest
+
+from repro.lang.ast import Definition, IntLit, Program, Var
+from repro.lang.parser import parse_program, parse_query
+from repro.lang.pprint import pretty, pretty_definition, pretty_program
+from repro.model.types import INT, SetType
+
+ROUNDTRIP_SOURCES = [
+    "42",
+    "-7",
+    "true",
+    '"hi \\"there\\""',
+    "x",
+    "@Person_0",
+    "{1, 2, 3}",
+    "{}",
+    "1 + 2 * 3",
+    "(1 + 2) * 3",
+    "1 - 2 - 3",
+    "{1} union {2} intersect {3}",
+    "x = y",
+    "o == p",
+    "1 < 2",
+    "struct(a: 1, b: true)",
+    "struct(a: 1).a",
+    "x.foo.bar",
+    "f(1, g(2))",
+    "size({1})",
+    "(Person) x",
+    "(A) (B) x",
+    'new P(a: 1, b: "s")',
+    "if a then b else c",
+    "if a then (if b then c else d) else e",
+    "{x | }",
+    "{x + 1 | x <- s, x < 3, y <- t}",
+    "{ {y | y <- x} | x <- s }",
+    "x.m(1, 2)",
+    "x.m()",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("src", ROUNDTRIP_SOURCES)
+    def test_parse_pretty_parse(self, src):
+        q = parse_query(src)
+        assert parse_query(pretty(q)) == q
+
+    def test_idempotent(self):
+        for src in ROUNDTRIP_SOURCES:
+            q = parse_query(src)
+            assert pretty(parse_query(pretty(q))) == pretty(q)
+
+
+class TestPrecedencePrinting:
+    def test_no_spurious_parens(self):
+        assert pretty(parse_query("1 + 2 + 3")) == "1 + 2 + 3"
+        assert pretty(parse_query("1 + 2 * 3")) == "1 + 2 * 3"
+
+    def test_needed_parens_kept(self):
+        assert pretty(parse_query("(1 + 2) * 3")) == "(1 + 2) * 3"
+        assert pretty(parse_query("1 - (2 - 3)")) == "1 - (2 - 3)"
+
+    def test_setop_parens(self):
+        q = parse_query("a union (b union c)")
+        assert pretty(q) == "a union (b union c)"
+
+    def test_negative_literal_in_tight_context(self):
+        q = parse_query("(-3).l")
+        s = pretty(q)
+        assert parse_query(s) == q
+
+    def test_comprehension_format(self):
+        assert pretty(parse_query("{x|x<-s,p}")) == "{x | x <- s, p}"
+
+    def test_empty_qualifier_format(self):
+        assert pretty(parse_query("{ x | }")) == "{x | }"
+
+
+class TestProgramPrinting:
+    def test_definition(self):
+        d = Definition("f", (("x", INT), ("xs", SetType(INT))), Var("x"))
+        assert pretty_definition(d) == "define f(x: int, xs: set<int>) as x;"
+
+    def test_program_roundtrip(self):
+        src = "define f(x: int) as x + 1; f(2)"
+        p = parse_program(src)
+        assert parse_program(pretty_program(p)) == p
+
+    def test_multi_definition_program(self):
+        src = "define a() as 1; define b() as a(); b()"
+        p = parse_program(src)
+        out = pretty_program(p)
+        assert out.count("define") == 2
+        assert parse_program(out) == p

@@ -1,0 +1,173 @@
+"""Unit tests for traversals and substitution (repro.lang.traversal)."""
+
+import pytest
+
+from repro.lang.ast import (
+    Comp,
+    ExtentRef,
+    Gen,
+    IntLit,
+    IntOp,
+    IntOpKind,
+    New,
+    Pred,
+    SetLit,
+    StrLit,
+    Var,
+)
+from repro.lang.parser import parse_query
+from repro.lang.traversal import (
+    bound_vars,
+    classes_created,
+    extents_mentioned,
+    free_vars,
+    fresh_name,
+    map_subqueries,
+    query_depth,
+    query_size,
+    resolve_extents,
+    subqueries,
+    subst,
+    subst_many,
+    walk,
+)
+
+
+class TestFreeVars:
+    def test_var(self):
+        assert free_vars(Var("x")) == frozenset({"x"})
+
+    def test_literal(self):
+        assert free_vars(IntLit(1)) == frozenset()
+
+    def test_operator(self):
+        assert free_vars(parse_query("x + y")) == frozenset({"x", "y"})
+
+    def test_generator_binds(self):
+        q = parse_query("{x | x <- s}")
+        assert free_vars(q) == frozenset({"s"})
+
+    def test_generator_scope_is_later_quals_and_head(self):
+        # x free in its own source, bound afterwards
+        q = parse_query("{x | x <- x}")
+        assert free_vars(q) == frozenset({"x"})
+
+    def test_sequential_binding(self):
+        q = parse_query("{x + y | x <- s, y <- t, x < y}")
+        assert free_vars(q) == frozenset({"s", "t"})
+
+    def test_second_source_sees_first_var(self):
+        q = parse_query("{1 | x <- s, y <- x}")
+        assert free_vars(q) == frozenset({"s"})
+
+    def test_extent_refs_not_variables(self):
+        q = resolve_extents(parse_query("{p | p <- Ps}"), {"Ps"})
+        assert free_vars(q) == frozenset()
+
+    def test_bound_vars(self):
+        q = parse_query("{x | x <- s, y <- t}")
+        assert bound_vars(q) == frozenset({"x", "y"})
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert subst(Var("x"), "x", IntLit(5)) == IntLit(5)
+
+    def test_untouched(self):
+        assert subst(Var("y"), "x", IntLit(5)) == Var("y")
+
+    def test_inside_operator(self):
+        q = subst(parse_query("x + x"), "x", IntLit(2))
+        assert q == parse_query("2 + 2")
+
+    def test_shadowed_by_generator(self):
+        q = parse_query("{x | x <- s, x < y}")
+        out = subst(q, "x", IntLit(1))
+        # x is bound by the generator: no substitution under it
+        assert out == q
+
+    def test_free_in_source_substituted(self):
+        q = parse_query("{1 | x <- x}")
+        out = subst(q, "x", Var("s"))
+        assert out == parse_query("{1 | x <- s}")
+
+    def test_capture_avoidance(self):
+        # substituting an open term whose free var collides with a binder
+        q = parse_query("{x + y | x <- s}")
+        out = subst(q, "y", Var("x"))
+        # the binder must have been renamed: result ≠ naive capture
+        assert out != parse_query("{x + x | x <- s}")
+        assert free_vars(out) == frozenset({"s", "x"})
+
+    def test_subst_many_closed_values(self):
+        q = parse_query("x + y")
+        out = subst_many(q, {"x": IntLit(1), "y": IntLit(2)})
+        assert out == parse_query("1 + 2")
+
+    def test_head_substituted(self):
+        q = parse_query("{y | x <- s}")
+        assert subst(q, "y", IntLit(3)) == parse_query("{3 | x <- s}")
+
+
+class TestMapAndWalk:
+    def test_map_identity(self):
+        q = parse_query("{x + 1 | x <- s, x < 2}")
+        assert map_subqueries(q, lambda s: s) == q
+
+    def test_map_transforms_children(self):
+        q = parse_query("1 + 2")
+        out = map_subqueries(q, lambda s: IntLit(0))
+        assert out == parse_query("0 + 0")
+
+    def test_walk_counts(self):
+        q = parse_query("1 + 2 * 3")
+        kinds = [type(n).__name__ for n in walk(q)]
+        assert kinds.count("IntLit") == 3
+        assert kinds.count("IntOp") == 2
+
+    def test_subqueries_order(self):
+        q = parse_query("f(1, 2)")
+        assert list(subqueries(q)) == [IntLit(1), IntLit(2)]
+
+
+class TestMetrics:
+    def test_size(self):
+        assert query_size(IntLit(1)) == 1
+        assert query_size(parse_query("1 + 2")) == 3
+
+    def test_depth(self):
+        assert query_depth(IntLit(1)) == 1
+        assert query_depth(parse_query("1 + (2 + 3)")) == 3
+
+    def test_extents_mentioned(self):
+        q = resolve_extents(parse_query("Ps union {p | p <- Qs}"), {"Ps", "Qs"})
+        assert extents_mentioned(q) == frozenset({"Ps", "Qs"})
+
+    def test_classes_created(self):
+        q = parse_query('new P(a: 1) == new Q(b: 2)')
+        assert classes_created(q) == frozenset({"P", "Q"})
+
+
+class TestFreshNames:
+    def test_no_collision(self):
+        assert fresh_name("x", {"y"}) == "x"
+
+    def test_collision_suffixed(self):
+        assert fresh_name("x", {"x"}) == "x_1"
+        assert fresh_name("x", {"x", "x_1"}) == "x_2"
+
+
+class TestResolveExtents:
+    def test_basic(self):
+        q = resolve_extents(Var("Ps"), {"Ps"})
+        assert q == ExtentRef("Ps")
+
+    def test_unknown_untouched(self):
+        assert resolve_extents(Var("zz"), {"Ps"}) == Var("zz")
+
+    def test_bound_name_not_resolved(self):
+        q = parse_query("{Ps | Ps <- Ps}")
+        out = resolve_extents(q, {"Ps"})
+        assert isinstance(out, Comp)
+        assert out.qualifiers[0].source == ExtentRef("Ps")
+        assert out.head == Var("Ps")

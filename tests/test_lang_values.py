@@ -1,0 +1,176 @@
+"""Unit tests for the value grammar and canonical sets (repro.lang.values)."""
+
+import pytest
+
+from repro.errors import IOQLTypeError
+from repro.lang.ast import (
+    BoolLit,
+    IntLit,
+    IntOp,
+    IntOpKind,
+    OidRef,
+    RecordLit,
+    SetLit,
+    StrLit,
+    Var,
+)
+from repro.lang.values import (
+    EMPTY_SET,
+    canonicalize,
+    from_value,
+    is_value,
+    is_value_shaped,
+    make_set_value,
+    oids_in,
+    set_except,
+    set_intersect,
+    set_remove,
+    set_union,
+    to_value,
+    value_sort_key,
+    values_equal,
+)
+
+
+class TestIsValue:
+    def test_literals(self):
+        assert is_value(IntLit(1))
+        assert is_value(BoolLit(True))
+        assert is_value(StrLit("x"))
+        assert is_value(OidRef("@P_0"))
+
+    def test_var_is_not_value(self):
+        assert not is_value(Var("x"))
+
+    def test_non_value_inside_set(self):
+        assert not is_value(SetLit((IntOp(IntOpKind.ADD, IntLit(1), IntLit(1)),)))
+
+    def test_canonical_set_is_value(self):
+        assert is_value(make_set_value([IntLit(2), IntLit(1)]))
+
+    def test_non_canonical_set_is_not_value(self):
+        # duplicates
+        assert not is_value(SetLit((IntLit(1), IntLit(1))))
+        # wrong order
+        assert not is_value(SetLit((IntLit(2), IntLit(1))))
+
+    def test_value_shaped_but_not_value(self):
+        s = SetLit((IntLit(1), IntLit(1)))
+        assert is_value_shaped(s)
+        assert not is_value(s)
+
+    def test_record_of_values(self):
+        assert is_value(RecordLit((("a", IntLit(1)),)))
+        assert not is_value(RecordLit((("a", Var("x")),)))
+
+
+class TestCanonicalisation:
+    def test_dedup_and_sort(self):
+        s = make_set_value([IntLit(3), IntLit(1), IntLit(3), IntLit(2)])
+        assert s == SetLit((IntLit(1), IntLit(2), IntLit(3)))
+
+    def test_set_equality_is_structural_after_canon(self):
+        a = make_set_value([IntLit(1), IntLit(2)])
+        b = make_set_value([IntLit(2), IntLit(1)])
+        assert a == b
+
+    def test_nested_canonicalisation(self):
+        inner1 = SetLit((IntLit(2), IntLit(1)))
+        v = canonicalize(SetLit((inner1,)))
+        assert v == SetLit((SetLit((IntLit(1), IntLit(2))),))
+
+    def test_canonicalize_inside_record(self):
+        r = canonicalize(RecordLit((("a", SetLit((IntLit(2), IntLit(1)))),)))
+        assert r == RecordLit((("a", SetLit((IntLit(1), IntLit(2)))),))
+
+    def test_values_equal(self):
+        assert values_equal(SetLit((IntLit(2), IntLit(1))), SetLit((IntLit(1), IntLit(2))))
+
+    def test_mixed_types_sort_consistently(self):
+        v = make_set_value([StrLit("a"), IntLit(1), BoolLit(False), OidRef("@x")])
+        assert is_value(v)
+        # bool < int < string < oid by the documented order
+        assert isinstance(v.items[0], BoolLit)
+        assert isinstance(v.items[1], IntLit)
+        assert isinstance(v.items[2], StrLit)
+        assert isinstance(v.items[3], OidRef)
+
+    def test_sort_key_rejects_non_values(self):
+        with pytest.raises(TypeError):
+            value_sort_key(Var("x"))
+
+
+class TestSetOperations:
+    a = make_set_value([IntLit(1), IntLit(2)])
+    b = make_set_value([IntLit(2), IntLit(3)])
+
+    def test_union(self):
+        assert set_union(self.a, self.b) == make_set_value(
+            [IntLit(1), IntLit(2), IntLit(3)]
+        )
+
+    def test_intersect(self):
+        assert set_intersect(self.a, self.b) == make_set_value([IntLit(2)])
+
+    def test_except(self):
+        assert set_except(self.a, self.b) == make_set_value([IntLit(1)])
+
+    def test_remove(self):
+        assert set_remove(self.a, IntLit(1)) == make_set_value([IntLit(2)])
+
+    def test_remove_absent_is_noop(self):
+        assert set_remove(self.a, IntLit(9)) == self.a
+
+    def test_empty_set_constant(self):
+        assert EMPTY_SET == SetLit(())
+        assert is_value(EMPTY_SET)
+
+
+class TestOidsIn:
+    def test_flat(self):
+        assert oids_in(OidRef("@a")) == frozenset({"@a"})
+        assert oids_in(IntLit(1)) == frozenset()
+
+    def test_nested(self):
+        v = make_set_value(
+            [RecordLit((("p", OidRef("@a")), ("q", OidRef("@b")))), OidRef("@c")]
+        )
+        assert oids_in(v) == frozenset({"@a", "@b", "@c"})
+
+
+class TestConversions:
+    def test_roundtrip_primitives(self):
+        for x in (1, True, False, "s", 0):
+            assert from_value(to_value(x)) == x
+
+    def test_bool_not_confused_with_int(self):
+        assert to_value(True) == BoolLit(True)
+        assert to_value(1) == IntLit(1)
+
+    def test_set_conversion(self):
+        v = to_value({1, 2})
+        assert v == make_set_value([IntLit(1), IntLit(2)])
+        assert from_value(v) == frozenset({1, 2})
+
+    def test_dict_to_record(self):
+        v = to_value({"a": 1, "b": "x"})
+        assert v == RecordLit((("a", IntLit(1)), ("b", StrLit("x"))))
+        assert from_value(v) == {"a": 1, "b": "x"}
+
+    def test_set_of_records_falls_back_to_tuple(self):
+        # dicts are unhashable, so the set of records becomes a tuple
+        # in canonical order
+        v = to_value([{"a": 2}, {"a": 1}])
+        assert from_value(v) == ({"a": 1}, {"a": 2})
+
+    def test_to_value_rejects_open_query(self):
+        with pytest.raises(IOQLTypeError):
+            to_value(Var("x"))
+
+    def test_from_value_rejects_non_value(self):
+        with pytest.raises(IOQLTypeError):
+            from_value(Var("x"))
+
+    def test_to_value_rejects_unknown(self):
+        with pytest.raises(IOQLTypeError):
+            to_value(object())

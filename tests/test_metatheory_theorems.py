@@ -1,0 +1,168 @@
+"""Tests of the executable Theorems 1–8 over random and curated configs."""
+
+import random
+
+import pytest
+
+from repro.lang.parser import parse_query
+from repro.metatheory.generators import (
+    QueryGenerator,
+    make_random_schema,
+    make_random_store,
+)
+from repro.metatheory.theorems import (
+    check_determinism,
+    check_functional_determinism,
+    check_progress,
+    check_safe_commutativity,
+    check_subject_reduction,
+    check_type_soundness,
+    is_functional,
+)
+from repro.model.types import SetType
+from repro.semantics.machine import Machine
+from repro.semantics.strategy import LAST, RandomStrategy
+
+SEEDS = range(15)
+
+
+def setup(seed):
+    rng = random.Random(seed)
+    schema = make_random_schema(rng)
+    ee, oe, supply = make_random_store(schema, rng)
+    machine = Machine(schema, oid_supply=supply)
+    return rng, schema, ee, oe, machine
+
+
+class TestTheorem1And5SubjectReduction:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_queries(self, seed):
+        rng, schema, ee, oe, m = setup(seed)
+        gen = QueryGenerator(schema, oe, rng, max_depth=4)
+        for _ in range(5):
+            q = gen.query(gen.random_type())
+            report = check_subject_reduction(m, ee, oe, q)
+            assert report, report.detail
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_alternate_strategies(self, seed):
+        rng, schema, ee, oe, m = setup(seed)
+        gen = QueryGenerator(schema, oe, rng, max_depth=4)
+        q = gen.query(SetType(gen.random_type(depth=0)))
+        for strat in (LAST, RandomStrategy(seed)):
+            report = check_subject_reduction(m, ee, oe, q, strategy=strat)
+            assert report, report.detail
+
+    def test_detects_ill_typed_input(self):
+        _, schema, ee, oe, m = setup(0)
+        report = check_subject_reduction(m, ee, oe, parse_query("1 + true"))
+        assert not report
+
+
+class TestTheorem2And6Progress:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_queries(self, seed):
+        rng, schema, ee, oe, m = setup(seed)
+        gen = QueryGenerator(schema, oe, rng, max_depth=4)
+        for _ in range(5):
+            report = check_progress(m, ee, oe, gen.query(gen.random_type()))
+            assert report, report.detail
+
+
+class TestTheorem3Soundness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_never_stuck(self, seed):
+        rng, schema, ee, oe, m = setup(seed)
+        gen = QueryGenerator(schema, oe, rng, max_depth=4)
+        for _ in range(5):
+            q = gen.query(gen.random_type())
+            report = check_type_soundness(
+                m, ee, oe, q, strategies=(LAST, RandomStrategy(seed))
+            )
+            assert report, report.detail
+
+    def test_ill_typed_queries_can_get_stuck(self):
+        """The converse: without typing, stuckness is reachable —
+        soundness is not vacuous."""
+        from repro.errors import StuckError
+        from repro.semantics.machine import Config
+
+        _, schema, ee, oe, m = setup(1)
+        bad = parse_query("size(1 + true)")
+        with pytest.raises(StuckError):
+            cfg = Config(ee, oe, bad)
+            for _ in range(10):
+                cfg = m.step(cfg).config
+
+
+class TestTheorem4FunctionalQueries:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_new_free_queries_strictly_deterministic(self, seed):
+        rng, schema, ee, oe, m = setup(seed)
+        gen = QueryGenerator(schema, oe, rng, allow_new=False, max_depth=3)
+        q = gen.query(SetType(gen.random_type(depth=0)))
+        report = check_functional_determinism(m, ee, oe, q, max_paths=5_000)
+        assert report, report.detail
+
+    def test_is_functional_predicate(self):
+        assert is_functional(parse_query("{x | x <- s}"))
+        assert not is_functional(parse_query("new C(a: 1)"))
+
+    def test_is_functional_scans_definitions(self):
+        from repro.lang.parser import parse_program
+
+        p = parse_program("define f() as new C(a: 1); 1")
+        assert not is_functional(p.query, {d.name: d for d in p.definitions})
+
+    def test_premise_violation_reported(self):
+        _, schema, ee, oe, m = setup(2)
+        cname = sorted(schema.class_names())[0]
+        fields = ", ".join(
+            f"{a}: 1" for a, _ in schema.atypes(cname)
+        )
+        q = parse_query(f"new {cname}({fields})")
+        report = check_functional_determinism(m, ee, oe, q)
+        assert not report
+        assert "premise" in report.detail
+
+
+class TestTheorem7Determinism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_accepted_queries_agree_up_to_bijection(self, seed):
+        rng, schema, ee, oe, m = setup(seed)
+        gen = QueryGenerator(schema, oe, rng, allow_new=True, max_depth=3)
+        q = gen.query(SetType(gen.random_type(depth=0)))
+        report = check_determinism(m, ee, oe, q, max_paths=5_000)
+        assert report, f"{report.detail}\nquery: {q}"
+
+    def test_rejected_query_is_vacuous_not_failing(self, jack_jill_db):
+        from tests.conftest import JACK_JILL_QUERY
+
+        db = jack_jill_db
+        q = db.parse(JACK_JILL_QUERY)
+        report = check_determinism(db.machine, db.ee, db.oe, q)
+        assert report
+        assert "vacuous" in report.detail
+
+
+class TestTheorem8SafeCommutativity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_unions(self, seed):
+        from repro.lang.ast import SetOp, SetOpKind
+
+        rng, schema, ee, oe, m = setup(seed)
+        gen = QueryGenerator(schema, oe, rng, max_depth=3)
+        elem = gen.random_type(depth=0)
+        q = SetOp(
+            SetOpKind.UNION,
+            gen.query(SetType(elem)),
+            gen.query(SetType(elem)),
+        )
+        report = check_safe_commutativity(m, ee, oe, q, max_paths=5_000)
+        assert report, f"{report.detail}\nquery: {q}"
+
+    def test_non_setop_is_vacuous(self):
+        _, schema, ee, oe, m = setup(3)
+        report = check_safe_commutativity(m, ee, oe, parse_query("1 + 1"))
+        assert report
+        assert "vacuous" in report.detail

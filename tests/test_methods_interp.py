@@ -1,0 +1,212 @@
+"""Unit tests for the MJava big-step interpreter (⇓) and access modes."""
+
+import pytest
+
+from repro.effects.algebra import EMPTY, Effect, add, read, update
+from repro.errors import EvalError, FuelExhausted, MethodError
+from repro.lang.ast import BoolLit, IntLit, OidRef, StrLit
+from repro.methods.ast import AccessMode, NativeMethod
+from repro.methods.interp import Fuel, MethodInterpreter
+from repro.model.odl_parser import parse_schema
+from repro.db.store import ExtentEnv, ObjectEnv, OidSupply, populate
+
+READONLY_ODL = """
+class Counter extends Object (extent Counters) {
+    attribute int n;
+    int get() { return this.n; }
+    int doubled() { return this.get() + this.get(); }
+    int addTo(int k) { return this.n + k; }
+    int abs_diff(int k) {
+        if (this.n < k) { return k - this.n; } else { return this.n - k; }
+    }
+    int sum_to_n() {
+        var acc : int := 0;
+        var i : int := 0;
+        while (i < this.n) { i := i + 1; acc := acc + i; }
+        return acc;
+    }
+    int forever() { while (true) { } }
+    bool same(Counter other) { return this == other; }
+}
+"""
+
+EFFECTFUL_ODL = """
+class Counter extends Object (extent Counters) {
+    attribute int n;
+    int bump(int k) effect U(Counter) {
+        this.n := this.n + k;
+        return this.n;
+    }
+    Counter clone_me() effect A(Counter) {
+        return new Counter(n: this.n);
+    }
+    int population() effect R(Counter) {
+        var c : int := 0;
+        for (x in extent(Counters)) { c := c + 1; }
+        return c;
+    }
+    int total() effect R(Counter) {
+        var t : int := 0;
+        for (x in extent(Counters)) { t := t + x.n; }
+        return t;
+    }
+}
+"""
+
+
+def setup_readonly():
+    schema = parse_schema(READONLY_ODL)
+    ee, oe, supply = ExtentEnv.for_schema(schema), ObjectEnv(), OidSupply()
+    ee, oe, c = populate(schema, ee, oe, supply, "Counter", [("n", IntLit(5))])
+    return schema, ee, oe, supply, c.name
+
+
+def setup_effectful():
+    schema = parse_schema(EFFECTFUL_ODL, allow_method_effects=True)
+    ee, oe, supply = ExtentEnv.for_schema(schema), ObjectEnv(), OidSupply()
+    ee, oe, a = populate(schema, ee, oe, supply, "Counter", [("n", IntLit(5))])
+    ee, oe, b = populate(schema, ee, oe, supply, "Counter", [("n", IntLit(7))])
+    return schema, ee, oe, supply, a.name, b.name
+
+
+class TestReadOnlyMode:
+    def test_attribute_read(self):
+        schema, ee, oe, supply, c = setup_readonly()
+        out = MethodInterpreter(schema, ee, oe).invoke(c, "get", ())
+        assert out.value == IntLit(5)
+        assert out.effect == EMPTY
+        assert out.ee == ee and out.oe == oe
+
+    def test_self_call(self):
+        schema, ee, oe, supply, c = setup_readonly()
+        out = MethodInterpreter(schema, ee, oe).invoke(c, "doubled", ())
+        assert out.value == IntLit(10)
+
+    def test_parameters(self):
+        schema, ee, oe, supply, c = setup_readonly()
+        out = MethodInterpreter(schema, ee, oe).invoke(c, "addTo", (IntLit(3),))
+        assert out.value == IntLit(8)
+
+    def test_branching(self):
+        schema, ee, oe, supply, c = setup_readonly()
+        i = MethodInterpreter(schema, ee, oe)
+        assert i.invoke(c, "abs_diff", (IntLit(9),)).value == IntLit(4)
+        assert MethodInterpreter(schema, ee, oe).invoke(
+            c, "abs_diff", (IntLit(1),)
+        ).value == IntLit(4)
+
+    def test_while_loop(self):
+        schema, ee, oe, supply, c = setup_readonly()
+        out = MethodInterpreter(schema, ee, oe).invoke(c, "sum_to_n", ())
+        assert out.value == IntLit(15)  # 1+2+3+4+5
+
+    def test_object_equality(self):
+        schema, ee, oe, supply, c = setup_readonly()
+        out = MethodInterpreter(schema, ee, oe).invoke(c, "same", (OidRef(c),))
+        assert out.value == BoolLit(True)
+
+    def test_divergence_fuel(self):
+        schema, ee, oe, supply, c = setup_readonly()
+        interp = MethodInterpreter(schema, ee, oe, fuel=Fuel(100))
+        with pytest.raises(FuelExhausted):
+            interp.invoke(c, "forever", ())
+
+    def test_arity_mismatch(self):
+        schema, ee, oe, supply, c = setup_readonly()
+        with pytest.raises(EvalError, match="arity"):
+            MethodInterpreter(schema, ee, oe).invoke(c, "addTo", ())
+
+    def test_unbound_method_body(self):
+        schema, ee, oe, supply, c = setup_readonly()
+        with pytest.raises(Exception):
+            MethodInterpreter(schema, ee, oe).invoke(c, "nosuch", ())
+
+
+class TestEffectfulMode:
+    def test_attribute_update(self):
+        schema, ee, oe, supply, a, b = setup_effectful()
+        interp = MethodInterpreter(
+            schema, ee, oe, mode=AccessMode.EFFECTFUL, oid_supply=supply
+        )
+        out = interp.invoke(a, "bump", (IntLit(10),))
+        assert out.value == IntLit(15)
+        assert out.oe.get(a).attr("n") == IntLit(15)
+        assert out.effect == Effect.of(update("Counter"))
+        # original OE untouched
+        assert oe.get(a).attr("n") == IntLit(5)
+
+    def test_object_creation(self):
+        schema, ee, oe, supply, a, b = setup_effectful()
+        interp = MethodInterpreter(
+            schema, ee, oe, mode=AccessMode.EFFECTFUL, oid_supply=supply
+        )
+        out = interp.invoke(a, "clone_me", ())
+        assert isinstance(out.value, OidRef)
+        assert len(out.ee.members("Counters")) == 3
+        assert out.effect == Effect.of(add("Counter"))
+
+    def test_extent_iteration(self):
+        schema, ee, oe, supply, a, b = setup_effectful()
+        interp = MethodInterpreter(
+            schema, ee, oe, mode=AccessMode.EFFECTFUL, oid_supply=supply
+        )
+        out = interp.invoke(a, "population", ())
+        assert out.value == IntLit(2)
+        assert out.effect == Effect.of(read("Counter"))
+
+    def test_extent_iteration_reads_attrs(self):
+        schema, ee, oe, supply, a, b = setup_effectful()
+        interp = MethodInterpreter(
+            schema, ee, oe, mode=AccessMode.EFFECTFUL, oid_supply=supply
+        )
+        assert interp.invoke(a, "total", ()).value == IntLit(12)
+
+    def test_update_refused_in_readonly_mode(self):
+        schema, ee, oe, supply, a, b = setup_effectful()
+        interp = MethodInterpreter(schema, ee, oe, mode=AccessMode.READ_ONLY)
+        with pytest.raises(MethodError, match="read-only"):
+            interp.invoke(a, "bump", (IntLit(1),))
+
+
+class TestNativeMethods:
+    def _schema_with_native(self, fn):
+        schema = parse_schema(
+            """
+            class P extends Object (extent Ps) {
+                attribute int x;
+                int magic() native;
+            }
+            """
+        )
+        mdef = schema.mbody("P", "magic")
+        object.__setattr__(mdef, "body", NativeMethod(fn, "magic"))
+        return schema
+
+    def test_native_reads_attr(self):
+        def fn(ctx, oid, args):
+            v = ctx.attr(oid, "x")
+            return IntLit(v.value * 100)
+
+        schema = self._schema_with_native(fn)
+        ee, oe, supply = ExtentEnv.for_schema(schema), ObjectEnv(), OidSupply()
+        ee, oe, p = populate(schema, ee, oe, supply, "P", [("x", IntLit(7))])
+        out = MethodInterpreter(schema, ee, oe).invoke(p.name, "magic", ())
+        assert out.value == IntLit(700)
+
+    def test_native_must_return_value(self):
+        schema = self._schema_with_native(lambda ctx, oid, args: 42)
+        ee, oe, supply = ExtentEnv.for_schema(schema), ObjectEnv(), OidSupply()
+        ee, oe, p = populate(schema, ee, oe, supply, "P", [("x", IntLit(1))])
+        with pytest.raises(EvalError, match="non-value"):
+            MethodInterpreter(schema, ee, oe).invoke(p.name, "magic", ())
+
+    def test_native_mutation_refused_in_readonly(self):
+        def fn(ctx, oid, args):
+            ctx.set_attr(oid, "x", IntLit(0))
+            return IntLit(0)
+
+        schema = self._schema_with_native(fn)
+        ee, oe, supply = ExtentEnv.for_schema(schema), ObjectEnv(), OidSupply()
+        ee, oe, p = populate(schema, ee, oe, supply, "P", [("x", IntLit(1))])
+        with pytest.raises(MethodError):
+            MethodInterpreter(schema, ee, oe).invoke(p.name, "magic", ())

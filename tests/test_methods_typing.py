@@ -1,0 +1,233 @@
+"""Unit tests for MJava type/effect checking (repro.methods.typing)."""
+
+import pytest
+
+from repro.effects.algebra import EMPTY, Effect, add, read, update
+from repro.errors import MethodError
+from repro.methods.ast import AccessMode
+from repro.methods.parser import parse_method_body
+from repro.methods.typing import check_method, check_schema_methods
+from repro.model.odl_parser import parse_schema
+from repro.model.schema import MethodDef
+from repro.model.types import BOOL, INT, STRING
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+    attribute Person buddy;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(ODL)
+
+
+def method(body_src, result=INT, params=(), effect=EMPTY):
+    return MethodDef("m", params, result, parse_method_body(body_src), effect)
+
+
+class TestWellTyped:
+    def test_return_literal(self, schema):
+        assert check_method(schema, "Person", method("{ return 1; }")) == EMPTY
+
+    def test_this_attribute(self, schema):
+        check_method(schema, "Person", method("{ return this.age; }"))
+
+    def test_path_through_buddy(self, schema):
+        check_method(
+            schema, "Person", method("{ return this.buddy.age; }")
+        )
+
+    def test_params_and_locals(self, schema):
+        check_method(
+            schema,
+            "Person",
+            method(
+                "{ var y : int := x + 1; return y * 2; }",
+                params=(("x", INT),),
+            ),
+        )
+
+    def test_branches_both_return(self, schema):
+        check_method(
+            schema,
+            "Person",
+            method("{ if (this.age < 1) { return 0; } else { return 1; } }"),
+        )
+
+    def test_while_then_return(self, schema):
+        check_method(
+            schema,
+            "Person",
+            method(
+                "{ var i : int := 0; while (i < 10) { i := i + 1; } return i; }"
+            ),
+        )
+
+    def test_while_true_counts_as_terminal(self, schema):
+        """The §1 loop method must type-check."""
+        check_method(schema, "Person", method("{ while (true) { } }", result=STRING))
+
+    def test_object_valued_return(self, schema):
+        check_method(
+            schema,
+            "Person",
+            MethodDef(
+                "m", (), schema.atype("Person", "buddy"),
+                parse_method_body("{ return this; }"),
+            ),
+        )
+
+
+class TestIllTyped:
+    def test_missing_return(self, schema):
+        with pytest.raises(MethodError, match="not all paths return"):
+            check_method(schema, "Person", method("{ var x : int := 1; }"))
+
+    def test_branch_missing_return(self, schema):
+        with pytest.raises(MethodError, match="not all paths return"):
+            check_method(
+                schema, "Person", method("{ if (true) { return 1; } }")
+            )
+
+    def test_unreachable_after_return(self, schema):
+        with pytest.raises(MethodError, match="unreachable"):
+            check_method(
+                schema, "Person", method("{ return 1; return 2; }")
+            )
+
+    def test_wrong_return_type(self, schema):
+        with pytest.raises(MethodError, match="return type"):
+            check_method(schema, "Person", method("{ return true; }"))
+
+    def test_unbound_local(self, schema):
+        with pytest.raises(MethodError, match="unbound"):
+            check_method(schema, "Person", method("{ return zz; }"))
+
+    def test_redeclared_local(self, schema):
+        with pytest.raises(MethodError, match="redeclared"):
+            check_method(
+                schema,
+                "Person",
+                method("{ var x : int := 1; var x : int := 2; return x; }"),
+            )
+
+    def test_assign_this_rejected_by_parser(self, schema):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError, match="assignable"):
+            parse_method_body("{ this := this; return 1; }")
+
+    def test_assign_this_rejected_by_checker(self, schema):
+        # constructible directly in the AST, rejected by typing
+        from repro.lang.ast import Var
+        from repro.methods.ast import Assign, MethodBody, Return
+        from repro.lang.ast import IntLit
+
+        body = MethodBody((Assign("this", Var("this")), Return(IntLit(1))))
+        with pytest.raises(MethodError, match="not assignable"):
+            check_method(schema, "Person", MethodDef("m", (), INT, body))
+
+    def test_assignment_type_mismatch(self, schema):
+        with pytest.raises(MethodError):
+            check_method(
+                schema,
+                "Person",
+                method("{ var x : int := 1; x := true; return x; }"),
+            )
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(MethodError, match="no attribute"):
+            check_method(schema, "Person", method("{ return this.salary; }"))
+
+    def test_non_bool_condition(self, schema):
+        with pytest.raises(MethodError):
+            check_method(
+                schema, "Person", method("{ while (1) { } return 1; }")
+            )
+
+    def test_comprehension_rejected(self, schema):
+        """Note 1: the method language has no bulk types."""
+        with pytest.raises(MethodError, match="not an MJava expression"):
+            check_method(
+                schema, "Person", method("{ return size({1, 2}); }")
+            )
+
+    def test_extent_expression_rejected(self, schema):
+        with pytest.raises(MethodError, match="not an MJava value"):
+            check_method(
+                schema,
+                "Person",
+                method("{ return this == extent(Persons); }", result=BOOL),
+            )
+
+
+class TestAccessModes:
+    def test_new_rejected_readonly(self, schema):
+        body = "{ return new Person(name: \"x\", age: 1, buddy: this).age; }"
+        with pytest.raises(MethodError, match="read-only"):
+            check_method(schema, "Person", method(body))
+
+    def test_attr_update_rejected_readonly(self, schema):
+        with pytest.raises(MethodError, match="read-only"):
+            check_method(
+                schema, "Person", method("{ this.age := 1; return 1; }")
+            )
+
+    def test_foreach_rejected_readonly(self, schema):
+        body = "{ var c : int := 0; for (p in extent(Persons)) { c := c + 1; } return c; }"
+        with pytest.raises(MethodError, match="read-only"):
+            check_method(schema, "Person", method(body))
+
+    def test_effectful_mode_infers_effects(self, schema):
+        body = "{ this.age := this.age + 1; return this.age; }"
+        eff = check_method(
+            schema,
+            "Person",
+            method(body, effect=Effect.of(update("Person"))),
+            AccessMode.EFFECTFUL,
+        )
+        assert eff == Effect.of(update("Person"))
+
+    def test_inferred_must_be_within_declared(self, schema):
+        body = "{ this.age := 1; return 1; }"
+        with pytest.raises(MethodError, match="exceeds declared"):
+            check_method(schema, "Person", method(body), AccessMode.EFFECTFUL)
+
+    def test_foreach_effect(self, schema):
+        body = "{ var c : int := 0; for (p in extent(Persons)) { c := c + p.age; } return c; }"
+        eff = check_method(
+            schema,
+            "Person",
+            method(body, effect=Effect.of(read("Person"))),
+            AccessMode.EFFECTFUL,
+        )
+        assert eff == Effect.of(read("Person"))
+
+    def test_new_effect(self, schema):
+        body = "{ return new Person(name: \"x\", age: 1, buddy: this).age; }"
+        eff = check_method(
+            schema,
+            "Person",
+            method(body, effect=Effect.of(add("Person"))),
+            AccessMode.EFFECTFUL,
+        )
+        assert eff == Effect.of(add("Person"))
+
+
+class TestSchemaSweep:
+    def test_check_schema_methods(self):
+        schema = parse_schema(
+            """
+            class A extends Object (extent As) {
+                attribute int x;
+                int get() { return this.x; }
+                int twice() { return this.get() + this.get(); }
+            }
+            """
+        )
+        effects = check_schema_methods(schema)
+        assert effects == {("A", "get"): EMPTY, ("A", "twice"): EMPTY}

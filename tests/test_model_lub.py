@@ -1,0 +1,121 @@
+"""Unit tests for the LUB analysis and the introduction's observation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.lub import (
+    InterfaceHierarchy,
+    find_lub_failure,
+    odmg_counterexample,
+)
+from repro.model.types import OBJECT
+
+
+class TestClassesOnly:
+    """Without interfaces (the §2 model), LUBs always exist."""
+
+    @pytest.fixture
+    def h(self):
+        return InterfaceHierarchy(
+            class_parent={"A": OBJECT, "B": "A", "C": "A", "D": "B"}
+        )
+
+    def test_lub_sibling_classes(self, h):
+        assert h.lub("B", "C") == "A"
+
+    def test_lub_chain(self, h):
+        assert h.lub("D", "B") == "B"
+        assert h.lub("D", "C") == "A"
+
+    def test_lub_with_object(self, h):
+        assert h.lub("A", OBJECT) == OBJECT
+
+    def test_no_failure_without_interfaces(self, h):
+        assert find_lub_failure(h) is None
+
+    def test_subtype(self, h):
+        assert h.subtype("D", "A")
+        assert not h.subtype("A", "D")
+
+
+class TestWithInterfaces:
+    """The introduction's point: classes + interfaces ⇒ LUBs may not exist."""
+
+    def test_odmg_counterexample_has_no_lub(self):
+        h = odmg_counterexample()
+        assert h.lub("Clerk", "Temp") is None
+        mins = h.minimal_upper_bounds("Clerk", "Temp")
+        assert mins == frozenset({"Payable", "Insurable"})
+
+    def test_find_lub_failure_locates_it(self):
+        failure = find_lub_failure(odmg_counterexample())
+        assert failure is not None
+        a, b, mins = failure
+        assert {a, b} == {"Clerk", "Temp"}
+        assert len(mins) == 2
+
+    def test_single_shared_interface_has_lub(self):
+        h = InterfaceHierarchy(
+            class_parent={"A": OBJECT, "B": OBJECT},
+            implements={"A": frozenset({"I"}), "B": frozenset({"I"})},
+            iface_parents={"I": frozenset()},
+        )
+        assert h.lub("A", "B") == "I"
+        assert find_lub_failure(h) is None
+
+    def test_interface_extension_restores_lub(self):
+        # if I and J both extend K, two classes implementing {I, J} have
+        # minimal upper bounds {I, J} — still no LUB; but a class pair
+        # sharing only K has the LUB K
+        h = InterfaceHierarchy(
+            class_parent={"A": OBJECT, "B": OBJECT},
+            implements={"A": frozenset({"I"}), "B": frozenset({"J"})},
+            iface_parents={
+                "I": frozenset({"K"}),
+                "J": frozenset({"K"}),
+                "K": frozenset(),
+            },
+        )
+        assert h.lub("A", "B") == "K"
+
+    def test_supertypes_include_transitive_interfaces(self):
+        h = InterfaceHierarchy(
+            class_parent={"A": OBJECT},
+            implements={"A": frozenset({"I"})},
+            iface_parents={"I": frozenset({"J"}), "J": frozenset()},
+        )
+        assert h.supertypes("A") >= {"A", "I", "J", OBJECT}
+
+    def test_inherited_interfaces_via_superclass(self):
+        h = InterfaceHierarchy(
+            class_parent={"A": OBJECT, "B": "A"},
+            implements={"A": frozenset({"I"})},
+            iface_parents={"I": frozenset()},
+        )
+        assert h.subtype("B", "I")
+
+
+class TestValidation:
+    def test_implements_unknown_interface(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            InterfaceHierarchy(
+                class_parent={"A": OBJECT},
+                implements={"A": frozenset({"Ghost"})},
+            )
+
+    def test_implements_unknown_class(self):
+        with pytest.raises(SchemaError, match="unknown class"):
+            InterfaceHierarchy(
+                implements={"Ghost": frozenset()},
+            )
+
+    def test_interface_cycle(self):
+        with pytest.raises(SchemaError, match="cycle"):
+            InterfaceHierarchy(
+                iface_parents={"I": frozenset({"J"}), "J": frozenset({"I"})}
+            )
+
+    def test_unknown_type_query(self):
+        h = InterfaceHierarchy()
+        with pytest.raises(SchemaError):
+            h.supertypes("Nope")

@@ -1,0 +1,144 @@
+"""Unit tests for the ODL class-definition parser (§2 grammar)."""
+
+import pytest
+
+from repro.effects.algebra import EMPTY, Effect, add, read, update
+from repro.errors import ParseError, SchemaError
+from repro.methods.ast import MethodBody
+from repro.model.odl_parser import parse_class_defs, parse_schema
+from repro.model.types import INT, STRING, ClassType
+
+
+class TestBasicParsing:
+    def test_minimal_class(self):
+        (cd,) = parse_class_defs("class A extends Object (extent As) { }")
+        assert cd.name == "A"
+        assert cd.superclass == "Object"
+        assert cd.extent == "As"
+        assert cd.attributes == ()
+        assert cd.methods == ()
+
+    def test_attributes(self):
+        (cd,) = parse_class_defs(
+            """
+            class Employee extends Object (extent Employees) {
+                attribute int EmpID;
+                attribute string name;
+                attribute Manager boss;
+            }
+            """
+        )
+        assert [a.name for a in cd.attributes] == ["EmpID", "name", "boss"]
+        assert cd.attributes[2].type == ClassType("Manager")
+
+    def test_paper_example(self):
+        """The §2 Employee class definition, verbatim modulo syntax."""
+        schema = parse_schema(
+            """
+            class Person extends Object (extent Persons) {
+                attribute string name;
+            }
+            class Manager extends Person (extent Managers) { }
+            class Employee extends Person (extent Employees) {
+                attribute int EmpID;
+                attribute int GrossSalary;
+                attribute Manager UniqueManager;
+                int NetSalary(int TaxRate);
+            }
+            """
+        )
+        assert schema.extent_class("Employees") == "Employee"
+        assert schema.mtype("Employee", "NetSalary").params == (INT,)
+
+    def test_multiple_classes(self):
+        defs = parse_class_defs(
+            "class A extends Object (extent As) { } "
+            "class B extends A (extent Bs) { }"
+        )
+        assert [d.name for d in defs] == ["A", "B"]
+
+    def test_comments_allowed(self):
+        parse_class_defs(
+            """
+            // a comment
+            class A extends Object (extent As) {
+                /* block */ attribute int x;
+            }
+            """
+        )
+
+
+class TestMethods:
+    def test_declaration_only(self):
+        (cd,) = parse_class_defs(
+            "class A extends Object (extent As) { int m(int x); }"
+        )
+        assert cd.methods[0].body is None
+        assert cd.methods[0].params == (("x", INT),)
+
+    def test_native_marker(self):
+        (cd,) = parse_class_defs(
+            "class A extends Object (extent As) { int m() native; }"
+        )
+        assert cd.methods[0].body is None
+
+    def test_inline_body(self):
+        (cd,) = parse_class_defs(
+            "class A extends Object (extent As) { attribute int x; "
+            "int m() { return this.x; } }"
+        )
+        assert isinstance(cd.methods[0].body, MethodBody)
+
+    def test_declared_effects(self):
+        (cd,) = parse_class_defs(
+            "class A extends Object (extent As) { "
+            "int m() effect R(A), A(A), U(A) { return 1; } }"
+        )
+        assert cd.methods[0].effect == Effect.of(read("A"), add("A"), update("A"))
+
+    def test_effect_defaults_empty(self):
+        (cd,) = parse_class_defs(
+            "class A extends Object (extent As) { int m(); }"
+        )
+        assert cd.methods[0].effect == EMPTY
+
+    def test_bad_effect_atom(self):
+        with pytest.raises(ParseError, match="effect atom"):
+            parse_class_defs(
+                "class A extends Object (extent As) { int m() effect X(A); }"
+            )
+
+
+class TestSchemaIntegration:
+    def test_schema_validation_runs(self):
+        with pytest.raises(SchemaError, match="cycle"):
+            parse_schema(
+                "class A extends B (extent As) { } "
+                "class B extends A (extent Bs) { }"
+            )
+
+    def test_effectful_needs_flag(self):
+        src = (
+            "class A extends Object (extent As) { "
+            "int m() effect R(A) { var c : int := 0; "
+            "for (x in extent(As)) { c := c + 1; } return c; } }"
+        )
+        with pytest.raises(SchemaError, match="read-only"):
+            parse_schema(src)
+        parse_schema(src, allow_method_effects=True)  # ok with the flag
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "class A (extent As) { }",  # missing extends
+            "class A extends Object { }",  # missing extent
+            "class A extends Object (extent As) { attribute int; }",
+            "class A extends Object (extent As) { int m() }",
+            "class A extends Object (extent As)",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_class_defs(bad)

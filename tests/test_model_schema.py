@@ -1,0 +1,199 @@
+"""Unit tests for object schemas and atype/atypes/mtype (repro.model.schema)."""
+
+import pytest
+
+from repro.effects.algebra import Effect, read
+from repro.errors import SchemaError
+from repro.model.schema import AttrDef, ClassDef, MethodDef, Schema
+from repro.model.types import BOOL, INT, OBJECT, STRING, ClassType, FuncType, SetType
+
+
+def person() -> ClassDef:
+    return ClassDef(
+        "Person",
+        OBJECT,
+        "Persons",
+        (AttrDef("name", STRING), AttrDef("age", INT)),
+        (MethodDef("greet", (), STRING),),
+    )
+
+
+def employee() -> ClassDef:
+    return ClassDef(
+        "Employee",
+        "Person",
+        "Employees",
+        (AttrDef("salary", INT),),
+        (MethodDef("NetSalary", (("TaxRate", INT),), INT),),
+    )
+
+
+class TestWellFormedness:
+    def test_valid_schema(self):
+        Schema([person(), employee()])
+
+    def test_duplicate_class(self):
+        with pytest.raises(SchemaError, match="defined twice"):
+            Schema([person(), person()])
+
+    def test_object_not_redefinable(self):
+        bad = ClassDef(OBJECT, OBJECT, "Objects")
+        with pytest.raises(SchemaError, match="Object"):
+            Schema([bad])
+
+    def test_unknown_superclass(self):
+        bad = ClassDef("A", "Ghost", "As")
+        with pytest.raises(SchemaError):
+            Schema([bad])
+
+    def test_duplicate_extent(self):
+        a = ClassDef("A", OBJECT, "Shared")
+        b = ClassDef("B", OBJECT, "Shared")
+        with pytest.raises(SchemaError, match="extent"):
+            Schema([a, b])
+
+    def test_duplicate_attribute(self):
+        bad = ClassDef(
+            "A", OBJECT, "As", (AttrDef("x", INT), AttrDef("x", BOOL))
+        )
+        with pytest.raises(SchemaError, match="duplicate attribute"):
+            Schema([bad])
+
+    def test_attribute_shadowing_rejected(self):
+        child = ClassDef("Child", "Person", "Children", (AttrDef("name", STRING),))
+        with pytest.raises(SchemaError, match="shadows"):
+            Schema([person(), child])
+
+    def test_non_phi_attribute_rejected(self):
+        """Note 1: no set/record types inside class definitions."""
+        bad = ClassDef("A", OBJECT, "As", (AttrDef("xs", SetType(INT)),))
+        with pytest.raises(SchemaError, match="Note 1"):
+            Schema([bad])
+
+    def test_attribute_unknown_class(self):
+        bad = ClassDef("A", OBJECT, "As", (AttrDef("x", ClassType("Ghost")),))
+        with pytest.raises(SchemaError, match="unknown class"):
+            Schema([bad])
+
+    def test_duplicate_method(self):
+        bad = ClassDef(
+            "A",
+            OBJECT,
+            "As",
+            (),
+            (MethodDef("m", (), INT), MethodDef("m", (("x", INT),), INT)),
+        )
+        with pytest.raises(SchemaError, match="no overloading"):
+            Schema([bad])
+
+    def test_duplicate_method_param(self):
+        bad = ClassDef(
+            "A", OBJECT, "As", (), (MethodDef("m", (("x", INT), ("x", INT)), INT),)
+        )
+        with pytest.raises(SchemaError, match="duplicate parameter"):
+            Schema([bad])
+
+    def test_override_same_signature_ok(self):
+        child = ClassDef(
+            "Child", "Person", "Children", (), (MethodDef("greet", (), STRING),)
+        )
+        Schema([person(), child])
+
+    def test_override_changed_signature_rejected(self):
+        child = ClassDef(
+            "Child", "Person", "Children", (), (MethodDef("greet", (), INT),)
+        )
+        with pytest.raises(SchemaError, match="different signature"):
+            Schema([person(), child])
+
+    def test_method_effects_rejected_in_core(self):
+        """§2: read-only methods must have effect ∅."""
+        bad = ClassDef(
+            "A",
+            OBJECT,
+            "As",
+            (),
+            (MethodDef("m", (), INT, effect=Effect.of(read("A"))),),
+        )
+        with pytest.raises(SchemaError, match="read-only"):
+            Schema([bad])
+
+    def test_method_effects_allowed_in_s5_mode(self):
+        cd = ClassDef(
+            "A",
+            OBJECT,
+            "As",
+            (),
+            (MethodDef("m", (), INT, effect=Effect.of(read("A"))),),
+        )
+        Schema([cd], allow_method_effects=True)
+
+
+class TestAuxiliaryFunctions:
+    @pytest.fixture
+    def schema(self) -> Schema:
+        return Schema([person(), employee()])
+
+    def test_atype_own(self, schema):
+        assert schema.atype("Employee", "salary") == INT
+
+    def test_atype_inherited(self, schema):
+        assert schema.atype("Employee", "name") == STRING
+
+    def test_atype_unknown_attr(self, schema):
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema.atype("Person", "salary")
+
+    def test_atype_unknown_class(self, schema):
+        with pytest.raises(SchemaError, match="unknown class"):
+            schema.atype("Ghost", "x")
+
+    def test_atypes_inherited_first(self, schema):
+        names = [a for a, _ in schema.atypes("Employee")]
+        assert names == ["name", "age", "salary"]
+
+    def test_atypes_of_root_subclass(self, schema):
+        assert [a for a, _ in schema.atypes("Person")] == ["name", "age"]
+
+    def test_mtype_own(self, schema):
+        assert schema.mtype("Employee", "NetSalary") == FuncType((INT,), INT)
+
+    def test_mtype_inherited(self, schema):
+        assert schema.mtype("Employee", "greet") == FuncType((), STRING)
+
+    def test_mtype_unknown(self, schema):
+        with pytest.raises(SchemaError, match="no method"):
+            schema.mtype("Person", "NetSalary")
+
+    def test_mbody_resolves_override(self):
+        base = person()
+        child = ClassDef(
+            "Child",
+            "Person",
+            "Children",
+            (),
+            (MethodDef("greet", (), STRING, body="child-body"),),
+        )
+        schema = Schema([base, child])
+        assert schema.mbody("Child", "greet").body == "child-body"
+        assert schema.mbody("Person", "greet").body is None
+
+    def test_extent_class(self, schema):
+        assert schema.extent_class("Employees") == "Employee"
+
+    def test_extent_class_unknown(self, schema):
+        with pytest.raises(SchemaError, match="unknown extent"):
+            schema.extent_class("Ghosts")
+
+    def test_class_extent(self, schema):
+        assert schema.class_extent("Person") == "Persons"
+
+    def test_extent_env(self, schema):
+        assert schema.extent_env() == {"Persons": "Person", "Employees": "Employee"}
+
+    def test_contains(self, schema):
+        assert "Person" in schema
+        assert "Ghost" not in schema
+
+    def test_class_names(self, schema):
+        assert schema.class_names() == frozenset({"Person", "Employee"})

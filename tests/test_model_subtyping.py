@@ -1,0 +1,202 @@
+"""Unit tests for the σ ≤ σ′ relation of §3.2 (repro.model.subtyping)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.subtyping import ClassHierarchy, check_type_well_formed
+from repro.model.types import (
+    BOOL,
+    INT,
+    NEVER,
+    OBJECT,
+    STRING,
+    ClassType,
+    FuncType,
+    RecordType,
+    SetType,
+)
+
+
+@pytest.fixture
+def h() -> ClassHierarchy:
+    # Object <- Person <- Employee <- Manager ; Object <- Dog
+    return ClassHierarchy(
+        {
+            "Person": OBJECT,
+            "Employee": "Person",
+            "Manager": "Employee",
+            "Dog": OBJECT,
+        }
+    )
+
+
+class TestHierarchyConstruction:
+    def test_object_implicit(self):
+        h = ClassHierarchy({})
+        assert h.declared(OBJECT)
+        assert h.superclass(OBJECT) is None
+
+    def test_cycle_detected(self):
+        with pytest.raises(SchemaError, match="cycle"):
+            ClassHierarchy({"A": "B", "B": "A"})
+
+    def test_self_cycle_detected(self):
+        with pytest.raises(SchemaError, match="cycle"):
+            ClassHierarchy({"A": "A"})
+
+    def test_unknown_superclass(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            ClassHierarchy({"A": "Ghost"})
+
+    def test_ancestors(self, h):
+        assert h.ancestors("Manager") == ["Manager", "Employee", "Person", OBJECT]
+
+    def test_subclasses(self, h):
+        assert h.subclasses("Person") == frozenset({"Person", "Employee", "Manager"})
+
+    def test_unknown_class_queries(self, h):
+        with pytest.raises(SchemaError):
+            h.ancestors("Ghost")
+        with pytest.raises(SchemaError):
+            h.superclass("Ghost")
+
+
+class TestClassSubtyping:
+    def test_reflexive(self, h):
+        assert h.is_subclass("Person", "Person")
+
+    def test_direct(self, h):
+        assert h.is_subclass("Employee", "Person")
+
+    def test_transitive(self, h):
+        assert h.is_subclass("Manager", "Person")
+        assert h.is_subclass("Manager", OBJECT)
+
+    def test_not_symmetric(self, h):
+        assert not h.is_subclass("Person", "Employee")
+
+    def test_unrelated(self, h):
+        assert not h.is_subclass("Dog", "Person")
+        assert not h.is_subclass("Person", "Dog")
+
+
+class TestTypeSubtyping:
+    def test_primitives_only_reflexive(self, h):
+        assert h.subtype(INT, INT)
+        assert not h.subtype(INT, BOOL)
+        assert not h.subtype(BOOL, STRING)
+
+    def test_class_rule(self, h):
+        assert h.subtype(ClassType("Employee"), ClassType("Person"))
+        assert not h.subtype(ClassType("Person"), ClassType("Employee"))
+
+    def test_never_below_everything(self, h):
+        for t in (INT, BOOL, ClassType("Dog"), SetType(INT), RecordType.of(a=INT)):
+            assert h.subtype(NEVER, t)
+
+    def test_set_covariance(self, h):
+        assert h.subtype(SetType(ClassType("Employee")), SetType(ClassType("Person")))
+        assert not h.subtype(SetType(ClassType("Person")), SetType(ClassType("Employee")))
+
+    def test_empty_set_type_below_all_sets(self, h):
+        assert h.subtype(SetType(NEVER), SetType(RecordType.of(a=INT)))
+
+    def test_record_depth(self, h):
+        sub = RecordType.of(who=ClassType("Employee"), n=INT)
+        sup = RecordType.of(who=ClassType("Person"), n=INT)
+        assert h.subtype(sub, sup)
+        assert not h.subtype(sup, sub)
+
+    def test_record_same_labels_same_order_required(self, h):
+        a = RecordType.of(x=INT, y=INT)
+        b = RecordType.of(y=INT, x=INT)
+        assert not h.subtype(a, b)
+
+    def test_record_width_off_by_default(self, h):
+        wide = RecordType.of(x=INT, y=INT)
+        narrow = RecordType.of(x=INT)
+        assert not h.subtype(wide, narrow)
+
+    def test_record_width_flag(self, h):
+        """Note 3's extension, behind the flag."""
+        wide = RecordType.of(x=ClassType("Employee"), y=INT)
+        narrow = RecordType.of(x=ClassType("Person"))
+        assert h.subtype(wide, narrow, width_records=True)
+        assert not h.subtype(narrow, wide, width_records=True)
+
+    def test_func_contravariance(self, h):
+        f = FuncType((ClassType("Person"),), ClassType("Employee"))
+        g = FuncType((ClassType("Employee"),), ClassType("Person"))
+        assert h.subtype(f, g)
+        assert not h.subtype(g, f)
+
+    def test_partial_order_on_samples(self, h):
+        """≤ is reflexive, transitive, antisymmetric on a sample set."""
+        samples = [
+            INT,
+            BOOL,
+            ClassType("Person"),
+            ClassType("Employee"),
+            ClassType("Manager"),
+            SetType(ClassType("Person")),
+            SetType(ClassType("Employee")),
+            RecordType.of(a=ClassType("Person")),
+            RecordType.of(a=ClassType("Employee")),
+            NEVER,
+        ]
+        for a in samples:
+            assert h.subtype(a, a)
+            for b in samples:
+                for c in samples:
+                    if h.subtype(a, b) and h.subtype(b, c):
+                        assert h.subtype(a, c)
+                if h.subtype(a, b) and h.subtype(b, a):
+                    assert a == b
+
+
+class TestLub:
+    def test_class_lub_always_exists(self, h):
+        assert h.lub_class("Employee", "Dog") == OBJECT
+        assert h.lub_class("Manager", "Employee") == "Employee"
+        assert h.lub_class("Manager", "Person") == "Person"
+
+    def test_lub_equal_types(self, h):
+        assert h.lub(INT, INT) == INT
+
+    def test_lub_primitives_none(self, h):
+        assert h.lub(INT, BOOL) is None
+        assert h.lub(STRING, INT) is None
+
+    def test_lub_classes(self, h):
+        assert h.lub(ClassType("Manager"), ClassType("Employee")) == ClassType(
+            "Employee"
+        )
+
+    def test_lub_never_is_identity(self, h):
+        assert h.lub(NEVER, SetType(INT)) == SetType(INT)
+        assert h.lub(ClassType("Dog"), NEVER) == ClassType("Dog")
+
+    def test_lub_sets_pointwise(self, h):
+        assert h.lub(
+            SetType(ClassType("Employee")), SetType(ClassType("Manager"))
+        ) == SetType(ClassType("Employee"))
+
+    def test_lub_records_pointwise(self, h):
+        a = RecordType.of(p=ClassType("Employee"))
+        b = RecordType.of(p=ClassType("Dog"))
+        assert h.lub(a, b) == RecordType.of(p=ClassType(OBJECT))
+
+    def test_lub_records_label_mismatch(self, h):
+        assert h.lub(RecordType.of(p=INT), RecordType.of(q=INT)) is None
+
+
+class TestWellFormedness:
+    def test_primitives_ok(self, h):
+        check_type_well_formed(INT, h)
+
+    def test_known_class_ok(self, h):
+        check_type_well_formed(SetType(ClassType("Dog")), h)
+
+    def test_unknown_class_rejected(self, h):
+        with pytest.raises(SchemaError, match="unknown class"):
+            check_type_well_formed(RecordType.of(x=ClassType("Ghost")), h)

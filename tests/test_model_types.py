@@ -1,0 +1,109 @@
+"""Unit tests for the IOQL type grammar (repro.model.types)."""
+
+import pytest
+
+from repro.effects.algebra import EMPTY, Effect, read
+from repro.model.types import (
+    BOOL,
+    EMPTY_SET_T,
+    INT,
+    NEVER,
+    OBJECT,
+    STRING,
+    ClassType,
+    FuncType,
+    RecordType,
+    SetType,
+    is_data_model_type,
+    record,
+    set_of,
+)
+
+
+class TestPrimitives:
+    def test_singletons_equal(self):
+        assert INT == INT
+        assert BOOL != INT
+        assert STRING != BOOL
+
+    def test_is_primitive(self):
+        assert INT.is_primitive()
+        assert BOOL.is_primitive()
+        assert STRING.is_primitive()
+        assert not ClassType("C").is_primitive()
+        assert not SetType(INT).is_primitive()
+
+    def test_str(self):
+        assert str(INT) == "int"
+        assert str(BOOL) == "bool"
+        assert str(STRING) == "string"
+        assert str(NEVER) == "never"
+
+
+class TestStructured:
+    def test_set_str(self):
+        assert str(SetType(SetType(INT))) == "set<set<int>>"
+
+    def test_record_preserves_order(self):
+        r = RecordType((("b", INT), ("a", BOOL)))
+        assert r.labels() == ("b", "a")
+
+    def test_record_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            RecordType((("a", INT), ("a", BOOL)))
+
+    def test_record_field_type(self):
+        r = RecordType.of(x=INT, y=STRING)
+        assert r.field_type("x") == INT
+        assert r.field_type("missing") is None
+
+    def test_record_of_matches_record(self):
+        assert RecordType.of(a=INT) == record([("a", INT)])
+
+    def test_set_of(self):
+        assert set_of(INT) == SetType(INT)
+
+    def test_empty_set_type(self):
+        assert EMPTY_SET_T == SetType(NEVER)
+
+    def test_class_names_collects_deep(self):
+        t = SetType(RecordType.of(p=ClassType("Person"), q=SetType(ClassType("Dog"))))
+        assert t.class_names() == frozenset({"Person", "Dog"})
+
+    def test_types_hashable(self):
+        s = {INT, BOOL, SetType(INT), SetType(INT), RecordType.of(a=INT)}
+        assert len(s) == 4
+
+
+class TestFuncType:
+    def test_default_effect_empty(self):
+        f = FuncType((INT,), BOOL)
+        assert f.effect == EMPTY
+
+    def test_str_with_effect(self):
+        f = FuncType((INT,), INT, Effect.of(read("C")))
+        assert "R(C)" in str(f)
+
+    def test_str_plain(self):
+        assert str(FuncType((INT, BOOL), STRING)) == "(int, bool) -> string"
+
+    def test_class_names(self):
+        f = FuncType((ClassType("A"),), ClassType("B"))
+        assert f.class_names() == frozenset({"A", "B"})
+
+
+class TestDataModelTypes:
+    """Note 1: attributes/method signatures use φ types only."""
+
+    def test_primitives_are_phi(self):
+        assert is_data_model_type(INT)
+        assert is_data_model_type(STRING)
+
+    def test_classes_are_phi(self):
+        assert is_data_model_type(ClassType("Person"))
+
+    def test_sets_are_not_phi(self):
+        assert not is_data_model_type(SetType(INT))
+
+    def test_records_are_not_phi(self):
+        assert not is_data_model_type(RecordType.of(a=INT))

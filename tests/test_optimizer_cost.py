@@ -1,0 +1,126 @@
+"""Tests for the cost model and cost-based generator reordering."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.optimizer.cost import (
+    CostModel,
+    make_reorder_rule,
+    optimize_with_costs,
+)
+from repro.optimizer.equivalence import observationally_equal
+from repro.optimizer.rules import RewriteContext
+
+ODL = """
+class Big extends Object (extent Bigs) { attribute int n; }
+class Small extends Object (extent Smalls) { attribute int n; }
+class Loud extends Object (extent Louds) {
+    attribute int n;
+    int yell() { return this.n; }
+}
+"""
+
+
+@pytest.fixture
+def db():
+    d = Database.from_odl(ODL)
+    for i in range(6):
+        d.insert("Big", n=i)
+    d.insert("Small", n=100)
+    d.insert("Loud", n=1)
+    return d
+
+
+class TestCostModel:
+    def test_extent_cardinality_from_catalog(self, db):
+        m = CostModel.from_database(db)
+        assert m.cardinality(db.parse("Bigs")) == 6
+        assert m.cardinality(db.parse("Smalls")) == 1
+
+    def test_literal_cardinality(self, db):
+        m = CostModel.from_database(db)
+        assert m.cardinality(db.parse("{1, 2, 3}")) == 3
+        assert m.cardinality(db.parse("bag(1, 1)")) == 2
+
+    def test_union_adds(self, db):
+        m = CostModel.from_database(db)
+        assert m.cardinality(db.parse("Bigs union Bigs")) == 12
+
+    def test_predicate_applies_selectivity(self, db):
+        m = CostModel.from_database(db)
+        card = m.cardinality(db.parse("{b | b <- Bigs, b.n < 3}"))
+        assert card == pytest.approx(6 * m.selectivity)
+
+    def test_join_cardinality_is_product(self, db):
+        m = CostModel.from_database(db)
+        card = m.cardinality(db.parse("{1 | b <- Bigs, s <- Smalls}"))
+        assert card == pytest.approx(6.0)
+
+    def test_eval_cost_prefers_small_outer(self, db):
+        m = CostModel.from_database(db)
+        big_outer = db.parse("{1 | b <- Bigs, s <- Smalls}")
+        small_outer = db.parse("{1 | s <- Smalls, b <- Bigs}")
+        assert m.eval_cost(small_outer) < m.eval_cost(big_outer)
+
+    def test_cost_monotone_in_extent_size(self):
+        a = CostModel({"Es": 2})
+        b = CostModel({"Es": 200})
+        from repro.lang.parser import parse_query
+
+        q = parse_query("{x | x <- Es}", extents={"Es"})
+        assert a.eval_cost(q) < b.eval_cost(q)
+
+
+class TestReorderRule:
+    def test_swaps_big_outer_for_small(self, db):
+        rule = make_reorder_rule(CostModel.from_database(db))
+        rc = RewriteContext(db.type_context())
+        q = db.parse("{struct(a: b.n, c: s.n) | b <- Bigs, s <- Smalls}")
+        out = rule.apply(rc, q)
+        assert out == db.parse(
+            "{struct(a: b.n, c: s.n) | s <- Smalls, b <- Bigs}"
+        )
+
+    def test_leaves_good_order_alone(self, db):
+        rule = make_reorder_rule(CostModel.from_database(db))
+        rc = RewriteContext(db.type_context())
+        q = db.parse("{1 | s <- Smalls, b <- Bigs}")
+        assert rule.apply(rc, q) is None
+
+    def test_respects_dependence(self, db):
+        # the second generator ranges over a set built from the first's
+        # variable: never swapped
+        rule = make_reorder_rule(CostModel.from_database(db))
+        rc = RewriteContext(db.type_context())
+        q = db.parse("{x | b <- Bigs, x <- {b.n}}")
+        assert rule.apply(rc, q) is None
+
+    def test_respects_effects(self, db):
+        # a source containing a method call is not termination-safe:
+        # its evaluation count must not change
+        rule = make_reorder_rule(CostModel.from_database(db))
+        rc = RewriteContext(db.type_context())
+        q = db.parse(
+            "{1 | b <- Bigs, l <- {x | x <- Louds, x.yell() > 0}}"
+        )
+        assert rule.apply(rc, q) is None
+
+    def test_pipeline_integration(self, db):
+        q = db.parse("{struct(a: b.n, c: s.n) | b <- Bigs, s <- Smalls, 1 = 1}")
+        res = optimize_with_costs(db, q)
+        assert "reorder-generators" in res.rules_fired()
+        assert "true-pred" in res.rules_fired()
+
+    def test_reorder_preserves_semantics(self, db):
+        q = db.parse("{struct(a: b.n, c: s.n) | b <- Bigs, s <- Smalls}")
+        res = optimize_with_costs(db, q)
+        assert res.changed
+        report = observationally_equal(db, q, res.query, max_paths=100_000)
+        assert report.equal, report.reason
+
+    def test_reorder_actually_saves_steps(self, db):
+        q = db.parse("{struct(a: b.n, c: s.n) | b <- Bigs, s <- Smalls}")
+        res = optimize_with_costs(db, q)
+        before = db.run(q, commit=False).steps
+        after = db.run(res.query, commit=False).steps
+        assert after < before

@@ -1,0 +1,71 @@
+"""Tests for the observational-equivalence oracle (all its verdicts)."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.optimizer.equivalence import observationally_equal
+
+ODL = """
+class P extends Object (extent Ps) {
+    attribute int n;
+    int spin() { while (true) { } }
+}
+"""
+
+
+@pytest.fixture
+def db():
+    d = Database.from_odl(ODL, method_fuel=100)
+    d.insert("P", n=1)
+    d.insert("P", n=2)
+    return d
+
+
+class TestVerdicts:
+    def test_equal_pure(self, db):
+        r = observationally_equal(db, db.parse("1 + 1"), db.parse("2"))
+        assert r.equal
+
+    def test_equal_up_to_bijection(self, db):
+        a = db.parse('{ struct(x: p.n, y: new P(n: 0)).x | p <- Ps }')
+        r = observationally_equal(db, a, a)
+        assert r.equal, r.reason
+
+    def test_value_mismatch(self, db):
+        r = observationally_equal(db, db.parse("{1}"), db.parse("{2}"))
+        assert not r.equal
+
+    def test_divergence_mismatch(self, db):
+        a = db.parse("{ p.n | p <- Ps }")
+        b = db.parse("{ p.spin() | p <- Ps }")
+        r = observationally_equal(db, a, b, max_steps=300)
+        assert not r.equal
+        assert "divergence" in r.reason
+
+    def test_outcome_count_mismatch(self, db):
+        # one deterministic vs one genuinely racy query
+        det = db.parse("{ 7 | p <- Ps }")
+        racy = db.parse(
+            "{ (if size(Ps) = 2 then struct(a: p.n, b: new P(n: 0)).a "
+            "   else 0 - p.n) | p <- Ps }"
+        )
+        r = observationally_equal(db, det, racy)
+        assert not r.equal
+
+    def test_truncation_reported(self, db):
+        a = db.parse("{ x | x <- {1, 2, 3, 4, 5, 6} }")
+        r = observationally_equal(db, a, a, max_paths=5)
+        assert not r.equal
+        assert "truncated" in r.reason
+
+    def test_side_effect_difference_detected(self, db):
+        # same value, different final extents
+        a = db.parse("size(Ps)")
+        b = db.parse("size(Ps except { new P(n: 99) | x <- {1} })")
+        r = observationally_equal(db, a, b)
+        assert not r.equal
+
+    def test_report_carries_explorations(self, db):
+        r = observationally_equal(db, db.parse("1"), db.parse("1"))
+        assert r.left.paths == 1
+        assert r.right.paths == 1

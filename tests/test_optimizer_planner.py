@@ -1,0 +1,158 @@
+"""Unit tests for the rewriting pipeline and optimizer equivalence."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.errors import IOQLTypeError
+from repro.lang.ast import SetLit, SetOp
+from repro.optimizer.equivalence import observationally_equal
+from repro.optimizer.planner import explain_commutation, optimize, try_commute
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+}
+"""
+
+
+@pytest.fixture
+def db():
+    d = Database.from_odl(ODL)
+    d.insert("Person", name="a", age=1)
+    d.insert("Person", name="b", age=20)
+    return d
+
+
+class TestPipeline:
+    def test_constant_folding_cascades(self, db):
+        res = optimize(db, db.parse("if 1 + 1 = 2 then 10 else 20"))
+        assert res.query == db.parse("10")
+        assert "arith-fold" in res.rules_fired()
+        assert "if-const-fold" in res.rules_fired()
+
+    def test_dead_branch_removal_composes(self, db):
+        res = optimize(db, db.parse("{p | p <- Persons, 1 < 2}"))
+        assert res.query == db.parse("{p | p <- Persons}")
+
+    def test_false_pred_collapse(self, db):
+        res = optimize(db, db.parse("{p | p <- Persons, 2 < 1}"))
+        assert res.query == SetLit(())
+
+    def test_union_identity(self, db):
+        res = optimize(db, db.parse("Persons union ({} union {})"))
+        assert res.query == db.parse("Persons")
+
+    def test_unchanged_query(self, db):
+        q = db.parse("{p.name | p <- Persons, p.age < 10}")
+        res = optimize(db, q)
+        assert res.query == q
+        assert not res.changed
+
+    def test_fixpoint_reached(self, db):
+        # deeply foldable expression requires several passes
+        res = optimize(db, db.parse("((1 + 1) + (1 + 1)) * ((2 + 2) + 1)"))
+        assert res.query == db.parse("20")
+
+    def test_pushdown_step_reduction(self, db):
+        """The optimizer's point: fewer reduction steps at run time."""
+        q = db.parse(
+            "{ struct(a: p.name, b: x) | p <- Persons, x <- {1, 2, 3}, p.age < 5 }"
+        )
+        res = optimize(db, q)
+        assert "pred-pushdown" in res.rules_fired()
+        before = db.run(q, commit=False).steps
+        after = db.run(res.query, commit=False).steps
+        assert after < before
+
+    def test_rewrites_under_binders(self, db):
+        q = db.parse("{ p.age + (1 + 1) | p <- Persons }")
+        res = optimize(db, q)
+        assert res.query == db.parse("{ p.age + 2 | p <- Persons }")
+
+    def test_ill_typed_rejected(self, db):
+        with pytest.raises(IOQLTypeError):
+            optimize(db, db.parse("1 + true"))
+
+    def test_provenance_recorded(self, db):
+        res = optimize(db, db.parse("1 + 1"))
+        (step,) = res.steps
+        assert step.rule == "arith-fold"
+        assert step.before == db.parse("1 + 1")
+        assert step.after == db.parse("2")
+
+
+class TestOptimizerPreservesSemantics:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "{p.name | p <- Persons, 1 = 1}",
+            "{p.name | p <- Persons, 1 = 2}",
+            "Persons union {}",
+            "{x + 0 * 2 | x <- {1, 2}}",
+            "{ struct(a: p.name, b: x) | p <- Persons, x <- {1}, p.age < 5 }",
+            "size({x | x <- {y | y <- {1, 2, 3}, y < 3}})",
+            "struct(a: size(Persons), b: 2 + 2).a",
+        ],
+    )
+    def test_observational_equivalence(self, db, src):
+        q = db.parse(src)
+        res = optimize(db, q)
+        report = observationally_equal(db, q, res.query)
+        assert report.equal, report.reason
+
+
+class TestCommutation:
+    def test_try_commute_safe(self, db):
+        res = try_commute(db, db.parse("{} union Persons"))
+        assert res.changed
+        assert isinstance(res.query, SetOp)
+        assert res.query == db.parse("Persons union {}")
+
+    def test_try_commute_refused(self, db):
+        src = 'Persons union {new Person(name: "x", age: 0)}'
+        res = try_commute(db, db.parse(src))
+        assert not res.changed
+
+    def test_explain_safe(self, db):
+        msg = explain_commutation(db, db.parse("Persons intersect Persons"))
+        assert msg.startswith("safe")
+
+    def test_explain_unsafe(self, db):
+        src = 'Persons intersect {new Person(name: "x", age: 0)}'
+        msg = explain_commutation(db, db.parse(src))
+        assert "UNSAFE" in msg
+        assert "Theorem 8" in msg
+
+    def test_explain_non_setop(self, db):
+        assert "not a commutative" in explain_commutation(db, db.parse("1 + 1"))
+
+    def test_commuted_query_equivalent(self, db):
+        q = db.parse("{p | p <- Persons, p.age < 5} union Persons")
+        res = try_commute(db, q)
+        assert res.changed
+        report = observationally_equal(db, q, res.query)
+        assert report.equal, report.reason
+
+    def test_unsafe_commute_would_change_semantics(self, db):
+        """The §4 lesson: commuting interfering operands IS observable.
+
+        The paper's shape: the left operand *creates* a Person, the
+        right operand *reads* the Person extent.  Evaluated
+        left-to-right the created object is already in the extent when
+        it is read, so the intersection is the singleton; commuted, the
+        extent is read before the creation and the intersection is
+        empty.  We verify the optimizer's refusal is not over-caution.
+        """
+        creator = db.parse('{ new Person(name: "fresh", age: 0) | x <- {1} }')
+        reader = db.parse("Persons")
+        from repro.lang.ast import SetOpKind
+
+        q1 = SetOp(SetOpKind.INTERSECT, creator, reader)
+        q2 = SetOp(SetOpKind.INTERSECT, reader, creator)
+        r1 = db.run(q1, commit=False)
+        r2 = db.run(q2, commit=False)
+        assert len(r1.value.items) == 1  # the fresh object
+        assert len(r2.value.items) == 0  # the paper's "empty set!"
+        report = observationally_equal(db, q1, q2, max_paths=20000)
+        assert not report.equal

@@ -1,0 +1,156 @@
+"""Integration tests reproducing the paper's worked examples exactly.
+
+E1 — §1 non-determinism: the Jack/Jill query has exactly the two
+observable answers the paper lists, and ⊢′ rejects it.
+
+E2 — §1 non-termination: the ``loop`` variant terminates when Jill is
+visited first and diverges when Jack is visited first.
+
+E3 — §4 commutation: the intersection whose operands interfere returns
+the singleton; the commuted query returns "the empty set!"; ⊢″ refuses.
+"""
+
+import pytest
+
+from repro.errors import FuelExhausted
+from repro.lang.ast import SetOp, SetOpKind
+from repro.semantics.strategy import FIRST, LAST
+from tests.conftest import JACK_JILL_LOOP_QUERY, JACK_JILL_QUERY
+
+
+class TestE1NonDeterminism:
+    def test_exactly_two_observable_answers(self, jack_jill_db):
+        ex = jack_jill_db.explore(JACK_JILL_QUERY)
+        values = sorted(str(v) for v in ex.distinct_values())
+        assert values == ['{"Jack", "Peter"}', '{"Jill", "Peter"}']
+
+    def test_jack_first_gives_peter_jill(self, jack_jill_db):
+        # oids sort @P_0 (Jack) < @P_1 (Jill): FIRST visits Jack first
+        r = jack_jill_db.run(JACK_JILL_QUERY, strategy=FIRST, commit=False)
+        assert r.python() == frozenset({"Peter", "Jill"})
+
+    def test_jill_first_gives_peter_jack(self, jack_jill_db):
+        r = jack_jill_db.run(JACK_JILL_QUERY, strategy=LAST, commit=False)
+        assert r.python() == frozenset({"Peter", "Jack"})
+
+    def test_side_effect_one_f_created_either_way(self, jack_jill_db):
+        for strat in (FIRST, LAST):
+            r = jack_jill_db.run(JACK_JILL_QUERY, strategy=strat, commit=False)
+            assert len(r.ee.members("Fs")) == 1
+
+    def test_effect_is_read_and_add_of_F(self, jack_jill_db):
+        eff = jack_jill_db.effect_of(JACK_JILL_QUERY)
+        assert "F" in eff.reads()
+        assert "F" in eff.adds()
+        assert "P" in eff.reads()
+
+    def test_determinism_analysis_rejects(self, jack_jill_db):
+        """⊢′ statically detects the non-determinism (the paper's pitch)."""
+        assert not jack_jill_db.is_deterministic(JACK_JILL_QUERY)
+        (witness,) = jack_jill_db.determinism_witnesses(JACK_JILL_QUERY)
+        assert witness.conflicting == frozenset({"F"})
+
+    def test_analysis_is_conservative_but_not_vacuous(self, jack_jill_db):
+        # a genuinely deterministic projection is accepted
+        assert jack_jill_db.is_deterministic("{ p.name | p <- Ps }")
+
+
+class TestE2NonTermination:
+    def test_jill_first_terminates(self, jack_jill_db):
+        r = jack_jill_db.run(JACK_JILL_LOOP_QUERY, strategy=LAST, commit=False)
+        assert r.python() == frozenset({"Jack", "Jill"})
+
+    def test_jack_first_diverges(self, jack_jill_db):
+        with pytest.raises(FuelExhausted):
+            jack_jill_db.run(
+                JACK_JILL_LOOP_QUERY, strategy=FIRST, commit=False, max_steps=2_000
+            )
+
+    def test_explorer_sees_both_behaviours(self, jack_jill_db):
+        ex = jack_jill_db.explore(JACK_JILL_LOOP_QUERY, max_steps=2_000)
+        assert ex.diverged
+        assert [str(v) for v in ex.distinct_values()] == ['{"Jack", "Jill"}']
+
+    def test_loop_method_typechecks(self, jack_jill_db):
+        """The paper's loop method is *well-typed* — soundness says
+        nothing about termination."""
+        from repro.model.types import STRING
+
+        assert jack_jill_db.schema.mtype("P", "loop").result == STRING
+
+
+class TestE3IntersectionCommutation:
+    """§4: one Person "Jack"/"Utah", one Employee "Jill"/"NYC"."""
+
+    ODL = """
+    class Person extends Object (extent Persons) {
+        attribute string name;
+        attribute string address;
+    }
+    class Employee extends Person (extent Employees) {
+    }
+    """
+
+    CREATOR = (
+        '{ new Person(name: e.name, address: "Utah") | e <- Employees }'
+    )
+
+    @pytest.fixture
+    def db(self):
+        from repro.db.database import Database
+
+        d = Database.from_odl(self.ODL)
+        d.insert("Person", name="Jack", address="Utah")
+        d.insert("Employee", name="Jill", address="NYC")
+        return d
+
+    def _query(self, db, commuted: bool) -> SetOp:
+        creator = db.parse(self.CREATOR)
+        reader = db.parse("Persons")
+        if commuted:
+            return SetOp(SetOpKind.INTERSECT, reader, creator)
+        return SetOp(SetOpKind.INTERSECT, creator, reader)
+
+    def test_original_returns_jill_utah_singleton(self, db):
+        r = db.run(self._query(db, commuted=False), commit=False)
+        (only,) = r.value.items
+        rec = r.oe.get(only.name)
+        assert rec.attr("name").value == "Jill"
+        assert rec.attr("address").value == "Utah"
+
+    def test_original_is_deterministic(self, db):
+        """The paper: "There is no non-determinism in this query"."""
+        ex = db.explore(self._query(db, commuted=False))
+        assert ex.deterministic()
+
+    def test_commuted_returns_empty_set(self, db):
+        r = db.run(self._query(db, commuted=True), commit=False)
+        assert r.value.items == ()
+
+    def test_effects_interfere(self, db):
+        from repro.effects.checker import effect_of
+
+        le = effect_of(db.schema, db.parse(self.CREATOR))
+        re_ = effect_of(db.schema, db.parse("Persons"))
+        assert le.interferes_with(re_)
+
+    def test_commutativity_checker_refuses(self, db):
+        conflicts = db.commutation_conflicts(self._query(db, commuted=False))
+        assert len(conflicts) == 1
+
+    def test_optimizer_refuses_the_rewrite(self, db):
+        from repro.optimizer.planner import try_commute
+
+        res = try_commute(db, self._query(db, commuted=False))
+        assert not res.changed
+
+    def test_safe_variant_commutes_fine(self, db):
+        """Reading-only operands: commuting is licensed and harmless."""
+        from repro.optimizer.equivalence import observationally_equal
+        from repro.optimizer.planner import try_commute
+
+        q = db.parse("Persons intersect Employees")
+        res = try_commute(db, q)
+        assert res.changed
+        report = observationally_equal(db, q, res.query)
+        assert report.equal

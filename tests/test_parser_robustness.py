@@ -1,0 +1,109 @@
+"""Robustness fuzzing: the parsers must fail *only* with ParseError.
+
+A production front-end never leaks ``IndexError``/``RecursionError``/
+``KeyError`` to callers on garbage input.  Hypothesis throws arbitrary
+text (and structured near-miss text) at every parser entry point.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParseError, ReproError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program, parse_query, parse_type
+from repro.methods.parser import parse_method_body
+from repro.model.odl_parser import parse_class_defs
+
+# text biased toward the language's own alphabet so we hit deep paths
+ioql_alphabet = st.sampled_from(
+    list("abcxyzPQ0123456789 (){}<>,.;:|=+-*\"'@_")
+    + [
+        "select ", "from ", "where ", "union ", "struct", "new ", "if ",
+        "then ", "else ", "define ", "as ", "<-", "==", "sum", "bag",
+        "list", "toset", "size", "exists ", "forall ", " in ", "true",
+        "false", "class ", "extends ", "extent ", "attribute ",
+        "return ", "while ", "var ",
+    ]
+)
+junk = st.lists(ioql_alphabet, max_size=30).map("".join)
+
+
+def _only_parse_errors(fn, text):
+    try:
+        fn(text)
+    except ParseError:
+        pass
+    except RecursionError:
+        pytest.fail(f"recursion blowup on {text!r}")
+    # any other exception type propagates and fails the test
+
+
+class TestFuzzing:
+    @given(junk)
+    @settings(max_examples=300, deadline=None)
+    def test_query_parser_total(self, text):
+        _only_parse_errors(parse_query, text)
+
+    @given(junk)
+    @settings(max_examples=200, deadline=None)
+    def test_program_parser_total(self, text):
+        _only_parse_errors(parse_program, text)
+
+    @given(junk)
+    @settings(max_examples=200, deadline=None)
+    def test_type_parser_total(self, text):
+        _only_parse_errors(parse_type, text)
+
+    @given(junk)
+    @settings(max_examples=200, deadline=None)
+    def test_odl_parser_total(self, text):
+        _only_parse_errors(parse_class_defs, text)
+
+    @given(junk)
+    @settings(max_examples=200, deadline=None)
+    def test_method_parser_total(self, text):
+        _only_parse_errors(parse_method_body, text)
+
+    @given(st.text(max_size=50))
+    @settings(max_examples=200, deadline=None)
+    def test_lexer_total_on_unicode(self, text):
+        try:
+            tokenize(text)
+        except ParseError:
+            pass
+
+    @given(junk)
+    @settings(max_examples=100, deadline=None)
+    def test_parse_errors_carry_positions(self, text):
+        try:
+            parse_query(text)
+        except ParseError as exc:
+            assert exc.line is None or exc.line >= 1
+            if exc.line is not None:
+                assert str(exc.line) in str(exc)
+
+
+class TestShellRobustness:
+    """The shell must answer every line with text, never a traceback."""
+
+    @given(junk)
+    @settings(max_examples=150, deadline=None)
+    def test_shell_never_raises_on_queries(self, text):
+        from repro.shell import Shell
+
+        sh = Shell()
+        try:
+            out = sh.handle(text)
+        except SystemExit:
+            return
+        except ReproError:
+            pytest.fail("ReproError escaped the shell")
+        assert isinstance(out, str)
+
+    @given(st.sampled_from([".type", ".effect", ".det", ".optimize", ".explain"]), junk)
+    @settings(max_examples=100, deadline=None)
+    def test_shell_commands_never_raise(self, cmd, text):
+        from repro.shell import Shell
+
+        out = Shell().handle(f"{cmd} {text}")
+        assert isinstance(out, str)

@@ -1,0 +1,159 @@
+"""Unit tests for the oid-bijection ∼ (repro.semantics.bijection)."""
+
+import pytest
+
+from repro.lang.ast import IntLit, OidRef, RecordLit, StrLit
+from repro.lang.values import make_set_value
+from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord
+from repro.semantics.bijection import equivalent, find_bijection, values_equivalent
+
+
+def store(*objs, extents=None):
+    """objs: (oid, cname, attrs-dict); extents: {name: (cname, {oids})}."""
+    oe = ObjectEnv(
+        {
+            oid: ObjectRecord(cname, tuple(sorted(attrs.items())))
+            for oid, cname, attrs in objs
+        }
+    )
+    ee = ExtentEnv(
+        {e: (c, frozenset(m)) for e, (c, m) in (extents or {}).items()}
+    )
+    return ee, oe
+
+
+class TestIdentity:
+    def test_identical_states(self):
+        ee, oe = store(
+            ("@a", "P", {"name": StrLit("x")}),
+            extents={"Ps": ("P", {"@a"})},
+        )
+        assert equivalent(OidRef("@a"), ee, oe, OidRef("@a"), ee, oe)
+
+    def test_literal_values(self):
+        ee, oe = store()
+        assert equivalent(IntLit(1), ee, oe, IntLit(1), ee, oe)
+        assert not equivalent(IntLit(1), ee, oe, IntLit(2), ee, oe)
+
+
+class TestRenaming:
+    def test_simple_rename(self):
+        ee1, oe1 = store(
+            ("@a", "P", {"n": IntLit(1)}), extents={"Ps": ("P", {"@a"})}
+        )
+        ee2, oe2 = store(
+            ("@b", "P", {"n": IntLit(1)}), extents={"Ps": ("P", {"@b"})}
+        )
+        bij = find_bijection(OidRef("@a"), ee1, oe1, OidRef("@b"), ee2, oe2)
+        assert bij == {"@a": "@b"}
+
+    def test_rename_through_attributes(self):
+        ee1, oe1 = store(
+            ("@a", "P", {"pal": OidRef("@b")}),
+            ("@b", "P", {"pal": OidRef("@a")}),
+            extents={"Ps": ("P", {"@a", "@b"})},
+        )
+        ee2, oe2 = store(
+            ("@x", "P", {"pal": OidRef("@y")}),
+            ("@y", "P", {"pal": OidRef("@x")}),
+            extents={"Ps": ("P", {"@x", "@y"})},
+        )
+        assert equivalent(OidRef("@a"), ee1, oe1, OidRef("@x"), ee2, oe2)
+
+    def test_class_mismatch(self):
+        ee1, oe1 = store(("@a", "P", {}), extents={"Ps": ("P", {"@a"})})
+        ee2, oe2 = store(("@a", "Q", {}), extents={"Ps": ("P", set())})
+        assert not equivalent(OidRef("@a"), ee1, oe1, OidRef("@a"), ee2, oe2)
+
+    def test_attr_value_mismatch(self):
+        ee1, oe1 = store(("@a", "P", {"n": IntLit(1)}), extents={"Ps": ("P", {"@a"})})
+        ee2, oe2 = store(("@b", "P", {"n": IntLit(2)}), extents={"Ps": ("P", {"@b"})})
+        assert not equivalent(OidRef("@a"), ee1, oe1, OidRef("@b"), ee2, oe2)
+
+    def test_extent_membership_must_match(self):
+        ee1, oe1 = store(("@a", "P", {}), extents={"Ps": ("P", {"@a"})})
+        ee2, oe2 = store(("@b", "P", {}), extents={"Ps": ("P", set())})
+        assert not equivalent(OidRef("@a"), ee1, oe1, OidRef("@b"), ee2, oe2)
+
+    def test_object_count_must_match(self):
+        ee1, oe1 = store(("@a", "P", {}), extents={"Ps": ("P", {"@a"})})
+        ee2, oe2 = store(
+            ("@a", "P", {}),
+            ("@b", "P", {}),
+            extents={"Ps": ("P", {"@a", "@b"})},
+        )
+        assert not equivalent(OidRef("@a"), ee1, oe1, OidRef("@a"), ee2, oe2)
+
+
+class TestStructuredValues:
+    def test_sets_of_oids_reordered(self):
+        ee1, oe1 = store(
+            ("@a", "P", {"n": IntLit(1)}),
+            ("@b", "P", {"n": IntLit(2)}),
+            extents={"Ps": ("P", {"@a", "@b"})},
+        )
+        ee2, oe2 = store(
+            ("@z", "P", {"n": IntLit(2)}),
+            ("@y", "P", {"n": IntLit(1)}),
+            extents={"Ps": ("P", {"@y", "@z"})},
+        )
+        v1 = make_set_value([OidRef("@a"), OidRef("@b")])
+        v2 = make_set_value([OidRef("@y"), OidRef("@z")])
+        bij = find_bijection(v1, ee1, oe1, v2, ee2, oe2)
+        assert bij == {"@a": "@y", "@b": "@z"}
+
+    def test_record_values(self):
+        ee1, oe1 = store(("@a", "P", {}), extents={"Ps": ("P", {"@a"})})
+        ee2, oe2 = store(("@b", "P", {}), extents={"Ps": ("P", {"@b"})})
+        v1 = RecordLit((("who", OidRef("@a")), ("n", IntLit(3))))
+        v2 = RecordLit((("who", OidRef("@b")), ("n", IntLit(3))))
+        assert equivalent(v1, ee1, oe1, v2, ee2, oe2)
+
+    def test_inconsistent_sharing_rejected(self):
+        # v1 mentions the same oid twice; v2 mentions two distinct ones
+        ee1, oe1 = store(
+            ("@a", "P", {}), ("@c", "P", {}),
+            extents={"Ps": ("P", {"@a", "@c"})},
+        )
+        ee2, oe2 = store(
+            ("@x", "P", {}), ("@y", "P", {}),
+            extents={"Ps": ("P", {"@x", "@y"})},
+        )
+        v1 = RecordLit((("l", OidRef("@a")), ("r", OidRef("@a"))))
+        v2 = RecordLit((("l", OidRef("@x")), ("r", OidRef("@y"))))
+        assert not equivalent(v1, ee1, oe1, v2, ee2, oe2)
+
+
+class TestEquivalenceLaws:
+    def _fresh(self, n1, n2):
+        ee, oe = store(
+            (n1, "P", {"pal": OidRef(n2)}),
+            (n2, "P", {"pal": OidRef(n1)}),
+            extents={"Ps": ("P", {n1, n2})},
+        )
+        return OidRef(n1), ee, oe
+
+    def test_reflexive(self):
+        v, ee, oe = self._fresh("@a", "@b")
+        assert equivalent(v, ee, oe, v, ee, oe)
+
+    def test_symmetric(self):
+        v1, ee1, oe1 = self._fresh("@a", "@b")
+        v2, ee2, oe2 = self._fresh("@x", "@y")
+        assert equivalent(v1, ee1, oe1, v2, ee2, oe2)
+        assert equivalent(v2, ee2, oe2, v1, ee1, oe1)
+
+    def test_transitive(self):
+        v1, ee1, oe1 = self._fresh("@a", "@b")
+        v2, ee2, oe2 = self._fresh("@x", "@y")
+        v3, ee3, oe3 = self._fresh("@m", "@n")
+        assert equivalent(v1, ee1, oe1, v2, ee2, oe2)
+        assert equivalent(v2, ee2, oe2, v3, ee3, oe3)
+        assert equivalent(v1, ee1, oe1, v3, ee3, oe3)
+
+
+class TestValuesOnly:
+    def test_values_equivalent_ignores_unreachable(self):
+        _, oe1 = store(("@a", "P", {}), ("@junk", "Q", {}))
+        _, oe2 = store(("@b", "P", {}))
+        assert values_equivalent(OidRef("@a"), oe1, OidRef("@b"), oe2)

@@ -1,0 +1,151 @@
+"""Unit tests for evaluation contexts / unique decomposition (Figure 2)."""
+
+import pytest
+
+from repro.lang.ast import (
+    Comp,
+    Field,
+    Gen,
+    If,
+    IntLit,
+    IntOp,
+    MethodCall,
+    New,
+    Pred,
+    RecordLit,
+    SetLit,
+    SetOp,
+    Size,
+    Var,
+)
+from repro.lang.parser import parse_query
+from repro.lang.values import make_set_value
+from repro.semantics.contexts import decompose
+
+
+def redex_of(src: str):
+    d = decompose(parse_query(src))
+    assert d is not None
+    return d.redex
+
+
+class TestValues:
+    @pytest.mark.parametrize("src", ["1", "true", '"s"', "{}", "{1, 2}", "struct(a: 1)"])
+    def test_values_do_not_decompose(self, src):
+        assert decompose(parse_query(src)) is None
+
+
+class TestEvaluationOrder:
+    def test_binary_left_first(self):
+        # in (1+2) + (3+4), the left addition is the redex
+        assert redex_of("(1 + 2) + (3 + 4)") == parse_query("1 + 2")
+
+    def test_binary_right_after_left(self):
+        assert redex_of("1 + (3 + 4)") == parse_query("3 + 4")
+
+    def test_both_values_redex_is_node(self):
+        assert redex_of("1 + 2") == parse_query("1 + 2")
+
+    def test_union_left_to_right(self):
+        assert redex_of("({1} union {2}) union ({3} union {4})") == parse_query(
+            "{1} union {2}"
+        )
+
+    def test_set_items_left_to_right(self):
+        assert redex_of("{1, 1 + 2, 3 + 4}") == parse_query("1 + 2")
+
+    def test_record_fields_left_to_right(self):
+        assert redex_of("struct(a: 1, b: 1 + 2, c: 3 + 4)") == parse_query("1 + 2")
+
+    def test_args_after_target(self):
+        q = parse_query("x.m(1 + 2)")
+        d = decompose(q)
+        # target Var x is not a value... Var is a non-value: redex is x
+        assert d.redex == Var("x")
+
+    def test_method_args_left_to_right(self):
+        from repro.lang.ast import OidRef
+
+        q = MethodCall(OidRef("@o"), "m", (parse_query("1 + 2"), parse_query("3 + 4")))
+        assert decompose(q).redex == parse_query("1 + 2")
+
+    def test_if_guard_only(self):
+        # branches are never decomposed into
+        q = parse_query("if 1 = 1 then 1 + 2 else 3 + 4")
+        assert decompose(q).redex == parse_query("1 = 1")
+
+    def test_if_with_value_guard_is_redex(self):
+        q = parse_query("if true then 1 + 2 else 3")
+        assert decompose(q).redex == q
+
+    def test_new_fields_left_to_right(self):
+        q = parse_query("new C(a: 1, b: 2 + 3)")
+        assert decompose(q).redex == parse_query("2 + 3")
+
+    def test_size_arg(self):
+        assert redex_of("size({1} union {2})") == parse_query("{1} union {2}")
+
+
+class TestComprehensionContexts:
+    def test_head_evaluated_when_no_qualifiers(self):
+        q = parse_query("{1 + 2 | }")
+        assert decompose(q).redex == parse_query("1 + 2")
+
+    def test_empty_comp_with_value_head_is_redex(self):
+        q = parse_query("{1 | }")
+        assert decompose(q).redex == q
+
+    def test_first_qualifier_predicate(self):
+        q = parse_query("{x | 1 = 1, x <- s}")
+        assert decompose(q).redex == parse_query("1 = 1")
+
+    def test_generator_source(self):
+        q = parse_query("{x | x <- {1} union {2}}")
+        assert decompose(q).redex == parse_query("{1} union {2}")
+
+    def test_head_not_evaluated_under_qualifiers(self):
+        q = parse_query("{1 + 2 | x <- s}")
+        # the redex is inside the generator source (Var s), not the head
+        assert decompose(q).redex == Var("s")
+
+    def test_comp_with_value_generator_is_redex(self):
+        q = parse_query("{x | x <- {1, 2}}")
+        assert decompose(q).redex == q
+
+
+class TestPlugging:
+    """The fundamental property: plug(redex) == original query."""
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "(1 + 2) + (3 + 4)",
+            "{1, 1 + 2, 3}",
+            "struct(a: 1 + 2, b: 3)",
+            "size({1} union {2})",
+            "if 1 = 1 then 2 else 3",
+            "{x + 1 | x <- {1} union {2}, x < 3}",
+            "new C(a: 1 + 2)",
+            "f(1 + 2, 3)",
+            "((1 + 2)).foo",
+            "(C) struct(a: 1 + 2).a",
+        ],
+    )
+    def test_plug_reconstructs(self, src):
+        q = parse_query(src)
+        d = decompose(q)
+        assert d is not None
+        assert d.plug(d.redex) == q
+
+    def test_plug_replaces(self):
+        q = parse_query("1 + (2 + 3)")
+        d = decompose(q)
+        assert d.plug(IntLit(5)) == parse_query("1 + 5")
+
+    def test_administrative_canon_redex(self):
+        # an all-value, non-canonical set literal is its own redex
+        q = SetLit((IntLit(2), IntLit(1)))
+        d = decompose(q)
+        assert d.redex == q
+        canonical = make_set_value([IntLit(1), IntLit(2)])
+        assert decompose(canonical) is None

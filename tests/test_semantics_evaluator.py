@@ -1,0 +1,146 @@
+"""Unit tests for →→ driving (repro.semantics.evaluator)."""
+
+import pytest
+
+from repro.effects.algebra import EMPTY, Effect, add, read
+from repro.errors import FuelExhausted, StuckError
+from repro.lang.ast import IntLit, StrLit
+from repro.lang.parser import parse_program, parse_query
+from repro.lang.values import make_set_value
+from repro.model.odl_parser import parse_schema
+from repro.db.store import ExtentEnv, ObjectEnv, OidSupply, populate
+from repro.semantics.evaluator import evaluate, trace_steps
+from repro.semantics.machine import Config, Machine
+from repro.semantics.strategy import FIRST, LAST, RandomStrategy
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+    int forever() { while (true) { } }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(ODL)
+
+
+@pytest.fixture
+def env(schema):
+    ee = ExtentEnv.for_schema(schema)
+    oe = ObjectEnv()
+    supply = OidSupply()
+    for name, age in (("Ada", 36), ("Bob", 17), ("Cyd", 60)):
+        ee, oe, _ = populate(
+            schema, ee, oe, supply, "Person",
+            [("name", StrLit(name)), ("age", IntLit(age))],
+        )
+    return Machine(schema, oid_supply=supply, method_fuel=200), ee, oe
+
+
+def run(env, src, **kw):
+    m, ee, oe = env
+    return evaluate(m, ee, oe, parse_query(src, extents={"Persons"}), **kw)
+
+
+class TestBasicEvaluation:
+    def test_arithmetic(self, env):
+        assert run(env, "(1 + 2) * (3 + 4)").value == IntLit(21)
+
+    def test_value_is_zero_steps(self, env):
+        r = run(env, "42")
+        assert r.steps == 0
+        assert r.effect == EMPTY
+
+    def test_comprehension(self, env):
+        r = run(env, "{p.age + 1 | p <- Persons, p.age < 40}")
+        assert r.value == make_set_value([IntLit(37), IntLit(18)])
+
+    def test_select_sugar(self, env):
+        r = run(env, "select p.name from p in Persons where p.age >= 36")
+        assert r.python() == frozenset({"Ada", "Cyd"})
+
+    def test_quantifiers(self, env):
+        assert run(env, "exists p in Persons : p.age > 50").python() is True
+        assert run(env, "forall p in Persons : p.age > 50").python() is False
+        assert run(env, "forall p in Persons : p.age > 5").python() is True
+
+    def test_nested_comprehension(self, env):
+        r = run(env, "{ size({q | q <- Persons, q.age < p.age}) | p <- Persons }")
+        # ranks: Bob(17)→0, Ada(36)→1, Cyd(60)→2
+        assert r.python() == frozenset({0, 1, 2})
+
+    def test_strategy_agreement_for_pure_queries(self, env):
+        a = run(env, "{p.name | p <- Persons}", strategy=FIRST)
+        b = run(env, "{p.name | p <- Persons}", strategy=LAST)
+        c = run(env, "{p.name | p <- Persons}", strategy=RandomStrategy(7))
+        assert a.value == b.value == c.value
+
+
+class TestEffectTracing:
+    def test_read_trace(self, env):
+        assert run(env, "size(Persons)").effect == Effect.of(read("Person"))
+
+    def test_add_trace(self, env):
+        r = run(env, 'new Person(name: "Zed", age: 0)')
+        assert r.effect == Effect.of(add("Person"))
+
+    def test_pure_trace(self, env):
+        assert run(env, "1 + 2 + 3").effect == EMPTY
+
+    def test_combined_trace(self, env):
+        r = run(env, '{ new Person(name: p.name, age: 0) | p <- Persons }')
+        assert r.effect == Effect.of(read("Person"), add("Person"))
+
+    def test_false_branch_effects_not_traced(self, env):
+        # dynamic trace is more precise than the static bound
+        r = run(env, "if 1 = 2 then size(Persons) else 0")
+        assert r.effect == EMPTY
+
+    def test_rules_recorded(self, env):
+        r = run(env, "1 + 2", keep_rules=True)
+        assert r.rules == ("Addition",)
+
+
+class TestEnvironmentThreading:
+    def test_new_persists_in_result_env(self, env):
+        m, ee, oe = env
+        r = run(env, 'new Person(name: "Zed", age: 0)')
+        assert len(r.ee.members("Persons")) == len(ee.members("Persons")) + 1
+        assert len(r.oe) == len(oe) + 1
+
+    def test_multiple_news(self, env):
+        r = run(env, '{ new Person(name: p.name, age: 99) | p <- Persons }')
+        assert len(r.ee.members("Persons")) == 6
+
+    def test_input_environments_untouched(self, env):
+        m, ee, oe = env
+        before = len(ee.members("Persons"))
+        run(env, 'new Person(name: "Zed", age: 0)')
+        assert len(ee.members("Persons")) == before
+
+
+class TestDivergenceAndFuel:
+    def test_step_budget(self, env):
+        with pytest.raises(FuelExhausted):
+            run(env, "{p.age | p <- Persons}", max_steps=2)
+
+    def test_fuel_exhausted_reports_steps(self, env):
+        try:
+            run(env, "{p.age | p <- Persons}", max_steps=3)
+        except FuelExhausted as exc:
+            assert exc.steps == 3
+        else:
+            pytest.fail("expected FuelExhausted")
+
+    def test_diverging_method(self, env):
+        with pytest.raises(FuelExhausted):
+            run(env, "{ p.forever() | p <- Persons }")
+
+    def test_trace_steps_yields_each(self, env):
+        m, ee, oe = env
+        cfg = Config(ee, oe, parse_query("1 + (2 + 3)"))
+        rules = [s.rule for s in trace_steps(m, cfg)]
+        assert rules == ["Addition", "Addition"]

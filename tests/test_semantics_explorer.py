@@ -1,0 +1,118 @@
+"""Unit tests for exhaustive reduction-order exploration."""
+
+import pytest
+
+from repro.lang.ast import IntLit, StrLit
+from repro.lang.parser import parse_query
+from repro.lang.values import make_set_value
+from repro.model.odl_parser import parse_schema
+from repro.db.store import ExtentEnv, ObjectEnv, OidSupply, populate
+from repro.semantics.explorer import count_schedules, explore
+from repro.semantics.machine import Machine
+
+ODL = """
+class P extends Object (extent Ps) {
+    attribute string name;
+    string hang() { while (true) { } }
+}
+class F extends Object (extent Fs) {
+    attribute string name;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(ODL)
+
+
+@pytest.fixture
+def env(schema):
+    ee, oe, supply = ExtentEnv.for_schema(schema), ObjectEnv(), OidSupply()
+    for n in ("Jack", "Jill"):
+        ee, oe, _ = populate(schema, ee, oe, supply, "P", [("name", StrLit(n))])
+    return Machine(schema, oid_supply=supply, method_fuel=100), ee, oe
+
+
+def xp(env, src, **kw):
+    m, ee, oe = env
+    return explore(m, ee, oe, parse_query(src, extents={"Ps", "Fs"}), **kw)
+
+
+class TestDeterministicQueries:
+    def test_pure_single_outcome(self, env):
+        ex = xp(env, "{p.name | p <- Ps}")
+        assert len(ex.outcomes) == 1
+        assert ex.deterministic()
+        assert not ex.diverged and not ex.stuck
+
+    def test_value_query(self, env):
+        ex = xp(env, "42")
+        assert ex.paths == 1
+        assert ex.outcomes[0].value == IntLit(42)
+
+    def test_multiple_paths_single_outcome(self, env):
+        ex = xp(env, "{p.name | p <- Ps}")
+        assert ex.paths == 2  # two iteration orders
+        assert len(ex.distinct_values()) == 1
+
+    def test_schedule_count_grows_factorially(self, schema):
+        ee, oe, supply = ExtentEnv.for_schema(schema), ObjectEnv(), OidSupply()
+        m = Machine(schema, oid_supply=supply)
+        assert count_schedules(m, ee, oe, parse_query("{x | x <- {1, 2, 3}}")) == 6
+
+
+class TestNonDeterministicQueries:
+    SRC = (
+        '{ (if size(Fs) = 0 '
+        '   then struct(r: "Peter", w: new F(name: "Peter")).r '
+        '   else p.name) | p <- Ps }'
+    )
+
+    def test_two_observable_answers(self, env):
+        ex = xp(env, self.SRC)
+        values = {str(v) for v in ex.distinct_values()}
+        assert values == {'{"Jill", "Peter"}', '{"Jack", "Peter"}'}
+        assert not ex.deterministic()
+
+    def test_new_only_body_deterministic_up_to_bijection(self, env):
+        src = "{ struct(a: p.name, b: new F(name: p.name)).a | p <- Ps }"
+        ex = xp(env, src)
+        # distinct final OEs (different oid orders) but ∼-equal
+        assert ex.deterministic(up_to_bijection=True)
+        assert len(ex.distinct_values()) == 1
+
+    def test_strict_vs_bijection(self, env):
+        src = "{ struct(a: p.name, b: new F(name: p.name)).a | p <- Ps }"
+        ex = xp(env, src)
+        if len(ex.outcomes) > 1:
+            assert not ex.deterministic(up_to_bijection=False)
+
+
+class TestDivergence:
+    def test_divergence_on_some_schedule(self, env):
+        src = (
+            '{ (if p.name = "Jack" '
+            '    then (if size(Fs) = 0 then p.hang() else "Jack") '
+            '    else struct(r: p.name, w: new F(name: "x")).r) | p <- Ps }'
+        )
+        ex = xp(env, src, max_steps=500)
+        assert ex.diverged  # Jack-first hangs
+        assert ex.outcomes  # Jill-first terminates
+        assert not ex.deterministic()
+
+    def test_always_divergent(self, env):
+        ex = xp(env, "{ p.hang() | p <- Ps }", max_steps=500)
+        assert ex.diverged
+        assert not ex.outcomes
+
+
+class TestBounds:
+    def test_truncation_flag(self, env):
+        ex = xp(env, "{x | x <- {1, 2, 3, 4, 5}}", max_paths=3)
+        assert ex.truncated
+        assert not ex.deterministic()
+
+    def test_max_steps_counts_as_divergence(self, env):
+        ex = xp(env, "{p.name | p <- Ps}", max_steps=2)
+        assert ex.diverged

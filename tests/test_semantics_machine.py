@@ -1,0 +1,285 @@
+"""Unit tests for the reduction rules of Figures 2/4 (repro.semantics.machine)."""
+
+import pytest
+
+from repro.effects.algebra import EMPTY, Effect, add, read
+from repro.errors import StuckError
+from repro.lang.ast import IntLit, OidRef, SetLit, StrLit, Var
+from repro.lang.parser import parse_program, parse_query
+from repro.lang.values import make_set_value
+from repro.model.odl_parser import parse_schema
+from repro.db.store import ExtentEnv, ObjectEnv, OidSupply, populate
+from repro.semantics.machine import Config, Machine
+from repro.semantics.strategy import FIRST, LAST, ScriptedStrategy
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+    int double_age() { return this.age + this.age; }
+}
+class Employee extends Person (extent Employees) {
+    attribute int salary;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(ODL)
+
+
+@pytest.fixture
+def env(schema):
+    ee = ExtentEnv.for_schema(schema)
+    oe = ObjectEnv()
+    supply = OidSupply()
+    ee, oe, ada = populate(
+        schema, ee, oe, supply, "Person", [("name", StrLit("Ada")), ("age", IntLit(36))]
+    )
+    machine = Machine(schema, oid_supply=supply)
+    return machine, ee, oe, ada
+
+
+def step_rule(machine, ee, oe, src_or_q, strategy=FIRST):
+    q = src_or_q if not isinstance(src_or_q, str) else parse_query(src_or_q)
+    return machine.step(Config(ee, oe, q), strategy)
+
+
+class TestArithmeticRules:
+    def test_addition(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "1 + 2")
+        assert r.config.query == IntLit(3)
+        assert r.rule == "Addition"
+        assert r.effect == EMPTY
+
+    def test_subtraction_and_mul(self, env):
+        m, ee, oe, _ = env
+        assert step_rule(m, ee, oe, "5 - 2").config.query == IntLit(3)
+        assert step_rule(m, ee, oe, "5 * 2").config.query == IntLit(10)
+
+    def test_int_eq(self, env):
+        m, ee, oe, _ = env
+        assert step_rule(m, ee, oe, "1 = 1").config.query == parse_query("true")
+        assert step_rule(m, ee, oe, "1 = 2").config.query == parse_query("false")
+
+    def test_string_eq(self, env):
+        m, ee, oe, _ = env
+        assert step_rule(m, ee, oe, '"a" = "a"').config.query == parse_query("true")
+
+    def test_comparison(self, env):
+        m, ee, oe, _ = env
+        assert step_rule(m, ee, oe, "1 < 2").config.query == parse_query("true")
+
+    def test_stuck_on_bad_operands(self, env):
+        m, ee, oe, _ = env
+        with pytest.raises(StuckError):
+            step_rule(m, ee, oe, parse_query("{1} + {2}"))
+
+
+class TestSetRules:
+    def test_union(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "{1, 2} union {2, 3}")
+        assert r.config.query == make_set_value([IntLit(1), IntLit(2), IntLit(3)])
+
+    def test_intersect(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "{1, 2} intersect {2, 3}")
+        assert r.config.query == make_set_value([IntLit(2)])
+
+    def test_except(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "{1, 2} except {2, 3}")
+        assert r.config.query == make_set_value([IntLit(1)])
+
+    def test_size(self, env):
+        m, ee, oe, _ = env
+        assert step_rule(m, ee, oe, "size({1, 2})").config.query == IntLit(2)
+
+    def test_set_canon_step(self, env):
+        m, ee, oe, _ = env
+        q = SetLit((IntLit(2), IntLit(1), IntLit(2)))
+        r = step_rule(m, ee, oe, q)
+        assert r.rule == "Set canon"
+        assert r.config.query == make_set_value([IntLit(1), IntLit(2)])
+
+
+class TestConditionalRules:
+    def test_cond1(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "if true then 1 else 2")
+        assert (r.config.query, r.rule) == (IntLit(1), "Cond1")
+
+    def test_cond2(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "if false then 1 else 2")
+        assert (r.config.query, r.rule) == (IntLit(2), "Cond2")
+
+    def test_branch_not_evaluated(self, env):
+        # laziness: the untaken branch would be stuck, but is discarded
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, parse_query("if true then 1 else ({2} + 3)"))
+        assert r.config.query == IntLit(1)
+
+
+class TestExtentAndObjectRules:
+    def test_extent_read(self, env, schema):
+        m, ee, oe, ada = env
+        r = step_rule(m, ee, oe, parse_query("Persons", schema=schema))
+        assert r.rule == "Extent"
+        assert r.effect == Effect.of(read("Person"))
+        assert r.config.query == make_set_value([ada])
+
+    def test_attribute(self, env, schema):
+        m, ee, oe, ada = env
+        from repro.lang.ast import Field
+
+        r = step_rule(m, ee, oe, Field(ada, "name"))
+        assert r.config.query == StrLit("Ada")
+        assert r.rule == "Attribute"
+
+    def test_record_access(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "struct(a: 1, b: 2).b")
+        assert (r.config.query, r.rule) == (IntLit(2), "Record")
+
+    def test_object_eq(self, env):
+        m, ee, oe, ada = env
+        from repro.lang.ast import ObjEq
+
+        r = step_rule(m, ee, oe, ObjEq(ada, ada))
+        assert r.config.query == parse_query("true")
+
+    def test_object_eq_dangling_oid_stuck(self, env):
+        m, ee, oe, ada = env
+        from repro.lang.ast import ObjEq
+        from repro.errors import EvalError
+
+        with pytest.raises(EvalError):
+            step_rule(m, ee, oe, ObjEq(ada, OidRef("@ghost")))
+
+    def test_upcast(self, env, schema):
+        m, ee, oe, ada = env
+        from repro.lang.ast import Cast
+
+        r = step_rule(m, ee, oe, Cast("Object", ada))
+        assert r.config.query == ada
+        assert r.rule == "Upcast"
+
+    def test_failed_cast_stuck(self, env):
+        m, ee, oe, ada = env
+        from repro.lang.ast import Cast
+
+        with pytest.raises(StuckError, match="upcast"):
+            step_rule(m, ee, oe, Cast("Employee", ada))
+
+    def test_new_updates_both_environments(self, env, schema):
+        m, ee, oe, _ = env
+        q = parse_query('new Person(name: "Bob", age: 1)')
+        r = step_rule(m, ee, oe, q)
+        assert r.rule == "New"
+        assert r.effect == Effect.of(add("Person"))
+        oid = r.config.query
+        assert isinstance(oid, OidRef)
+        assert oid.name in r.config.oe
+        assert oid.name in r.config.ee.members("Persons")
+        # original environments untouched (persistence)
+        assert oid.name not in oe
+        assert oid.name not in ee.members("Persons")
+
+    def test_method_invocation(self, env):
+        m, ee, oe, ada = env
+        from repro.lang.ast import MethodCall
+
+        r = step_rule(m, ee, oe, MethodCall(ada, "double_age", ()))
+        assert r.config.query == IntLit(72)
+        assert r.rule == "Method"
+        assert r.effect == EMPTY
+
+
+class TestDefinitionRule:
+    def test_beta_step(self, schema):
+        p = parse_program("define inc(x: int) as x + 1; inc(2)", schema=schema)
+        m = Machine(schema, {d.name: d for d in p.definitions})
+        ee, oe = ExtentEnv.for_schema(schema), ObjectEnv()
+        r = m.step(Config(ee, oe, p.query))
+        assert r.rule == "Definition"
+        assert r.config.query == parse_query("2 + 1")
+
+    def test_unknown_definition_stuck(self, schema):
+        m = Machine(schema)
+        ee, oe = ExtentEnv.for_schema(schema), ObjectEnv()
+        with pytest.raises(StuckError, match="unknown definition"):
+            m.step(Config(ee, oe, parse_query("f(1)")))
+
+
+class TestComprehensionRules:
+    def test_empty_comp(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "{1 | }")
+        assert (r.config.query, r.rule) == (make_set_value([IntLit(1)]), "Empty comp")
+
+    def test_true_comp(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "{1 | true, false}")
+        assert (r.config.query, r.rule) == (parse_query("{1 | false}"), "True comp")
+
+    def test_false_comp(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "{1 | false, x <- s}")
+        assert (r.config.query, r.rule) == (SetLit(()), "False comp")
+
+    def test_triv_comp(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "{x | x <- {}}")
+        assert (r.config.query, r.rule) == (SetLit(()), "Triv comp")
+
+    def test_nd_comp_splits(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "{x + 1 | x <- {10, 20}}")
+        assert r.rule == "ND comp"
+        # FIRST picks the least element (10)
+        expected = parse_query("({10 + 1 | }) union {x + 1 | x <- {20}}")
+        assert r.config.query == expected
+
+    def test_nd_comp_last_strategy(self, env):
+        m, ee, oe, _ = env
+        r = step_rule(m, ee, oe, "{x + 1 | x <- {10, 20}}", strategy=LAST)
+        assert r.config.query == parse_query("({20 + 1 | }) union {x + 1 | x <- {10}}")
+
+    def test_possible_steps_enumerates_choices(self, env):
+        m, ee, oe, _ = env
+        cfg = Config(ee, oe, parse_query("{x | x <- {1, 2, 3}}"))
+        steps = m.possible_steps(cfg)
+        assert len(steps) == 3
+        assert all(s.rule == "ND comp" for s in steps)
+        assert len({s.config.query for s in steps}) == 3
+
+    def test_possible_steps_deterministic_redex(self, env):
+        m, ee, oe, _ = env
+        steps = m.possible_steps(Config(ee, oe, parse_query("1 + 2")))
+        assert len(steps) == 1
+
+    def test_possible_steps_of_value_empty(self, env):
+        m, ee, oe, _ = env
+        assert m.possible_steps(Config(ee, oe, IntLit(1))) == []
+
+    def test_scripted_strategy_replays(self, env):
+        m, ee, oe, _ = env
+        cfg = Config(ee, oe, parse_query("{x | x <- {1, 2, 3}}"))
+        r = m.step(cfg, ScriptedStrategy([2]))
+        assert r.config.query == parse_query("({3 | }) union {x | x <- {1, 2}}")
+
+
+class TestStuckStates:
+    def test_unbound_variable_stuck(self, env):
+        m, ee, oe, _ = env
+        with pytest.raises(StuckError):
+            step_rule(m, ee, oe, parse_query("x"))
+
+    def test_step_on_value_raises(self, env):
+        m, ee, oe, _ = env
+        with pytest.raises(StuckError, match="already a value"):
+            m.step(Config(ee, oe, IntLit(1)))

@@ -1,0 +1,83 @@
+"""Unit tests for the ND-choice strategies (repro.semantics.strategy)."""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.lang.ast import IntLit
+from repro.semantics.strategy import (
+    FIRST,
+    LAST,
+    FirstStrategy,
+    LastStrategy,
+    RandomStrategy,
+    ScriptedStrategy,
+)
+
+ITEMS = tuple(IntLit(i) for i in range(5))
+
+
+class TestFixedStrategies:
+    def test_first(self):
+        assert FirstStrategy().choose(ITEMS) == 0
+        assert FIRST.choose(ITEMS) == 0
+
+    def test_last(self):
+        assert LastStrategy().choose(ITEMS) == 4
+        assert LAST.choose((IntLit(9),)) == 0
+
+    def test_fork_is_identity_for_stateless(self):
+        assert FIRST.fork() is FIRST
+
+
+class TestRandomStrategy:
+    def test_in_range(self):
+        s = RandomStrategy(42)
+        for _ in range(100):
+            assert 0 <= s.choose(ITEMS) < len(ITEMS)
+
+    def test_seed_determinism(self):
+        a = [RandomStrategy(7).choose(ITEMS) for _ in range(1)]
+        b = [RandomStrategy(7).choose(ITEMS) for _ in range(1)]
+        assert a == b
+
+    def test_sequences_replayable(self):
+        s1, s2 = RandomStrategy(3), RandomStrategy(3)
+        assert [s1.choose(ITEMS) for _ in range(20)] == [
+            s2.choose(ITEMS) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ_somewhere(self):
+        s1, s2 = RandomStrategy(1), RandomStrategy(2)
+        seq1 = [s1.choose(ITEMS) for _ in range(30)]
+        seq2 = [s2.choose(ITEMS) for _ in range(30)]
+        assert seq1 != seq2
+
+    def test_fork_independent(self):
+        s = RandomStrategy(5)
+        f = s.fork()
+        assert isinstance(f, RandomStrategy)
+        assert f is not s
+
+
+class TestScriptedStrategy:
+    def test_replays_script(self):
+        s = ScriptedStrategy([2, 0, 1])
+        assert s.choose(ITEMS) == 2
+        assert s.choose(ITEMS) == 0
+        assert s.choose(ITEMS) == 1
+
+    def test_exhaustion(self):
+        s = ScriptedStrategy([0])
+        s.choose(ITEMS)
+        with pytest.raises(EvalError, match="exhausted"):
+            s.choose(ITEMS)
+
+    def test_out_of_range(self):
+        with pytest.raises(EvalError, match="out of range"):
+            ScriptedStrategy([9]).choose(ITEMS)
+
+    def test_fork_preserves_position(self):
+        s = ScriptedStrategy([1, 2])
+        s.choose(ITEMS)
+        f = s.fork()
+        assert f.choose(ITEMS) == 2

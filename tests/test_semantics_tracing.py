@@ -1,0 +1,80 @@
+"""Tests for the derivation tracer (repro.semantics.tracing)."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.effects.algebra import Effect, read
+from repro.semantics.tracing import trace
+
+ODL = """
+class P extends Object (extent Ps) {
+    attribute int n;
+    int spin() { while (true) { } }
+}
+"""
+
+
+@pytest.fixture
+def db():
+    d = Database.from_odl(ODL, method_fuel=100)
+    d.insert("P", n=5)
+    return d
+
+
+def tr(db, src, **kw):
+    q = db.parse(src)
+    return trace(db.machine, db.ee, db.oe, q, **kw)
+
+
+class TestTraceStructure:
+    def test_value_outcome(self, db):
+        t = tr(db, "1 + 2 + 3")
+        assert t.outcome == "value"
+        assert t.steps == 2
+        assert str(t.final) == "6"
+
+    def test_rules_histogram(self, db):
+        t = tr(db, "{ p.n + 1 | p <- Ps }")
+        hist = t.rules_used()
+        assert hist["Extent"] == 1
+        assert hist["ND comp"] == 1
+        assert hist["Attribute"] == 1
+
+    def test_trace_effect_accumulates(self, db):
+        t = tr(db, "size(Ps)")
+        assert t.effect() == Effect.of(read("P"))
+
+    def test_extent_sizes_recorded(self, db):
+        t = tr(db, 'new P(n: 7)')
+        assert t.lines[-1].extents_after == {"Ps": 2}
+
+    def test_divergence_recorded_not_raised(self, db):
+        t = tr(db, "{ p.spin() | p <- Ps }", max_steps=50)
+        assert t.outcome == "diverged"
+
+    def test_stuck_recorded_not_raised(self, db):
+        t = tr(db, "zz")  # unbound identifier
+        assert t.outcome == "stuck"
+
+
+class TestRendering:
+    def test_render_shows_rules_and_effects(self, db):
+        text = tr(db, "size(Ps)").render()
+        assert "(Extent)" in text
+        assert "R(P)" in text
+        assert "value after" in text
+
+    def test_render_truncates_long_traces(self, db):
+        text = tr(db, "{ x | x <- {1, 2, 3, 4, 5} }").render(max_lines=3)
+        assert "more steps" in text
+
+    def test_render_truncates_wide_queries(self, db):
+        t = tr(db, "{ struct(a: x, b: x, c: x, d: x, e: x) | x <- {1, 2} }")
+        text = t.render(max_width=30)
+        assert any("…" in line for line in text.splitlines())
+
+    def test_shell_trace_command(self, db):
+        from repro.shell import Shell
+
+        out = Shell(db).handle(".trace 1 + 1")
+        assert "(Addition)" in out

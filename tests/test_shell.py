@@ -1,0 +1,143 @@
+"""Tests for the interactive shell (repro.shell) — driven headlessly."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.shell import Shell
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+}
+"""
+
+
+@pytest.fixture
+def shell():
+    db = Database.from_odl(ODL)
+    db.insert("Person", name="Ada", age=36)
+    return Shell(db)
+
+
+class TestQueries:
+    def test_query_prints_value_type_effect(self, shell):
+        out = shell.handle("{ p.name | p <- Persons }")
+        assert '{"Ada"}' in out
+        assert "set<string>" in out
+        assert "R(Person)" in out
+
+    def test_pure_query_omits_effect(self, shell):
+        out = shell.handle("1 + 1")
+        assert out.startswith("2 : int")
+        assert "!" not in out
+
+    def test_query_commits(self, shell):
+        shell.handle('new Person(name: "Bob", age: 1)')
+        assert "Bob" in shell.handle("{ p.name | p <- Persons }")
+
+    def test_error_reported_not_raised(self, shell):
+        out = shell.handle("1 + true")
+        assert out.startswith("error:")
+
+    def test_blank_and_comment_lines(self, shell):
+        assert shell.handle("") == ""
+        assert shell.handle("// nothing") == ""
+
+
+class TestDefinitions:
+    def test_define(self, shell):
+        out = shell.handle("define inc(x: int) as x + 1")
+        assert out.startswith("defined")
+        assert shell.handle("inc(41)").startswith("42")
+
+    def test_duplicate_define_is_an_error(self, shell):
+        shell.handle("define f(x: int) as x;")
+        assert shell.handle("define f(x: int) as x;").startswith("error")
+
+
+class TestCommands:
+    def test_help(self, shell):
+        out = shell.handle(".help")
+        assert ".explore" in out
+
+    def test_type(self, shell):
+        assert shell.handle(".type { p.age | p <- Persons }") == "set<int>"
+
+    def test_effect(self, shell):
+        assert "R(Person)" in shell.handle(".effect Persons")
+
+    def test_det_positive(self, shell):
+        assert "deterministic" in shell.handle(".det { p.age | p <- Persons }")
+
+    def test_det_negative(self, shell):
+        src = (
+            ".det { (if size(Persons) = 0 then 1 else "
+            "struct(a: 1, b: new Person(name: p.name, age: 0)).a) "
+            "| p <- Persons }"
+        )
+        assert "⊢′ rejects" in shell.handle(src)
+
+    def test_explore(self, shell):
+        out = shell.handle(".explore { p.age | p <- Persons }")
+        assert "schedules: 1" in out
+        assert "deterministic up to ∼: True" in out
+
+    def test_optimize(self, shell):
+        out = shell.handle(".optimize 1 + 1")
+        assert out.splitlines()[0] == "2"
+        assert "arith-fold" in out
+
+    def test_optimize_no_change(self, shell):
+        assert "no rewrites" in shell.handle(".optimize { p.age | p <- Persons }")
+
+    def test_extents(self, shell):
+        assert "Persons: 1" in shell.handle(".extents")
+
+    def test_infer(self, shell):
+        out = shell.handle(".infer { e.age | e <- Employees }")
+        assert "Employees" in out
+
+    def test_snapshot_restore(self, shell):
+        shell.handle(".snapshot")
+        shell.handle('new Person(name: "tmp", age: 0)')
+        assert "Persons: 2" in shell.handle(".extents")
+        assert shell.handle(".restore") == "restored"
+        assert "Persons: 1" in shell.handle(".extents")
+
+    def test_restore_without_snapshot(self, shell):
+        assert shell.handle(".restore").startswith("error")
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.handle(".bogus")
+
+    def test_schema_load(self, shell, tmp_path):
+        f = tmp_path / "s.odl"
+        f.write_text("class Dog extends Object (extent Dogs) { attribute string name; }")
+        out = shell.handle(f".schema {f}")
+        assert "Dog" in out
+        assert "Dogs: 0" in shell.handle(".extents")
+
+    def test_quit(self, shell):
+        with pytest.raises(SystemExit):
+            shell.handle(".quit")
+
+
+class TestExplain:
+    def test_explain_reports_cost_and_rewrites(self, shell):
+        out = shell.handle(".explain { p.name | p <- Persons, 1 = 1 }")
+        assert "estimated cost" in out
+        assert "true-pred" in out
+        assert "deterministic  : yes" in out
+
+    def test_explain_flags_nondeterminism(self, shell):
+        out = shell.handle(
+            ".explain { (if size(Persons) = 0 then 1 else "
+            "struct(a: 1, b: new Person(name: p.name, age: 0)).a) "
+            "| p <- Persons }"
+        )
+        assert "⊢′ rejects" in out
+
+    def test_explain_no_rewrites(self, shell):
+        out = shell.handle(".explain { p.age | p <- Persons }")
+        assert "no rewrites apply" in out

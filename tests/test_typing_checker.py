@@ -1,0 +1,364 @@
+"""Unit tests for the Figure 1 type system (repro.typing.checker)."""
+
+import pytest
+
+from repro.errors import IOQLTypeError
+from repro.lang.ast import OidRef
+from repro.lang.parser import parse_program, parse_query
+from repro.model.odl_parser import parse_schema
+from repro.model.types import (
+    BOOL,
+    EMPTY_SET_T,
+    INT,
+    STRING,
+    ClassType,
+    RecordType,
+    SetType,
+)
+from repro.typing.checker import check_program, check_query, program_context
+from repro.typing.context import TypeContext
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+    bool is_adult() { return this.age >= 18; }
+}
+class Employee extends Person (extent Employees) {
+    attribute int salary;
+    attribute Person buddy;
+    int bonus(int pct) { return this.salary * pct; }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(ODL)
+
+
+@pytest.fixture
+def ctx(schema):
+    return TypeContext(schema)
+
+
+def tc(ctx, src, **kw):
+    return check_query(ctx, parse_query(src, schema=ctx.schema, **kw))
+
+
+class TestLiteralsAndIdents:
+    def test_int(self, ctx):
+        assert tc(ctx, "42") == INT
+
+    def test_bool(self, ctx):
+        assert tc(ctx, "true") == BOOL
+
+    def test_string(self, ctx):
+        assert tc(ctx, '"x"') == STRING
+
+    def test_unbound_var(self, ctx):
+        with pytest.raises(IOQLTypeError, match="unbound"):
+            tc(ctx, "x")
+
+    def test_bound_var(self, ctx):
+        assert check_query(ctx.extend("x", INT), parse_query("x")) == INT
+
+    def test_oid_typed_via_Q(self, ctx):
+        ctx2 = ctx.extend("@P_0", ClassType("Person"))
+        assert check_query(ctx2, OidRef("@P_0")) == ClassType("Person")
+
+    def test_extent(self, ctx):
+        assert tc(ctx, "Persons") == SetType(ClassType("Person"))
+
+
+class TestSetsAndRecords:
+    def test_empty_set(self, ctx):
+        assert tc(ctx, "{}") == EMPTY_SET_T
+
+    def test_homogeneous_set(self, ctx):
+        assert tc(ctx, "{1, 2}") == SetType(INT)
+
+    def test_set_lub_of_classes(self, ctx):
+        q = "{ x | x <- Persons } union Employees"
+        assert tc(ctx, q) == SetType(ClassType("Person"))
+
+    def test_heterogeneous_set_rejected(self, ctx):
+        with pytest.raises(IOQLTypeError, match="no common supertype"):
+            tc(ctx, "{1, true}")
+
+    def test_record(self, ctx):
+        assert tc(ctx, "struct(a: 1, b: true)") == RecordType(
+            (("a", INT), ("b", BOOL))
+        )
+
+    def test_record_duplicate_labels(self, ctx):
+        with pytest.raises(IOQLTypeError, match="duplicate"):
+            tc(ctx, "struct(a: 1, a: 2)")
+
+    def test_record_access(self, ctx):
+        assert tc(ctx, "struct(a: 1).a") == INT
+
+    def test_record_access_missing(self, ctx):
+        with pytest.raises(IOQLTypeError, match="no label"):
+            tc(ctx, "struct(a: 1).b")
+
+    def test_union_of_empty_and_ints(self, ctx):
+        assert tc(ctx, "{} union {1}") == SetType(INT)
+
+    def test_size(self, ctx):
+        assert tc(ctx, "size(Persons)") == INT
+
+    def test_size_of_non_set(self, ctx):
+        with pytest.raises(IOQLTypeError, match="must be a collection"):
+            tc(ctx, "size(1)")
+
+
+class TestOperators:
+    def test_arith(self, ctx):
+        assert tc(ctx, "1 + 2 * 3 - 4") == INT
+
+    def test_arith_type_error(self, ctx):
+        with pytest.raises(IOQLTypeError):
+            tc(ctx, "1 + true")
+
+    def test_prim_eq_int(self, ctx):
+        assert tc(ctx, "1 = 2") == BOOL
+
+    def test_prim_eq_string(self, ctx):
+        assert tc(ctx, '"a" = "b"') == BOOL
+
+    def test_prim_eq_mixed_rejected(self, ctx):
+        with pytest.raises(IOQLTypeError, match="'='"):
+            tc(ctx, '1 = "a"')
+
+    def test_prim_eq_objects_rejected(self, ctx):
+        ctx2 = ctx.extend("o", ClassType("Person"))
+        with pytest.raises(IOQLTypeError):
+            check_query(ctx2, parse_query("o = o"))
+
+    def test_obj_eq(self, ctx):
+        ctx2 = ctx.extend("o", ClassType("Person")).extend(
+            "e", ClassType("Employee")
+        )
+        assert check_query(ctx2, parse_query("o == e")) == BOOL
+
+    def test_obj_eq_on_ints_rejected(self, ctx):
+        with pytest.raises(IOQLTypeError, match="'=='"):
+            tc(ctx, "1 == 2")
+
+    def test_comparison(self, ctx):
+        assert tc(ctx, "1 < 2") == BOOL
+
+    def test_setop_on_non_set(self, ctx):
+        with pytest.raises(IOQLTypeError):
+            tc(ctx, "1 union {2}")
+
+
+class TestObjects:
+    def test_attribute_access(self, ctx):
+        ctx2 = ctx.extend("e", ClassType("Employee"))
+        assert check_query(ctx2, parse_query("e.salary")) == INT
+
+    def test_inherited_attribute(self, ctx):
+        ctx2 = ctx.extend("e", ClassType("Employee"))
+        assert check_query(ctx2, parse_query("e.name")) == STRING
+
+    def test_path_expression(self, ctx):
+        ctx2 = ctx.extend("e", ClassType("Employee"))
+        assert check_query(ctx2, parse_query("e.buddy.name")) == STRING
+
+    def test_unknown_attribute(self, ctx):
+        ctx2 = ctx.extend("p", ClassType("Person"))
+        with pytest.raises(IOQLTypeError, match="no attribute"):
+            check_query(ctx2, parse_query("p.salary"))
+
+    def test_field_on_int_rejected(self, ctx):
+        with pytest.raises(IOQLTypeError, match="record or object"):
+            tc(ctx, "(1).foo")
+
+    def test_method_call(self, ctx):
+        ctx2 = ctx.extend("e", ClassType("Employee"))
+        assert check_query(ctx2, parse_query("e.bonus(10)")) == INT
+
+    def test_inherited_method(self, ctx):
+        ctx2 = ctx.extend("e", ClassType("Employee"))
+        assert check_query(ctx2, parse_query("e.is_adult()")) == BOOL
+
+    def test_method_arity(self, ctx):
+        ctx2 = ctx.extend("e", ClassType("Employee"))
+        with pytest.raises(IOQLTypeError, match="argument"):
+            check_query(ctx2, parse_query("e.bonus()"))
+
+    def test_method_arg_type(self, ctx):
+        ctx2 = ctx.extend("e", ClassType("Employee"))
+        with pytest.raises(IOQLTypeError):
+            check_query(ctx2, parse_query("e.bonus(true)"))
+
+    def test_new(self, ctx):
+        q = 'new Person(name: "n", age: 1)'
+        assert tc(ctx, q) == ClassType("Person")
+
+    def test_new_subtype_attribute_value(self, ctx):
+        q = 'new Employee(name: "n", age: 1, salary: 2, buddy: new Employee(name: "m", age: 2, salary: 3, buddy: new Person(name: "q", age: 3)))'
+        assert tc(ctx, q) == ClassType("Employee")
+
+    def test_new_missing_attr(self, ctx):
+        with pytest.raises(IOQLTypeError, match="missing"):
+            tc(ctx, 'new Person(name: "n")')
+
+    def test_new_extra_attr(self, ctx):
+        with pytest.raises(IOQLTypeError, match="unknown"):
+            tc(ctx, 'new Person(name: "n", age: 1, zz: 2)')
+
+    def test_new_wrong_type(self, ctx):
+        with pytest.raises(IOQLTypeError):
+            tc(ctx, "new Person(name: 1, age: 1)")
+
+    def test_new_unknown_class(self, ctx):
+        with pytest.raises(IOQLTypeError, match="instantiate"):
+            tc(ctx, "new Ghost(a: 1)")
+
+    def test_new_object_rejected(self, ctx):
+        with pytest.raises(IOQLTypeError, match="instantiate"):
+            tc(ctx, "new Object()")
+
+
+class TestCasts:
+    """Note 2: upcasts only; downcasting is rejected."""
+
+    def test_upcast(self, ctx):
+        ctx2 = ctx.extend("e", ClassType("Employee"))
+        assert check_query(ctx2, parse_query("(Person) e")) == ClassType("Person")
+
+    def test_identity_cast(self, ctx):
+        ctx2 = ctx.extend("p", ClassType("Person"))
+        assert check_query(ctx2, parse_query("(Person) p")) == ClassType("Person")
+
+    def test_downcast_rejected(self, ctx):
+        ctx2 = ctx.extend("p", ClassType("Person"))
+        with pytest.raises(IOQLTypeError, match="Note 2"):
+            check_query(ctx2, parse_query("(Employee) p"))
+
+    def test_cast_unknown_class(self, ctx):
+        ctx2 = ctx.extend("p", ClassType("Person"))
+        with pytest.raises(IOQLTypeError, match="unknown class"):
+            check_query(ctx2, parse_query("(Ghost) p"))
+
+    def test_cast_of_primitive(self, ctx):
+        with pytest.raises(IOQLTypeError, match="objects"):
+            tc(ctx, "(Person) 1")
+
+
+class TestConditionals:
+    def test_same_branch_types(self, ctx):
+        assert tc(ctx, "if true then 1 else 2") == INT
+
+    def test_branch_lub(self, ctx):
+        ctx2 = ctx.extend("e", ClassType("Employee")).extend(
+            "p", ClassType("Person")
+        )
+        assert check_query(
+            ctx2, parse_query("if true then e else p")
+        ) == ClassType("Person")
+
+    def test_non_bool_guard(self, ctx):
+        with pytest.raises(IOQLTypeError, match="condition"):
+            tc(ctx, "if 1 then 2 else 3")
+
+    def test_incompatible_branches(self, ctx):
+        with pytest.raises(IOQLTypeError, match="branches"):
+            tc(ctx, "if true then 1 else false")
+
+
+class TestComprehensions:
+    def test_simple(self, ctx):
+        assert tc(ctx, "{p.name | p <- Persons}") == SetType(STRING)
+
+    def test_generator_binds_in_predicate(self, ctx):
+        assert tc(ctx, "{p | p <- Persons, p.age < 10}") == SetType(
+            ClassType("Person")
+        )
+
+    def test_sequential_generators(self, ctx):
+        q = "{struct(a: p.name, b: e.salary) | p <- Persons, e <- Employees}"
+        assert tc(ctx, q) == SetType(RecordType((("a", STRING), ("b", INT))))
+
+    def test_predicate_must_be_bool(self, ctx):
+        with pytest.raises(IOQLTypeError, match="predicate"):
+            tc(ctx, "{p | p <- Persons, 1 + 1}")
+
+    def test_generator_over_non_set(self, ctx):
+        with pytest.raises(IOQLTypeError, match="generator"):
+            tc(ctx, "{x | x <- 1}")
+
+    def test_empty_qualifier_comp(self, ctx):
+        assert tc(ctx, "{1 | }") == SetType(INT)
+
+    def test_generator_over_empty_set(self, ctx):
+        # {x | x <- {}} : elements have type ⊥; head is x : ⊥
+        t = tc(ctx, "{x | x <- {}}")
+        assert t == EMPTY_SET_T
+
+
+class TestPrograms:
+    def test_definition_and_use(self, schema):
+        p = parse_program(
+            "define inc(x: int) as x + 1; inc(inc(1))", schema=schema
+        )
+        assert check_program(schema, p) == INT
+
+    def test_definitions_thread_left_to_right(self, schema):
+        p = parse_program(
+            "define a(x: int) as x; define b(x: int) as a(x) + 1; b(1)",
+            schema=schema,
+        )
+        assert check_program(schema, p) == INT
+
+    def test_forward_reference_rejected(self, schema):
+        p = parse_program(
+            "define b(x: int) as a(x); define a(x: int) as x; b(1)",
+            schema=schema,
+        )
+        with pytest.raises(IOQLTypeError, match="unknown definition"):
+            check_program(schema, p)
+
+    def test_recursive_definition_rejected(self, schema):
+        p = parse_program("define f(x: int) as f(x); f(1)", schema=schema)
+        with pytest.raises(IOQLTypeError, match="unknown definition"):
+            check_program(schema, p)
+
+    def test_duplicate_definition(self, schema):
+        p = parse_program(
+            "define f(x: int) as x; define f(y: int) as y; f(1)", schema=schema
+        )
+        with pytest.raises(IOQLTypeError, match="twice"):
+            check_program(schema, p)
+
+    def test_duplicate_params(self, schema):
+        p = parse_program("define f(x: int, x: int) as x; f(1, 2)", schema=schema)
+        with pytest.raises(IOQLTypeError, match="duplicate parameter"):
+            check_program(schema, p)
+
+    def test_argument_subtyping_at_call(self, schema):
+        p = parse_program(
+            "define names(s: set<Person>) as {p.name | p <- s}; names(Employees)",
+            schema=schema,
+        )
+        assert check_program(schema, p) == SetType(STRING)
+
+    def test_bad_argument(self, schema):
+        p = parse_program(
+            "define f(x: int) as x; f(true)", schema=schema
+        )
+        with pytest.raises(IOQLTypeError):
+            check_program(schema, p)
+
+    def test_param_with_unknown_class(self, schema):
+        p = parse_program("define f(x: Ghost) as 1; f(1)", schema=schema)
+        with pytest.raises(IOQLTypeError, match="Ghost"):
+            check_program(schema, p)
+
+    def test_program_context_exposes_defs(self, schema):
+        p = parse_program("define f(x: int) as x; 1", schema=schema)
+        ctx = program_context(schema, p)
+        assert ctx.def_type("f").result == INT

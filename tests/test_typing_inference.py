@@ -1,0 +1,166 @@
+"""Tests for schema-requirements inference (the paper's citation [23])."""
+
+import pytest
+
+from repro.errors import IOQLTypeError
+from repro.lang.parser import parse_query
+from repro.model.odl_parser import parse_schema
+from repro.model.types import BOOL, INT, STRING, ClassType, RecordType, SetType
+from repro.typing.inference import TVar, check_against, infer_requirements
+
+SCHEMA = parse_schema(
+    """
+    class Person extends Object (extent Persons) {
+        attribute string name;
+        attribute int age;
+        int NetSalary(int rate);
+    }
+    """
+)
+
+
+def infer(src: str):
+    return infer_requirements(parse_query(src))
+
+
+class TestGroundQueries:
+    def test_literals(self):
+        assert infer("1 + 2").type == INT
+        assert infer("true").type == BOOL
+        assert infer('"s"').type == STRING
+
+    def test_set_of_ints(self):
+        assert infer("{1, 2}").type == SetType(INT)
+
+    def test_record(self):
+        assert infer("struct(a: 1, b: true)").type == RecordType(
+            (("a", INT), ("b", BOOL))
+        )
+
+    def test_comprehension_ground(self):
+        rep = infer("{x + 1 | x <- {1, 2}}")
+        assert rep.type == SetType(INT)
+        assert not rep.free_idents
+
+
+class TestFreeIdentifierRequirements:
+    def test_generator_source_demands_a_set(self):
+        rep = infer("{x + 1 | x <- Employees}")
+        assert rep.free_idents["Employees"] == SetType(INT)
+
+    def test_attribute_demand_propagates(self):
+        rep = infer("{e.age + 1 | e <- Employees}")
+        (src_t,) = rep.free_idents.values()
+        assert isinstance(src_t, SetType)
+        elem = src_t.elem
+        assert isinstance(elem, TVar)
+        req = rep.open_requirements[elem.id]
+        assert req.fields == {"age": INT}
+
+    def test_method_demand(self):
+        rep = infer("{e.NetSalary(100) | e <- Employees}")
+        (src_t,) = rep.free_idents.values()
+        elem = src_t.elem
+        req = rep.open_requirements[elem.id]
+        assert "NetSalary" in req.methods
+        (params, _result) = req.methods["NetSalary"]
+        assert params == (INT,)
+        assert req.must_be_object
+
+    def test_field_used_at_two_types_rejected(self):
+        with pytest.raises(IOQLTypeError):
+            infer("{ e.age + size(e.age) | e <- Es }")
+
+    def test_consistent_multi_use(self):
+        rep = infer("{ struct(a: e.age, b: e.age < 3) | e <- Es }")
+        (src_t,) = rep.free_idents.values()
+        req = rep.open_requirements[src_t.elem.id]
+        assert req.fields["age"] == INT
+
+    def test_equality_links_identifiers(self):
+        rep = infer("x = y + 1")
+        assert rep.free_idents == {"x": INT, "y": INT}
+
+    def test_object_identity_requirement(self):
+        rep = infer("a == b")
+        for t in rep.free_idents.values():
+            assert isinstance(t, TVar)
+            assert rep.open_requirements[t.id].must_be_object
+
+
+class TestClassRequirements:
+    def test_new_pins_attributes(self):
+        rep = infer('(new Person(name: "x", age: 3)).age')
+        assert rep.type == INT
+        assert rep.class_attrs["Person"]["name"] == STRING
+        assert rep.class_attrs["Person"]["age"] == INT
+
+    def test_cast_pins_class(self):
+        rep = infer("(Person) p")
+        assert rep.type == ClassType("Person")
+        assert rep.free_idents["p"] == ClassType("Person")
+
+    def test_attribute_through_cast(self):
+        rep = infer("((Person) p).age + 1")
+        assert rep.class_attrs["Person"]["age"] == INT
+
+    def test_method_through_cast(self):
+        rep = infer("((Person) p).NetSalary(5)")
+        assert "NetSalary" in rep.class_methods["Person"]
+
+
+class TestCheckAgainstSchema:
+    def test_satisfied(self):
+        rep = infer('((Person) p).age + ((Person) p).NetSalary(1)')
+        assert check_against(rep, SCHEMA) == []
+
+    def test_missing_class(self):
+        rep = infer('new Ghost(x: 1) == new Ghost(x: 2)')
+        assert any("Ghost" in p for p in check_against(rep, SCHEMA))
+
+    def test_missing_attribute(self):
+        rep = infer("((Person) p).salary")
+        assert any("salary" in p for p in check_against(rep, SCHEMA))
+
+    def test_wrong_attribute_type(self):
+        rep = infer("((Person) p).name + 1")
+        assert any("name" in p for p in check_against(rep, SCHEMA))
+
+    def test_missing_method(self):
+        rep = infer("((Person) p).fire()")
+        assert any("fire" in p for p in check_against(rep, SCHEMA))
+
+
+class TestAgreementWithFigure1:
+    """Inference on fully-annotated-compatible queries agrees with the
+    checker: anything the checker accepts, inference finds requirements
+    the schema satisfies."""
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "{ p.name | p <- Persons, p.age < 40 }",
+            "{ struct(n: p.name, k: p.NetSalary(10)) | p <- Persons }",
+            "size(Persons) + 1",
+            "exists p in Persons : p.age = 30",
+        ],
+    )
+    def test_inferred_requirements_satisfied(self, src):
+        from repro.typing.checker import check_query
+        from repro.typing.context import TypeContext
+
+        q = parse_query(src, schema=SCHEMA)
+        check_query(TypeContext(SCHEMA), q)  # Figure 1 accepts
+        # inference runs on the schema-less parse
+        rep = infer_requirements(parse_query(src))
+        assert check_against(rep, SCHEMA) == []
+
+    def test_ill_typed_rejected_by_both(self):
+        with pytest.raises(IOQLTypeError):
+            infer("1 + true")
+
+    def test_describe_is_readable(self):
+        rep = infer("{ e.age | e <- Employees }")
+        text = rep.describe()
+        assert "Employees" in text
+        assert "age" in text

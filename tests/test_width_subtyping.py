@@ -1,0 +1,89 @@
+"""Tests for Note 3's width-subtyping mode (TypeContext flag)."""
+
+import pytest
+
+from repro.errors import IOQLTypeError
+from repro.lang.parser import parse_program, parse_query
+from repro.model.odl_parser import parse_schema
+from repro.model.types import INT, RecordType, SetType
+from repro.typing.checker import check_definition, check_query
+from repro.typing.context import TypeContext
+
+SCHEMA = parse_schema(
+    "class P extends Object (extent Ps) { attribute int n; }"
+)
+
+
+def _ctx(**kw):
+    return TypeContext(SCHEMA, **kw)
+
+
+def _with_def(ctx, src):
+    p = parse_program(src + " 0", schema=SCHEMA)
+    return ctx.with_def(p.definitions[0].name, check_definition(ctx, p.definitions[0]))
+
+
+class TestNarrowDefault:
+    def test_wider_argument_rejected(self):
+        ctx = _with_def(_ctx(), "define f(r: struct(a: int)) as r.a;")
+        with pytest.raises(IOQLTypeError, match="not a subtype"):
+            check_query(ctx, parse_query("f(struct(a: 1, b: true))"))
+
+    def test_exact_argument_accepted(self):
+        ctx = _with_def(_ctx(), "define f(r: struct(a: int)) as r.a;")
+        assert check_query(ctx, parse_query("f(struct(a: 1))")) == INT
+
+
+class TestWideMode:
+    def test_wider_argument_accepted(self):
+        ctx = _with_def(
+            _ctx(width_records=True), "define f(r: struct(a: int)) as r.a;"
+        )
+        assert check_query(
+            ctx, parse_query("f(struct(a: 1, b: true))")
+        ) == INT
+
+    def test_field_order_free_in_wide_mode(self):
+        ctx = _with_def(
+            _ctx(width_records=True), "define f(r: struct(a: int)) as r.a;"
+        )
+        assert check_query(
+            ctx, parse_query("f(struct(b: true, a: 1))")
+        ) == INT
+
+    def test_depth_still_enforced(self):
+        ctx = _with_def(
+            _ctx(width_records=True), "define f(r: struct(a: int)) as r.a;"
+        )
+        with pytest.raises(IOQLTypeError):
+            check_query(ctx, parse_query('f(struct(a: "s", b: 1))'))
+
+    def test_missing_field_still_rejected(self):
+        ctx = _with_def(
+            _ctx(width_records=True), "define f(r: struct(a: int)) as r.a;"
+        )
+        with pytest.raises(IOQLTypeError):
+            check_query(ctx, parse_query("f(struct(b: 1))"))
+
+    def test_sets_of_wide_records(self):
+        # covariance composes with width
+        ctx = _with_def(
+            _ctx(width_records=True),
+            "define g(rs: set<struct(a: int)>) as { r.a | r <- rs };",
+        )
+        t = check_query(
+            ctx, parse_query("g({struct(a: 1, b: true)})")
+        )
+        assert t == SetType(INT)
+
+    def test_narrow_mode_soundness_unaffected(self):
+        """The default checker is byte-for-byte the paper's rule: wide
+        acceptance must not leak into the default."""
+        assert not SCHEMA.subtype(
+            RecordType.of(a=INT, b=INT), RecordType.of(a=INT)
+        )
+        assert SCHEMA.subtype(
+            RecordType.of(a=INT, b=INT),
+            RecordType.of(a=INT),
+            width_records=True,
+        )
