@@ -1,0 +1,40 @@
+"""Benchmark-wide observability harness.
+
+Every ``bench_*.py`` test is wrapped in an ``obs`` span and timed; the
+collected records are written to ``BENCH_obs.json`` at session end
+(name → wall-time, plus steps and the per-rule firing histogram when
+``REPRO_BENCH_OBS=1`` turns the machine's instrumentation on).
+
+By default instrumentation stays **off**, so pytest-benchmark numbers
+are identical to an uninstrumented run — the JSON then carries
+wall-times only.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import workloads
+from repro import obs
+
+HARNESS = workloads.BenchObs()
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if os.environ.get("REPRO_BENCH_OBS", "") not in ("", "0"):
+        obs.enable()
+
+
+@pytest.fixture(autouse=True)
+def bench_obs(request: pytest.FixtureRequest):
+    with HARNESS.measure(request.node.name):
+        yield
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    if HARNESS.records:
+        HARNESS.write()
+    if obs.enabled():
+        obs.disable()

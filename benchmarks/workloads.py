@@ -20,8 +20,13 @@ Workloads:
 
 from __future__ import annotations
 
+import json
+import os
 import random
+import time
+from contextlib import contextmanager
 
+from repro import obs
 from repro.db.database import Database
 from repro.lang.ast import Query
 from repro.metatheory.generators import (
@@ -135,6 +140,62 @@ def sigma4() -> Database:
     db.insert("Person", name="Jack", address="Utah")
     db.insert("Employee", name="Jill", address="NYC")
     return db
+
+
+class BenchObs:
+    """Per-benchmark observability: wall-times, steps, rule histograms.
+
+    ``measure(name)`` wraps one benchmark in an ``obs`` span and
+    records its wall-time; when instrumentation is enabled (set
+    ``REPRO_BENCH_OBS=1``) it also diffs the ``rule_fired_total``
+    counters, so each record carries the Figure 2/4 rule histogram and
+    the step count of everything that ran inside.  ``write()`` dumps
+    the collected records as ``BENCH_obs.json`` — the machine-readable
+    bench trajectory the ROADMAP's perf work diffs against.
+
+    Wall-time is recorded unconditionally (a ``perf_counter`` pair);
+    the machine's own instrumentation stays off unless opted into, so
+    default benchmark numbers are unaffected.
+    """
+
+    def __init__(self, path: str | None = None):
+        self.path = path or os.environ.get(
+            "REPRO_BENCH_OBS_PATH", "BENCH_obs.json"
+        )
+        self.records: dict[str, dict] = {}
+
+    @staticmethod
+    def _rule_counts() -> dict[str, float]:
+        return {
+            dict(labels).get("rule", ""): value
+            for labels, value in
+            obs.REGISTRY.counter_values("rule_fired_total").items()
+        }
+
+    @contextmanager
+    def measure(self, name: str):
+        before = self._rule_counts() if obs.enabled() else {}
+        start = time.perf_counter()
+        with obs.span("bench", name=name):
+            yield
+        elapsed = time.perf_counter() - start
+        record: dict = {"wall_time_s": elapsed}
+        if obs.enabled():
+            after = self._rule_counts()
+            rules = {
+                rule: int(n - before.get(rule, 0))
+                for rule, n in after.items()
+                if n - before.get(rule, 0) > 0
+            }
+            record["rules"] = rules
+            record["steps"] = sum(rules.values())
+        self.records[name] = record
+
+    def write(self) -> str:
+        with open(self.path, "w", encoding="utf-8") as fp:
+            json.dump(self.records, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        return self.path
 
 
 def random_suite(

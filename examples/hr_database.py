@@ -7,11 +7,19 @@ Run with::
 The paper's §2 running example (Employee extends Person, with an
 object-valued ``UniqueManager`` attribute and a ``NetSalary`` method),
 extended into a small working database: reusable query definitions,
-path expressions, quantifiers, aggregation-style nested comprehensions
-and an audit of every query's inferred effect.
+path expressions, quantifiers, aggregation-style nested comprehensions,
+effect-gated optimization and an audit of every query's inferred
+effect.
+
+Set ``REPRO_OBS=1`` to run with instrumentation on; add
+``REPRO_OBS_EXPORT=<path>`` to write the collected spans/events/metrics
+as JSONL at the end (every pipeline phase — parse, typecheck, effects,
+optimize, eval, commit — shows up as a span).
 """
 
 from __future__ import annotations
+
+import os
 
 import repro
 
@@ -35,6 +43,8 @@ class Employee extends Person (extent Employees) {
 
 
 def main() -> None:
+    if os.environ.get("REPRO_OBS"):
+        repro.instrument()
     db = repro.open_database(ODL)
 
     grace = db.insert("Manager", name="Grace", age=45, address="NYC", level=3)
@@ -93,6 +103,13 @@ def main() -> None:
         print(f"  {row['mgr']:>8}: headcount={row['heads']} above-4200={row['top']}")
 
     print()
+    print("=== effect-gated optimization (§4) ===")
+    q = "{ e.name | e <- Employees, true, e.GrossSalary > 0 + 4200 }"
+    optimized = db.optimize(q)
+    print(f"  before: {q}")
+    print(f"  after : {optimized}")
+
+    print()
     print("=== effect audit of the session's queries ===")
     for src in [
         "{ e.name | m <- Managers, e <- team(m) }",
@@ -101,6 +118,12 @@ def main() -> None:
         "42 + 8",
     ]:
         print(f"  {db.effect_of(src)!s:>28}  {src}")
+
+    export_path = os.environ.get("REPRO_OBS_EXPORT")
+    if export_path and repro.obs.enabled():
+        n = repro.obs.export.export_jsonl(export_path)
+        print()
+        print(f"=== wrote {n} observability record(s) to {export_path} ===")
 
 
 if __name__ == "__main__":

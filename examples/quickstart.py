@@ -7,9 +7,14 @@ Run with::
 Walks the shortest useful path through the library: ODL schema → insert
 objects → IOQL queries (comprehension and select syntax) → static
 analyses (type, effect, determinism).
+
+Set ``REPRO_OBS=1`` to run instrumented; ``REPRO_OBS_EXPORT=<path>``
+additionally writes the collected spans/events/metrics as JSONL.
 """
 
 from __future__ import annotations
+
+import os
 
 import repro
 
@@ -23,6 +28,8 @@ class Person extends Object (extent Persons) {
 
 
 def main() -> None:
+    if os.environ.get("REPRO_OBS"):
+        repro.instrument()
     db = repro.open_database(ODL)
 
     # -- populate ----------------------------------------------------------
@@ -67,6 +74,12 @@ def main() -> None:
     print(f"⊢′ accepts the read+create query: {db.is_deterministic(racy)}")
     for w in db.determinism_witnesses(racy):
         print(f"  witness: {w}")
+
+    export_path = os.environ.get("REPRO_OBS_EXPORT")
+    if export_path and repro.obs.enabled():
+        n = repro.obs.export.export_jsonl(export_path)
+        print()
+        print(f"wrote {n} observability record(s) to {export_path}")
 
 
 if __name__ == "__main__":

@@ -21,7 +21,10 @@ The package implements, from scratch:
   :mod:`repro.semantics.explorer`, :mod:`repro.semantics.bijection`;
 * an effect-gated query optimizer — :mod:`repro.optimizer`;
 * executable checkers for Theorems 1–8 over randomly generated
-  well-typed configurations — :mod:`repro.metatheory`.
+  well-typed configurations — :mod:`repro.metatheory`;
+* an observability layer — structured spans, a metrics registry and a
+  reduction-event stream across the whole pipeline, off by default and
+  toggled with :func:`repro.instrument` — :mod:`repro.obs`.
 
 Quick start::
 
@@ -38,9 +41,11 @@ Quick start::
     assert result.python() == frozenset({"Ada"})
 """
 
+from repro import obs
 from repro.api import (
     effects,
     explore,
+    instrument,
     is_deterministic,
     open_database,
     optimize,
@@ -101,7 +106,9 @@ __all__ = [
     "effects",
     "explore",
     "from_value",
+    "instrument",
     "is_deterministic",
+    "obs",
     "open_database",
     "optimize",
     "parse_program",

@@ -1,4 +1,13 @@
-"""``python -m repro`` — launch the interactive IOQL shell."""
+"""``python -m repro`` — launch the interactive IOQL shell.
+
+Flags (parsed by :func:`repro.shell.main`):
+
+* ``--no-obs`` — lock observability instrumentation off for the whole
+  session (it is already off by default; the flag additionally
+  disables the ``.stats on`` opt-in).
+
+Any remaining argument is an ODL schema file to load at startup.
+"""
 
 from repro.shell import main
 

@@ -63,3 +63,49 @@ def is_deterministic(db: Database, query: str | Query) -> bool:
 def optimize(db: Database, query: str | Query) -> Query:
     """The effect-gated rewriting pipeline; returns the rewritten query."""
     return db.optimize(query)
+
+
+class _InstrumentToggle:
+    """Returned by :func:`instrument`; context-manager use restores the
+    previous on/off state on exit."""
+
+    __slots__ = ("_prev",)
+
+    def __init__(self, prev: bool):
+        self._prev = prev
+
+    def __enter__(self) -> "_InstrumentToggle":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        from repro import obs
+
+        if self._prev:
+            obs.enable()
+        else:
+            obs.disable()
+        return False
+
+
+def instrument(on: bool = True) -> _InstrumentToggle:
+    """Toggle pipeline observability (:mod:`repro.obs`) process-wide.
+
+    Plain call::
+
+        repro.instrument()        # on
+        repro.instrument(False)   # off
+
+    or scoped, restoring the previous state afterwards::
+
+        with repro.instrument():
+            db.run(q)
+            repro.obs.export.export_jsonl("run.jsonl")
+    """
+    from repro import obs
+
+    prev = obs.enabled()
+    if on:
+        obs.enable()
+    else:
+        obs.disable()
+    return _InstrumentToggle(prev)

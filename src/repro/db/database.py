@@ -48,6 +48,9 @@ from repro.methods.typing import check_schema_methods
 from repro.model.schema import Schema
 from repro.model.types import ClassType, FuncType, Type
 from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply
+from repro.obs._state import STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.spans import span as _span
 from repro.semantics.evaluator import DEFAULT_MAX_STEPS, EvalResult, evaluate
 from repro.semantics.explorer import Exploration, explore
 from repro.semantics.machine import Machine
@@ -188,16 +191,24 @@ class Database:
     # -- static analysis -----------------------------------------------------
     def typecheck(self, source: str | Query) -> Type:
         """Figure 1: the type of the query, or :class:`IOQLTypeError`."""
-        return check_query(self.type_context(), self.parse(source))
+        q = self.parse(source)
+        with _span("typecheck"):
+            if _OBS.enabled:
+                _METRICS.counter("typecheck_total").inc()
+            return check_query(self.type_context(), q)
 
     def effect_of(self, source: str | Query) -> Effect:
         """Figure 3: the inferred effect ε of the query."""
-        _, eff = EffectChecker().check(self.type_context(), self.parse(source))
+        _, eff = EffectChecker().check_traced(
+            self.type_context(), self.parse(source)
+        )
         return eff
 
     def typecheck_with_effect(self, source: str | Query) -> tuple[Type, Effect]:
         """Figure 3 judgement ``q : σ ! ε`` in one call."""
-        return EffectChecker().check(self.type_context(), self.parse(source))
+        return EffectChecker().check_traced(
+            self.type_context(), self.parse(source)
+        )
 
     def determinism_witnesses(self, source: str | Query) -> list[Interference]:
         """⊢′ analysis: the (possibly empty) interference witnesses."""
@@ -257,29 +268,45 @@ class Database:
         normalisation evaluator of :mod:`repro.semantics.bigstep` —
         same answers (tested), roughly an order of magnitude faster.
         """
-        q = self.parse(source)
-        if typecheck:
-            self.typecheck(q)
-        if engine == "bigstep":
-            from repro.semantics.bigstep import evaluate_bigstep
+        with _span("query", engine=engine):
+            q = self.parse(source)
+            if typecheck:
+                self.typecheck(q)
+            with _span("eval", engine=engine) as ev_sp:
+                if engine == "bigstep":
+                    from repro.semantics.bigstep import evaluate_bigstep
 
-            big = evaluate_bigstep(
-                self.machine, self.ee, self.oe, q, strategy=strategy
-            )
-            result = EvalResult(
-                value=big.value, ee=big.ee, oe=big.oe, steps=0,
-                effect=big.effect,
-            )
-        elif engine == "reduction":
-            result = evaluate(
-                self.machine, self.ee, self.oe, q,
-                strategy=strategy, max_steps=max_steps,
-            )
-        else:
-            raise ValueError(f"unknown engine {engine!r}")
-        if commit:
-            self.ee, self.oe = result.ee, result.oe
-        return result
+                    big = evaluate_bigstep(
+                        self.machine, self.ee, self.oe, q, strategy=strategy
+                    )
+                    result = EvalResult(
+                        value=big.value, ee=big.ee, oe=big.oe, steps=0,
+                        effect=big.effect,
+                    )
+                elif engine == "reduction":
+                    result = evaluate(
+                        self.machine, self.ee, self.oe, q,
+                        strategy=strategy, max_steps=max_steps,
+                    )
+                else:
+                    raise ValueError(f"unknown engine {engine!r}")
+                if _OBS.enabled:
+                    ev_sp.set(steps=result.steps, effect=str(result.effect))
+            if commit:
+                with _span("commit") as c_sp:
+                    if _OBS.enabled:
+                        new_objects = len(result.oe) - len(self.oe)
+                        _METRICS.counter("commits_total").inc()
+                        if new_objects > 0:
+                            _METRICS.counter("committed_objects_total").inc(
+                                new_objects
+                            )
+                        _METRICS.gauge("live_objects").set(len(result.oe))
+                        c_sp.set(
+                            objects=len(result.oe), new_objects=new_objects
+                        )
+                    self.ee, self.oe = result.ee, result.oe
+            return result
 
     def query(self, source: str | Query, **kw: Any) -> EvalResult:
         """Alias of :meth:`run` (reads nicely at call sites)."""

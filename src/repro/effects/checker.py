@@ -60,6 +60,9 @@ from repro.lang.ast import (
     Var,
 )
 from repro.model.schema import Schema
+from repro.obs._state import STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.spans import span as _span
 from repro.model.types import (
     BOOL,
     EMPTY_SET_T,
@@ -112,6 +115,24 @@ class EffectChecker:
         the quantities the ⊢″ rule constrains — and the operand types
         (list ``union`` is concatenation, never commutable).  Base:
         accept."""
+
+    # -- instrumented entry point ----------------------------------------
+    def check_traced(self, ctx: TypeContext, q: Query) -> tuple[Type, Effect]:
+        """:meth:`check` wrapped in an ``effects`` span.
+
+        Records inference wall-time and the size |ε| of the inferred
+        effect (its atom count).  The recursive judgement itself stays
+        uninstrumented — one derivation is one observation, not
+        thousands.
+        """
+        with _span("effects", system=self.system_name):
+            t, eff = self.check(ctx, q)
+            if _OBS.enabled:
+                _METRICS.counter("effect_inferences_total").inc()
+                _METRICS.histogram(
+                    "effect_size", bounds=(0, 1, 2, 4, 8, 16)
+                ).observe(len(eff.atoms))
+            return t, eff
 
     # -- the judgement ---------------------------------------------------
     def check(self, ctx: TypeContext, q: Query) -> tuple[Type, Effect]:

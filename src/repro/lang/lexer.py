@@ -208,6 +208,11 @@ class TokenStream:
     def of(source: str) -> "TokenStream":
         return TokenStream(tokenize(source))
 
+    @property
+    def token_count(self) -> int:
+        """Number of tokens including EOF (the parse-size metric)."""
+        return len(self._tokens)
+
     def peek(self, ahead: int = 0) -> Token:
         """Look at the current (or a later) token without consuming it."""
         idx = min(self._pos + ahead, len(self._tokens) - 1)

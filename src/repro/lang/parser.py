@@ -92,6 +92,9 @@ from repro.lang.ast import (
 from repro.lang.lexer import Token, TokenStream
 from repro.lang.traversal import resolve_extents
 from repro.model.types import BOOL, INT, STRING, BagType, ClassType, ListType, RecordType, SetType, Type
+from repro.obs._state import STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.spans import span as _span
 
 _EXPR_START = frozenset(
     {
@@ -141,10 +144,14 @@ def parse_query(
     extent-name resolution; without it every identifier stays a
     :class:`Var`.
     """
-    ts = TokenStream.of(source)
-    q = Parser(ts).expr()
-    ts.expect("EOF")
-    return _resolve(q, extents, schema)
+    with _span("parse"):
+        ts = TokenStream.of(source)
+        if _OBS.enabled:
+            _METRICS.counter("parse_total").inc()
+            _METRICS.counter("parse_tokens_total").inc(ts.token_count)
+        q = Parser(ts).expr()
+        ts.expect("EOF")
+        return _resolve(q, extents, schema)
 
 
 def parse_program(
@@ -154,22 +161,26 @@ def parse_program(
     schema: object | None = None,
 ) -> Program:
     """Parse ``define … ; … define … ; query``."""
-    ts = TokenStream.of(source)
-    p = Parser(ts)
-    defs: list[Definition] = []
-    while ts.at("define"):
-        defs.append(p.definition())
-    q = p.expr()
-    ts.accept(";")
-    ts.expect("EOF")
-    names = _extent_names(extents, schema)
-    if names:
-        defs = [
-            Definition(d.name, d.params, resolve_extents(d.body, names))
-            for d in defs
-        ]
-        q = resolve_extents(q, names)
-    return Program(tuple(defs), q)
+    with _span("parse"):
+        ts = TokenStream.of(source)
+        if _OBS.enabled:
+            _METRICS.counter("parse_total").inc()
+            _METRICS.counter("parse_tokens_total").inc(ts.token_count)
+        p = Parser(ts)
+        defs: list[Definition] = []
+        while ts.at("define"):
+            defs.append(p.definition())
+        q = p.expr()
+        ts.accept(";")
+        ts.expect("EOF")
+        names = _extent_names(extents, schema)
+        if names:
+            defs = [
+                Definition(d.name, d.params, resolve_extents(d.body, names))
+                for d in defs
+            ]
+            q = resolve_extents(q, names)
+        return Program(tuple(defs), q)
 
 
 def parse_type(source: str) -> Type:

@@ -1,0 +1,92 @@
+"""repro.obs — observability for the whole pipeline.
+
+Structured spans, a metrics registry and a reduction-event stream, all
+process-local and all **off by default**: every instrumented call site
+in the parser, type/effect checkers, machine, optimizer and database
+guards itself on one flag, so the disabled hot path pays a single
+attribute load.
+
+Usage::
+
+    import repro
+
+    repro.instrument()                 # or repro.obs.enable()
+    db = repro.open_database(ODL)
+    db.run("{ p.name | p <- Persons }")
+    print(repro.obs.export.summary())
+    repro.obs.export.export_jsonl("run.jsonl")
+
+What gets recorded (see ``docs/OBSERVABILITY.md`` for the full map back
+to the paper's figures):
+
+* spans — ``query → parse → typecheck → effects/optimize → eval →
+  commit`` with wall-times and attributes;
+* counters — ``rule_fired_total{rule=…}`` (Figure 2/4 rule firings),
+  ``rewrite_attempts_total``/``rewrite_hits_total{rule=…}`` (§4
+  rewrites), parser token counts, explorer path counts, fuel
+  exhaustion;
+* histograms — evaluation step counts, explorer branching factors,
+  inferred effect sizes;
+* events — one :class:`~repro.obs.events.ReductionEvent` per machine
+  step (rule, ε, redex depth, extent sizes).
+"""
+
+from __future__ import annotations
+
+from repro.obs import events, export
+from repro.obs._state import STATE
+from repro.obs.events import ReductionEvent, STREAM, capture
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    REGISTRY,
+    Registry,
+)
+from repro.obs.spans import NULL_SPAN, Span, TRACER, Tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_SPAN",
+    "REGISTRY",
+    "ReductionEvent",
+    "Registry",
+    "STREAM",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "capture",
+    "disable",
+    "enable",
+    "enabled",
+    "events",
+    "export",
+    "reset",
+    "span",
+]
+
+
+def enable() -> None:
+    """Turn instrumentation on process-wide."""
+    STATE.enabled = True
+    events.attach_global()
+
+
+def disable() -> None:
+    """Turn instrumentation off (collected data is kept until reset)."""
+    STATE.enabled = False
+    events.detach_global()
+
+
+def enabled() -> bool:
+    """Is instrumentation currently on?"""
+    return STATE.enabled
+
+
+def reset() -> None:
+    """Drop everything collected so far (flag state is unchanged)."""
+    REGISTRY.reset()
+    TRACER.reset()
+    STREAM.clear()

@@ -1,0 +1,25 @@
+"""The process-wide observability switch.
+
+A single mutable flag object, imported by every instrumented call site
+as ``from repro.obs._state import STATE``.  The hot path pays exactly
+one attribute load (``STATE.enabled``) when instrumentation is off —
+no dict lookups, no allocations, no function calls.
+
+The flag lives in its own leaf module so that :mod:`repro.obs.metrics`,
+:mod:`repro.obs.spans` and :mod:`repro.obs.events` can all share it
+without importing each other (or the package ``__init__``).
+"""
+
+from __future__ import annotations
+
+
+class ObsFlag:
+    """Mutable on/off switch; toggled via :func:`repro.obs.enable`."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+STATE = ObsFlag()

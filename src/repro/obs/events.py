@@ -1,0 +1,131 @@
+"""A typed event stream for reduction steps.
+
+Every committed step of the Figure 2/4 machine emits one
+:class:`ReductionEvent` carrying exactly what the paper's judgement
+shows: the rule name, the effect label ε, the redex depth (how far
+inside the evaluation context ℰ the rule fired) and the extent sizes
+after the step.  The derivation renderer
+(:mod:`repro.semantics.tracing`), the JSONL exporter and the shell's
+``.trace --json`` all consume this one stream instead of re-walking
+steps themselves.
+
+Delivery is via *sinks* — plain append-targets registered in
+``_SINKS``:
+
+* enabling instrumentation globally attaches the process-wide
+  :data:`STREAM`;
+* :func:`capture` attaches a private list for the duration of a
+  ``with`` block (how the tracer collects one derivation without
+  turning global instrumentation on).
+
+With no sinks attached, :func:`emit_step` returns before constructing
+the event — a disabled pipeline allocates nothing here.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.effects.algebra import Effect
+    from repro.db.store import ExtentEnv
+
+
+@dataclass(frozen=True, slots=True)
+class ReductionEvent:
+    """One machine step, as data."""
+
+    rule: str
+    effect: "Effect"
+    depth: int
+    extents: tuple[tuple[str, int], ...]
+
+    def effect_label(self) -> str:
+        """ε rendered the way the paper writes it ("∅" when empty)."""
+        return "∅" if self.effect.is_empty() else str(self.effect)
+
+
+class EventStream:
+    """The global buffer of reduction events (bounded, dropping-new)."""
+
+    def __init__(self, limit: int = 200_000) -> None:
+        self.events: list[ReductionEvent] = []
+        self.limit = limit
+        self.dropped = 0
+
+    def append(self, event: ReductionEvent) -> None:
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ReductionEvent]:
+        return iter(self.events)
+
+
+STREAM = EventStream()
+
+# Active delivery targets.  A sink is anything with ``append``; the
+# machine checks ``active()`` before building an event at all.
+_SINKS: list[object] = []
+
+
+def active() -> bool:
+    """Is anyone listening?  The machine's pre-allocation guard."""
+    return bool(_SINKS)
+
+
+def emit(event: ReductionEvent) -> None:
+    for sink in _SINKS:
+        sink.append(event)  # type: ignore[attr-defined]
+
+
+def emit_step(rule: str, effect: "Effect", depth: int, ee: "ExtentEnv") -> None:
+    """Build and deliver one step event — only if a sink is attached."""
+    if not _SINKS:
+        return
+    emit(
+        ReductionEvent(
+            rule=rule,
+            effect=effect,
+            depth=depth,
+            extents=tuple(
+                (e, len(ee.members(e))) for e in sorted(ee.names())
+            ),
+        )
+    )
+
+
+@contextmanager
+def capture() -> Iterator[list[ReductionEvent]]:
+    """Collect every event emitted inside the block into a fresh list.
+
+    Works whether or not global instrumentation is enabled — this is
+    how a single derivation is recorded without touching global state.
+    """
+    sink: list[ReductionEvent] = []
+    _SINKS.append(sink)
+    try:
+        yield sink
+    finally:
+        _SINKS.remove(sink)
+
+
+def attach_global() -> None:
+    """Route events into :data:`STREAM` (idempotent)."""
+    if STREAM not in _SINKS:
+        _SINKS.append(STREAM)
+
+
+def detach_global() -> None:
+    if STREAM in _SINKS:
+        _SINKS.remove(STREAM)

@@ -1,0 +1,215 @@
+"""Exporters: JSONL, Prometheus text format, and a human summary.
+
+JSONL is the machine-readable archive — one JSON object per line, each
+tagged with a ``kind`` (``span`` | ``event`` | ``counter`` | ``gauge``
+| ``histogram``) so a consumer can stream-filter without parsing the
+whole file.  Spans are flattened (children become their own lines with
+a ``parent`` back-reference) to keep every line self-describing.
+
+The Prometheus renderer emits the standard text exposition format for
+the registry only (spans and events have no Prometheus analogue).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.obs.events import ReductionEvent, STREAM, EventStream
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    REGISTRY,
+    Registry,
+)
+from repro.obs.spans import Span, TRACER, Tracer
+
+
+# -- dict shapes ----------------------------------------------------------
+def span_dicts(sp: Span, parent: str | None = None) -> Iterable[dict]:
+    """One span and its subtree, flattened, parents before children."""
+    yield {
+        "kind": "span",
+        "name": sp.name,
+        "duration_ms": sp.duration * 1e3,
+        "attrs": {k: _plain(v) for k, v in sp.attrs.items()},
+        "parent": parent,
+        "children": len(sp.children),
+    }
+    for child in sp.children:
+        yield from span_dicts(child, parent=sp.name)
+
+
+def event_dict(ev: ReductionEvent) -> dict:
+    return {
+        "kind": "event",
+        "rule": ev.rule,
+        "effect": ev.effect_label(),
+        "depth": ev.depth,
+        "extents": {name: size for name, size in ev.extents},
+    }
+
+
+def metric_dict(m: Metric) -> dict:
+    base = {"name": m.name, "labels": dict(m.labels)}
+    if isinstance(m, Counter):
+        return {"kind": "counter", **base, "value": m.value}
+    if isinstance(m, Gauge):
+        return {"kind": "gauge", **base, "value": m.value}
+    assert isinstance(m, Histogram)
+    return {
+        "kind": "histogram",
+        **base,
+        "count": m.count,
+        "sum": m.total,
+        "min": m.min if m.count else None,
+        "max": m.max if m.count else None,
+        "buckets": {str(b): c for b, c in zip(m.bounds, m.counts)},
+    }
+
+
+def _plain(v: object) -> object:
+    """Attribute values as JSON-safe scalars."""
+    if isinstance(v, (bool, int, float, str)) or v is None:
+        return v
+    return str(v)
+
+
+# -- JSONL ----------------------------------------------------------------
+def export_jsonl(
+    dest: str | IO[str],
+    *,
+    registry: Registry | None = None,
+    tracer: Tracer | None = None,
+    stream: EventStream | None = None,
+) -> int:
+    """Write everything collected so far as JSONL; returns line count."""
+    registry = REGISTRY if registry is None else registry
+    tracer = TRACER if tracer is None else tracer
+    stream = STREAM if stream is None else stream
+    records: list[dict] = []
+    for root in tracer.finished:
+        records.extend(span_dicts(root))
+    records.extend(event_dict(ev) for ev in stream)
+    records.extend(metric_dict(m) for m in registry.collect())
+    if isinstance(dest, str):
+        with open(dest, "w", encoding="utf-8") as fp:
+            for rec in records:
+                fp.write(json.dumps(rec, ensure_ascii=False) + "\n")
+    else:
+        for rec in records:
+            dest.write(json.dumps(rec, ensure_ascii=False) + "\n")
+    return len(records)
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Parse a JSONL export back into dicts (round-trip helper)."""
+    out: list[dict] = []
+    with open(path, encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+# -- Prometheus text format -----------------------------------------------
+def _prom_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: Registry | None = None) -> str:
+    """The standard ``# TYPE`` + sample-line exposition format."""
+    registry = REGISTRY if registry is None else registry
+    lines: list[str] = []
+    typed: set[str] = set()
+    for m in registry.collect():
+        kind = (
+            "counter" if isinstance(m, Counter)
+            else "gauge" if isinstance(m, Gauge)
+            else "histogram"
+        )
+        if m.name not in typed:
+            typed.add(m.name)
+            lines.append(f"# TYPE {m.name} {kind}")
+        if isinstance(m, (Counter, Gauge)):
+            lines.append(f"{m.name}{_prom_labels(m.labels)} {m.value}")
+        else:
+            assert isinstance(m, Histogram)
+            # bucket counts are already cumulative (observe() increments
+            # every bucket whose bound covers the value)
+            for bound, c in zip(m.bounds, m.counts):
+                le = 'le="%s"' % bound
+                lines.append(f"{m.name}_bucket{_prom_labels(m.labels, le)} {c}")
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{m.name}_bucket{_prom_labels(m.labels, inf)} {m.count}"
+            )
+            lines.append(f"{m.name}_sum{_prom_labels(m.labels)} {m.total}")
+            lines.append(f"{m.name}_count{_prom_labels(m.labels)} {m.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human summary --------------------------------------------------------
+def _span_rollup(tracer: Tracer) -> dict[str, tuple[int, float]]:
+    """name → (count, total seconds), over every recorded span."""
+    rollup: dict[str, tuple[int, float]] = {}
+
+    def walk(sp: Span) -> None:
+        n, t = rollup.get(sp.name, (0, 0.0))
+        rollup[sp.name] = (n + 1, t + sp.duration)
+        for child in sp.children:
+            walk(child)
+
+    for root in tracer.finished:
+        walk(root)
+    return rollup
+
+
+def summary(
+    *,
+    registry: Registry | None = None,
+    tracer: Tracer | None = None,
+    stream: EventStream | None = None,
+) -> str:
+    """A compact, aligned table of everything collected so far."""
+    registry = REGISTRY if registry is None else registry
+    tracer = TRACER if tracer is None else tracer
+    stream = STREAM if stream is None else stream
+    lines: list[str] = []
+
+    rollup = _span_rollup(tracer)
+    if rollup:
+        lines.append("spans (name, count, total ms):")
+        for name, (n, total) in sorted(
+            rollup.items(), key=lambda kv: -kv[1][1]
+        ):
+            lines.append(f"  {name:<24} {n:>7}  {total * 1e3:>10.2f}")
+
+    counters = [m for m in registry.collect() if isinstance(m, Counter)]
+    if counters:
+        lines.append("counters:")
+        for m in counters:
+            label = "".join(f" {k}={v}" for k, v in m.labels)
+            lines.append(f"  {m.name + label:<40} {m.value:>12g}")
+
+    hists = [m for m in registry.collect() if isinstance(m, Histogram)]
+    if hists:
+        lines.append("histograms (count, mean, max):")
+        for m in hists:
+            label = "".join(f" {k}={v}" for k, v in m.labels)
+            mx = m.max if m.count else 0.0
+            lines.append(
+                f"  {m.name + label:<32} {m.count:>8} {m.mean:>12.4g} "
+                f"{mx:>12.4g}"
+            )
+
+    if len(stream):
+        lines.append(f"events: {len(stream)} recorded"
+                     + (f", {stream.dropped} dropped" if stream.dropped else ""))
+    return "\n".join(lines) if lines else "(nothing recorded)"

@@ -1,0 +1,177 @@
+"""A process-local metrics registry: counters, gauges and histograms.
+
+The shapes follow the Prometheus data model (a metric is a *name* plus
+a set of *label* key/values; histograms keep cumulative buckets) so
+:mod:`repro.obs.export` can render the standard text format, but there
+is no wire protocol here — everything is plain in-process Python.
+
+Cost discipline: instrumented call sites guard every touch with the
+``STATE.enabled`` flag (:mod:`repro.obs._state`), so a disabled
+pipeline never reaches this module at all.  When enabled, the get-or-
+create path is one dict lookup on an interned ``(name, labels)`` key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Exponential latency buckets in seconds: 10 µs … 10 s.  Chosen to
+# resolve both a single reduction step (~µs) and a full exhaustive
+# exploration (~s) on the same scale.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events, steps, rule firings)."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (extent sizes, live objects)."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+@dataclass
+class Histogram:
+    """A distribution: count/sum/min/max plus cumulative buckets.
+
+    ``observe`` is the only write path; ``bounds`` are upper bounds of
+    the non-infinity buckets (the +Inf bucket is implicit — it always
+    equals ``count``).
+    """
+
+    name: str
+    labels: LabelKey = ()
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * len(self.bounds)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class Registry:
+    """Get-or-create storage for every metric in the process.
+
+    Metrics are identified by ``(kind, name, labels)``; asking twice
+    returns the same object, so call sites never hold references across
+    a :meth:`reset`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, str, LabelKey], Metric] = {}
+
+    # -- accessors -------------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = ("counter", name, _label_key(labels))
+        m = self._metrics.get(key)
+        if m is None:
+            m = self._metrics[key] = Counter(name, key[2])
+        return m  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = ("gauge", name, _label_key(labels))
+        m = self._metrics.get(key)
+        if m is None:
+            m = self._metrics[key] = Gauge(name, key[2])
+        return m  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        key = ("histogram", name, _label_key(labels))
+        m = self._metrics.get(key)
+        if m is None:
+            m = self._metrics[key] = Histogram(name, key[2], bounds)
+        return m  # type: ignore[return-value]
+
+    # -- introspection ---------------------------------------------------
+    def collect(self) -> list[Metric]:
+        """Every live metric, sorted by (name, labels) for stable output."""
+        return sorted(
+            self._metrics.values(), key=lambda m: (m.name, m.labels)
+        )
+
+    def counter_values(self, name: str) -> dict[LabelKey, float]:
+        """All label-variants of one counter family: labels → value."""
+        return {
+            m.labels: m.value
+            for (kind, n, _), m in self._metrics.items()
+            if kind == "counter" and n == name
+        }
+
+    def value(self, name: str, **labels: str) -> float:
+        """The current value of a counter/gauge, 0.0 if never touched."""
+        for kind in ("counter", "gauge"):
+            m = self._metrics.get((kind, name, _label_key(labels)))
+            if m is not None:
+                return m.value  # type: ignore[union-attr]
+        return 0.0
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: The process-wide default registry every instrumented call site uses.
+REGISTRY = Registry()

@@ -20,6 +20,9 @@ from repro.errors import IOQLTypeError
 from repro.lang.ast import Comp, Gen, Pred, Qualifier, Query, SetOp
 from repro.lang.traversal import map_subqueries
 from repro.model.types import SetType
+from repro.obs._state import STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.spans import span as _span
 from repro.optimizer.rules import (
     COMMUTE_SETOP,
     DEFAULT_RULES,
@@ -123,8 +126,20 @@ def optimize(db, q: Query, rules: tuple[Rule, ...] = DEFAULT_RULES) -> Optimizat
     """
     ctx = db.type_context()
     check_query(ctx, q)  # raise early; rules assume well-typedness
-    planner = Planner(ctx, rules)
-    out = planner.optimize(q)
+    with _span("optimize") as sp:
+        planner = Planner(ctx, rules)
+        out = planner.optimize(q)
+        if _OBS.enabled:
+            _METRICS.counter("optimize_total").inc()
+            _METRICS.counter("optimize_rewrites_total").inc(len(planner.steps))
+            from repro.optimizer.cost import CostModel
+
+            model = CostModel.from_database(db)
+            sp.set(
+                rewrites=len(planner.steps),
+                cost_before=model.eval_cost(q),
+                cost_after=model.eval_cost(out),
+            )
     return OptimizationResult(out, planner.steps)
 
 

@@ -76,6 +76,8 @@ from repro.lang.ast import (
     StrLit,
 )
 from repro.lang.traversal import free_vars, subst, walk
+from repro.obs._state import STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.typing.context import TypeContext
 
 
@@ -146,7 +148,13 @@ class Rule:
     fn: Callable[[RewriteContext, Query], Query | None]
 
     def apply(self, rc: RewriteContext, q: Query) -> Query | None:
-        return self.fn(rc, q)
+        if not _OBS.enabled:
+            return self.fn(rc, q)
+        _METRICS.counter("rewrite_attempts_total", rule=self.name).inc()
+        out = self.fn(rc, q)
+        if out is not None and out != q:
+            _METRICS.counter("rewrite_hits_total", rule=self.name).inc()
+        return out
 
 
 # ---------------------------------------------------------------------------

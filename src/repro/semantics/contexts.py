@@ -56,10 +56,16 @@ from repro.lang.values import is_value
 
 @dataclass(frozen=True)
 class Decomposition:
-    """A query split as ℰ[redex]: ``plug(q) == ℰ[q]``."""
+    """A query split as ℰ[redex]: ``plug(q) == ℰ[q]``.
+
+    ``depth`` counts the context frames between the hole and the root
+    (0 when ℰ = •) — the "redex depth" the observability layer reports
+    per reduction event.
+    """
 
     redex: Query
     plug: Callable[[Query], Query]
+    depth: int = 0
 
     def is_toplevel(self) -> bool:
         """True when ℰ = • (the redex is the whole query)."""
@@ -81,7 +87,11 @@ def _under(
     inner: Decomposition, rebuild: Callable[[Query], Query]
 ) -> Decomposition:
     plug_inner = inner.plug
-    return Decomposition(inner.redex, lambda filled: rebuild(plug_inner(filled)))
+    return Decomposition(
+        inner.redex,
+        lambda filled: rebuild(plug_inner(filled)),
+        inner.depth + 1,
+    )
 
 
 def _decompose(q: Query) -> Decomposition:

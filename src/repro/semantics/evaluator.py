@@ -21,6 +21,8 @@ from repro.errors import FuelExhausted
 from repro.lang.ast import Query
 from repro.lang.values import is_value
 from repro.db.store import ExtentEnv, ObjectEnv
+from repro.obs._state import STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.semantics.machine import Config, Machine, StepResult
 from repro.semantics.strategy import FIRST, Strategy
 
@@ -64,6 +66,8 @@ def trace_steps(
     steps = 0
     while not is_value(config.query):
         if steps >= max_steps:
+            if _OBS.enabled:
+                _METRICS.counter("fuel_exhausted_total").inc()
             raise FuelExhausted(
                 f"no value after {steps} steps (query diverges or the "
                 f"budget is too small)",
@@ -101,6 +105,12 @@ def evaluate(
             rules.append(result.rule)
         config = result.config
         steps += 1
+    if _OBS.enabled:
+        _METRICS.counter("eval_queries_total").inc()
+        _METRICS.counter("eval_steps_total").inc(steps)
+        _METRICS.histogram(
+            "eval_steps", bounds=(1, 10, 100, 1_000, 10_000, 100_000)
+        ).observe(steps)
     return EvalResult(
         value=config.query,
         ee=config.ee,

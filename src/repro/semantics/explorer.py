@@ -28,6 +28,9 @@ from repro.errors import EvalError, FuelExhausted, StuckError
 from repro.lang.ast import Query
 from repro.lang.values import is_value
 from repro.db.store import ExtentEnv, ObjectEnv
+from repro.obs._state import STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.spans import span
 from repro.semantics.bijection import equivalent
 from repro.semantics.machine import Config, Machine
 
@@ -97,42 +100,60 @@ def explore(
     """
     result = Exploration()
     seen_outcomes: set[tuple[Query, ExtentEnv, ObjectEnv]] = set()
+    expansions = 0
     # stack of (config, depth)
     stack: list[tuple[Config, int]] = [(Config(ee, oe, query), 0)]
-    while stack:
-        config, depth = stack.pop()
-        if result.paths >= max_paths:
-            result.truncated = True
-            break
-        if is_value(config.query):
-            result.paths += 1
-            key = (config.query, config.ee, config.oe)
-            if key not in seen_outcomes:
-                seen_outcomes.add(key)
-                result.outcomes.append(
-                    Outcome(config.query, config.ee, config.oe)
-                )
-            continue
-        if depth >= max_steps:
-            result.paths += 1
-            result.diverged = True
-            continue
-        try:
-            successors = machine.possible_steps(config)
-        except (StuckError, EvalError) as exc:
-            if isinstance(exc, FuelExhausted):
+    with span("explore") as sp:
+        while stack:
+            config, depth = stack.pop()
+            if result.paths >= max_paths:
+                result.truncated = True
+                break
+            if is_value(config.query):
+                result.paths += 1
+                key = (config.query, config.ee, config.oe)
+                if key not in seen_outcomes:
+                    seen_outcomes.add(key)
+                    result.outcomes.append(
+                        Outcome(config.query, config.ee, config.oe)
+                    )
+                continue
+            if depth >= max_steps:
                 result.paths += 1
                 result.diverged = True
                 continue
-            result.paths += 1
-            result.stuck.append(config)
-            continue
-        if not successors:  # non-value with no successors: stuck
-            result.paths += 1
-            result.stuck.append(config)
-            continue
-        for s in successors:
-            stack.append((s.config, depth + 1))
+            try:
+                successors = machine.possible_steps(config)
+            except (StuckError, EvalError) as exc:
+                if isinstance(exc, FuelExhausted):
+                    result.paths += 1
+                    result.diverged = True
+                    continue
+                result.paths += 1
+                result.stuck.append(config)
+                continue
+            if not successors:  # non-value with no successors: stuck
+                result.paths += 1
+                result.stuck.append(config)
+                continue
+            expansions += 1
+            if _OBS.enabled:
+                _METRICS.histogram(
+                    "explore_branching_factor", bounds=(1, 2, 4, 8, 16, 32)
+                ).observe(len(successors))
+            for s in successors:
+                stack.append((s.config, depth + 1))
+        if _OBS.enabled:
+            _METRICS.counter("explore_total").inc()
+            _METRICS.counter("explore_paths_total").inc(result.paths)
+            _METRICS.counter("explore_expansions_total").inc(expansions)
+            sp.set(
+                paths=result.paths,
+                expansions=expansions,
+                outcomes=len(result.outcomes),
+                truncated=result.truncated,
+                diverged=result.diverged,
+            )
     return result
 
 

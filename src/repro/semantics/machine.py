@@ -105,6 +105,9 @@ from repro.lang.values import (
 from repro.methods.ast import AccessMode
 from repro.methods.interp import Fuel, MethodInterpreter
 from repro.model.schema import Schema
+from repro.obs import events as obs_events
+from repro.obs._state import STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply
 from repro.semantics.contexts import Decomposition, decompose
 from repro.semantics.strategy import FIRST, Strategy
@@ -163,7 +166,14 @@ class Machine:
             raise StuckError("cannot step: the query is already a value")
         outcomes = self._apply(config, decomp, strategy=strategy)
         assert len(outcomes) == 1
-        return outcomes[0]
+        result = outcomes[0]
+        if _OBS.enabled:
+            _METRICS.counter("rule_fired_total", rule=result.rule).inc()
+        if obs_events.active():
+            obs_events.emit_step(
+                result.rule, result.effect, decomp.depth, result.config.ee
+            )
+        return result
 
     def possible_steps(self, config: Config) -> list[StepResult]:
         """All single-step successors — one per (ND comp) choice.

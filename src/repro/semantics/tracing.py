@@ -18,9 +18,14 @@ from repro.effects.algebra import EMPTY, Effect
 from repro.errors import FuelExhausted, StuckError
 from repro.lang.ast import Query
 from repro.db.store import ExtentEnv, ObjectEnv
+from repro.obs import events as obs_events
 from repro.semantics.evaluator import trace_steps
 from repro.semantics.machine import Config, Machine
 from repro.semantics.strategy import FIRST, Strategy
+
+
+def _clip(text: str, max_width: int) -> str:
+    return text if len(text) <= max_width else text[: max_width - 1] + "…"
 
 
 @dataclass
@@ -35,9 +40,7 @@ class TraceLine:
 
     def render(self, *, max_width: int = 100) -> str:
         eff = "" if self.effect == EMPTY else f"  ─{self.effect}→"
-        q = str(self.query_after)
-        if len(q) > max_width:
-            q = q[: max_width - 1] + "…"
+        q = _clip(str(self.query_after), max_width)
         return f"{self.index:>4}  ({self.rule}){eff}\n      {q}"
 
 
@@ -69,7 +72,7 @@ class Trace:
         return hist
 
     def render(self, *, max_lines: int = 50, max_width: int = 100) -> str:
-        header = f"      {self.initial}"
+        header = f"      {_clip(str(self.initial), max_width)}"
         body = [
             line.render(max_width=max_width)
             for line in self.lines[:max_lines]
@@ -97,30 +100,38 @@ def trace(
 
     Never raises for divergence or stuckness — both are recorded as the
     trace outcome, which is what a debugging tool wants.
+
+    The per-step facts (rule, ε, extent sizes) come from the
+    observability event stream: the run is wrapped in
+    :func:`repro.obs.events.capture`, the machine emits one
+    :class:`~repro.obs.events.ReductionEvent` per step, and the trace
+    lines are rendered from those events — the same records ``.trace
+    --json`` and the JSONL exporter see.
     """
     t = Trace(initial=query)
     config = Config(ee, oe, query)
-    try:
-        for i, step in enumerate(
-            trace_steps(machine, config, strategy, max_steps), start=1
-        ):
-            config = step.config
-            t.lines.append(
-                TraceLine(
-                    index=i,
-                    rule=step.rule,
-                    effect=step.effect,
-                    query_after=config.query,
-                    extents_after={
-                        e: len(config.ee.members(e))
-                        for e in sorted(config.ee.names())
-                    },
-                )
+    configs: list[Config] = []
+    with obs_events.capture() as events:
+        try:
+            for step in trace_steps(machine, config, strategy, max_steps):
+                configs.append(step.config)
+            t.outcome = "value"
+        except FuelExhausted:
+            t.outcome = "diverged"
+        except StuckError:
+            t.outcome = "stuck"
+    # The machine emits exactly one event per committed step, so the
+    # event stream and the configuration history line up 1:1.
+    for i, (ev, cfg) in enumerate(zip(events, configs), start=1):
+        t.lines.append(
+            TraceLine(
+                index=i,
+                rule=ev.rule,
+                effect=ev.effect,
+                query_after=cfg.query,
+                extents_after=dict(ev.extents),
             )
-        t.outcome = "value"
-        t.final = config.query
-    except FuelExhausted:
-        t.outcome = "diverged"
-    except StuckError:
-        t.outcome = "stuck"
+        )
+    if t.outcome == "value":
+        t.final = configs[-1].query if configs else query
     return t

@@ -2,7 +2,7 @@
 
 Run as::
 
-    python -m repro [schema.odl]
+    python -m repro [--no-obs] [schema.odl]
 
 Lines starting with ``.`` are commands; ``define …;`` adds a query
 definition; anything else is a query — it is type-checked, effect-
@@ -17,12 +17,22 @@ Commands::
     .infer <query>        schema-less requirements inference
     .det <query>          ⊢′ determinism analysis (Theorem 7)
     .explore <query>      enumerate all reduction orders
-    .trace <query>        print the step-by-step derivation (Figure 2/4)
+    .trace [--json] <q>   print the step-by-step derivation (Figure 2/4);
+                          --json emits one JSON object per step
     .optimize <query>     effect-gated rewriting with provenance
     .explain <query>      cost estimate, statistics and chosen rewrites
+    .stats [on|off|reset] observability: show collected metrics/spans,
+                          or toggle instrumentation (off at startup)
+    .stats export <file>  write everything collected as JSONL
+    .profile <query>      run once with instrumentation and print the
+                          per-phase timing tree and rule histogram
     .extents              extent sizes
     .snapshot / .restore  save / roll back the database state
     .quit                 leave
+
+Instrumentation is **off** when the shell starts (interactive latency
+is unchanged); opt in with ``.stats on``.  Launching with ``--no-obs``
+locks it off for the whole session.
 
 The shell is a thin veneer over :class:`repro.db.Database`; every line
 handler returns the printed text, so the whole surface is unit-testable
@@ -33,6 +43,7 @@ from __future__ import annotations
 
 import sys
 
+from repro import obs
 from repro.db.database import Database, Snapshot
 from repro.errors import ReproError
 from repro.lang.parser import parse_query
@@ -53,11 +64,16 @@ class Person extends Object (extent Persons) {
 
 
 class Shell:
-    """The command interpreter; one database at a time."""
+    """The command interpreter; one database at a time.
 
-    def __init__(self, db: Database | None = None):
+    ``obs_locked`` is the ``--no-obs`` escape hatch: instrumentation
+    can then not be turned on for the lifetime of the shell.
+    """
+
+    def __init__(self, db: Database | None = None, *, obs_locked: bool = False):
         self.db = db or Database.from_odl(_DEFAULT_ODL)
         self._snapshot: Snapshot | None = None
+        self._obs_locked = obs_locked
 
     # ------------------------------------------------------------------
     def handle(self, line: str) -> str:
@@ -119,8 +135,25 @@ class Shell:
         if cmd == ".trace":
             from repro.semantics.tracing import trace
 
+            json_mode = False
+            if rest.startswith("--json"):
+                json_mode = True
+                rest = rest[len("--json"):].strip()
             q = self.db.parse(rest)
             self.db.typecheck(q)
+            if json_mode:
+                import json
+
+                from repro.obs import events as obs_events
+                from repro.obs.export import event_dict
+
+                with obs_events.capture() as evs:
+                    trace(self.db.machine, self.db.ee, self.db.oe, q)
+                out = "\n".join(
+                    json.dumps(event_dict(ev), ensure_ascii=False)
+                    for ev in evs
+                )
+                return out or "(no steps: the query is already a value)"
             t = trace(self.db.machine, self.db.ee, self.db.oe, q)
             return t.render()
         if cmd == ".optimize":
@@ -154,6 +187,10 @@ class Shell:
             det = "yes" if self.db.is_deterministic(q) else "NO (⊢′ rejects)"
             lines.append(f"deterministic  : {det}")
             return "\n".join(lines)
+        if cmd == ".stats":
+            return self._stats(rest)
+        if cmd == ".profile":
+            return self._profile(rest)
         if cmd == ".extents":
             rows = [
                 f"{e}: {len(self.db.extent(e))} object(s)"
@@ -172,16 +209,86 @@ class Shell:
             raise SystemExit(0)
         return f"error: unknown command {cmd!r} (try .help)"
 
+    # -- observability ---------------------------------------------------
+    def _stats(self, rest: str) -> str:
+        if rest == "on":
+            if self._obs_locked:
+                return "error: instrumentation is locked off (--no-obs)"
+            obs.enable()
+            return "instrumentation on (see .stats / .profile / .stats export)"
+        if rest == "off":
+            obs.disable()
+            return "instrumentation off (collected data kept; .stats reset drops it)"
+        if rest == "reset":
+            obs.reset()
+            return "metrics, spans and events reset"
+        if rest.startswith("export"):
+            path = rest[len("export"):].strip()
+            if not path:
+                return "error: .stats export needs a file path"
+            try:
+                n = obs.export.export_jsonl(path)
+            except OSError as exc:
+                return f"error: cannot write {path}: {exc}"
+            return f"wrote {n} record(s) to {path}"
+        if rest:
+            return f"error: unknown .stats subcommand {rest!r}"
+        state = "on" if obs.enabled() else "off"
+        return f"instrumentation: {state}\n{obs.export.summary()}"
+
+    def _profile(self, src: str) -> str:
+        if not src:
+            return "error: .profile needs a query"
+        if self._obs_locked:
+            return "error: instrumentation is locked off (--no-obs)"
+        prev = obs.enabled()
+        if not prev:
+            obs.enable()
+        mark = len(obs.TRACER.finished)
+        try:
+            with obs.capture() as events:
+                result = self.db.run(src)
+        finally:
+            if not prev:
+                obs.disable()
+        lines = [f"value : {result.value}", f"steps : {result.steps}"]
+        roots = obs.TRACER.finished[mark:]
+        if roots:
+            lines.append("phases (ms):")
+
+            def walk(sp, indent: int) -> None:
+                lines.append(
+                    f"  {'  ' * indent}{sp.name:<{18 - 2 * indent}}"
+                    f"{sp.duration * 1e3:>10.3f}"
+                )
+                for child in sp.children:
+                    walk(child, indent + 1)
+
+            for root in roots:
+                walk(root, 0)
+        hist: dict[str, int] = {}
+        for ev in events:
+            hist[ev.rule] = hist.get(ev.rule, 0) + 1
+        if hist:
+            lines.append("rules fired:")
+            for rule, n in sorted(hist.items(), key=lambda kv: (-kv[1], kv[0])):
+                lines.append(f"  {rule:<18}{n:>6}")
+        return "\n".join(lines)
+
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     argv = sys.argv[1:] if argv is None else argv
+    obs_locked = "--no-obs" in argv
+    if obs_locked:
+        argv = [a for a in argv if a != "--no-obs"]
+        obs.disable()
     if argv:
         with open(argv[0], encoding="utf-8") as f:
             db = Database.from_odl(f.read())
-        shell = Shell(db)
+        shell = Shell(db, obs_locked=obs_locked)
     else:
-        shell = Shell()
+        shell = Shell(obs_locked=obs_locked)
     print(_BANNER)
     while True:
         try:

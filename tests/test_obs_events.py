@@ -1,0 +1,162 @@
+"""Tests for the reduction-event stream (repro.obs.events) and the
+JSONL/Prometheus exporters it feeds."""
+
+import pytest
+
+from repro import obs
+from repro.db.database import Database
+from repro.effects.algebra import Effect, read
+from repro.obs import events as obs_events
+from repro.obs.export import (
+    event_dict,
+    export_jsonl,
+    read_jsonl,
+)
+
+ODL = """
+class P extends Object (extent Ps) {
+    attribute int n;
+}
+"""
+
+
+@pytest.fixture
+def db():
+    d = Database.from_odl(ODL)
+    d.insert("P", n=5)
+    return d
+
+
+@pytest.fixture
+def clean_obs():
+    obs.enable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestCapture:
+    def test_capture_collects_machine_steps(self, db):
+        with obs_events.capture() as evs:
+            result = db.run("{ p.n + 1 | p <- Ps }")
+        assert len(evs) == result.steps
+        rules = [ev.rule for ev in evs]
+        assert "Extent" in rules
+        assert "ND comp" in rules
+
+    def test_event_fields(self, db):
+        with obs_events.capture() as evs:
+            db.run("size(Ps)")
+        extent_ev = next(ev for ev in evs if ev.rule == "Extent")
+        assert extent_ev.effect == Effect.of(read("P"))
+        assert extent_ev.effect_label() == "{R(P)}"
+        assert extent_ev.extents == (("Ps", 1),)
+        assert extent_ev.depth >= 1  # Ps sits under size(•)
+
+    def test_pure_step_renders_empty_effect(self, db):
+        with obs_events.capture() as evs:
+            db.run("1 + 2")
+        assert [ev.effect_label() for ev in evs] == ["∅"]
+
+    def test_nested_captures_both_receive(self, db):
+        with obs_events.capture() as outer:
+            with obs_events.capture() as inner:
+                db.run("1 + 2")
+        assert len(outer) == len(inner) == 1
+
+    def test_capture_detaches_on_exit(self, db):
+        with obs_events.capture():
+            pass
+        assert not obs_events.active()
+
+
+class TestDisabledMode:
+    def test_no_sinks_means_inactive(self):
+        assert not obs_events.active()
+
+    def test_global_stream_stays_empty_when_disabled(self, db):
+        db.run("{ p.n | p <- Ps }")
+        assert len(obs.STREAM) == 0
+
+    def test_zero_event_construction_when_disabled(self, db, monkeypatch):
+        """The no-op guard returns before allocating any event object."""
+
+        def boom(*a, **kw):  # pragma: no cover - must never run
+            raise AssertionError("ReductionEvent constructed while disabled")
+
+        monkeypatch.setattr(obs_events, "ReductionEvent", boom)
+        result = db.run("{ p.n + 1 | p <- Ps }")
+        assert result.steps > 0
+
+    def test_rule_counters_untouched_when_disabled(self, db):
+        db.run("{ p.n | p <- Ps }")
+        assert obs.REGISTRY.counter_values("rule_fired_total") == {}
+
+
+class TestGlobalStream:
+    def test_enable_routes_into_global_stream(self, db, clean_obs):
+        result = db.run("{ p.n | p <- Ps }")
+        assert len(obs.STREAM) == result.steps
+
+    def test_rule_counters_sum_to_step_count(self, db, clean_obs):
+        result = db.run("{ p.n + 1 | p <- Ps, p.n > 0 }")
+        total = sum(
+            obs.REGISTRY.counter_values("rule_fired_total").values()
+        )
+        assert total == result.steps
+
+    def test_stream_bounded_drops_new(self):
+        stream = obs_events.EventStream(limit=2)
+        ev = obs_events.ReductionEvent("r", Effect.of(), 0, ())
+        for _ in range(5):
+            stream.append(ev)
+        assert len(stream) == 2
+        assert stream.dropped == 3
+
+
+class TestJsonlRoundTrip:
+    def test_event_dict_shape(self, db):
+        with obs_events.capture() as evs:
+            db.run("size(Ps)")
+        d = event_dict(evs[0])
+        assert d["kind"] == "event"
+        assert d["rule"] == "Extent"
+        assert d["extents"] == {"Ps": 1}
+        assert isinstance(d["depth"], int)
+
+    def test_export_and_read_back(self, db, clean_obs, tmp_path):
+        db.run("{ p.n | p <- Ps }")
+        path = str(tmp_path / "out.jsonl")
+        n = export_jsonl(path)
+        records = read_jsonl(path)
+        assert len(records) == n > 0
+        kinds = {r["kind"] for r in records}
+        assert {"span", "event", "counter"} <= kinds
+        # every record is self-describing JSON with a kind tag
+        assert all("kind" in r for r in records)
+
+    def test_export_contains_phase_spans(self, db, clean_obs, tmp_path):
+        db.run("{ p.n | p <- Ps }")
+        db.effect_of("size(Ps)")
+        db.optimize("{ p.n | p <- Ps, true }")
+        path = str(tmp_path / "out.jsonl")
+        export_jsonl(path)
+        spans = {
+            r["name"] for r in read_jsonl(path) if r["kind"] == "span"
+        }
+        assert {
+            "query", "parse", "typecheck", "effects", "optimize",
+            "eval", "commit",
+        } <= spans
+
+    def test_trace_renders_from_events(self, db):
+        """The refactored tracer consumes the same event stream."""
+        from repro.semantics.tracing import trace
+
+        q = db.parse("{ p.n | p <- Ps }")
+        t = trace(db.machine, db.ee, db.oe, q)
+        with obs_events.capture() as evs:
+            t2 = trace(db.machine, db.ee, db.oe, q)
+        assert t.steps == t2.steps == len(evs)
+        assert [line.rule for line in t2.lines] == [ev.rule for ev in evs]

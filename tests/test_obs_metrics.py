@@ -1,0 +1,125 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+)
+
+
+@pytest.fixture
+def reg():
+    return Registry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, reg):
+        c = reg.counter("steps_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_negative_increment_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("steps_total").inc(-1)
+
+    def test_get_or_create_returns_same_object(self, reg):
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x", rule="a") is reg.counter("x", rule="a")
+
+    def test_labels_distinguish_series(self, reg):
+        reg.counter("rule_fired_total", rule="Extent").inc()
+        reg.counter("rule_fired_total", rule="ND comp").inc(2)
+        values = reg.counter_values("rule_fired_total")
+        assert values[(("rule", "Extent"),)] == 1
+        assert values[(("rule", "ND comp"),)] == 2
+
+    def test_label_order_is_normalised(self, reg):
+        a = reg.counter("m", b="2", a="1")
+        b = reg.counter("m", a="1", b="2")
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("live_objects")
+        g.set(10)
+        g.inc()
+        g.dec(3)
+        assert g.value == 8.0
+
+    def test_gauge_and_counter_namespaces_are_separate(self, reg):
+        reg.counter("x").inc(5)
+        assert reg.gauge("x").value == 0.0
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self, reg):
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 22.5
+        assert h.min == 0.5
+        assert h.max == 20.0
+        assert h.mean == pytest.approx(7.5)
+
+    def test_buckets_are_cumulative(self, reg):
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        # 0.5 lands in both buckets, 2.0 only in le=10
+        assert h.counts == [1, 2]
+
+    def test_empty_histogram_mean_is_zero(self, reg):
+        assert reg.histogram("lat").mean == 0.0
+
+
+class TestRegistry:
+    def test_value_lookup_defaults_to_zero(self, reg):
+        assert reg.value("never_touched") == 0.0
+        reg.counter("touched").inc(3)
+        assert reg.value("touched") == 3.0
+
+    def test_reset_clears_everything(self, reg):
+        reg.counter("a").inc()
+        reg.gauge("b").set(2)
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.value("a") == 0.0
+
+    def test_collect_is_sorted_and_complete(self, reg):
+        reg.counter("zz").inc()
+        reg.counter("aa").inc()
+        reg.histogram("mm").observe(1)
+        names = [m.name for m in reg.collect()]
+        assert names == ["aa", "mm", "zz"]
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self, reg):
+        reg.counter("rule_fired_total", rule="Extent").inc(7)
+        reg.gauge("live_objects").set(3)
+        text = prometheus_text(reg)
+        assert "# TYPE rule_fired_total counter" in text
+        assert 'rule_fired_total{rule="Extent"} 7.0' in text
+        assert "live_objects 3.0" in text
+
+    def test_histogram_exposition(self, reg):
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        text = prometheus_text(reg)
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="10.0"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 22.5" in text
+        assert "lat_count 3" in text
+
+    def test_empty_registry_renders_empty(self, reg):
+        assert prometheus_text(reg) == ""

@@ -1,0 +1,134 @@
+"""Tests for span tracing (repro.obs.spans)."""
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import NULL_SPAN, Span, Tracer, span
+
+
+@pytest.fixture
+def clean_obs():
+    """Instrumentation on for the test, everything wiped afterwards."""
+    obs.enable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestDisabledMode:
+    def test_span_returns_the_shared_null_singleton(self):
+        assert not obs.enabled()
+        assert span("anything") is NULL_SPAN
+        assert span("other", a=1) is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with span("x") as sp:
+            sp.set(a=1)
+        assert len(obs.TRACER.finished) == 0
+
+    def test_nothing_recorded_when_disabled(self):
+        with span("outer"):
+            with span("inner"):
+                pass
+        assert obs.TRACER.finished == []
+        assert obs.TRACER.stack == []
+
+
+class TestEnabledMode:
+    def test_span_records_duration(self, clean_obs):
+        with span("work") as sp:
+            pass
+        assert sp.end is not None
+        assert sp.duration >= 0.0
+        assert obs.TRACER.finished == [sp]
+
+    def test_nesting_builds_a_tree(self, clean_obs):
+        with span("query") as outer:
+            with span("parse") as p:
+                pass
+            with span("eval") as e:
+                with span("step"):
+                    pass
+        assert obs.TRACER.finished == [outer]
+        assert [c.name for c in outer.children] == ["parse", "eval"]
+        assert [c.name for c in e.children] == ["step"]
+        assert p.children == []
+
+    def test_attrs_at_entry_and_via_set(self, clean_obs):
+        with span("typecheck", query="q") as sp:
+            sp.set(result="set<int>")
+        assert sp.attrs == {"query": "q", "result": "set<int>"}
+
+    def test_name_is_a_valid_attribute_key(self, clean_obs):
+        with span("bench", name="inner") as sp:
+            pass
+        assert sp.name == "bench"
+        assert sp.attrs == {"name": "inner"}
+
+    def test_parent_duration_covers_children(self, clean_obs):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                pass
+        assert outer.duration >= inner.duration
+
+    def test_reset_clears_tracer(self, clean_obs):
+        with span("x"):
+            pass
+        obs.reset()
+        assert obs.TRACER.finished == []
+
+
+class TestTracerRobustness:
+    def test_exception_unwinds_spans(self, clean_obs):
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("inner"):
+                    raise RuntimeError("boom")
+        assert obs.TRACER.stack == []
+        assert len(obs.TRACER.finished) == 1
+
+    def test_private_tracer_is_independent(self):
+        t = Tracer()
+        sp = t.begin("solo", {})
+        with sp:
+            pass
+        assert t.finished == [sp]
+        assert obs.TRACER.finished == []
+
+    def test_finished_buffer_is_bounded(self):
+        from repro.obs import spans as spans_mod
+
+        t = Tracer()
+        for i in range(spans_mod.MAX_FINISHED_ROOTS + 10):
+            with t.begin(f"s{i}", {}):
+                pass
+        assert len(t.finished) == spans_mod.MAX_FINISHED_ROOTS
+
+
+class TestPipelineSpans:
+    def test_db_run_produces_the_phase_tree(self, clean_obs):
+        from repro.db.database import Database
+
+        db = Database.from_odl(
+            "class P extends Object (extent Ps) { attribute int n; }"
+        )
+        db.insert("P", n=1)
+        db.run("{ p.n | p <- Ps }")
+        roots = [sp.name for sp in obs.TRACER.finished]
+        assert "query" in roots
+        query_span = next(
+            sp for sp in obs.TRACER.finished if sp.name == "query"
+        )
+        child_names = [c.name for c in query_span.children]
+        for phase in ("parse", "typecheck", "eval", "commit"):
+            assert phase in child_names, child_names
+
+    def test_instrument_context_manager_restores_state(self):
+        import repro
+
+        assert not obs.enabled()
+        with repro.instrument():
+            assert obs.enabled()
+        assert not obs.enabled()
+        obs.reset()

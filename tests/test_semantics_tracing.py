@@ -73,8 +73,34 @@ class TestRendering:
         text = t.render(max_width=30)
         assert any("…" in line for line in text.splitlines())
 
+    def test_render_truncates_the_header_too(self, db):
+        # regression: max_width used to apply to reduced queries only,
+        # letting a long *initial* query overflow the header line
+        t = tr(db, "{ struct(a: x, b: x, c: x, d: x, e: x) | x <- {1, 2} }")
+        text = t.render(max_width=30)
+        header = text.splitlines()[0]
+        assert len(header) <= 30 + len("      ")
+        assert header.endswith("…")
+
     def test_shell_trace_command(self, db):
         from repro.shell import Shell
 
         out = Shell(db).handle(".trace 1 + 1")
         assert "(Addition)" in out
+
+    def test_shell_trace_json_command(self, db):
+        import json
+
+        from repro.shell import Shell
+
+        out = Shell(db).handle(".trace --json 1 + 1")
+        records = [json.loads(line) for line in out.splitlines()]
+        assert records == [
+            {
+                "kind": "event",
+                "rule": "Addition",
+                "effect": "∅",
+                "depth": 0,
+                "extents": {"Ps": 1},
+            }
+        ]

@@ -141,3 +141,89 @@ class TestExplain:
     def test_explain_no_rewrites(self, shell):
         out = shell.handle(".explain { p.age | p <- Persons }")
         assert "no rewrites apply" in out
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        from repro import obs
+
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_stats_off_by_default(self, shell):
+        out = shell.handle(".stats")
+        assert "instrumentation: off" in out
+
+    def test_stats_on_collects_and_reports(self, shell):
+        from repro import obs
+
+        shell.handle(".stats on")
+        assert obs.enabled()
+        shell.handle("{ p.name | p <- Persons }")
+        out = shell.handle(".stats")
+        assert "instrumentation: on" in out
+        assert "rule_fired_total" in out
+        assert "query" in out
+
+    def test_stats_off_and_reset(self, shell):
+        from repro import obs
+
+        shell.handle(".stats on")
+        shell.handle("size(Persons)")
+        shell.handle(".stats off")
+        assert not obs.enabled()
+        shell.handle(".stats reset")
+        assert "(nothing recorded)" in shell.handle(".stats")
+
+    def test_stats_export_writes_jsonl(self, shell, tmp_path):
+        import json
+
+        shell.handle(".stats on")
+        shell.handle("size(Persons)")
+        path = tmp_path / "out.jsonl"
+        out = shell.handle(f".stats export {path}")
+        assert "wrote" in out
+        lines = path.read_text().splitlines()
+        assert lines and all(json.loads(l)["kind"] for l in lines)
+
+    def test_stats_export_to_unwritable_path_reports_not_raises(self, shell):
+        shell.handle(".stats on")
+        out = shell.handle(".stats export /nonexistent/dir/out.jsonl")
+        assert out.startswith("error: cannot write")
+
+    def test_no_obs_locks_stats_on(self):
+        db = Database.from_odl(ODL)
+        locked = Shell(db, obs_locked=True)
+        out = locked.handle(".stats on")
+        assert "locked off" in out
+
+    def test_profile_reports_phases_and_rules(self, shell):
+        from repro import obs
+
+        out = shell.handle(".profile { p.age | p <- Persons }")
+        assert "phases (ms):" in out
+        assert "eval" in out
+        assert "rules fired:" in out
+        assert "Extent" in out
+        # .profile must not leave instrumentation on
+        assert not obs.enabled()
+
+    def test_profile_locked_by_no_obs(self):
+        locked = Shell(Database.from_odl(ODL), obs_locked=True)
+        assert "locked off" in locked.handle(".profile 1 + 1")
+
+    def test_main_accepts_no_obs_flag(self, monkeypatch, capsys):
+        import builtins
+
+        from repro.shell import main
+
+        inputs = iter([".stats on", ".quit"])
+        monkeypatch.setattr(
+            builtins, "input", lambda prompt="": next(inputs)
+        )
+        assert main(["--no-obs"]) == 0
+        assert "locked off" in capsys.readouterr().out
