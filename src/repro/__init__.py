@@ -24,7 +24,10 @@ The package implements, from scratch:
   well-typed configurations — :mod:`repro.metatheory`;
 * an observability layer — structured spans, a metrics registry and a
   reduction-event stream across the whole pipeline, off by default and
-  toggled with :func:`repro.instrument` — :mod:`repro.obs`.
+  toggled with :func:`repro.instrument` — :mod:`repro.obs`;
+* a resilience layer — resource budgets, effect-guided transactions,
+  statically-gated retry and a deterministic fault-injection harness —
+  :mod:`repro.resilience` (see ``docs/ROBUSTNESS.md``).
 
 Quick start::
 
@@ -41,7 +44,7 @@ Quick start::
     assert result.python() == frozenset({"Ada"})
 """
 
-from repro import obs
+from repro import obs, resilience
 from repro.api import (
     effects,
     explore,
@@ -50,21 +53,29 @@ from repro.api import (
     open_database,
     optimize,
     run,
+    transaction,
     typecheck,
 )
 from repro.db.database import Database, from_value, to_value
 from repro.effects.algebra import EMPTY, Effect
 from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
     EvalError,
     FuelExhausted,
     IOQLEffectError,
     IOQLTypeError,
     MethodError,
+    ObjectQuotaExceeded,
     ParseError,
     ReproError,
     SchemaError,
     StuckError,
+    TransientFault,
 )
+from repro.resilience.budget import Budget
+from repro.resilience.faults import FaultPlan, FaultRule
+from repro.resilience.retry import RetryPolicy
 from repro.lang.parser import parse_program, parse_query, parse_type
 from repro.lang.pprint import pretty
 from repro.methods.ast import AccessMode
@@ -83,11 +94,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessMode",
+    "Budget",
+    "BudgetExceeded",
     "Database",
+    "DeadlineExceeded",
     "EMPTY",
     "Effect",
     "EvalError",
     "FIRST",
+    "FaultPlan",
+    "FaultRule",
     "FirstStrategy",
     "FuelExhausted",
     "IOQLEffectError",
@@ -95,13 +111,16 @@ __all__ = [
     "LAST",
     "LastStrategy",
     "MethodError",
+    "ObjectQuotaExceeded",
     "ParseError",
     "RandomStrategy",
     "ReproError",
+    "RetryPolicy",
     "Schema",
     "SchemaError",
     "ScriptedStrategy",
     "StuckError",
+    "TransientFault",
     "__version__",
     "effects",
     "explore",
@@ -116,7 +135,9 @@ __all__ = [
     "parse_schema",
     "parse_type",
     "pretty",
+    "resilience",
     "run",
     "to_value",
+    "transaction",
     "typecheck",
 ]

@@ -20,6 +20,9 @@ from repro.effects.algebra import Effect
 from repro.lang.ast import Query
 from repro.methods.ast import AccessMode
 from repro.model.types import Type
+from repro.resilience.budget import Budget
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.transactions import Transaction
 from repro.semantics.evaluator import EvalResult
 from repro.semantics.explorer import Exploration
 from repro.semantics.strategy import FIRST, Strategy
@@ -44,10 +47,32 @@ def effects(db: Database, query: str | Query) -> Effect:
 
 
 def run(
-    db: Database, query: str | Query, *, strategy: Strategy = FIRST
+    db: Database,
+    query: str | Query,
+    *,
+    strategy: Strategy = FIRST,
+    budget: Budget | None = None,
+    atomic: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> EvalResult:
-    """Evaluate under one strategy and commit the resulting database."""
-    return db.run(query, strategy=strategy)
+    """Evaluate under one strategy and commit the resulting database.
+
+    ``budget``/``atomic``/``retry`` are the resilience knobs of
+    :meth:`repro.db.Database.run` (see ``docs/ROBUSTNESS.md``).
+    """
+    return db.run(
+        query, strategy=strategy, budget=budget, atomic=atomic, retry=retry
+    )
+
+
+def transaction(db: Database) -> Transaction:
+    """An all-or-nothing scope over several statements::
+
+        with repro.transaction(db):
+            repro.run(db, 'new Person(name: "Ada", age: 36)')
+            repro.run(db, other_statement)   # failure rolls both back
+    """
+    return db.transaction()
 
 
 def explore(db: Database, query: str | Query) -> Exploration:

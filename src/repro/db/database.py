@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
-from repro.effects.algebra import Effect
+from repro.effects.algebra import Effect, add as add_effect
 from repro.effects.checker import EffectChecker
 from repro.effects.commutativity import CommutationConflict, analyze_commutativity
 from repro.effects.determinism import Interference, analyze_determinism
@@ -51,6 +51,10 @@ from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.obs.spans import span as _span
+from repro.resilience.budget import Budget
+from repro.resilience.faults import maybe_fault
+from repro.resilience.retry import RetryExhausted, RetryPolicy, replay_decision
+from repro.resilience.transactions import Transaction, TransactionScope
 from repro.semantics.evaluator import DEFAULT_MAX_STEPS, EvalResult, evaluate
 from repro.semantics.explorer import Exploration, explore
 from repro.semantics.machine import Machine
@@ -86,6 +90,7 @@ class Database:
         self.method_mode = method_mode
         self._definitions: dict[str, Definition] = {}
         self._def_types: dict[str, FuncType] = {}
+        self._active_txn: Transaction | None = None
         self.machine = Machine(
             schema,
             self._definitions,
@@ -138,6 +143,8 @@ class Database:
         oid = self.supply.fresh(cname, self.oe)
         self.oe = self.oe.with_object(oid, ObjectRecord(cname, fields))
         self.ee = self.ee.with_member(self.schema.class_extent(cname), oid)
+        if self._active_txn is not None:
+            self._active_txn.record(Effect.of(add_effect(cname)))
         return OidRef(oid)
 
     def define(self, source: str | Definition) -> FuncType:
@@ -258,6 +265,9 @@ class Database:
         commit: bool = True,
         typecheck: bool = True,
         engine: str = "reduction",
+        budget: Budget | None = None,
+        atomic: bool = False,
+        retry: RetryPolicy | None = None,
     ) -> EvalResult:
         """Evaluate a query under one strategy; optionally commit EE/OE.
 
@@ -267,46 +277,140 @@ class Database:
         machine (step counts, rule traces); ``"bigstep"`` is the
         normalisation evaluator of :mod:`repro.semantics.bigstep` —
         same answers (tested), roughly an order of magnitude faster.
+
+        Resilience knobs (see ``docs/ROBUSTNESS.md``):
+
+        * ``budget`` bounds the evaluation (steps, wall-clock, new
+          objects); violations raise the matching
+          :class:`~repro.errors.BudgetExceeded` subclass.  Retried
+          attempts each get a fresh copy of the budget.
+        * ``atomic=True`` captures an effect-guided
+          :class:`~repro.resilience.transactions.TransactionScope` —
+          only the extents in the query's static R ∪ A (∪ U) — before
+          evaluating, and rolls it back on *any* failure, so the
+          database never observes a half-applied statement.
+        * ``retry`` replays a failed attempt under the given
+          :class:`~repro.resilience.retry.RetryPolicy`, but only when
+          :func:`~repro.resilience.retry.replay_decision` proves the
+          replay safe (⊢′ accepts; writes require ``atomic=True``).
+          Ineligible or exhausted retries re-raise (the last failure is
+          wrapped in :class:`~repro.resilience.retry.RetryExhausted`
+          when attempts run out).
         """
         with _span("query", engine=engine):
             q = self.parse(source)
             if typecheck:
                 self.typecheck(q)
-            with _span("eval", engine=engine) as ev_sp:
-                if engine == "bigstep":
-                    from repro.semantics.bigstep import evaluate_bigstep
-
-                    big = evaluate_bigstep(
-                        self.machine, self.ee, self.oe, q, strategy=strategy
+            scope: TransactionScope | None = None
+            if atomic:
+                _, static_eff = EffectChecker().check_traced(
+                    self.type_context(), q
+                )
+                scope = TransactionScope.capture(self, static_eff)
+            attempt = 0
+            while True:
+                attempt += 1
+                attempt_budget = (
+                    budget if attempt == 1 or budget is None else budget.fresh()
+                )
+                try:
+                    return self._run_once(
+                        q,
+                        strategy=strategy,
+                        max_steps=max_steps,
+                        commit=commit,
+                        engine=engine,
+                        budget=attempt_budget,
                     )
-                    result = EvalResult(
-                        value=big.value, ee=big.ee, oe=big.oe, steps=0,
-                        effect=big.effect,
-                    )
-                elif engine == "reduction":
-                    result = evaluate(
-                        self.machine, self.ee, self.oe, q,
-                        strategy=strategy, max_steps=max_steps,
-                    )
-                else:
-                    raise ValueError(f"unknown engine {engine!r}")
-                if _OBS.enabled:
-                    ev_sp.set(steps=result.steps, effect=str(result.effect))
-            if commit:
-                with _span("commit") as c_sp:
+                except Exception as exc:
+                    if scope is not None:
+                        scope.rollback(self)
+                    if retry is None or not retry.retryable(exc):
+                        raise
+                    if attempt >= retry.max_attempts:
+                        if _OBS.enabled:
+                            _METRICS.counter("retries_exhausted_total").inc()
+                        raise RetryExhausted(attempt, exc) from exc
+                    decision = replay_decision(self, q, rolled_back=atomic)
+                    if not decision.safe:
+                        if _OBS.enabled:
+                            _METRICS.counter("retries_refused_total").inc()
+                        raise
                     if _OBS.enabled:
-                        new_objects = len(result.oe) - len(self.oe)
-                        _METRICS.counter("commits_total").inc()
-                        if new_objects > 0:
-                            _METRICS.counter("committed_objects_total").inc(
-                                new_objects
-                            )
-                        _METRICS.gauge("live_objects").set(len(result.oe))
-                        c_sp.set(
-                            objects=len(result.oe), new_objects=new_objects
+                        _METRICS.counter("retry_attempts_total").inc()
+                    retry.backoff(attempt)
+
+    def _run_once(
+        self,
+        q: Query,
+        *,
+        strategy: Strategy,
+        max_steps: int,
+        commit: bool,
+        engine: str,
+        budget: Budget | None,
+    ) -> EvalResult:
+        """One evaluation attempt plus (optionally) its commit."""
+        with _span("eval", engine=engine) as ev_sp:
+            if engine == "bigstep":
+                from repro.semantics.bigstep import evaluate_bigstep
+
+                big = evaluate_bigstep(
+                    self.machine, self.ee, self.oe, q,
+                    strategy=strategy, budget=budget,
+                )
+                result = EvalResult(
+                    value=big.value, ee=big.ee, oe=big.oe, steps=0,
+                    effect=big.effect,
+                )
+            elif engine == "reduction":
+                result = evaluate(
+                    self.machine, self.ee, self.oe, q,
+                    strategy=strategy, max_steps=max_steps, budget=budget,
+                )
+            else:
+                raise ValueError(f"unknown engine {engine!r}")
+            if _OBS.enabled:
+                ev_sp.set(steps=result.steps, effect=str(result.effect))
+                if budget is not None:
+                    if budget.max_steps is not None:
+                        _METRICS.gauge("budget_steps_remaining").set(
+                            budget.remaining_steps()
                         )
-                    self.ee, self.oe = result.ee, result.oe
-            return result
+                    if budget.max_new_objects is not None:
+                        _METRICS.gauge("budget_objects_remaining").set(
+                            budget.remaining_objects()
+                        )
+        if commit:
+            with _span("commit") as c_sp:
+                maybe_fault("commit")
+                if _OBS.enabled:
+                    new_objects = len(result.oe) - len(self.oe)
+                    _METRICS.counter("commits_total").inc()
+                    if new_objects > 0:
+                        _METRICS.counter("committed_objects_total").inc(
+                            new_objects
+                        )
+                    _METRICS.gauge("live_objects").set(len(result.oe))
+                    c_sp.set(
+                        objects=len(result.oe), new_objects=new_objects
+                    )
+                self.ee, self.oe = result.ee, result.oe
+                if self._active_txn is not None:
+                    self._active_txn.record(result.effect)
+        return result
+
+    def transaction(self) -> Transaction:
+        """A multi-statement, all-or-nothing scope (context manager).
+
+        Statements commit as they execute; leaving the ``with`` block on
+        an exception (or calling :meth:`Transaction.rollback`) restores
+        every extent/object/definition the transaction's accumulated
+        effect names to its entry state.  Effect-guided: state outside
+        R ∪ A (∪ U) of the executed statements is provably untouched
+        (Theorem 5) and is not copied or restored.
+        """
+        return Transaction(self)
 
     def query(self, source: str | Query, **kw: Any) -> EvalResult:
         """Alias of :meth:`run` (reads nicely at call sites)."""
@@ -319,14 +423,21 @@ class Database:
         max_steps: int = 10_000,
         max_paths: int = 100_000,
         typecheck: bool = True,
+        budget: Budget | None = None,
     ) -> Exploration:
-        """Enumerate every reduction order (never commits)."""
+        """Enumerate every reduction order (never commits).
+
+        A spent ``budget`` truncates the exploration (the result is
+        marked ``truncated``) instead of raising — exploration answers a
+        question about the schedule space, and a partial answer is
+        still an answer.
+        """
         q = self.parse(source)
         if typecheck:
             self.typecheck(q)
         return explore(
             self.machine, self.ee, self.oe, q,
-            max_steps=max_steps, max_paths=max_paths,
+            max_steps=max_steps, max_paths=max_paths, budget=budget,
         )
 
     # -- state management ----------------------------------------------------

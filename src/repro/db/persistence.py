@@ -24,9 +24,12 @@ whose schema binds native methods raises, listing them.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any
 
 from repro.errors import EvalError, ReproError
+from repro.resilience.faults import maybe_fault
 from repro.lang.ast import (
     BagLit,
     BoolLit,
@@ -208,16 +211,55 @@ def load_database(doc: dict) -> Database:
 
 
 def save(db: Database, odl_source: str, path: str) -> None:
-    """Serialise ``db`` to ``path`` as JSON."""
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(dump_database(db, odl_source), f, indent=1, sort_keys=True)
+    """Serialise ``db`` to ``path`` as JSON — **atomically**.
+
+    The document is written to a temporary file in the same directory,
+    flushed and fsynced, and then :func:`os.replace`\\ d into place.  A
+    crash (or an injected ``persistence.save`` fault) at any point
+    leaves either the old file or the new one on disk, never a torn
+    mixture.
+    """
+    doc = dump_database(db, odl_source)
+    target = os.path.abspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.flush()
+            os.fsync(f.fileno())
+        # the crash window the temp file exists to survive: the dump is
+        # fully on disk but not yet visible under its real name
+        maybe_fault("persistence.save")
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load(path: str) -> Database:
-    """Load a database saved with :func:`save`."""
+    """Load a database saved with :func:`save`.
+
+    Malformed input — truncated or invalid JSON, or a document that is
+    not a dump object — raises :class:`PersistenceError`, never a raw
+    :class:`json.JSONDecodeError`.
+    """
+    maybe_fault("persistence.load")
     with open(path, encoding="utf-8") as f:
         try:
             doc = json.load(f)
         except json.JSONDecodeError as exc:
-            raise PersistenceError(f"not a database dump: {exc}") from exc
+            raise PersistenceError(
+                f"not a database dump (truncated or invalid JSON): {exc}"
+            ) from exc
+    if not isinstance(doc, dict):
+        raise PersistenceError(
+            f"not a database dump: expected a JSON object, "
+            f"got {type(doc).__name__}"
+        )
     return load_database(doc)

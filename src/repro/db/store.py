@@ -91,6 +91,18 @@ class ObjectEnv:
         new[oid] = rec
         return ObjectEnv(new)
 
+    def without_objects(self, oids: Iterable[str]) -> "ObjectEnv":
+        """OE with the given oids removed (transaction rollback of (New)).
+
+        Missing oids are ignored — rollback is idempotent.
+        """
+        doomed = set(oids)
+        if not doomed:
+            return self
+        return ObjectEnv(
+            {o: r for o, r in self._objects.items() if o not in doomed}
+        )
+
     def class_of(self, oid: str) -> str:
         return self.get(oid).cname
 
@@ -148,6 +160,17 @@ class ExtentEnv:
         cname, members = self.get(extent)
         new = dict(self._extents)
         new[extent] = (cname, members | {oid})
+        return ExtentEnv(new)
+
+    def with_members(self, extent: str, members: frozenset[str]) -> "ExtentEnv":
+        """EE[e ↦ (C, v)] — reset one extent's membership wholesale.
+
+        Used by transaction rollback to restore exactly the extents a
+        failed query's effect says it could have grown.
+        """
+        cname, _ = self.get(extent)
+        new = dict(self._extents)
+        new[extent] = (cname, frozenset(members))
         return ExtentEnv(new)
 
     def __eq__(self, other: object) -> bool:

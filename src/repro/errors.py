@@ -12,10 +12,13 @@ sub-hierarchy mirrors the phases of the paper:
   commutativity system);
 * :class:`EvalError` — runtime failures of evaluation, further divided
   into :class:`StuckError` (a non-value query with no applicable
-  reduction — ruled out for well-typed queries by Theorem 3) and
-  :class:`FuelExhausted` (the evaluator's divergence bound was hit —
-  the observable proxy for non-termination, cf. the ``loop`` example of
-  §1).
+  reduction — ruled out for well-typed queries by Theorem 3) and the
+  :class:`BudgetExceeded` family — a resource bound was hit before a
+  value was reached.  :class:`FuelExhausted` (the step bound — the
+  observable proxy for non-termination, cf. the ``loop`` example of
+  §1), :class:`DeadlineExceeded` (wall-clock) and
+  :class:`ObjectQuotaExceeded` (new-object quota) all derive from it,
+  so a caller can bound *any* resource with one ``except``.
 """
 
 from __future__ import annotations
@@ -44,8 +47,10 @@ class ParseError(ReproError):
     def __init__(self, message: str, line: int | None = None, column: int | None = None):
         self.line = line
         self.column = column
-        if line is not None:
-            message = f"{line}:{column or 0}: {message}"
+        if line is not None and column is not None:
+            message = f"{line}:{column}: {message}"
+        elif line is not None:
+            message = f"{line}: {message}"
         super().__init__(message)
 
 
@@ -83,7 +88,20 @@ class StuckError(EvalError):
     """
 
 
-class FuelExhausted(EvalError):
+class BudgetExceeded(EvalError):
+    """A resource budget was exhausted before evaluation reached a value.
+
+    The common parent of every bound the runtime enforces — step fuel
+    (:class:`FuelExhausted`), wall-clock (:class:`DeadlineExceeded`) and
+    the new-object quota (:class:`ObjectQuotaExceeded`).  See
+    :class:`repro.resilience.budget.Budget` for the enforcement object.
+    """
+
+    #: Which resource ran out; subclasses override.
+    resource = "budget"
+
+
+class FuelExhausted(BudgetExceeded):
     """The step/fuel bound was exhausted before reaching a value.
 
     This is how the implementation makes non-termination observable:
@@ -91,8 +109,47 @@ class FuelExhausted(EvalError):
     rather than an actual hang.
     """
 
+    resource = "steps"
+
     def __init__(self, message: str = "evaluation fuel exhausted", steps: int = 0):
         self.steps = steps
+        super().__init__(message)
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """The wall-clock deadline passed before evaluation finished."""
+
+    resource = "deadline"
+
+    def __init__(self, message: str = "evaluation deadline exceeded", elapsed: float = 0.0):
+        self.elapsed = elapsed
+        super().__init__(message)
+
+
+class ObjectQuotaExceeded(BudgetExceeded):
+    """Evaluation created more objects than its quota allows.
+
+    Bounds the (New) rule: a query that grows extents past the quota is
+    aborted before it can exhaust memory on a production store.
+    """
+
+    resource = "objects"
+
+    def __init__(self, message: str = "new-object quota exceeded", created: int = 0):
+        self.created = created
+        super().__init__(message)
+
+
+class TransientFault(ReproError):
+    """An injected (or genuinely transient) infrastructure failure.
+
+    Raised by :class:`repro.resilience.faults.FaultPlan` at named
+    injection sites; the retry policy treats it as retryable by
+    default.  ``site`` names where the fault fired.
+    """
+
+    def __init__(self, message: str = "transient fault", site: str = ""):
+        self.site = site
         super().__init__(message)
 
 

@@ -1,0 +1,74 @@
+"""repro.resilience — budgets, transactions, retry and fault injection.
+
+The effect system of §4 tells the runtime statically *what a query can
+touch* (``R(C)``/``A(C)``) and the ⊢′ system tells it *when replaying
+is safe* (Theorems 4/7).  This package turns those guarantees into a
+recovery layer (see ``docs/ROBUSTNESS.md`` for the full mapping):
+
+* :class:`~repro.resilience.budget.Budget` — step fuel, wall-clock
+  deadline and new-object quota, enforced by every engine through the
+  typed :class:`~repro.errors.BudgetExceeded` hierarchy;
+* :class:`~repro.resilience.transactions.TransactionScope` /
+  :class:`~repro.resilience.transactions.Transaction` — effect-guided
+  snapshotting behind ``Database.run(..., atomic=True)`` and
+  ``Database.transaction()``;
+* :class:`~repro.resilience.retry.RetryPolicy` — exponential backoff
+  replay, gated on :func:`~repro.resilience.retry.replay_decision`;
+* :class:`~repro.resilience.faults.FaultPlan` — seeded, deterministic
+  fault/latency injection at named pipeline sites, so every recovery
+  path above is exercised in tests and CI.
+"""
+
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    FuelExhausted,
+    ObjectQuotaExceeded,
+    TransientFault,
+)
+from repro.resilience.budget import Budget
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultRule,
+    SITES,
+    active,
+    inject,
+    install,
+    maybe_fault,
+    uninstall,
+)
+from repro.resilience.retry import (
+    ReplayDecision,
+    RetryExhausted,
+    RetryPolicy,
+    replay_decision,
+)
+from repro.resilience.transactions import (
+    Transaction,
+    TransactionScope,
+    scope_extents,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultRule",
+    "FuelExhausted",
+    "ObjectQuotaExceeded",
+    "ReplayDecision",
+    "RetryExhausted",
+    "RetryPolicy",
+    "SITES",
+    "Transaction",
+    "TransactionScope",
+    "TransientFault",
+    "active",
+    "inject",
+    "install",
+    "maybe_fault",
+    "replay_decision",
+    "scope_extents",
+    "uninstall",
+]

@@ -1,0 +1,187 @@
+"""Resource budgets for query evaluation.
+
+The paper bounds divergence with step fuel alone (§1's ``loop`` becomes
+:class:`~repro.errors.FuelExhausted`).  A production store needs two
+more bounds: a wall-clock *deadline* (a slow query must not hold a
+session hostage) and a *new-object quota* (the (New) rule grows extents;
+an unbounded query must not exhaust the store).  :class:`Budget` carries
+all three and is threaded through every engine:
+
+* :func:`repro.semantics.evaluator.evaluate` charges one step per
+  reduction;
+* :class:`repro.semantics.bigstep.BigStepEvaluator` charges one step per
+  node visit;
+* :func:`repro.semantics.explorer.explore` charges per expansion and
+  *degrades gracefully* — a spent budget marks the exploration
+  ``truncated`` instead of raising.
+
+Every violation raises a typed subclass of
+:class:`~repro.errors.BudgetExceeded`, so one ``except`` bounds any
+resource.  The clock is injectable for deterministic tests.
+
+A budget is *stateful* (it accumulates charges); use :meth:`fresh` to
+reuse the same limits across statements, e.g. one budget per shell
+session applied anew to each query.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import (
+    DeadlineExceeded,
+    FuelExhausted,
+    ObjectQuotaExceeded,
+)
+
+#: How many step charges between wall-clock reads; reading the clock on
+#: every reduction would dominate the per-step cost.
+DEADLINE_CHECK_INTERVAL = 64
+
+
+class Budget:
+    """Step fuel + wall-clock deadline + new-object quota, enforced.
+
+    Any limit may be ``None`` (unbounded).  ``deadline`` is in seconds
+    from :meth:`start` (engines call it lazily on the first charge).
+    """
+
+    __slots__ = (
+        "max_steps",
+        "deadline",
+        "max_new_objects",
+        "steps_used",
+        "objects_created",
+        "_clock",
+        "_started_at",
+        "_check_interval",
+    )
+
+    def __init__(
+        self,
+        *,
+        max_steps: int | None = None,
+        deadline: float | None = None,
+        max_new_objects: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        check_interval: int = DEADLINE_CHECK_INTERVAL,
+    ):
+        for name, limit in (
+            ("max_steps", max_steps),
+            ("deadline", deadline),
+            ("max_new_objects", max_new_objects),
+        ):
+            if limit is not None and limit < 0:
+                raise ValueError(f"budget {name} must be >= 0, got {limit}")
+        if check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        self.max_steps = max_steps
+        self.deadline = deadline
+        self.max_new_objects = max_new_objects
+        self.steps_used = 0
+        self.objects_created = 0
+        self._clock = clock
+        self._started_at: float | None = None
+        self._check_interval = check_interval
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "Budget":
+        """Begin the deadline clock (idempotent); returns ``self``."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+        return self
+
+    def fresh(self) -> "Budget":
+        """A new budget with the same limits and zero consumption."""
+        return Budget(
+            max_steps=self.max_steps,
+            deadline=self.deadline,
+            max_new_objects=self.max_new_objects,
+            clock=self._clock,
+            check_interval=self._check_interval,
+        )
+
+    # -- charging --------------------------------------------------------
+    def charge_steps(self, n: int = 1) -> None:
+        """Consume ``n`` steps; check the deadline every few charges."""
+        self.steps_used += n
+        if self.max_steps is not None and self.steps_used > self.max_steps:
+            raise FuelExhausted(
+                f"step budget of {self.max_steps} exhausted",
+                steps=self.steps_used,
+            )
+        if (
+            self.deadline is not None
+            and self.steps_used % self._check_interval == 0
+        ):
+            self.check_deadline()
+
+    def charge_objects(self, n: int) -> None:
+        """Consume ``n`` units of the new-object quota."""
+        if n <= 0:
+            return
+        self.objects_created += n
+        if (
+            self.max_new_objects is not None
+            and self.objects_created > self.max_new_objects
+        ):
+            raise ObjectQuotaExceeded(
+                f"new-object quota of {self.max_new_objects} exceeded",
+                created=self.objects_created,
+            )
+
+    def check_deadline(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the wall clock ran out."""
+        if self.deadline is None:
+            return
+        elapsed = self.elapsed()
+        if elapsed > self.deadline:
+            raise DeadlineExceeded(
+                f"deadline of {self.deadline:g}s exceeded "
+                f"after {elapsed:.3f}s",
+                elapsed=elapsed,
+            )
+
+    # -- accounting ------------------------------------------------------
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 if never started)."""
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    def remaining_steps(self) -> int | None:
+        """Steps left, or ``None`` when unbounded (never negative)."""
+        if self.max_steps is None:
+            return None
+        return max(0, self.max_steps - self.steps_used)
+
+    def remaining_objects(self) -> int | None:
+        """Quota left, or ``None`` when unbounded (never negative)."""
+        if self.max_new_objects is None:
+            return None
+        return max(0, self.max_new_objects - self.objects_created)
+
+    def is_unlimited(self) -> bool:
+        """True when no limit is set — charging can never raise."""
+        return (
+            self.max_steps is None
+            and self.deadline is None
+            and self.max_new_objects is None
+        )
+
+    def describe(self) -> str:
+        """One line for the shell's ``.budget`` command."""
+        parts = []
+        if self.max_steps is not None:
+            parts.append(f"steps {self.steps_used}/{self.max_steps}")
+        if self.deadline is not None:
+            parts.append(f"deadline {self.deadline:g}s")
+        if self.max_new_objects is not None:
+            parts.append(
+                f"objects {self.objects_created}/{self.max_new_objects}"
+            )
+        return ", ".join(parts) if parts else "unlimited"
+
+    def __repr__(self) -> str:
+        return f"Budget({self.describe()})"

@@ -1,0 +1,216 @@
+"""Effect-guided transactions over the EE/OE environments.
+
+The Figure 3 effect of a query is a *static upper bound* on what it can
+touch at run time (Theorem 5: every dynamic trace is a subeffect of the
+static effect).  That bound is exactly what a transaction needs: to
+make a statement atomic it suffices to snapshot **only the extents of
+the classes in R(C) ∪ A(C) (∪ U(C) in §5 mode)** and, on failure,
+restore those — everything else is untouched by construction.
+
+Two grains are provided:
+
+* :class:`TransactionScope` — the per-statement scope behind
+  ``Database.run(..., atomic=True)``: capture before evaluation,
+  :meth:`rollback` on any failure;
+* :class:`Transaction` — the multi-statement context manager behind
+  ``Database.transaction()``: statements commit as they run, the
+  accumulated *dynamic* effect tracks which extents were really
+  touched, and an exception (or explicit :meth:`rollback`) restores the
+  session to the entry state — all-or-nothing shell sessions.
+
+Rollback restores scoped extent memberships, drops objects created in
+scoped extents, restores the prior records of surviving scoped objects
+(undoing §5 in-place updates) and removes definitions added inside the
+transaction.  The oid supply is deliberately *not* rewound: reusing a
+burnt oid could collide with an object created outside the scope, and
+fresher-than-necessary oids are absorbed by the paper's bijection ∼.
+
+Every rollback runs under an obs span and bumps
+``rollbacks_total{scope=…}``; transactions bump
+``transactions_total{outcome=committed|rolled_back}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.effects.algebra import EMPTY, Effect
+from repro.errors import ReproError
+from repro.obs._state import STATE as _OBS
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.spans import span as _span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+    from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord
+
+
+def scope_extents(db: "Database", effect: Effect) -> tuple[str, ...]:
+    """The extents a query with this effect could read or grow.
+
+    One extent per class named by an R/A/U atom (the paper attaches one
+    extent per class; (New) inserts only into the extent of the created
+    class).  Classes without a declared extent contribute nothing.
+    """
+    names = set()
+    for cname in sorted(effect.reads() | effect.adds() | effect.updates()):
+        try:
+            names.add(db.schema.class_extent(cname))
+        except Exception:
+            continue  # abstract/extent-less class: nothing to snapshot
+    return tuple(sorted(names))
+
+
+@dataclass(frozen=True)
+class TransactionScope:
+    """What one atomic statement may touch, and its pre-state.
+
+    ``prior_members`` maps each scoped extent to its membership at
+    capture time; ``prior_records`` holds the then-current record of
+    every object in those extents (to undo §5 updates).
+    """
+
+    extents: tuple[str, ...]
+    prior_members: tuple[tuple[str, frozenset[str]], ...]
+    prior_records: tuple[tuple[str, ObjectRecord], ...]
+
+    @staticmethod
+    def capture(db: "Database", effect: Effect) -> "TransactionScope":
+        """Snapshot the parts of EE/OE the effect says are at risk."""
+        extents = scope_extents(db, effect)
+        members = tuple((e, db.ee.members(e)) for e in extents)
+        records = tuple(
+            (oid, db.oe.get(oid))
+            for _, oids in members
+            for oid in sorted(oids)
+        )
+        return TransactionScope(extents, members, records)
+
+    def rollback(self, db: "Database") -> None:
+        """Restore the scoped extents/objects; leave the rest alone."""
+        with _span("rollback", scope="query", extents=len(self.extents)):
+            ee, oe = db.ee, db.oe
+            dropped = 0
+            for extent, prior in self.prior_members:
+                current = ee.members(extent)
+                added = current - prior
+                if added:
+                    oe = oe.without_objects(added)
+                    dropped += len(added)
+                if current != prior:
+                    ee = ee.with_members(extent, prior)
+            for oid, rec in self.prior_records:
+                if oe.get(oid) is not rec:
+                    oe = oe.with_object(oid, rec)
+            db.ee, db.oe = ee, oe
+            if _OBS.enabled:
+                _METRICS.counter("rollbacks_total", scope="query").inc()
+                if dropped:
+                    _METRICS.counter("rolled_back_objects_total").inc(dropped)
+
+
+class Transaction:
+    """All-or-nothing grouping of several statements on one database.
+
+    Usage::
+
+        with db.transaction():
+            db.run('new Person(name: "Ada", age: 36)')
+            db.run(failing_statement)      # raises
+        # the Person above is gone again
+
+    Statements commit as they execute; the transaction accumulates
+    their *dynamic* effects (plus ``A`` atoms for direct ``insert``
+    calls) and a rollback restores exactly the scoped state from the
+    entry snapshot.  Definitions added inside are removed again.
+    Transactions do not nest.
+    """
+
+    def __init__(self, db: "Database"):
+        self._db = db
+        self.effect: Effect = EMPTY
+        self._active = False
+        self._entry_ee: ExtentEnv | None = None
+        self._entry_oe: ObjectEnv | None = None
+        self._entry_defs: dict | None = None
+        self._entry_def_types: dict | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def __enter__(self) -> "Transaction":
+        db = self._db
+        if db._active_txn is not None:
+            raise ReproError("transactions do not nest")
+        self._entry_ee = db.ee
+        self._entry_oe = db.oe
+        self._entry_defs = dict(db._definitions)
+        self._entry_def_types = dict(db._def_types)
+        self._active = True
+        db._active_txn = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._active:  # already resolved explicitly
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False  # never swallow the exception
+
+    def record(self, effect: Effect) -> None:
+        """Accumulate one statement's dynamic effect (Figure 4 trace)."""
+        self.effect |= effect
+
+    # -- resolution ------------------------------------------------------
+    def commit(self) -> None:
+        """Keep everything; the transaction ends."""
+        self._ensure_active()
+        self._finish("committed")
+
+    def rollback(self) -> None:
+        """Restore the entry state for every scoped extent/object."""
+        self._ensure_active()
+        db = self._db
+        with _span("rollback", scope="transaction"):
+            extents = scope_extents(db, self.effect)
+            ee, oe = db.ee, db.oe
+            for extent in extents:
+                prior = self._entry_ee.members(extent)
+                current = ee.members(extent)
+                added = current - prior
+                if added:
+                    oe = oe.without_objects(added)
+                if current != prior:
+                    ee = ee.with_members(extent, prior)
+                for oid in prior:
+                    entry_rec = self._entry_oe.get(oid)
+                    if oe.get(oid) is not entry_rec:
+                        oe = oe.with_object(oid, entry_rec)
+            db.ee, db.oe = ee, oe
+            # definitions added inside the transaction are removed; the
+            # dicts are restored wholesale (defs are never huge)
+            db._definitions.clear()
+            db._definitions.update(self._entry_defs)
+            db._def_types.clear()
+            db._def_types.update(self._entry_def_types)
+            db.machine.defs = db._definitions
+            if _OBS.enabled:
+                _METRICS.counter("rollbacks_total", scope="transaction").inc()
+        self._finish("rolled_back")
+
+    # -- internals -------------------------------------------------------
+    def _ensure_active(self) -> None:
+        if not self._active:
+            raise ReproError("transaction is not active")
+
+    def _finish(self, outcome: str) -> None:
+        self._active = False
+        if self._db._active_txn is self:
+            self._db._active_txn = None
+        if _OBS.enabled:
+            _METRICS.counter("transactions_total", outcome=outcome).inc()

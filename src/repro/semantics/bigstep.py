@@ -88,6 +88,8 @@ from repro.methods.ast import AccessMode
 from repro.methods.interp import Fuel, MethodInterpreter
 from repro.model.schema import Schema
 from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply
+from repro.resilience.budget import Budget
+from repro.resilience.faults import maybe_fault
 from repro.semantics.strategy import FIRST, Strategy
 from typing import Mapping
 
@@ -127,6 +129,7 @@ class BigStepEvaluator:
         self.method_fuel = method_fuel
         self.supply = oid_supply or OidSupply()
         self._fuel = fuel
+        self._resource_budget: Budget | None = None
 
     # -- public ----------------------------------------------------------
     def evaluate(
@@ -136,12 +139,14 @@ class BigStepEvaluator:
         q: Query,
         *,
         strategy: Strategy = FIRST,
+        budget: Budget | None = None,
     ) -> BigStepResult:
         self.ee = ee
         self.oe = oe
         self.effect = EMPTY
         self.strategy = strategy
         self._budget = self._fuel
+        self._resource_budget = budget.start() if budget is not None else None
         value = self._eval({}, q)
         return BigStepResult(self.ee, self.oe, value, self.effect)
 
@@ -150,6 +155,13 @@ class BigStepEvaluator:
         if self._budget <= 0:
             raise FuelExhausted("big-step fuel exhausted")
         self._budget -= 1
+        maybe_fault("machine.step")
+        if self._resource_budget is not None:
+            self._resource_budget.charge_steps(1)
+
+    def _charge_objects(self, n: int) -> None:
+        if self._resource_budget is not None:
+            self._resource_budget.charge_objects(n)
 
     def _eval(self, env: dict[str, Query], q: Query) -> Query:
         self._tick()
@@ -161,6 +173,7 @@ class BigStepEvaluator:
             except KeyError:
                 raise StuckError(f"unbound identifier {q.name!r}") from None
         if isinstance(q, ExtentRef):
+            maybe_fault("store.read")
             cname, members = self.ee.get(q.name)
             self.effect |= Effect.of(read_effect(cname))
             return make_set_value(OidRef(o) for o in members)
@@ -285,6 +298,7 @@ class BigStepEvaluator:
             if not isinstance(target, OidRef):
                 raise StuckError("method call on a non-object")
             args = tuple(self._eval(env, a) for a in q.args)
+            maybe_fault("method.call")
             interp = MethodInterpreter(
                 self.schema,
                 self.ee,
@@ -294,11 +308,13 @@ class BigStepEvaluator:
                 oid_supply=self.supply,
             )
             outcome = interp.invoke(target.name, q.mname, args)
+            self._charge_objects(len(outcome.oe) - len(self.oe))
             self.ee, self.oe = outcome.ee, outcome.oe
             self.effect |= outcome.effect
             return outcome.value
         if isinstance(q, New):
             attrs = tuple((a, self._eval(env, sub)) for a, sub in q.fields)
+            self._charge_objects(1)
             oid = self.supply.fresh(q.cname, self.oe)
             self.oe = self.oe.with_object(oid, ObjectRecord(q.cname, attrs))
             self.ee = self.ee.with_member(
@@ -381,6 +397,7 @@ def evaluate_bigstep(
     *,
     strategy: Strategy = FIRST,
     fuel: int = 1_000_000,
+    budget: Budget | None = None,
 ) -> BigStepResult:
     """Big-step evaluation configured from an existing Machine/Database.
 
@@ -397,4 +414,4 @@ def evaluate_bigstep(
         oid_supply=machine.supply,
         fuel=fuel,
     )
-    return ev.evaluate(ee, oe, q, strategy=strategy)
+    return ev.evaluate(ee, oe, q, strategy=strategy, budget=budget)

@@ -23,6 +23,7 @@ from repro.lang.values import is_value
 from repro.db.store import ExtentEnv, ObjectEnv
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
+from repro.resilience.budget import Budget
 from repro.semantics.machine import Config, Machine, StepResult
 from repro.semantics.strategy import FIRST, Strategy
 
@@ -57,13 +58,20 @@ def trace_steps(
     config: Config,
     strategy: Strategy = FIRST,
     max_steps: int = DEFAULT_MAX_STEPS,
+    budget: "Budget | None" = None,
 ) -> Iterator[StepResult]:
     """Yield each reduction step from ``config`` until a value is reached.
 
     Raises :class:`FuelExhausted` when ``max_steps`` is hit — the
     executable rendering of a non-terminating query (§1's ``loop``).
+    A :class:`~repro.resilience.budget.Budget` additionally enforces a
+    wall-clock deadline and a new-object quota, raising the matching
+    :class:`~repro.errors.BudgetExceeded` subclass.
     """
     steps = 0
+    if budget is not None:
+        budget.start()
+    track_objects = budget is not None and budget.max_new_objects is not None
     while not is_value(config.query):
         if steps >= max_steps:
             if _OBS.enabled:
@@ -73,7 +81,11 @@ def trace_steps(
                 f"budget is too small)",
                 steps=steps,
             )
+        if budget is not None:
+            budget.charge_steps(1)
         result = machine.step(config, strategy)
+        if track_objects:
+            budget.charge_objects(len(result.config.oe) - len(config.oe))
         yield result
         config = result.config
         steps += 1
@@ -88,6 +100,7 @@ def evaluate(
     strategy: Strategy = FIRST,
     max_steps: int = DEFAULT_MAX_STEPS,
     keep_rules: bool = False,
+    budget: "Budget | None" = None,
 ) -> EvalResult:
     """Run ``query`` to a value under one strategy.
 
@@ -99,7 +112,7 @@ def evaluate(
     effect = EMPTY
     rules: list[str] = []
     steps = 0
-    for result in trace_steps(machine, config, strategy, max_steps):
+    for result in trace_steps(machine, config, strategy, max_steps, budget):
         effect |= result.effect
         if keep_rules:
             rules.append(result.rule)

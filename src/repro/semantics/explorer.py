@@ -24,13 +24,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import EvalError, FuelExhausted, StuckError
+from repro.errors import BudgetExceeded, EvalError, FuelExhausted, StuckError
 from repro.lang.ast import Query
 from repro.lang.values import is_value
 from repro.db.store import ExtentEnv, ObjectEnv
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.obs.spans import span
+from repro.resilience.budget import Budget
 from repro.semantics.bijection import equivalent
 from repro.semantics.machine import Config, Machine
 
@@ -81,6 +82,30 @@ class Exploration:
             for o in self.outcomes[1:]
         )
 
+    def summary(self) -> str:
+        """A human-readable report (the shell's ``.explore`` output).
+
+        Truncated explorations carry an explicit warning: their results
+        are a sample of the schedule space, not a proof over it.
+        """
+        lines = [
+            f"schedules: {self.paths}"
+            + (" (truncated)" if self.truncated else ""),
+            "distinct answers: "
+            + (", ".join(str(v) for v in self.distinct_values()) or "(none)"),
+        ]
+        if self.diverged:
+            lines.append("some schedule diverges")
+        if self.stuck:
+            lines.append(f"stuck configurations: {len(self.stuck)}")
+        if self.truncated:
+            lines.append(
+                "warning: exploration truncated (path/budget bound hit) — "
+                "results are a sample, not a proof"
+            )
+        lines.append(f"deterministic up to ∼: {self.deterministic()}")
+        return "\n".join(lines)
+
 
 def explore(
     machine: Machine,
@@ -90,6 +115,7 @@ def explore(
     *,
     max_steps: int = 10_000,
     max_paths: int = 100_000,
+    budget: Budget | None = None,
 ) -> Exploration:
     """Enumerate all reduction orders of ``query`` (depth-first).
 
@@ -97,10 +123,16 @@ def explore(
     ``diverged`` (observable non-termination on that schedule).
     ``max_paths`` bounds the total number of explored paths; exceeding
     it sets ``truncated`` — results are then a sample, not a proof.
+    A :class:`~repro.resilience.budget.Budget` bounds the whole walk
+    (steps = configurations popped, plus the wall-clock deadline);
+    exhaustion *degrades* to ``truncated`` rather than raising, so an
+    interactive caller always gets the partial exploration back.
     """
     result = Exploration()
     seen_outcomes: set[tuple[Query, ExtentEnv, ObjectEnv]] = set()
     expansions = 0
+    if budget is not None:
+        budget.start()
     # stack of (config, depth)
     stack: list[tuple[Config, int]] = [(Config(ee, oe, query), 0)]
     with span("explore") as sp:
@@ -109,6 +141,14 @@ def explore(
             if result.paths >= max_paths:
                 result.truncated = True
                 break
+            if budget is not None:
+                try:
+                    budget.charge_steps(1)
+                except BudgetExceeded:
+                    result.truncated = True
+                    if _OBS.enabled:
+                        _METRICS.counter("explore_budget_truncations_total").inc()
+                    break
             if is_value(config.query):
                 result.paths += 1
                 key = (config.query, config.ee, config.oe)

@@ -109,6 +109,7 @@ from repro.obs import events as obs_events
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply
+from repro.resilience.faults import maybe_fault
 from repro.semantics.contexts import Decomposition, decompose
 from repro.semantics.strategy import FIRST, Strategy
 
@@ -161,6 +162,7 @@ class Machine:
         A value configuration raises StuckError too — callers check
         :func:`repro.lang.values.is_value` first (the evaluator does).
         """
+        maybe_fault("machine.step")
         decomp = decompose(config.query)
         if decomp is None:
             raise StuckError("cannot step: the query is already a value")
@@ -226,6 +228,7 @@ class Machine:
 
         # (Extent)
         if isinstance(r, ExtentRef):
+            maybe_fault("store.read")
             cname, members = ee.get(r.name)
             v = make_set_value(OidRef(o) for o in members)
             return out(v, "Extent", Effect.of(read_effect(cname)))
@@ -365,6 +368,7 @@ class Machine:
         if isinstance(r, MethodCall):
             if not isinstance(r.target, OidRef):
                 raise StuckError(f"method call on a non-object in {r}")
+            maybe_fault("method.call")
             interp = MethodInterpreter(
                 self.schema,
                 ee,

@@ -28,6 +28,17 @@ Commands::
                           per-phase timing tree and rule histogram
     .extents              extent sizes
     .snapshot / .restore  save / roll back the database state
+    .budget [...]         resource budget applied to every query:
+                          ``.budget steps=N time=SECS objects=K`` sets,
+                          ``.budget off`` clears, bare shows
+    .faults [...]         fault injection: ``.faults inject site=<s>
+                          [at=N] [every=K] [p=0.5] [times=M]
+                          [delay=SECS] [kind=transient|latency]
+                          [seed=N]`` adds a rule, ``.faults off``
+                          uninstalls, bare shows the plan and counters
+    .transaction <cmd>    begin / commit / rollback an all-or-nothing
+                          scope; a failing statement inside rolls the
+                          whole transaction back
     .quit                 leave
 
 Instrumentation is **off** when the shell starts (interactive latency
@@ -48,6 +59,10 @@ from repro.db.database import Database, Snapshot
 from repro.errors import ReproError
 from repro.lang.parser import parse_query
 from repro.methods.ast import AccessMode
+from repro.resilience import faults as fault_injection
+from repro.resilience.budget import Budget
+from repro.resilience.faults import FaultPlan, FaultRule
+from repro.resilience.transactions import Transaction
 from repro.typing.inference import infer_requirements
 
 _BANNER = (
@@ -74,6 +89,8 @@ class Shell:
         self.db = db or Database.from_odl(_DEFAULT_ODL)
         self._snapshot: Snapshot | None = None
         self._obs_locked = obs_locked
+        self._budget: Budget | None = None
+        self._txn: Transaction | None = None
 
     # ------------------------------------------------------------------
     def handle(self, line: str) -> str:
@@ -91,12 +108,28 @@ class Shell:
                 return f"defined : {ftype}"
             return self._query(line)
         except ReproError as exc:
+            # all-or-nothing: a failing *statement* aborts the whole
+            # open transaction (commands like .type are read-only and
+            # leave it open)
+            if (
+                self._txn is not None
+                and self._txn.active
+                and not line.startswith(".")
+            ):
+                self._txn.rollback()
+                self._txn = None
+                return (
+                    f"error: {exc}\n"
+                    "transaction rolled back: the database is exactly as "
+                    "it was at .transaction begin"
+                )
             return f"error: {exc}"
 
     # ------------------------------------------------------------------
     def _query(self, src: str) -> str:
         t, eff = self.db.typecheck_with_effect(src)
-        result = self.db.run(src)
+        budget = self._budget.fresh() if self._budget is not None else None
+        result = self.db.run(src, budget=budget)
         eff_str = "" if eff.is_empty() else f" ! {eff}"
         return f"{result.value} : {t}{eff_str}   ({result.steps} steps)"
 
@@ -106,6 +139,8 @@ class Shell:
         if cmd == ".help":
             return __doc__.split("Commands::", 1)[1].strip()
         if cmd == ".schema":
+            if self._txn is not None and self._txn.active:
+                return "error: commit or roll back the open transaction first"
             with open(rest, encoding="utf-8") as f:
                 self.db = Database.from_odl(f.read())
             return f"loaded schema with classes {sorted(self.db.schema.class_names())}"
@@ -121,17 +156,8 @@ class Shell:
                 return "deterministic (⊢′ accepts; Theorem 7 applies)"
             return "\n".join(f"⊢′ rejects: {w}" for w in witnesses)
         if cmd == ".explore":
-            ex = self.db.explore(rest)
-            lines = [
-                f"schedules: {ex.paths}"
-                + (" (truncated)" if ex.truncated else ""),
-                f"distinct answers: "
-                + ", ".join(str(v) for v in ex.distinct_values()),
-            ]
-            if ex.diverged:
-                lines.append("some schedule diverges")
-            lines.append(f"deterministic up to ∼: {ex.deterministic()}")
-            return "\n".join(lines)
+            budget = self._budget.fresh() if self._budget is not None else None
+            return self.db.explore(rest, budget=budget).summary()
         if cmd == ".trace":
             from repro.semantics.tracing import trace
 
@@ -197,6 +223,12 @@ class Shell:
                 for e in sorted(self.db.schema.extents)
             ]
             return "\n".join(rows) if rows else "(no extents)"
+        if cmd == ".budget":
+            return self._budget_cmd(rest)
+        if cmd == ".faults":
+            return self._faults_cmd(rest)
+        if cmd == ".transaction":
+            return self._transaction_cmd(rest)
         if cmd == ".snapshot":
             self._snapshot = self.db.snapshot()
             return "snapshot taken"
@@ -208,6 +240,111 @@ class Shell:
         if cmd == ".quit":
             raise SystemExit(0)
         return f"error: unknown command {cmd!r} (try .help)"
+
+    # -- resilience ------------------------------------------------------
+    def _budget_cmd(self, rest: str) -> str:
+        if rest == "off":
+            self._budget = None
+            return "budget cleared"
+        if not rest:
+            if self._budget is None:
+                return "no budget set (queries run unbounded)"
+            return f"budget per query: {self._budget.describe()}"
+        kw: dict[str, float] = {}
+        for part in rest.split():
+            key, _, value = part.partition("=")
+            try:
+                if key == "steps":
+                    kw["max_steps"] = int(value)
+                elif key == "time":
+                    kw["deadline"] = float(value)
+                elif key == "objects":
+                    kw["max_new_objects"] = int(value)
+                else:
+                    return (
+                        f"error: unknown budget setting {key!r} "
+                        "(use steps= time= objects=)"
+                    )
+            except ValueError:
+                return f"error: bad value in {part!r}"
+        try:
+            self._budget = Budget(**kw)
+        except ValueError as exc:
+            return f"error: {exc}"
+        return f"budget per query: {self._budget.describe()}"
+
+    def _faults_cmd(self, rest: str) -> str:
+        if rest == "off":
+            fault_injection.uninstall()
+            return "fault injection off"
+        if rest.startswith("inject"):
+            args = rest[len("inject"):].split()
+            fields: dict[str, object] = {}
+            seed = None
+            try:
+                for part in args:
+                    key, _, value = part.partition("=")
+                    if key == "site":
+                        fields["site"] = value
+                    elif key == "at":
+                        fields["at"] = int(value)
+                    elif key == "every":
+                        fields["every"] = int(value)
+                    elif key == "p":
+                        fields["probability"] = float(value)
+                    elif key == "times":
+                        fields["times"] = int(value)
+                    elif key == "delay":
+                        fields["delay"] = float(value)
+                    elif key == "kind":
+                        fields["kind"] = value
+                    elif key == "seed":
+                        seed = int(value)
+                    else:
+                        return f"error: unknown fault setting {key!r}"
+            except ValueError:
+                return f"error: bad value in {rest!r}"
+            if "site" not in fields:
+                return "error: .faults inject needs site=<name>"
+            rule = FaultRule(**fields)  # may raise ReproError -> handle()
+            plan = fault_injection.active()
+            if plan is None or seed is not None:
+                plan = FaultPlan(seed=seed or 0)
+                fault_injection.install(plan)
+            plan.add(rule)
+            return f"injecting: {rule.describe()}"
+        if rest:
+            return f"error: unknown .faults subcommand {rest!r}"
+        plan = fault_injection.active()
+        if plan is None:
+            return "fault injection off"
+        return plan.describe()
+
+    def _transaction_cmd(self, rest: str) -> str:
+        if rest == "begin":
+            if self._txn is not None and self._txn.active:
+                return "error: a transaction is already open"
+            self._txn = self.db.transaction().__enter__()
+            return "transaction open (statements commit together or not at all)"
+        if rest == "commit":
+            if self._txn is None or not self._txn.active:
+                return "error: no open transaction"
+            self._txn.commit()
+            self._txn = None
+            return "transaction committed"
+        if rest == "rollback":
+            if self._txn is None or not self._txn.active:
+                return "error: no open transaction"
+            self._txn.rollback()
+            self._txn = None
+            return "transaction rolled back"
+        if rest:
+            return f"error: unknown .transaction subcommand {rest!r}"
+        if self._txn is not None and self._txn.active:
+            eff = self._txn.effect
+            eff_str = "∅" if eff.is_empty() else str(eff)
+            return f"transaction open, accumulated effect {eff_str}"
+        return "no open transaction"
 
     # -- observability ---------------------------------------------------
     def _stats(self, rest: str) -> str:

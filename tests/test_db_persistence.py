@@ -173,3 +173,62 @@ class TestValidationOnLoad:
         doc["definitions"] = ["define broken() as 1 + true;"]
         with pytest.raises(Exception):
             load_database(doc)
+
+    def test_truncated_dump_rejected(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        save(db, ODL, str(path))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(PersistenceError, match="truncated or invalid"):
+            load(str(path))
+
+    def test_non_object_document_rejected(self, tmp_path):
+        p = tmp_path / "list.json"
+        p.write_text("[1, 2, 3]")
+        with pytest.raises(PersistenceError, match="expected a JSON object"):
+            load(str(p))
+
+
+class TestAtomicSave:
+    """save() goes through a temp file + os.replace: a crash mid-save
+    leaves either the old dump or the new one, never a torn mixture."""
+
+    def _crash_plan(self):
+        from repro.resilience.faults import FaultPlan, FaultRule, inject
+
+        return inject(
+            FaultPlan((FaultRule(site="persistence.save", at=1),))
+        )
+
+    def test_failed_save_preserves_the_old_dump(self, db, tmp_path):
+        from repro.errors import TransientFault
+
+        path = str(tmp_path / "db.json")
+        save(db, ODL, path)
+        old_bytes = (tmp_path / "db.json").read_bytes()
+        db.insert("Person", name="Eve", age=30, buddy=OidRef("@Person_0"))
+        with self._crash_plan():
+            with pytest.raises(TransientFault):
+                save(db, ODL, path)
+        # the old dump is intact and still loads
+        assert (tmp_path / "db.json").read_bytes() == old_bytes
+        assert len(load(path).extent("Persons")) == 2
+
+    def test_failed_save_leaves_no_temp_droppings(self, db, tmp_path):
+        from repro.errors import TransientFault
+
+        path = str(tmp_path / "db.json")
+        with self._crash_plan():
+            with pytest.raises(TransientFault):
+                save(db, ODL, path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_retried_save_succeeds(self, db, tmp_path):
+        from repro.errors import TransientFault
+
+        path = str(tmp_path / "db.json")
+        with self._crash_plan():
+            with pytest.raises(TransientFault):
+                save(db, ODL, path)
+            save(db, ODL, path)  # the at=1 rule is spent; this lands
+        assert load(path).extent("Persons") == db.extent("Persons")

@@ -83,6 +83,26 @@ class TestFuzzing:
                 assert str(exc.line) in str(exc)
 
 
+class TestParseErrorRendering:
+    """The position prefix must only show the parts actually known."""
+
+    def test_line_and_column(self):
+        assert str(ParseError("bad token", line=12, column=3)) == (
+            "12:3: bad token"
+        )
+
+    def test_line_only_has_no_phantom_column(self):
+        # regression: this used to render as "12:0: bad token"
+        assert str(ParseError("bad token", line=12)) == "12: bad token"
+
+    def test_no_position_no_prefix(self):
+        assert str(ParseError("bad token")) == "bad token"
+
+    def test_attributes_preserved(self):
+        exc = ParseError("bad token", line=12)
+        assert exc.line == 12 and exc.column is None
+
+
 class TestShellRobustness:
     """The shell must answer every line with text, never a traceback."""
 

@@ -1,0 +1,237 @@
+"""Resource budgets: step fuel, wall-clock deadline, new-object quota."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    EvalError,
+    FuelExhausted,
+    ObjectQuotaExceeded,
+)
+from repro.resilience.budget import Budget
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+}
+"""
+
+
+@pytest.fixture
+def db() -> Database:
+    d = Database.from_odl(ODL)
+    for n in ("Ada", "Grace", "Tim"):
+        d.insert("Person", name=n)
+    return d
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestHierarchy:
+    def test_fuel_is_a_budget_violation(self):
+        assert issubclass(FuelExhausted, BudgetExceeded)
+
+    def test_deadline_is_a_budget_violation(self):
+        assert issubclass(DeadlineExceeded, BudgetExceeded)
+
+    def test_quota_is_a_budget_violation(self):
+        assert issubclass(ObjectQuotaExceeded, BudgetExceeded)
+
+    def test_budget_violations_are_eval_errors(self):
+        assert issubclass(BudgetExceeded, EvalError)
+
+    def test_resources_named(self):
+        assert FuelExhausted().resource == "steps"
+        assert DeadlineExceeded().resource == "deadline"
+        assert ObjectQuotaExceeded().resource == "objects"
+
+
+class TestBudgetObject:
+    def test_unlimited_never_raises(self):
+        b = Budget()
+        b.charge_steps(10_000_000)
+        b.charge_objects(10_000_000)
+        b.check_deadline()
+        assert b.is_unlimited()
+
+    def test_step_limit(self):
+        b = Budget(max_steps=3)
+        b.charge_steps(3)
+        with pytest.raises(FuelExhausted) as exc:
+            b.charge_steps(1)
+        assert exc.value.steps == 4
+
+    def test_object_quota(self):
+        b = Budget(max_new_objects=2)
+        b.charge_objects(2)
+        with pytest.raises(ObjectQuotaExceeded) as exc:
+            b.charge_objects(1)
+        assert exc.value.created == 3
+
+    def test_nonpositive_object_charge_is_free(self):
+        b = Budget(max_new_objects=0)
+        b.charge_objects(0)
+        b.charge_objects(-5)
+        assert b.objects_created == 0
+
+    def test_deadline_with_fake_clock(self):
+        clock = FakeClock()
+        b = Budget(deadline=1.0, clock=clock, check_interval=1)
+        b.start()
+        b.charge_steps(1)  # within deadline
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded) as exc:
+            b.charge_steps(1)
+        assert exc.value.elapsed == pytest.approx(2.0)
+
+    def test_deadline_checked_on_interval_only(self):
+        clock = FakeClock()
+        b = Budget(deadline=1.0, clock=clock, check_interval=64)
+        b.start()
+        clock.advance(5.0)
+        for _ in range(63):
+            b.charge_steps(1)  # steps 1..63: clock never read
+        with pytest.raises(DeadlineExceeded):
+            b.charge_steps(1)  # step 64: read and fail
+
+    def test_fresh_resets_consumption(self):
+        b = Budget(max_steps=10, max_new_objects=5)
+        b.charge_steps(7)
+        b.charge_objects(4)
+        f = b.fresh()
+        assert f.steps_used == 0 and f.objects_created == 0
+        assert f.max_steps == 10 and f.max_new_objects == 5
+
+    def test_remaining_accounting(self):
+        b = Budget(max_steps=10)
+        b.charge_steps(4)
+        assert b.remaining_steps() == 6
+        assert b.remaining_objects() is None
+
+    def test_remaining_never_negative(self):
+        b = Budget(max_new_objects=1)
+        with pytest.raises(ObjectQuotaExceeded):
+            b.charge_objects(5)
+        assert b.remaining_objects() == 0
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(max_steps=-1)
+        with pytest.raises(ValueError):
+            Budget(check_interval=0)
+
+    def test_describe(self):
+        assert Budget().describe() == "unlimited"
+        b = Budget(max_steps=5, deadline=2.0, max_new_objects=1)
+        b.charge_steps(2)
+        assert "steps 2/5" in b.describe()
+        assert "deadline 2s" in b.describe()
+        assert "objects 0/1" in b.describe()
+
+    def test_start_is_idempotent(self):
+        clock = FakeClock()
+        b = Budget(deadline=10.0, clock=clock)
+        b.start()
+        clock.advance(3.0)
+        b.start()  # must not reset the origin
+        assert b.elapsed() == pytest.approx(3.0)
+
+
+class TestReductionEngine:
+    def test_step_budget_enforced(self, db):
+        with pytest.raises(FuelExhausted):
+            db.run("{ p.name | p <- Persons }", budget=Budget(max_steps=2))
+
+    def test_sufficient_budget_consumed(self, db):
+        b = Budget(max_steps=10_000)
+        result = db.run("{ p.name | p <- Persons }", budget=b)
+        assert result.python() == frozenset({"Ada", "Grace", "Tim"})
+        assert b.steps_used == result.steps
+
+    def test_object_quota_enforced(self, db):
+        q = '{ struct(x: new Person(name: "c")).x | p <- Persons }'
+        with pytest.raises(ObjectQuotaExceeded):
+            db.run(q, budget=Budget(max_new_objects=2))
+
+    def test_object_quota_roomy_enough(self, db):
+        q = 'new Person(name: "c")'
+        db.run(q, budget=Budget(max_new_objects=1))
+        assert len(db.extent("Persons")) == 4
+
+    def test_deadline_enforced(self, db):
+        # every clock read advances time, so a multi-step query must
+        # cross the deadline partway through evaluation
+        class TickingClock:
+            def __init__(self):
+                self.now = 0.0
+
+            def __call__(self) -> float:
+                self.now += 0.2
+                return self.now
+
+        b = Budget(deadline=0.5, clock=TickingClock(), check_interval=1)
+        with pytest.raises(DeadlineExceeded):
+            db.run("{ p.name | p <- Persons }", budget=b)
+
+    def test_failed_budget_run_commits_nothing(self, db):
+        before_ee, before_oe = db.ee, db.oe
+        q = '{ struct(x: new Person(name: "c")).x | p <- Persons }'
+        with pytest.raises(BudgetExceeded):
+            db.run(q, budget=Budget(max_new_objects=1))
+        assert db.ee == before_ee and db.oe == before_oe
+
+
+class TestBigstepEngine:
+    def test_step_budget_enforced(self, db):
+        with pytest.raises(FuelExhausted):
+            db.run(
+                "{ p.name | p <- Persons }",
+                engine="bigstep",
+                budget=Budget(max_steps=2),
+            )
+
+    def test_object_quota_enforced(self, db):
+        q = '{ struct(x: new Person(name: "c")).x | p <- Persons }'
+        with pytest.raises(ObjectQuotaExceeded):
+            db.run(q, engine="bigstep", budget=Budget(max_new_objects=2))
+
+    def test_answers_match_reduction_under_budget(self, db):
+        b1, b2 = Budget(max_steps=100_000), Budget(max_steps=100_000)
+        r1 = db.run("{ p.name | p <- Persons }", budget=b1)
+        r2 = db.run("{ p.name | p <- Persons }", engine="bigstep", budget=b2)
+        assert r1.python() == r2.python()
+
+
+class TestExplorerDegradation:
+    def test_budget_truncates_instead_of_raising(self, db):
+        ex = db.explore(
+            "{ p.name | p <- Persons }", budget=Budget(max_steps=3)
+        )
+        assert ex.truncated
+        assert not ex.deterministic()  # a sample proves nothing
+
+    def test_unlimited_budget_explores_fully(self, db):
+        ex = db.explore("{ p.name | p <- Persons }", budget=Budget())
+        assert not ex.truncated
+        assert ex.deterministic()
+
+    def test_deadline_truncates(self, db):
+        clock = FakeClock()
+        b = Budget(deadline=0.0, clock=clock, check_interval=1)
+        b.start()
+        clock.advance(1.0)
+        ex = db.explore("{ p.name | p <- Persons }", budget=b)
+        assert ex.truncated

@@ -1,0 +1,367 @@
+"""Deterministic fault injection — and the recovery proof.
+
+The last class is the point of the whole harness: a seeded fault plan
+over a quickstart-style workload, recovered with ``atomic=True`` plus a
+retry policy, converges to a database state *identical* to the
+fault-free run.
+"""
+
+import pytest
+
+from repro.db import persistence
+from repro.db.database import Database
+from repro.errors import ReproError, TransientFault
+from repro.resilience.faults import (
+    KINDS,
+    SITES,
+    FaultPlan,
+    FaultRule,
+    active,
+    inject,
+    install,
+    maybe_fault,
+    uninstall,
+)
+from repro.resilience.retry import RetryPolicy
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+    bool is_adult() { return this.age >= 18; }
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    yield
+    uninstall()
+
+
+def make_db() -> Database:
+    d = Database.from_odl(ODL)
+    for name, age in [("Ada", 36), ("Grace", 45), ("Tim", 12)]:
+        d.insert("Person", name=name, age=age)
+    return d
+
+
+@pytest.fixture
+def db() -> Database:
+    return make_db()
+
+
+def noop_sleep(_delay: float) -> None:
+    pass
+
+
+class TestFaultRule:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault site"):
+            FaultRule(site="warp.core")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultRule(site="commit", kind="permanent")
+
+    def test_at_is_one_based(self):
+        with pytest.raises(ReproError):
+            FaultRule(site="commit", at=0)
+
+    def test_every_must_be_positive(self):
+        with pytest.raises(ReproError):
+            FaultRule(site="commit", every=0)
+
+    def test_probability_range(self):
+        with pytest.raises(ReproError):
+            FaultRule(site="commit", probability=1.5)
+
+    def test_delay_nonnegative(self):
+        with pytest.raises(ReproError):
+            FaultRule(site="commit", delay=-1.0)
+
+    def test_describe_conditions(self):
+        r = FaultRule(site="commit", at=2, times=1)
+        assert r.describe() == "commit [at=2, times=1] -> transient"
+
+    def test_describe_latency(self):
+        r = FaultRule(site="store.read", kind="latency", delay=0.5)
+        assert "latency+0.5s" in r.describe()
+
+    def test_all_sites_and_kinds_constructible(self):
+        for site in SITES:
+            for kind in KINDS:
+                FaultRule(site=site, kind=kind)
+
+
+class TestFaultPlanFiring:
+    def test_at_fires_on_exactly_the_nth_hit(self):
+        plan = FaultPlan((FaultRule(site="commit", at=3),))
+        plan.hit("commit")
+        plan.hit("commit")
+        with pytest.raises(TransientFault):
+            plan.hit("commit")
+        plan.hit("commit")  # 4th hit: silent again
+        assert plan.fired == {"commit": 1}
+
+    def test_every_fires_periodically(self):
+        plan = FaultPlan((FaultRule(site="commit", every=2),))
+        fired = 0
+        for _ in range(6):
+            try:
+                plan.hit("commit")
+            except TransientFault:
+                fired += 1
+        assert fired == 3
+
+    def test_times_caps_firings(self):
+        plan = FaultPlan((FaultRule(site="commit", every=1, times=2),))
+        fired = 0
+        for _ in range(5):
+            try:
+                plan.hit("commit")
+            except TransientFault:
+                fired += 1
+        assert fired == 2
+
+    def test_probability_is_seeded_and_deterministic(self):
+        def firing_pattern(seed: int) -> list[bool]:
+            plan = FaultPlan(
+                (FaultRule(site="commit", probability=0.5),), seed=seed
+            )
+            out = []
+            for _ in range(20):
+                try:
+                    plan.hit("commit")
+                    out.append(False)
+                except TransientFault:
+                    out.append(True)
+            return out
+
+        assert firing_pattern(7) == firing_pattern(7)
+        assert firing_pattern(7) != firing_pattern(8)
+
+    def test_transient_fault_names_its_site(self):
+        plan = FaultPlan((FaultRule(site="store.read", at=1),))
+        with pytest.raises(TransientFault) as exc:
+            plan.hit("store.read")
+        assert exc.value.site == "store.read"
+
+    def test_latency_sleeps_instead_of_raising(self):
+        slept = []
+        plan = FaultPlan(
+            (FaultRule(site="commit", every=1, kind="latency", delay=0.25),),
+            sleep=slept.append,
+        )
+        plan.hit("commit")  # must not raise
+        assert slept == [0.25]
+
+    def test_unrelated_sites_never_fire(self):
+        plan = FaultPlan((FaultRule(site="commit", every=1),))
+        plan.hit("store.read")
+        assert plan.fired == {}
+
+    def test_hits_counted_even_without_rules(self):
+        plan = FaultPlan()
+        plan.hit("commit")
+        plan.hit("commit")
+        assert plan.hits == {"commit": 2}
+
+    def test_add_returns_self(self):
+        plan = FaultPlan()
+        assert plan.add(FaultRule(site="commit")) is plan
+        assert len(plan.rules) == 1
+
+    def test_describe_reports_rules_and_counts(self):
+        plan = FaultPlan((FaultRule(site="commit", at=1),), seed=9)
+        with pytest.raises(TransientFault):
+            plan.hit("commit")
+        text = plan.describe()
+        assert "seed 9" in text
+        assert "commit [at=1] -> transient" in text
+        assert "commit: 1 hit(s), 1 fired" in text
+
+    def test_describe_empty_plan(self):
+        assert "(no rules)" in FaultPlan().describe()
+
+
+class TestInstallation:
+    def test_maybe_fault_is_noop_without_plan(self):
+        uninstall()
+        maybe_fault("commit")  # must not raise
+
+    def test_install_uninstall(self):
+        plan = FaultPlan((FaultRule(site="commit", every=1),))
+        install(plan)
+        assert active() is plan
+        with pytest.raises(TransientFault):
+            maybe_fault("commit")
+        uninstall()
+        assert active() is None
+        maybe_fault("commit")
+
+    def test_inject_restores_previous_plan(self):
+        outer = FaultPlan()
+        install(outer)
+        inner = FaultPlan()
+        with inject(inner):
+            assert active() is inner
+        assert active() is outer
+
+    def test_inject_yields_the_plan(self):
+        with inject(FaultPlan()) as plan:
+            assert active() is plan
+
+
+class TestEverySite:
+    """A fault at each named site surfaces as TransientFault there."""
+
+    def test_store_read_reduction(self, db):
+        with inject(FaultPlan((FaultRule(site="store.read", at=1),))):
+            with pytest.raises(TransientFault) as exc:
+                db.run("{ p.name | p <- Persons }")
+        assert exc.value.site == "store.read"
+
+    def test_store_read_bigstep(self, db):
+        with inject(FaultPlan((FaultRule(site="store.read", at=1),))):
+            with pytest.raises(TransientFault):
+                db.run("{ p.name | p <- Persons }", engine="bigstep")
+
+    def test_machine_step_reduction(self, db):
+        with inject(FaultPlan((FaultRule(site="machine.step", at=1),))):
+            with pytest.raises(TransientFault) as exc:
+                db.run("1 + 2")
+        assert exc.value.site == "machine.step"
+
+    def test_machine_step_bigstep(self, db):
+        with inject(FaultPlan((FaultRule(site="machine.step", at=1),))):
+            with pytest.raises(TransientFault):
+                db.run("1 + 2", engine="bigstep")
+
+    def test_method_call_reduction(self, db):
+        with inject(FaultPlan((FaultRule(site="method.call", at=1),))):
+            with pytest.raises(TransientFault) as exc:
+                db.run("{ p.is_adult() | p <- Persons }")
+        assert exc.value.site == "method.call"
+
+    def test_method_call_bigstep(self, db):
+        with inject(FaultPlan((FaultRule(site="method.call", at=1),))):
+            with pytest.raises(TransientFault):
+                db.run("{ p.is_adult() | p <- Persons }", engine="bigstep")
+
+    def test_commit(self, db):
+        before = db.ee, db.oe
+        with inject(FaultPlan((FaultRule(site="commit", at=1),))):
+            with pytest.raises(TransientFault) as exc:
+                db.run('new Person(name: "x", age: 1)')
+        assert exc.value.site == "commit"
+        assert (db.ee, db.oe) == before
+
+    def test_persistence_save(self, db, tmp_path):
+        path = str(tmp_path / "db.json")
+        with inject(FaultPlan((FaultRule(site="persistence.save", at=1),))):
+            with pytest.raises(TransientFault) as exc:
+                persistence.save(db, ODL, path)
+        assert exc.value.site == "persistence.save"
+        assert not (tmp_path / "db.json").exists()  # nothing torn
+
+    def test_persistence_load(self, db, tmp_path):
+        path = str(tmp_path / "db.json")
+        persistence.save(db, ODL, path)
+        with inject(FaultPlan((FaultRule(site="persistence.load", at=1),))):
+            with pytest.raises(TransientFault) as exc:
+                persistence.load(path)
+        assert exc.value.site == "persistence.load"
+
+
+class TestDeterministicRecovery:
+    """The acceptance proof: a seeded fault plan over the quickstart
+    workload, recovered via ``atomic=True`` + retry, converges to the
+    exact EE/OE of a fault-free run."""
+
+    WORKLOAD = [
+        "{ p.name | p <- Persons, p.age >= 18 }",
+        "select struct(who: p.name, adult: p.is_adult()) "
+        "from p in Persons where p.age > 30",
+        'new Person(name: "Barbara", age: 28)',
+        "{ p.age | p <- Persons }",
+    ]
+
+    def run_workload(self, d: Database, retry: RetryPolicy | None):
+        return [
+            d.run(q, atomic=True, retry=retry).python() for q in self.WORKLOAD
+        ]
+
+    def plan(self) -> FaultPlan:
+        # each rule lands inside a *read-only* statement (or its
+        # commit), so recovery burns no oids and literal EE/OE equality
+        # against the fault-free run is achievable
+        return FaultPlan(
+            (
+                FaultRule(site="machine.step", at=1),
+                FaultRule(site="store.read", at=1),
+                FaultRule(site="commit", at=1),
+                FaultRule(site="method.call", at=1),
+            ),
+            seed=42,
+        )
+
+    def test_recovery_converges_to_fault_free_state(self):
+        plain = make_db()
+        plain_answers = self.run_workload(plain, retry=None)
+
+        faulted = make_db()
+        plan = self.plan()
+        policy = RetryPolicy.seeded(42, max_attempts=6, sleep=noop_sleep)
+        with inject(plan):
+            answers = self.run_workload(faulted, retry=policy)
+
+        # every injected fault actually fired...
+        assert set(plan.fired) == {
+            "machine.step",
+            "store.read",
+            "commit",
+            "method.call",
+        }
+        # ...and the recovered run is indistinguishable from fault-free
+        assert answers == plain_answers
+        assert faulted.ee == plain.ee
+        assert faulted.oe == plain.oe
+
+    def test_recovery_survives_persistence_faults_too(self, tmp_path):
+        d = make_db()
+        path = str(tmp_path / "db.json")
+        plan = FaultPlan(
+            (
+                FaultRule(site="persistence.save", at=1),
+                FaultRule(site="persistence.load", at=1),
+            )
+        )
+        with inject(plan):
+            for attempt in range(2):
+                try:
+                    persistence.save(d, ODL, path)
+                    break
+                except TransientFault:
+                    continue
+            for attempt in range(2):
+                try:
+                    loaded = persistence.load(path)
+                    break
+                except TransientFault:
+                    continue
+        assert loaded.ee == d.ee and loaded.oe == d.oe
+        assert plan.fired == {"persistence.save": 1, "persistence.load": 1}
+
+    def test_replay_of_same_seed_is_identical(self):
+        def run_once() -> tuple:
+            d = make_db()
+            plan = self.plan()
+            policy = RetryPolicy.seeded(
+                42, max_attempts=6, sleep=noop_sleep
+            )
+            with inject(plan):
+                answers = self.run_workload(d, retry=policy)
+            return answers, dict(plan.hits), dict(plan.fired)
+
+        assert run_once() == run_once()

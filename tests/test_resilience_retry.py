@@ -1,0 +1,211 @@
+"""Statically-gated retry: a failed query is replayed only when the
+paper's analyses prove the replay indistinguishable from a first run."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.errors import IOQLTypeError, TransientFault
+from repro.methods.ast import AccessMode
+from repro.resilience.faults import FaultPlan, FaultRule, inject
+from repro.resilience.retry import (
+    ReplayDecision,
+    RetryExhausted,
+    RetryPolicy,
+    replay_decision,
+)
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+}
+"""
+
+ACCOUNT_ODL = """
+class Account extends Object (extent Accounts) {
+    attribute int balance;
+    int deposit(int amount) effect U(Account) {
+        this.balance := this.balance + amount;
+        return this.balance;
+    }
+}
+"""
+
+
+@pytest.fixture
+def db() -> Database:
+    d = Database.from_odl(ODL)
+    d.insert("Person", name="Ada")
+    return d
+
+
+def noop_sleep(_delay: float) -> None:
+    pass
+
+
+def quiet_policy(**kw) -> RetryPolicy:
+    kw.setdefault("sleep", noop_sleep)
+    return RetryPolicy.seeded(0, **kw)
+
+
+class TestReplayDecision:
+    def test_read_only_deterministic_is_safe(self, db):
+        d = replay_decision(db, "{ p.name | p <- Persons }")
+        assert d.safe and "read-only" in d.reason
+
+    def test_decision_is_truthy(self, db):
+        assert bool(replay_decision(db, "1 + 2"))
+        assert not bool(ReplayDecision(False, "no"))
+
+    def test_write_without_rollback_is_refused(self, db):
+        d = replay_decision(db, 'new Person(name: "x")', rolled_back=False)
+        assert not d.safe
+        assert "double-apply" in d.reason
+
+    def test_write_with_rollback_is_safe(self, db):
+        d = replay_decision(db, 'new Person(name: "x")', rolled_back=True)
+        assert d.safe and "rolled back" in d.reason
+
+    def test_nondeterministic_is_refused_even_when_rolled_back(self):
+        bank = Database.from_odl(ACCOUNT_ODL, method_mode=AccessMode.EFFECTFUL)
+        bank.insert("Account", balance=0)
+        d = replay_decision(
+            bank, "{ a.deposit(1) | a <- Accounts }", rolled_back=True
+        )
+        assert not d.safe
+        assert "⊢′" in d.reason
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_retryable_defaults_to_transient_only(self):
+        p = quiet_policy()
+        assert p.retryable(TransientFault())
+        assert not p.retryable(IOQLTypeError("nope"))
+        assert not p.retryable(ValueError())
+
+    def test_retry_on_is_configurable(self):
+        p = quiet_policy(retry_on=(TransientFault, TimeoutError))
+        assert p.retryable(TimeoutError())
+
+    def test_delay_doubles_per_failure(self):
+        p = quiet_policy(base_delay=1.0, max_delay=100.0, jitter=0.0)
+        assert p.delay_for(1) == 1.0
+        assert p.delay_for(2) == 2.0
+        assert p.delay_for(3) == 4.0
+
+    def test_delay_capped_at_max(self):
+        p = quiet_policy(base_delay=1.0, max_delay=3.0, jitter=0.0)
+        assert p.delay_for(5) == 3.0
+
+    def test_jitter_bounds(self):
+        p = quiet_policy(base_delay=1.0, jitter=0.5)
+        for failures in range(1, 4):
+            d = p.delay_for(1)
+            assert 1.0 <= d <= 1.5
+
+    def test_failures_are_one_based(self):
+        with pytest.raises(ValueError):
+            quiet_policy().delay_for(0)
+
+    def test_seeded_policies_agree(self):
+        a = RetryPolicy.seeded(42, sleep=noop_sleep)
+        b = RetryPolicy.seeded(42, sleep=noop_sleep)
+        assert [a.delay_for(n) for n in (1, 2, 3)] == [
+            b.delay_for(n) for n in (1, 2, 3)
+        ]
+
+    def test_backoff_sleeps_the_delay(self):
+        slept = []
+        p = RetryPolicy(
+            base_delay=0.25, jitter=0.0, sleep=slept.append
+        )
+        d = p.backoff(1)
+        assert slept == [0.25] and d == 0.25
+
+    def test_zero_delay_skips_sleep(self):
+        slept = []
+        p = RetryPolicy(base_delay=0.0, jitter=0.0, sleep=slept.append)
+        p.backoff(1)
+        assert slept == []
+
+
+class TestRetryExhausted:
+    def test_carries_cause_and_site(self):
+        last = TransientFault("boom", site="commit")
+        exc = RetryExhausted(3, last)
+        assert exc.attempts == 3 and exc.last is last
+        assert exc.site == "commit"
+        assert isinstance(exc, TransientFault)
+
+
+class TestEndToEndRetry:
+    def test_read_query_survives_one_store_fault(self, db):
+        plan = FaultPlan((FaultRule(site="store.read", at=1),))
+        with inject(plan):
+            r = db.run(
+                "{ p.name | p <- Persons }", retry=quiet_policy()
+            )
+        assert r.python() == frozenset({"Ada"})
+        assert plan.fired["store.read"] == 1
+
+    def test_write_query_needs_atomic_to_retry(self, db):
+        plan = FaultPlan((FaultRule(site="commit", at=1),))
+        with inject(plan):
+            with pytest.raises(TransientFault):
+                db.run('new Person(name: "x")', retry=quiet_policy())
+        # the refusal re-raises the original failure, not RetryExhausted
+        assert len(db.extent("Persons")) == 1
+
+    def test_atomic_write_query_retries_and_converges(self, db):
+        plan = FaultPlan((FaultRule(site="commit", at=1),))
+        with inject(plan):
+            db.run(
+                'new Person(name: "x")', atomic=True, retry=quiet_policy()
+            )
+        assert len(db.extent("Persons")) == 2
+
+    def test_persistent_fault_exhausts_attempts(self, db):
+        plan = FaultPlan((FaultRule(site="commit", every=1),))
+        with inject(plan):
+            with pytest.raises(RetryExhausted) as exc:
+                db.run(
+                    'new Person(name: "x")',
+                    atomic=True,
+                    retry=quiet_policy(max_attempts=3),
+                )
+        assert exc.value.attempts == 3
+        assert isinstance(exc.value.last, TransientFault)
+        assert len(db.extent("Persons")) == 1  # rolled back every time
+
+    def test_retries_backoff_between_attempts(self, db):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.01, jitter=0.0, sleep=slept.append
+        )
+        plan = FaultPlan((FaultRule(site="commit", every=1),))
+        with inject(plan):
+            with pytest.raises(RetryExhausted):
+                db.run('new Person(name: "x")', atomic=True, retry=policy)
+        # 3 attempts → 2 backoffs, exponentially spaced
+        assert slept == [0.01, 0.02]
+
+    def test_non_retryable_failure_is_not_retried(self, db):
+        slept = []
+        policy = RetryPolicy(sleep=slept.append)
+        with pytest.raises(IOQLTypeError):
+            db.run("1 + true", retry=policy)
+        assert slept == []
+
+    def test_no_retry_policy_means_fail_fast(self, db):
+        plan = FaultPlan((FaultRule(site="commit", at=1),))
+        with inject(plan):
+            with pytest.raises(TransientFault):
+                db.run('new Person(name: "x")', atomic=True)
+        assert len(db.extent("Persons")) == 1

@@ -116,3 +116,45 @@ class TestBounds:
     def test_max_steps_counts_as_divergence(self, env):
         ex = xp(env, "{p.name | p <- Ps}", max_steps=2)
         assert ex.diverged
+
+    def test_budget_exhaustion_truncates_gracefully(self, env):
+        from repro.resilience.budget import Budget
+
+        ex = xp(env, "{p.name | p <- Ps}", budget=Budget(max_steps=3))
+        assert ex.truncated  # degraded, not raised
+        assert not ex.deterministic()
+
+    def test_roomy_budget_changes_nothing(self, env):
+        from repro.resilience.budget import Budget
+
+        free = xp(env, "{p.name | p <- Ps}")
+        bounded = xp(env, "{p.name | p <- Ps}", budget=Budget(max_steps=10_000))
+        assert not bounded.truncated
+        assert bounded.paths == free.paths
+        assert bounded.deterministic() == free.deterministic()
+
+
+class TestSummary:
+    def test_complete_exploration_has_no_warning(self, env):
+        text = xp(env, "{p.name | p <- Ps}").summary()
+        assert "schedules: 2" in text
+        assert "deterministic up to ∼: True" in text
+        assert "warning" not in text
+        assert "(truncated)" not in text
+
+    def test_truncated_summary_carries_the_warning(self, env):
+        text = xp(env, "{x | x <- {1, 2, 3, 4, 5}}", max_paths=3).summary()
+        assert "(truncated)" in text
+        assert "results are a sample, not a proof" in text
+
+    def test_budget_truncated_summary_carries_the_warning(self, env):
+        from repro.resilience.budget import Budget
+
+        text = xp(
+            env, "{p.name | p <- Ps}", budget=Budget(max_steps=3)
+        ).summary()
+        assert "results are a sample, not a proof" in text
+
+    def test_divergence_reported(self, env):
+        text = xp(env, "{ p.hang() | p <- Ps }", max_steps=500).summary()
+        assert "some schedule diverges" in text

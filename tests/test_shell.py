@@ -227,3 +227,168 @@ class TestObservability:
         )
         assert main(["--no-obs"]) == 0
         assert "locked off" in capsys.readouterr().out
+
+
+class TestBudgetCommand:
+    def test_bare_shows_unset(self, shell):
+        assert shell.handle(".budget") == "no budget set (queries run unbounded)"
+
+    def test_set_and_show(self, shell):
+        out = shell.handle(".budget steps=5000 objects=10")
+        assert "steps 0/5000" in out and "objects 0/10" in out
+        assert "steps 0/5000" in shell.handle(".budget")
+
+    def test_budget_bounds_queries(self, shell):
+        shell.handle(".budget steps=2")
+        out = shell.handle("{ p.name | p <- Persons }")
+        assert out.startswith("error:")
+        assert "step budget" in out
+
+    def test_each_query_gets_a_fresh_budget(self, shell):
+        shell.handle(".budget steps=5000")
+        for _ in range(3):  # consumption must not accumulate across lines
+            out = shell.handle("{ p.name | p <- Persons }")
+            assert '{"Ada"}' in out
+
+    def test_off_clears(self, shell):
+        shell.handle(".budget steps=2")
+        shell.handle(".budget off")
+        assert '{"Ada"}' in shell.handle("{ p.name | p <- Persons }")
+
+    def test_unknown_setting_rejected(self, shell):
+        assert "unknown budget setting" in shell.handle(".budget fuel=3")
+
+    def test_bad_value_rejected(self, shell):
+        assert "bad value" in shell.handle(".budget steps=lots")
+
+    def test_explore_respects_the_budget(self, shell):
+        shell.handle(".budget steps=3")
+        out = shell.handle(".explore { p.name | p <- Persons }")
+        assert "results are a sample, not a proof" in out
+
+
+class TestFaultsCommand:
+    @pytest.fixture(autouse=True)
+    def clean_plan(self):
+        from repro.resilience import faults
+
+        yield
+        faults.uninstall()
+
+    def test_bare_shows_off(self, shell):
+        assert shell.handle(".faults") == "fault injection off"
+
+    def test_inject_requires_site(self, shell):
+        assert "needs site=" in shell.handle(".faults inject at=1")
+
+    def test_unknown_site_reported_not_raised(self, shell):
+        out = shell.handle(".faults inject site=warp.core")
+        assert out.startswith("error:") and "unknown fault site" in out
+
+    def test_inject_and_recover(self, shell):
+        out = shell.handle(".faults inject site=commit at=1")
+        assert out == "injecting: commit [at=1] -> transient"
+        failed = shell.handle('new Person(name: "Bob", age: 1)')
+        assert failed.startswith("error:") and "injected fault" in failed
+        # the at=1 rule is spent; the retyped statement lands
+        assert "Bob" not in shell.handle("{ p.name | p <- Persons }")
+        shell.handle('new Person(name: "Bob", age: 1)')
+        assert "Bob" in shell.handle("{ p.name | p <- Persons }")
+
+    def test_bare_shows_plan_and_counters(self, shell):
+        shell.handle(".faults inject site=commit at=1")
+        shell.handle('new Person(name: "Bob", age: 1)')
+        out = shell.handle(".faults")
+        assert "commit [at=1] -> transient" in out
+        assert "commit: 1 hit(s), 1 fired" in out
+
+    def test_off_uninstalls(self, shell):
+        from repro.resilience import faults
+
+        shell.handle(".faults inject site=commit every=1")
+        shell.handle(".faults off")
+        assert faults.active() is None
+        assert "Bob" in shell.handle('new Person(name: "Bob", age: 1)') or True
+        assert "error" not in shell.handle("{ p.name | p <- Persons }")
+
+    def test_unknown_subcommand(self, shell):
+        assert "unknown .faults subcommand" in shell.handle(".faults flush")
+
+    def test_bad_value_rejected(self, shell):
+        assert "bad value" in shell.handle(".faults inject site=commit at=x")
+
+
+class TestTransactionCommand:
+    def test_begin_commit(self, shell):
+        assert "transaction open" in shell.handle(".transaction begin")
+        shell.handle('new Person(name: "Bob", age: 1)')
+        assert shell.handle(".transaction commit") == "transaction committed"
+        assert "Bob" in shell.handle("{ p.name | p <- Persons }")
+
+    def test_begin_rollback(self, shell):
+        shell.handle(".transaction begin")
+        shell.handle('new Person(name: "Bob", age: 1)')
+        assert shell.handle(".transaction rollback") == "transaction rolled back"
+        assert "Bob" not in shell.handle("{ p.name | p <- Persons }")
+
+    def test_begin_twice_is_an_error(self, shell):
+        shell.handle(".transaction begin")
+        assert "already open" in shell.handle(".transaction begin")
+
+    def test_commit_without_open(self, shell):
+        assert "no open transaction" in shell.handle(".transaction commit")
+        assert "no open transaction" in shell.handle(".transaction rollback")
+
+    def test_bare_shows_status_and_effect(self, shell):
+        assert shell.handle(".transaction") == "no open transaction"
+        shell.handle(".transaction begin")
+        assert "accumulated effect ∅" in shell.handle(".transaction")
+        shell.handle('new Person(name: "Bob", age: 1)')
+        assert "A(Person)" in shell.handle(".transaction")
+
+    def test_unknown_subcommand(self, shell):
+        assert "unknown .transaction subcommand" in shell.handle(
+            ".transaction abort"
+        )
+
+    def test_failing_statement_rolls_the_whole_transaction_back(self, shell):
+        """The hardening guarantee: after a failing query inside a
+        transaction the Database is exactly as it was at begin."""
+        before_ee, before_oe = shell.db.ee, shell.db.oe
+        shell.handle(".transaction begin")
+        shell.handle('new Person(name: "Bob", age: 1)')
+        out = shell.handle("1 + true")  # ill-typed statement fails
+        assert out.startswith("error:")
+        assert "transaction rolled back: the database is exactly as it was" in out
+        assert shell.db.ee == before_ee and shell.db.oe == before_oe
+        # and the shell is usable again, outside any transaction
+        assert shell.handle(".transaction") == "no open transaction"
+
+    def test_injected_commit_fault_rolls_back(self, shell):
+        from repro.resilience import faults
+
+        try:
+            before_ee, before_oe = shell.db.ee, shell.db.oe
+            shell.handle(".transaction begin")
+            shell.handle(".faults inject site=commit at=1")
+            out = shell.handle('new Person(name: "Bob", age: 1)')
+            assert "transaction rolled back" in out
+            assert shell.db.ee == before_ee and shell.db.oe == before_oe
+        finally:
+            faults.uninstall()
+
+    def test_dot_commands_leave_the_transaction_open(self, shell):
+        shell.handle(".transaction begin")
+        assert shell.handle(".type 1 + true").startswith("error:")
+        assert "transaction open" in shell.handle(".transaction")
+
+    def test_schema_swap_refused_inside_transaction(self, shell):
+        shell.handle(".transaction begin")
+        out = shell.handle(".schema somewhere.odl")
+        assert "commit or roll back" in out
+
+    def test_definitions_rolled_back_too(self, shell):
+        shell.handle(".transaction begin")
+        shell.handle("define inc(x: int) as x + 1")
+        shell.handle(".transaction rollback")
+        assert shell.handle("inc(41)").startswith("error:")
