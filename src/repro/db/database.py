@@ -47,7 +47,15 @@ from repro.methods.ast import AccessMode
 from repro.methods.typing import check_schema_methods
 from repro.model.schema import Schema
 from repro.model.types import ClassType, FuncType, Type
-from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply
+from repro.db.store import (
+    AttributeIndexes,
+    ExtentEnv,
+    ObjectEnv,
+    ObjectRecord,
+    OidSupply,
+)
+from repro.exec.cache import PlanCache, schema_fingerprint
+from repro.exec.engine import PlanDecision, decide as _decide_engine, execute_plan
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.obs.spans import span as _span
@@ -84,6 +92,14 @@ class Database:
         check_methods: bool = True,
     ):
         self.schema = schema
+        # the store version stamps every EE/OE replacement; plan/result
+        # and index caches validate against it (see _note_write)
+        self._state_version = 0
+        self._defs_version = 0
+        self._ee: ExtentEnv | None = None
+        self._oe: ObjectEnv | None = None
+        self._plan_cache = PlanCache(schema_fingerprint(schema))
+        self._indexes = AttributeIndexes()
         self.ee = ExtentEnv.for_schema(schema)
         self.oe = ObjectEnv()
         self.supply = OidSupply()
@@ -119,6 +135,44 @@ class Database:
             schema, method_mode=method_mode, method_fuel=method_fuel
         )
 
+    # -- state versioning ------------------------------------------------
+    @property
+    def ee(self) -> ExtentEnv:
+        return self._ee
+
+    @ee.setter
+    def ee(self, value: ExtentEnv) -> None:
+        if value is not self._ee:
+            self._state_version += 1
+            self._ee = value
+
+    @property
+    def oe(self) -> ObjectEnv:
+        return self._oe
+
+    @oe.setter
+    def oe(self, value: ObjectEnv) -> None:
+        if value is not self._oe:
+            self._state_version += 1
+            self._oe = value
+
+    def _note_write(self, effect: Effect, pre_version: int) -> None:
+        """Effect-guided cache maintenance after a committed write.
+
+        By Theorem 5 the dynamic trace of the committed statement is a
+        subeffect of ``effect``, so a plan/result/index whose reads are
+        disjoint from the written classes is provably unaffected: it is
+        promoted to the new store version.  Affected entries are
+        evicted.  State changes with *unknown* effects (restore,
+        persistence load, rollback) never reach this method — their
+        version bump alone lazily invalidates every cached result.
+        """
+        post = self._state_version
+        if post == pre_version:
+            return
+        self._plan_cache.note_write(effect, pre_version, post)
+        self._indexes.note_write(self.schema, effect, pre_version, post)
+
     # -- population ------------------------------------------------------
     def insert(self, cname: str, **attrs: Any) -> OidRef:
         """Create an object directly (outside any query) and return its oid.
@@ -141,8 +195,10 @@ class Database:
             vt = check_query(ctx, v)
             ctx.require_subtype(vt, declared[a], f"insert {cname}.{a}")
         oid = self.supply.fresh(cname, self.oe)
+        pre = self._state_version
         self.oe = self.oe.with_object(oid, ObjectRecord(cname, fields))
         self.ee = self.ee.with_member(self.schema.class_extent(cname), oid)
+        self._note_write(Effect.of(add_effect(cname)), pre)
         if self._active_txn is not None:
             self._active_txn.record(Effect.of(add_effect(cname)))
         return OidRef(oid)
@@ -169,6 +225,7 @@ class Database:
         self._definitions[d.name] = d
         self._def_types[d.name] = eff_type
         self.machine.defs[d.name] = d
+        self._defs_version += 1  # old compiled plans must not resolve d
         return eff_type if not eff_type.effect.is_empty() else ftype_plain
 
     @property
@@ -264,7 +321,7 @@ class Database:
         max_steps: int = DEFAULT_MAX_STEPS,
         commit: bool = True,
         typecheck: bool = True,
-        engine: str = "reduction",
+        engine: str = "auto",
         budget: Budget | None = None,
         atomic: bool = False,
         retry: RetryPolicy | None = None,
@@ -273,10 +330,17 @@ class Database:
 
         ``typecheck=True`` (default) runs Figure 1 first, so evaluation
         enjoys Theorem 3 and can never get stuck.  ``engine`` selects
-        the presentation: ``"reduction"`` is the paper's Figure 2/4
-        machine (step counts, rule traces); ``"bigstep"`` is the
-        normalisation evaluator of :mod:`repro.semantics.bigstep` —
-        same answers (tested), roughly an order of magnitude faster.
+        the presentation: ``"auto"`` (default) routes the query through
+        the compiled set-at-a-time engine when the Figure 3 effect
+        system proves it read-only (Theorem 4 then guarantees the
+        compiled answer matches the machine's) and falls back to the
+        machine otherwise — :meth:`plan_decision` explains the choice;
+        ``"compiled"`` forces the compiled engine (raising
+        ``ValueError`` when the query is ineligible); ``"reduction"``
+        is the paper's Figure 2/4 machine (step counts, rule traces);
+        ``"bigstep"`` is the normalisation evaluator of
+        :mod:`repro.semantics.bigstep` — same answers (tested), roughly
+        an order of magnitude faster than the machine.
 
         Resilience knobs (see ``docs/ROBUSTNESS.md``):
 
@@ -351,8 +415,21 @@ class Database:
         budget: Budget | None,
     ) -> EvalResult:
         """One evaluation attempt plus (optionally) its commit."""
+        decision: PlanDecision | None = None
+        if engine == "auto":
+            decision = self.plan_decision(q)
+            engine = decision.engine
+        elif engine == "compiled":
+            decision = self.plan_decision(q)
+            if decision.engine != "compiled":
+                raise ValueError(
+                    f"query cannot run on the compiled engine: "
+                    f"{decision.reason}"
+                )
         with _span("eval", engine=engine) as ev_sp:
-            if engine == "bigstep":
+            if engine == "compiled":
+                result = self._run_compiled(decision, budget=budget)
+            elif engine == "bigstep":
                 from repro.semantics.bigstep import evaluate_bigstep
 
                 big = evaluate_bigstep(
@@ -361,7 +438,7 @@ class Database:
                 )
                 result = EvalResult(
                     value=big.value, ee=big.ee, oe=big.oe, steps=0,
-                    effect=big.effect,
+                    effect=big.effect, engine="bigstep",
                 )
             elif engine == "reduction":
                 result = evaluate(
@@ -395,10 +472,58 @@ class Database:
                     c_sp.set(
                         objects=len(result.oe), new_objects=new_objects
                     )
+                pre = self._state_version
                 self.ee, self.oe = result.ee, result.oe
+                self._note_write(result.effect, pre)
                 if self._active_txn is not None:
                     self._active_txn.record(result.effect)
         return result
+
+    def _run_compiled(
+        self, decision: PlanDecision, *, budget: Budget | None
+    ) -> EvalResult:
+        """Execute (or replay from the result cache) a compiled plan."""
+        entry = decision.entry
+        version = self._state_version
+        if entry.result is not None and entry.result_version == version:
+            if _OBS.enabled:
+                _METRICS.counter("exec_result_cache_hits_total").inc()
+            return EvalResult(
+                value=entry.result,
+                ee=self.ee,
+                oe=self.oe,
+                steps=entry.result_steps,
+                effect=entry.result_effect,
+                engine="compiled",
+            )
+        value, effect, ops = execute_plan(self, entry, budget=budget)
+        entry.result = value
+        entry.result_effect = effect
+        entry.result_steps = ops
+        entry.result_version = version
+        if _OBS.enabled:
+            _METRICS.counter("exec_compiled_total").inc()
+            _METRICS.counter("exec_ops_total").inc(ops)
+        return EvalResult(
+            value=value,
+            ee=self.ee,
+            oe=self.oe,
+            steps=ops,
+            effect=effect,
+            engine="compiled",
+        )
+
+    def plan_decision(self, source: str | Query) -> PlanDecision:
+        """Which engine ``run(engine="auto")`` would pick, and why.
+
+        ``"compiled"`` exactly when the Figure 3 effect system proves
+        the query's write effect empty (so Theorem 4 applies: every
+        schedule — including the compiled set-at-a-time operator
+        order — yields the same observables) and the plan compiler
+        covers its syntax.  The decision object carries the compiled
+        plan's operator notes for ``.explain``.
+        """
+        return _decide_engine(self, self.parse(source))
 
     def transaction(self) -> Transaction:
         """A multi-statement, all-or-nothing scope (context manager).
@@ -446,9 +571,15 @@ class Database:
         return Snapshot(self.ee, self.oe, tuple(self._definitions.values()))
 
     def restore(self, snap: Snapshot) -> None:
-        """Return to a snapshot (environments are immutable: O(1))."""
+        """Return to a snapshot (environments are immutable: O(1)).
+
+        The EE/OE assignments bump the store version, lazily
+        invalidating every cached result/index; the definitions are
+        rebuilt, so compiled plans against the old DE are retired too.
+        """
         self.ee = snap.ee
         self.oe = snap.oe
+        self._defs_version += 1
         self._definitions.clear()
         self._def_types.clear()
         for d in snap.definitions:

@@ -63,12 +63,27 @@ class ObjectRecord:
 
 
 class ObjectEnv:
-    """OE: oid → :class:`ObjectRecord`, persistent/immutable."""
+    """OE: oid → :class:`ObjectRecord`, persistent/immutable.
 
-    __slots__ = ("_objects",)
+    Updates build exactly one new dict (the private :meth:`_adopt`
+    constructor takes ownership instead of defensively re-copying) and
+    the structural hash is computed at most once per environment —
+    equality/hash semantics are unchanged.
+    """
+
+    __slots__ = ("_objects", "_hash")
 
     def __init__(self, objects: Mapping[str, ObjectRecord] | None = None):
         self._objects: dict[str, ObjectRecord] = dict(objects or {})
+        self._hash: int | None = None
+
+    @classmethod
+    def _adopt(cls, objects: dict[str, ObjectRecord]) -> "ObjectEnv":
+        """Wrap an already-private dict without copying it again."""
+        env = object.__new__(cls)
+        env._objects = objects
+        env._hash = None
+        return env
 
     def get(self, oid: str) -> ObjectRecord:
         try:
@@ -89,7 +104,7 @@ class ObjectEnv:
         """OE[o ↦ ⟪…⟫] — add (or in §5 mode, replace) one object."""
         new = dict(self._objects)
         new[oid] = rec
-        return ObjectEnv(new)
+        return ObjectEnv._adopt(new)
 
     def without_objects(self, oids: Iterable[str]) -> "ObjectEnv":
         """OE with the given oids removed (transaction rollback of (New)).
@@ -99,7 +114,7 @@ class ObjectEnv:
         doomed = set(oids)
         if not doomed:
             return self
-        return ObjectEnv(
+        return ObjectEnv._adopt(
             {o: r for o, r in self._objects.items() if o not in doomed}
         )
 
@@ -113,19 +128,35 @@ class ObjectEnv:
         return isinstance(other, ObjectEnv) and self._objects == other._objects
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._objects.items()))
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(frozenset(self._objects.items()))
+        return h
 
     def __repr__(self) -> str:
         return f"ObjectEnv({len(self._objects)} objects)"
 
 
 class ExtentEnv:
-    """EE: extent name → (class name, frozenset of oids), immutable."""
+    """EE: extent name → (class name, frozenset of oids), immutable.
 
-    __slots__ = ("_extents",)
+    Same copy-on-write discipline as :class:`ObjectEnv`: one dict copy
+    per update, hash cached; equality/hash semantics unchanged.
+    """
+
+    __slots__ = ("_extents", "_hash")
 
     def __init__(self, extents: Mapping[str, tuple[str, frozenset[str]]] | None = None):
         self._extents: dict[str, tuple[str, frozenset[str]]] = dict(extents or {})
+        self._hash: int | None = None
+
+    @classmethod
+    def _adopt(cls, extents: dict[str, tuple[str, frozenset[str]]]) -> "ExtentEnv":
+        """Wrap an already-private dict without copying it again."""
+        env = object.__new__(cls)
+        env._extents = extents
+        env._hash = None
+        return env
 
     @staticmethod
     def for_schema(schema: Schema) -> "ExtentEnv":
@@ -160,7 +191,7 @@ class ExtentEnv:
         cname, members = self.get(extent)
         new = dict(self._extents)
         new[extent] = (cname, members | {oid})
-        return ExtentEnv(new)
+        return ExtentEnv._adopt(new)
 
     def with_members(self, extent: str, members: frozenset[str]) -> "ExtentEnv":
         """EE[e ↦ (C, v)] — reset one extent's membership wholesale.
@@ -171,17 +202,85 @@ class ExtentEnv:
         cname, _ = self.get(extent)
         new = dict(self._extents)
         new[extent] = (cname, frozenset(members))
-        return ExtentEnv(new)
+        return ExtentEnv._adopt(new)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, ExtentEnv) and self._extents == other._extents
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._extents.items()))
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(frozenset(self._extents.items()))
+        return h
 
     def __repr__(self) -> str:
         sizes = {e: len(v) for e, (_, v) in sorted(self._extents.items())}
         return f"ExtentEnv({sizes})"
+
+
+class AttributeIndexes:
+    """Per-(extent, attribute) hash indexes over the current EE/OE.
+
+    Built lazily the first time a compiled hash join asks for one, and
+    validated against the database's store version: an index built at
+    version ``v`` answers only while the store is still at ``v``.
+    Committed writes with a known effect *promote* unaffected indexes
+    to the new version (an ``A(C)`` write can only change the extent of
+    ``C`` — extents are per-class); ``U`` atoms rewrite attribute
+    values, so every index is dropped.  Unattributed state changes
+    (restore, persistence load, rollback) advance the version without a
+    promotion, lazily invalidating everything — the safe default.
+    """
+
+    def __init__(self):
+        self._indexes: dict[
+            tuple[str, str], tuple[int, dict[Query, tuple[OidRef, ...]]]
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def get(
+        self,
+        ee: "ExtentEnv",
+        oe: "ObjectEnv",
+        version: int,
+        extent: str,
+        attr: str,
+    ) -> dict[Query, tuple[OidRef, ...]]:
+        """The index for ``extent`` keyed by ``attr`` at ``version``."""
+        key = (extent, attr)
+        hit = self._indexes.get(key)
+        if hit is not None and hit[0] == version:
+            return hit[1]
+        from repro.exec.runtime import build_attr_index
+
+        idx = build_attr_index(oe, ee.members(extent), attr)
+        self._indexes[key] = (version, idx)
+        return idx
+
+    def note_write(self, schema: Schema, effect, pre: int, post: int) -> None:
+        """Effect-guided maintenance after a committed write."""
+        if effect.updates():
+            self._indexes.clear()
+            return
+        touched = set()
+        for cname in effect.adds():
+            try:
+                touched.add(schema.class_extent(cname))
+            except Exception:
+                continue  # extent-less class: no index to invalidate
+        if not touched:
+            return
+        for key in list(self._indexes):
+            version, idx = self._indexes[key]
+            if key[0] in touched:
+                del self._indexes[key]
+            elif version == pre:
+                self._indexes[key] = (post, idx)
+
+    def clear(self) -> None:
+        self._indexes.clear()
 
 
 class OidSupply:

@@ -1,0 +1,135 @@
+"""The effect-invalidated plan (and result) cache.
+
+Entries are keyed by ``(query AST, schema fingerprint, definitions
+version)`` — query nodes are frozen/hashable, so the parsed query keys
+the dict directly.  Each entry carries the compiled plan, the query's
+static ``R`` set (Figure 3), and optionally the last computed result
+with the store version it was computed at.
+
+Invalidation is *effect-guided*, justified by Theorem 5 (the dynamic
+trace of any run is a subeffect of the static effect):
+
+* a committed write with ``A(C)`` atoms evicts exactly the entries
+  whose ``R`` set touches a written class — extents are per-class, and
+  a freshly created object cannot be referenced by any pre-existing
+  attribute value, so entries whose ``R`` set is disjoint from the
+  written classes are provably unaffected and are *promoted* to the
+  post-write store version instead;
+* a committed write with ``U(C)`` atoms additionally drops every cached
+  **result** (plans survive outside ``R ∩ {C}``): attribute reads carry
+  no effect atom, so a query whose ``R`` set avoids ``C`` can still
+  observe an update through a chain of object references — e.g.
+  ``{ e.UniqueManager.name | e <- Employees }`` has effect
+  ``{R(Employee)}`` but reads Manager state;
+* any state change the database cannot attribute to a known effect
+  (snapshot restore, persistence load, transaction rollback) simply
+  bumps the store version, which lazily invalidates every cached
+  result — the safe default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.effects.algebra import Effect
+from repro.exec.compiler import CompiledPlan
+from repro.lang.ast import Query
+
+
+def schema_fingerprint(schema) -> tuple:
+    """A structural fingerprint of a schema: classes, parents, attrs.
+
+    Two databases with structurally identical schemas share plan-cache
+    keys; anything that changes the fingerprint changes the key and so
+    implicitly invalidates every plan compiled under the old schema.
+    """
+    return tuple(
+        (
+            cname,
+            schema.hierarchy.parent.get(cname),
+            tuple(schema.atypes(cname)),
+        )
+        for cname in sorted(schema.hierarchy.parent)
+        if cname != "Object"
+    ) + tuple(sorted(schema.extents.items()))
+
+
+@dataclass
+class PlanEntry:
+    """One cached compilation (or cached refusal) plus its last result."""
+
+    plan: CompiledPlan | None
+    reads: frozenset[str]
+    static_effect: Effect
+    reason: str = ""
+    result: Query | None = field(default=None, repr=False)
+    result_effect: Effect | None = field(default=None, repr=False)
+    result_steps: int = 0
+    result_version: int = -1
+
+
+class PlanCache:
+    """Per-database cache of compiled plans, bounded, effect-evicted."""
+
+    def __init__(self, fingerprint: tuple, max_entries: int = 256):
+        self.fingerprint = fingerprint
+        self.max_entries = max_entries
+        self._entries: dict[tuple, PlanEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, q: Query, defs_version: int) -> tuple:
+        return (q, self.fingerprint, defs_version)
+
+    def get(self, q: Query, defs_version: int) -> PlanEntry | None:
+        entry = self._entries.get(self._key(q, defs_version))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, q: Query, defs_version: int, entry: PlanEntry) -> None:
+        if len(self._entries) >= self.max_entries:
+            # drop the oldest insertion: plans recompile cheaply
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[self._key(q, defs_version)] = entry
+
+    def note_write(self, effect: Effect, pre: int, post: int) -> None:
+        """A write with this (dynamic) effect moved version pre → post.
+
+        Evicts entries whose ``R`` set intersects the written classes
+        (Theorem 5 guarantees nothing else read them); promotes the
+        surviving entries' cached results to the new version, except
+        under ``U`` atoms, where results are dropped wholesale (see the
+        module docstring for the reference-chasing caveat).
+        """
+        adds = effect.adds()
+        updates = effect.updates()
+        written = adds | updates
+        if not written:
+            return
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if entry.reads & written:
+                del self._entries[key]
+                self.evictions += 1
+            elif updates:
+                entry.result = None
+                entry.result_effect = None
+                entry.result_version = -1
+            elif entry.result_version == pre:
+                entry.result_version = post
+
+    def clear(self) -> None:
+        self.evictions += len(self._entries)
+        self._entries.clear()
+
+    def cached_queries(self) -> list[Query]:
+        """The queries with a live entry (test/introspection helper)."""
+        return [key[0] for key in self._entries]

@@ -1,0 +1,643 @@
+"""Lowering IOQL queries to set-at-a-time pipeline closures.
+
+Every query node compiles to a Python closure ``fn(ctx, env) -> value``
+over the :class:`~repro.exec.runtime.ExecContext` and a *mutable*
+variable environment (a plain dict, saved/restored around generator
+loops — no per-row environment copies).  Comprehensions compile to a
+pipeline of stages ``stage(ctx, env, acc, state)``:
+
+* **scan** — a generator source; bare extents go through
+  :meth:`ExecContext.scan` (canonicalised once per execution);
+  uncorrelated sources are evaluated lazily once per comprehension
+  execution instead of once per outer row;
+* **filter** — predicates, with pushdown: a syntactically pure
+  predicate (no extent read, definition call, method call or ``new``)
+  is scheduled at the earliest point where all its variables are bound;
+  impure predicates keep their original position, so their dynamic
+  effect stays inside the machine's possible traces;
+* **hash join** — a generator whose slot carries a pure equality
+  between an expression over earlier-bound variables and an expression
+  over the new variable builds a hash table over the source (or reuses
+  a persistent :class:`~repro.db.store.AttributeIndexes` index when the
+  source is a bare extent keyed by one attribute) and probes it per
+  outer row, replacing the machine's nested-loop re-evaluation;
+* **projection** — the head, emitted per surviving row; the final set
+  is canonicalised once (the machine sorts after every insertion).
+
+Soundness: compiled execution is only ever routed to ``new``-free /
+read-only queries (Theorem 4 — any strategy, and hence any operator
+order, yields the same observables), and every reordering above
+preserves exactly the machine's answers for such queries: pure
+predicates cannot get stuck on well-typed rows (Theorem 3) and read no
+state, so evaluating them earlier only skips work.
+
+Queries containing ``new`` (or method calls outside read-only mode)
+raise :class:`NotCompilable`; the caller falls back to the machine.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import StuckError
+from repro.lang.ast import (
+    BagLit,
+    BoolLit,
+    Cast,
+    Cmp,
+    CmpKind,
+    Comp,
+    DefCall,
+    ExtentRef,
+    Field,
+    Gen,
+    If,
+    IntLit,
+    IntOp,
+    IntOpKind,
+    ListLit,
+    MethodCall,
+    New,
+    ObjEq,
+    OidRef,
+    Pred,
+    PrimEq,
+    Query,
+    RecordLit,
+    SetLit,
+    SetOp,
+    SetOpKind,
+    Size,
+    StrLit,
+    Sum,
+    ToSet,
+    Var,
+)
+from repro.lang.traversal import free_vars, walk
+from repro.lang.values import (
+    bag_except,
+    bag_intersect,
+    bag_union,
+    collection_to_set,
+    list_concat,
+    make_bag_value,
+    make_set_value,
+    set_except,
+    set_intersect,
+    set_union,
+)
+from repro.methods.ast import AccessMode
+
+_MISSING = object()
+
+_PRIMS = (IntLit, BoolLit, StrLit)
+
+_SET_FNS = {
+    SetOpKind.UNION: set_union,
+    SetOpKind.INTERSECT: set_intersect,
+    SetOpKind.EXCEPT: set_except,
+}
+_BAG_FNS = {
+    SetOpKind.UNION: bag_union,
+    SetOpKind.INTERSECT: bag_intersect,
+    SetOpKind.EXCEPT: bag_except,
+}
+_INT_FNS = {
+    IntOpKind.ADD: operator.add,
+    IntOpKind.SUB: operator.sub,
+    IntOpKind.MUL: operator.mul,
+}
+_CMP_FNS = {
+    CmpKind.LT: operator.lt,
+    CmpKind.LE: operator.le,
+    CmpKind.GT: operator.gt,
+    CmpKind.GE: operator.ge,
+}
+
+
+class NotCompilable(Exception):
+    """The query (or a definition it calls) is outside the compiled
+    fragment; the caller must fall back to the machine."""
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A ready-to-run plan: the root closure plus its description."""
+
+    fn: Callable
+    source: Query = field(repr=False)
+    notes: tuple[str, ...] = ()
+
+
+def is_pure(q: Query) -> bool:
+    """Syntactically effect-free *and* state-independent beyond its
+    variables: safe to reorder freely within a comprehension."""
+    return not any(
+        isinstance(n, (ExtentRef, DefCall, MethodCall, New)) for n in walk(q)
+    )
+
+
+def compile_plan(
+    schema,
+    defs,
+    q: Query,
+    *,
+    method_mode: AccessMode = AccessMode.READ_ONLY,
+    method_fuel: int = 10_000,
+) -> CompiledPlan:
+    """Compile one (typechecked, optimizer-normalised) query."""
+    c = _Compiler(schema, defs, method_mode=method_mode)
+    fn = c.compile(q)
+    return CompiledPlan(fn=fn, source=q, notes=tuple(c.notes))
+
+
+class _Compiler:
+    def __init__(self, schema, defs, *, method_mode: AccessMode):
+        self.schema = schema
+        self.defs = defs or {}
+        self.method_mode = method_mode
+        self.notes: list[str] = []
+        self._def_bodies: dict[str, tuple[tuple[str, ...], Callable]] = {}
+        self._next_sid = 0
+
+    def _sid(self) -> int:
+        self._next_sid += 1
+        return self._next_sid - 1
+
+    # -- expressions -----------------------------------------------------
+    def compile(self, q: Query) -> Callable:
+        if isinstance(q, (IntLit, BoolLit, StrLit, OidRef)):
+            return lambda ctx, env: q
+        if isinstance(q, Var):
+            name = q.name
+
+            def var_fn(ctx, env):
+                try:
+                    return env[name]
+                except KeyError:
+                    raise StuckError(f"unbound identifier {name!r}") from None
+
+            return var_fn
+        if isinstance(q, ExtentRef):
+            name = q.name
+            return lambda ctx, env: ctx.scan(name)
+        if isinstance(q, SetLit):
+            fns = tuple(self.compile(i) for i in q.items)
+            return lambda ctx, env: make_set_value(f(ctx, env) for f in fns)
+        if isinstance(q, BagLit):
+            fns = tuple(self.compile(i) for i in q.items)
+            return lambda ctx, env: make_bag_value(f(ctx, env) for f in fns)
+        if isinstance(q, ListLit):
+            fns = tuple(self.compile(i) for i in q.items)
+            return lambda ctx, env: ListLit(
+                tuple(f(ctx, env) for f in fns)
+            )
+        if isinstance(q, SetOp):
+            return self._compile_setop(q)
+        if isinstance(q, IntOp):
+            lf, rf = self.compile(q.left), self.compile(q.right)
+            op = _INT_FNS[q.op]
+
+            def intop_fn(ctx, env):
+                l, r = lf(ctx, env), rf(ctx, env)
+                if type(l) is not IntLit or type(r) is not IntLit:
+                    raise StuckError(f"arithmetic on {l}, {r}")
+                return IntLit(op(l.value, r.value))
+
+            return intop_fn
+        if isinstance(q, Cmp):
+            lf, rf = self.compile(q.left), self.compile(q.right)
+            op = _CMP_FNS[q.op]
+
+            def cmp_fn(ctx, env):
+                l, r = lf(ctx, env), rf(ctx, env)
+                if type(l) is not IntLit or type(r) is not IntLit:
+                    raise StuckError(f"comparison on {l}, {r}")
+                return BoolLit(op(l.value, r.value))
+
+            return cmp_fn
+        if isinstance(q, PrimEq):
+            lf, rf = self.compile(q.left), self.compile(q.right)
+
+            def primeq_fn(ctx, env):
+                l, r = lf(ctx, env), rf(ctx, env)
+                if type(l) is not type(r) or not isinstance(l, _PRIMS):
+                    raise StuckError(f"'=' on {l}, {r}")
+                return BoolLit(l == r)
+
+            return primeq_fn
+        if isinstance(q, ObjEq):
+            lf, rf = self.compile(q.left), self.compile(q.right)
+
+            def objeq_fn(ctx, env):
+                l, r = lf(ctx, env), rf(ctx, env)
+                if not isinstance(l, OidRef) or not isinstance(r, OidRef):
+                    raise StuckError("'==' on non-oids")
+                ctx.oe.get(l.name)
+                ctx.oe.get(r.name)
+                return BoolLit(l.name == r.name)
+
+            return objeq_fn
+        if isinstance(q, RecordLit):
+            pairs = tuple((lbl, self.compile(sub)) for lbl, sub in q.fields)
+            return lambda ctx, env: RecordLit(
+                tuple((lbl, f(ctx, env)) for lbl, f in pairs)
+            )
+        if isinstance(q, Field):
+            tf = self.compile(q.target)
+            name = q.name
+
+            def field_fn(ctx, env):
+                target = tf(ctx, env)
+                if isinstance(target, OidRef):
+                    return ctx.oe.get(target.name).attr(name)
+                if isinstance(target, RecordLit):
+                    hit = target.field(name)
+                    if hit is None:
+                        raise StuckError(f"record has no label {name!r}")
+                    return hit
+                raise StuckError(f"projection from {target}")
+
+            return field_fn
+        if isinstance(q, DefCall):
+            return self._compile_defcall(q)
+        if isinstance(q, Size):
+            if isinstance(q.arg, ExtentRef):
+                name = q.arg.name
+                return lambda ctx, env: IntLit(ctx.extent_size(name))
+            af = self.compile(q.arg)
+
+            def size_fn(ctx, env):
+                v = af(ctx, env)
+                if not isinstance(v, (SetLit, BagLit, ListLit)):
+                    raise StuckError(f"size of {v}")
+                return IntLit(len(v.items))
+
+            return size_fn
+        if isinstance(q, ToSet):
+            af = self.compile(q.arg)
+
+            def toset_fn(ctx, env):
+                v = af(ctx, env)
+                if not isinstance(v, (SetLit, BagLit, ListLit)):
+                    raise StuckError(f"toset of {v}")
+                return collection_to_set(v)
+
+            return toset_fn
+        if isinstance(q, Sum):
+            af = self.compile(q.arg)
+
+            def sum_fn(ctx, env):
+                v = af(ctx, env)
+                if not isinstance(v, (SetLit, BagLit, ListLit)):
+                    raise StuckError(f"sum of {v}")
+                total = 0
+                for item in v.items:
+                    if not isinstance(item, IntLit):
+                        raise StuckError("sum over non-integers")
+                    total += item.value
+                return IntLit(total)
+
+            return sum_fn
+        if isinstance(q, Cast):
+            af = self.compile(q.arg)
+            cname = q.cname
+
+            def cast_fn(ctx, env):
+                v = af(ctx, env)
+                if not isinstance(v, OidRef):
+                    raise StuckError("cast of a non-object")
+                dyn = ctx.oe.get(v.name).cname
+                if not ctx.schema.hierarchy.is_subclass(dyn, cname):
+                    raise StuckError(f"failed upcast to {cname}")
+                return v
+
+            return cast_fn
+        if isinstance(q, MethodCall):
+            if self.method_mode is not AccessMode.READ_ONLY:
+                raise NotCompilable(
+                    "method calls are compiled only in read-only method mode"
+                )
+            tf = self.compile(q.target)
+            arg_fns = tuple(self.compile(a) for a in q.args)
+            mname = q.mname
+
+            def method_fn(ctx, env):
+                target = tf(ctx, env)
+                if not isinstance(target, OidRef):
+                    raise StuckError("method call on a non-object")
+                args = tuple(f(ctx, env) for f in arg_fns)
+                return ctx.call_method(target, mname, args)
+
+            return method_fn
+        if isinstance(q, New):
+            raise NotCompilable(
+                f"'new {q.cname}' creates objects (Theorem 4 inapplicable)"
+            )
+        if isinstance(q, If):
+            cf = self.compile(q.cond)
+            tf, ef = self.compile(q.then), self.compile(q.els)
+
+            def if_fn(ctx, env):
+                cond = cf(ctx, env)
+                if not isinstance(cond, BoolLit):
+                    raise StuckError("non-boolean guard")
+                return tf(ctx, env) if cond.value else ef(ctx, env)
+
+            return if_fn
+        if isinstance(q, Comp):
+            return self._compile_comp(q)
+        raise NotCompilable(f"unknown query node {type(q).__name__}")
+
+    def _compile_setop(self, q: SetOp) -> Callable:
+        lf, rf = self.compile(q.left), self.compile(q.right)
+        op = q.op
+        set_fn = _SET_FNS[op]
+        bag_fn = _BAG_FNS[op]
+
+        def setop_fn(ctx, env):
+            l, r = lf(ctx, env), rf(ctx, env)
+            if isinstance(l, SetLit) and isinstance(r, SetLit):
+                return set_fn(l, r)
+            if isinstance(l, BagLit) and isinstance(r, BagLit):
+                return bag_fn(l, r)
+            if isinstance(l, ListLit) and isinstance(r, ListLit):
+                if op is not SetOpKind.UNION:
+                    raise StuckError("lists support only union")
+                return list_concat(l, r)
+            raise StuckError(f"set operator on {l}, {r}")
+
+        return setop_fn
+
+    def _compile_defcall(self, q: DefCall) -> Callable:
+        d = self.defs.get(q.name)
+        if d is None:
+            raise NotCompilable(f"unknown definition {q.name!r}")
+        cached = self._def_bodies.get(q.name)
+        if cached is None:
+            # definitions are non-recursive (⊢_prog), so this terminates
+            params = tuple(d.param_names())
+            body_fn = self.compile(d.body)
+            cached = (params, body_fn)
+            self._def_bodies[q.name] = cached
+        params, body_fn = cached
+        if len(q.args) != len(params):
+            raise NotCompilable(f"definition {q.name!r}: arity mismatch")
+        arg_fns = tuple(self.compile(a) for a in q.args)
+
+        def defcall_fn(ctx, env):
+            call_env = {
+                p: f(ctx, env) for p, f in zip(params, arg_fns)
+            }
+            return body_fn(ctx, call_env)
+
+        return defcall_fn
+
+    # -- comprehensions --------------------------------------------------
+    def _compile_comp(self, q: Comp) -> Callable:
+        gens: list[Gen] = [cq for cq in q.qualifiers if isinstance(cq, Gen)]
+        n_gens = len(gens)
+        dup_vars = len({g.var for g in gens}) != n_gens
+
+        # slot g holds the predicates scheduled after generator g-1
+        # (slot 0 = before any generator)
+        slot_preds: list[list[Query]] = [[] for _ in range(n_gens + 1)]
+        gen_uncorrelated: list[bool] = []
+        latest_binder: dict[str, int] = {}
+        g = 0
+        for cq in q.qualifiers:
+            if isinstance(cq, Gen):
+                src_fv = free_vars(cq.source)
+                gen_uncorrelated.append(
+                    not any(latest_binder.get(v, 0) > 0 for v in src_fv)
+                )
+                g += 1
+                latest_binder[cq.var] = g
+            else:
+                assert isinstance(cq, Pred)
+                if is_pure(cq.cond):
+                    slot = max(
+                        (
+                            latest_binder.get(v, 0)
+                            for v in free_vars(cq.cond)
+                        ),
+                        default=0,
+                    )
+                    if slot < g:
+                        self.notes.append(
+                            f"pushdown: predicate {cq.cond} hoisted from "
+                            f"after generator {g} to after generator {slot}"
+                        )
+                else:
+                    slot = g
+                slot_preds[slot].append(cq.cond)
+
+        # one stage per generator; pick hash joins where a pure equality
+        # in the generator's slot links it to earlier-bound variables
+        head_fn = self.compile(q.head)
+
+        def emit_stage(ctx, env, acc, state):
+            ctx.charge()
+            acc.append(head_fn(ctx, env))
+
+        stage = emit_stage
+        for i in range(n_gens, 0, -1):
+            gen = gens[i - 1]
+            preds = list(slot_preds[i])
+            join = None
+            if not dup_vars and gen_uncorrelated[i - 1]:
+                join = self._pick_join(gen, i, preds, gens)
+            for cond in reversed(preds):
+                stage = self._pred_stage(self.compile(cond), stage)
+            if join is not None:
+                stage = self._join_stage(gen, join, stage)
+            else:
+                stage = self._gen_stage(
+                    gen, gen_uncorrelated[i - 1], stage
+                )
+        for cond in reversed(slot_preds[0]):
+            stage = self._pred_stage(self.compile(cond), stage)
+
+        first = stage
+        n_states = self._next_sid
+
+        def comp_fn(ctx, env):
+            ctx.charge()
+            acc: list[Query] = []
+            state = [None] * n_states if n_states else None
+            first(ctx, env, acc, state)
+            return make_set_value(acc)
+
+        return comp_fn
+
+    def _pick_join(
+        self,
+        gen: Gen,
+        slot: int,
+        preds: list[Query],
+        gens: list[Gen],
+    ):
+        """Find (and consume) a hash-joinable equality in this slot.
+
+        Eligible: ``PrimEq``/``ObjEq`` where one side mentions, among
+        this comprehension's variables, exactly the new variable, and
+        the other side none bound at or after this generator.  Earlier
+        comprehension variables and enclosing-scope variables may appear
+        freely on the probe side; the build side must depend on the new
+        variable only, so one table serves every probe row.
+        """
+        comp_vars = {g.var for g in gens}
+        earlier = {g.var for g in gens[: slot - 1]}
+        var = gen.var
+        for idx, cond in enumerate(preds):
+            if not isinstance(cond, (PrimEq, ObjEq)):
+                continue
+            for probe_q, build_q in (
+                (cond.left, cond.right),
+                (cond.right, cond.left),
+            ):
+                build_fv = free_vars(build_q) & comp_vars
+                probe_fv = free_vars(probe_q) & comp_vars
+                if build_fv == {var} and probe_fv <= earlier:
+                    preds.pop(idx)
+                    return (probe_q, build_q, isinstance(cond, ObjEq))
+        return None
+
+    def _pred_stage(self, cond_fn: Callable, nxt: Callable) -> Callable:
+        def stage(ctx, env, acc, state):
+            cond = cond_fn(ctx, env)
+            if not isinstance(cond, BoolLit):
+                raise StuckError("non-boolean comprehension predicate")
+            if cond.value:
+                nxt(ctx, env, acc, state)
+
+        return stage
+
+    def _gen_stage(
+        self, gen: Gen, uncorrelated: bool, nxt: Callable
+    ) -> Callable:
+        var = gen.var
+        source_fn = self.compile(gen.source)
+        # an uncorrelated source yields the same collection on every
+        # outer row; evaluate it lazily once per comprehension execution
+        # (closed sources once per *plan* execution)
+        sid = self._sid() if uncorrelated else None
+        closed = uncorrelated and not free_vars(gen.source)
+
+        def stage(ctx, env, acc, state):
+            items = None
+            if sid is not None:
+                items = (
+                    ctx.stage_cache.get(sid) if closed else state[sid]
+                )
+            if items is None:
+                src = source_fn(ctx, env)
+                if not isinstance(src, (SetLit, BagLit, ListLit)):
+                    raise StuckError(f"generator over {src}")
+                items = src.items
+                if sid is not None:
+                    if closed:
+                        ctx.stage_cache[sid] = items
+                    else:
+                        state[sid] = items
+            old = env.get(var, _MISSING)
+            try:
+                for item in items:
+                    ctx.charge()
+                    env[var] = item
+                    nxt(ctx, env, acc, state)
+            finally:
+                if old is _MISSING:
+                    env.pop(var, None)
+                else:
+                    env[var] = old
+
+        return stage
+
+    def _join_stage(self, gen: Gen, join, nxt: Callable) -> Callable:
+        var = gen.var
+        probe_q, build_q, is_objeq = join
+        probe_fn = self.compile(probe_q)
+        sid = self._sid()
+        closed = not (free_vars(gen.source) | (free_vars(build_q) - {var}))
+
+        # bare extent keyed by one attribute: use the persistent index
+        use_index = (
+            isinstance(gen.source, ExtentRef)
+            and isinstance(build_q, Field)
+            and isinstance(build_q.target, Var)
+            and build_q.target.name == var
+        )
+        if use_index:
+            extent, attr = gen.source.name, build_q.name
+            self.notes.append(
+                f"hash join: {var} <- {extent} via index "
+                f"{extent}.{attr} {'==' if is_objeq else '='} {probe_q}"
+            )
+            source_fn = build_fn = None
+        else:
+            extent = attr = None
+            source_fn = self.compile(gen.source)
+            build_fn = self.compile(build_q)
+            self.notes.append(
+                f"hash join: {var} <- {gen.source} keyed by {build_q} "
+                f"{'==' if is_objeq else '='} {probe_q}"
+            )
+
+        def stage(ctx, env, acc, state):
+            table = ctx.stage_cache.get(sid) if closed else state[sid]
+            if table is None:
+                if use_index:
+                    table = ctx.attr_index(extent, attr)
+                else:
+                    src = source_fn(ctx, env)
+                    if not isinstance(src, (SetLit, BagLit, ListLit)):
+                        raise StuckError(f"generator over {src}")
+                    built: dict[Query, list[Query]] = {}
+                    old = env.get(var, _MISSING)
+                    try:
+                        for item in src.items:
+                            ctx.charge()
+                            env[var] = item
+                            key = build_fn(ctx, env)
+                            _check_key(ctx, key, is_objeq)
+                            built.setdefault(key, []).append(item)
+                    finally:
+                        if old is _MISSING:
+                            env.pop(var, None)
+                        else:
+                            env[var] = old
+                    table = {k: tuple(v) for k, v in built.items()}
+                if closed:
+                    ctx.stage_cache[sid] = table
+                else:
+                    state[sid] = table
+            key = probe_fn(ctx, env)
+            _check_key(ctx, key, is_objeq)
+            bucket = table.get(key)
+            if bucket:
+                old = env.get(var, _MISSING)
+                try:
+                    for item in bucket:
+                        ctx.charge()
+                        env[var] = item
+                        nxt(ctx, env, acc, state)
+                finally:
+                    if old is _MISSING:
+                        env.pop(var, None)
+                    else:
+                        env[var] = old
+
+        return stage
+
+
+def _check_key(ctx, key: Query, is_objeq: bool) -> None:
+    """The equality's own dynamic guards, applied to each join key."""
+    if is_objeq:
+        if not isinstance(key, OidRef):
+            raise StuckError("'==' on non-oids")
+        ctx.oe.get(key.name)
+    elif not isinstance(key, _PRIMS):
+        raise StuckError(f"'=' on {key}")

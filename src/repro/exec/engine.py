@@ -1,0 +1,130 @@
+"""Engine selection and compiled-plan execution.
+
+:func:`decide` is the compile/fallback gate behind
+``Database.run(engine="auto")``: a query is routed to the compiled
+engine exactly when the Figure 3 effect system proves it read-only
+(empty ``A``/``U`` write set — the premise of Theorem 4, which makes
+every schedule, and hence the set-at-a-time operator order, yield the
+same observables) *and* the compiler covers its syntax.  Everything
+else falls back to the paper's reduction machine, with the reason
+recorded for ``.explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.effects.algebra import Effect
+from repro.exec.cache import PlanEntry
+from repro.exec.compiler import CompiledPlan, NotCompilable, compile_plan
+from repro.exec.runtime import ExecContext
+from repro.lang.ast import Query
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """Which engine a query runs on, and why."""
+
+    engine: str  # "compiled" | "reduction"
+    reason: str
+    entry: PlanEntry | None = None
+    static_effect: Effect | None = None
+
+    @property
+    def plan(self) -> CompiledPlan | None:
+        return self.entry.plan if self.entry is not None else None
+
+    def describe(self) -> str:
+        lines = [f"{self.engine} — {self.reason}"]
+        if self.plan is not None and self.plan.notes:
+            lines.extend(f"  {note}" for note in self.plan.notes)
+        return "\n".join(lines)
+
+
+def decide(db, q: Query) -> PlanDecision:
+    """The compile/fallback decision for one parsed query."""
+    from repro.errors import ReproError
+
+    try:
+        _, eff = db.typecheck_with_effect(q)
+    except ReproError as exc:
+        return PlanDecision(
+            "reduction", f"static analysis failed ({exc})"
+        )
+    if eff.writes():
+        written = ", ".join(sorted(eff.writes()))
+        return PlanDecision(
+            "reduction",
+            f"write effects on {{{written}}} — Theorem 4 does not apply",
+            static_effect=eff,
+        )
+    entry = db._plan_cache.get(q, db._defs_version)
+    if entry is None:
+        entry = _compile_entry(db, q, eff)
+        db._plan_cache.put(q, db._defs_version, entry)
+    if entry.plan is None:
+        return PlanDecision(
+            "reduction", entry.reason, entry=entry, static_effect=eff
+        )
+    return PlanDecision(
+        "compiled",
+        "read-only (empty write effect) — deterministic by Theorem 4",
+        entry=entry,
+        static_effect=eff,
+    )
+
+
+def _compile_entry(db, q: Query, eff: Effect) -> PlanEntry:
+    from repro.optimizer.planner import optimize
+
+    try:
+        normalised = optimize(db, q).query
+        plan = compile_plan(
+            db.schema,
+            db._definitions,
+            normalised,
+            method_mode=db.method_mode,
+            method_fuel=db.machine.method_fuel,
+        )
+        return PlanEntry(plan=plan, reads=eff.reads(), static_effect=eff)
+    except NotCompilable as exc:
+        return PlanEntry(
+            plan=None,
+            reads=eff.reads(),
+            static_effect=eff,
+            reason=f"not compilable: {exc}",
+        )
+
+
+def execute_plan(db, entry: PlanEntry, *, budget=None):
+    """Run a compiled plan against the database's current EE/OE.
+
+    Returns ``(value, dynamic_effect, ops)``; the environments are
+    untouched by construction (the plan is read-only).
+    """
+    ctx = ExecContext(
+        db.ee,
+        db.oe,
+        db.schema,
+        db._definitions,
+        method_mode=db.method_mode,
+        method_fuel=db.machine.method_fuel,
+        supply=db.supply,
+        budget=budget,
+        indexes=db._indexes,
+        state_version=db._state_version,
+    )
+    # one charge per execution: every machine run takes at least one
+    # step, so the compiled engine exposes the same fault/budget site
+    # even for constant plans
+    ctx.charge()
+    if ctx.obs:
+        from repro.obs.spans import span as _span
+
+        with _span("exec.plan") as sp:
+            value = entry.plan.fn(ctx, {})
+            sp.set(ops=ctx.ops, reads=len(ctx.reads))
+    else:
+        # obs-off fast path: no span/metric/label object is ever built
+        value = entry.plan.fn(ctx, {})
+    return value, ctx.effect(), ctx.ops

@@ -193,7 +193,9 @@ class Transaction:
                         oe = oe.with_object(oid, entry_rec)
             db.ee, db.oe = ee, oe
             # definitions added inside the transaction are removed; the
-            # dicts are restored wholesale (defs are never huge)
+            # dicts are restored wholesale (defs are never huge) and the
+            # DE version is bumped so compiled plans against them retire
+            db._defs_version += 1
             db._definitions.clear()
             db._definitions.update(self._entry_defs)
             db._def_types.clear()

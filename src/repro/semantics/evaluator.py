@@ -40,6 +40,11 @@ class EvalResult:
     steps: int
     effect: Effect
     rules: tuple[str, ...] = field(default=(), repr=False)
+    #: which engine produced this result: "reduction" (the Figure 2/4
+    #: machine), "bigstep", or "compiled" (the set-at-a-time plans of
+    #: :mod:`repro.exec`); for compiled runs ``steps`` counts operator
+    #: row events, not reduction steps
+    engine: str = "reduction"
 
     @property
     def config(self) -> Config:

@@ -131,7 +131,11 @@ class Shell:
         budget = self._budget.fresh() if self._budget is not None else None
         result = self.db.run(src, budget=budget)
         eff_str = "" if eff.is_empty() else f" ! {eff}"
-        return f"{result.value} : {t}{eff_str}   ({result.steps} steps)"
+        if result.engine == "compiled":
+            how = f"compiled plan, {result.steps} ops"
+        else:
+            how = f"{result.steps} steps"
+        return f"{result.value} : {t}{eff_str}   ({how})"
 
     def _command(self, line: str) -> str:
         cmd, _, rest = line.partition(" ")
@@ -212,6 +216,11 @@ class Shell:
             lines.append(f"effect         : {self.db.effect_of(q)}")
             det = "yes" if self.db.is_deterministic(q) else "NO (⊢′ rejects)"
             lines.append(f"deterministic  : {det}")
+            dec = self.db.plan_decision(q)
+            lines.append(f"engine         : {dec.engine} — {dec.reason}")
+            if dec.plan is not None:
+                for note in dec.plan.notes:
+                    lines.append(f"plan note      : {note}")
             return "\n".join(lines)
         if cmd == ".stats":
             return self._stats(rest)
@@ -384,7 +393,9 @@ class Shell:
         mark = len(obs.TRACER.finished)
         try:
             with obs.capture() as events:
-                result = self.db.run(src)
+                # the rule histogram below only exists on the reduction
+                # machine, so profile that engine explicitly
+                result = self.db.run(src, engine="reduction")
         finally:
             if not prev:
                 obs.disable()

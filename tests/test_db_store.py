@@ -140,3 +140,50 @@ class TestPopulate:
         assert q.name in ee.members("Qs")
         assert q.name not in ee.members("Ps")
         assert oe.get(q.name).cname == "Q"
+
+
+class TestCopyOnWriteDiscipline:
+    """The _adopt fast path must not change equality/hash semantics."""
+
+    def test_with_object_shares_nothing_mutable(self):
+        base = ObjectEnv()
+        a = base.with_object("@P_0", ObjectRecord("P", (("x", IntLit(1)),)))
+        b = a.with_object("@P_1", ObjectRecord("P", (("x", IntLit(2)),)))
+        assert "@P_1" not in a
+        assert "@P_0" in b
+
+    def test_equal_envs_hash_equal(self):
+        rec = ObjectRecord("P", (("x", IntLit(1)),))
+        a = ObjectEnv().with_object("@P_0", rec)
+        b = ObjectEnv({"@P_0": rec})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_hash_stable_after_caching(self):
+        env = ObjectEnv().with_object(
+            "@P_0", ObjectRecord("P", (("x", IntLit(1)),))
+        )
+        first = hash(env)
+        assert hash(env) == first  # second call served from the cache
+
+    def test_without_objects_noop_returns_self(self):
+        env = ObjectEnv().with_object(
+            "@P_0", ObjectRecord("P", (("x", IntLit(1)),))
+        )
+        assert env.without_objects(()) is env
+
+    def test_extent_env_updates_equal_fresh_construction(self, schema):
+        a = ExtentEnv.for_schema(schema).with_member("Ps", "@P_0")
+        b = ExtentEnv(
+            {"Ps": ("P", frozenset({"@P_0"})), "Qs": ("Q", frozenset())}
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_slots_reject_stray_attributes(self):
+        env = ObjectEnv()
+        with pytest.raises(AttributeError):
+            env.stray = 1
+        ee = ExtentEnv()
+        with pytest.raises(AttributeError):
+            ee.stray = 1

@@ -200,3 +200,45 @@ class TestWellFormedness:
     def test_unknown_class_rejected(self, h):
         with pytest.raises(SchemaError, match="unknown class"):
             check_type_well_formed(RecordType.of(x=ClassType("Ghost")), h)
+
+
+class TestMemoization:
+    """subtype/lub are memoized per hierarchy; semantics unchanged.
+
+    A hierarchy is immutable once built (schema edits build a new
+    Schema, hence a new hierarchy), so the memos can never go stale.
+    """
+
+    def test_subtype_memo_populated_and_consistent(self, h):
+        s, t = SetType(ClassType("Manager")), SetType(ClassType("Person"))
+        first = h.subtype(s, t)
+        assert (s, t, False) in h._subtype_memo
+        assert h.subtype(s, t) is first is True
+
+    def test_negative_results_memoized(self, h):
+        assert not h.subtype(INT, BOOL)
+        assert h._subtype_memo[(INT, BOOL, False)] is False
+        assert not h.subtype(INT, BOOL)
+
+    def test_width_flag_keys_separately(self, h):
+        a = RecordType.of(x=INT, y=BOOL)
+        b = RecordType.of(x=INT)
+        assert h.subtype(a, b, width_records=True)
+        assert not h.subtype(a, b)  # depth-only: labels must match
+
+    def test_lub_memoizes_none(self, h):
+        assert h.lub(INT, BOOL) is None
+        assert (INT, BOOL) in h._lub_memo
+        assert h.lub(INT, BOOL) is None  # served from the memo
+
+    def test_is_subclass_memoized(self, h):
+        assert h.is_subclass("Manager", "Person")
+        assert h._subclass_memo[("Manager", "Person")] is True
+        assert not h.is_subclass("Dog", "Person")
+        assert h._subclass_memo[("Dog", "Person")] is False
+
+    def test_memos_do_not_affect_equality(self):
+        a = ClassHierarchy({"Person": OBJECT})
+        b = ClassHierarchy({"Person": OBJECT})
+        a.subtype(ClassType("Person"), ClassType(OBJECT))
+        assert a == b  # memo state is not part of the dataclass value

@@ -39,7 +39,7 @@ def clean_obs():
 class TestCapture:
     def test_capture_collects_machine_steps(self, db):
         with obs_events.capture() as evs:
-            result = db.run("{ p.n + 1 | p <- Ps }")
+            result = db.run("{ p.n + 1 | p <- Ps }", engine="reduction")
         assert len(evs) == result.steps
         rules = [ev.rule for ev in evs]
         assert "Extent" in rules
@@ -47,7 +47,7 @@ class TestCapture:
 
     def test_event_fields(self, db):
         with obs_events.capture() as evs:
-            db.run("size(Ps)")
+            db.run("size(Ps)", engine="reduction")
         extent_ev = next(ev for ev in evs if ev.rule == "Extent")
         assert extent_ev.effect == Effect.of(read("P"))
         assert extent_ev.effect_label() == "{R(P)}"
@@ -56,13 +56,13 @@ class TestCapture:
 
     def test_pure_step_renders_empty_effect(self, db):
         with obs_events.capture() as evs:
-            db.run("1 + 2")
+            db.run("1 + 2", engine="reduction")
         assert [ev.effect_label() for ev in evs] == ["∅"]
 
     def test_nested_captures_both_receive(self, db):
         with obs_events.capture() as outer:
             with obs_events.capture() as inner:
-                db.run("1 + 2")
+                db.run("1 + 2", engine="reduction")
         assert len(outer) == len(inner) == 1
 
     def test_capture_detaches_on_exit(self, db):
@@ -76,7 +76,7 @@ class TestDisabledMode:
         assert not obs_events.active()
 
     def test_global_stream_stays_empty_when_disabled(self, db):
-        db.run("{ p.n | p <- Ps }")
+        db.run("{ p.n | p <- Ps }", engine="reduction")
         assert len(obs.STREAM) == 0
 
     def test_zero_event_construction_when_disabled(self, db, monkeypatch):
@@ -86,21 +86,21 @@ class TestDisabledMode:
             raise AssertionError("ReductionEvent constructed while disabled")
 
         monkeypatch.setattr(obs_events, "ReductionEvent", boom)
-        result = db.run("{ p.n + 1 | p <- Ps }")
+        result = db.run("{ p.n + 1 | p <- Ps }", engine="reduction")
         assert result.steps > 0
 
     def test_rule_counters_untouched_when_disabled(self, db):
-        db.run("{ p.n | p <- Ps }")
+        db.run("{ p.n | p <- Ps }", engine="reduction")
         assert obs.REGISTRY.counter_values("rule_fired_total") == {}
 
 
 class TestGlobalStream:
     def test_enable_routes_into_global_stream(self, db, clean_obs):
-        result = db.run("{ p.n | p <- Ps }")
+        result = db.run("{ p.n | p <- Ps }", engine="reduction")
         assert len(obs.STREAM) == result.steps
 
     def test_rule_counters_sum_to_step_count(self, db, clean_obs):
-        result = db.run("{ p.n + 1 | p <- Ps, p.n > 0 }")
+        result = db.run("{ p.n + 1 | p <- Ps, p.n > 0 }", engine="reduction")
         total = sum(
             obs.REGISTRY.counter_values("rule_fired_total").values()
         )
@@ -118,7 +118,7 @@ class TestGlobalStream:
 class TestJsonlRoundTrip:
     def test_event_dict_shape(self, db):
         with obs_events.capture() as evs:
-            db.run("size(Ps)")
+            db.run("size(Ps)", engine="reduction")
         d = event_dict(evs[0])
         assert d["kind"] == "event"
         assert d["rule"] == "Extent"
@@ -126,7 +126,7 @@ class TestJsonlRoundTrip:
         assert isinstance(d["depth"], int)
 
     def test_export_and_read_back(self, db, clean_obs, tmp_path):
-        db.run("{ p.n | p <- Ps }")
+        db.run("{ p.n | p <- Ps }", engine="reduction")
         path = str(tmp_path / "out.jsonl")
         n = export_jsonl(path)
         records = read_jsonl(path)
@@ -137,7 +137,7 @@ class TestJsonlRoundTrip:
         assert all("kind" in r for r in records)
 
     def test_export_contains_phase_spans(self, db, clean_obs, tmp_path):
-        db.run("{ p.n | p <- Ps }")
+        db.run("{ p.n | p <- Ps }", engine="reduction")
         db.effect_of("size(Ps)")
         db.optimize("{ p.n | p <- Ps, true }")
         path = str(tmp_path / "out.jsonl")

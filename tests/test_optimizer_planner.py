@@ -61,8 +61,11 @@ class TestPipeline:
         )
         res = optimize(db, q)
         assert "pred-pushdown" in res.rules_fired()
-        before = db.run(q, commit=False).steps
-        after = db.run(res.query, commit=False).steps
+        # measured on the reduction machine: the compiled engine
+        # normalises through the optimizer itself, so both forms cost
+        # the same there
+        before = db.run(q, commit=False, engine="reduction").steps
+        after = db.run(res.query, commit=False, engine="reduction").steps
         assert after < before
 
     def test_rewrites_under_binders(self, db):

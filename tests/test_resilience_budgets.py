@@ -153,11 +153,17 @@ class TestBudgetObject:
 class TestReductionEngine:
     def test_step_budget_enforced(self, db):
         with pytest.raises(FuelExhausted):
-            db.run("{ p.name | p <- Persons }", budget=Budget(max_steps=2))
+            db.run(
+                "{ p.name | p <- Persons }",
+                engine="reduction",
+                budget=Budget(max_steps=2),
+            )
 
     def test_sufficient_budget_consumed(self, db):
         b = Budget(max_steps=10_000)
-        result = db.run("{ p.name | p <- Persons }", budget=b)
+        result = db.run(
+            "{ p.name | p <- Persons }", engine="reduction", budget=b
+        )
         assert result.python() == frozenset({"Ada", "Grace", "Tim"})
         assert b.steps_used == result.steps
 
@@ -184,7 +190,7 @@ class TestReductionEngine:
 
         b = Budget(deadline=0.5, clock=TickingClock(), check_interval=1)
         with pytest.raises(DeadlineExceeded):
-            db.run("{ p.name | p <- Persons }", budget=b)
+            db.run("{ p.name | p <- Persons }", engine="reduction", budget=b)
 
     def test_failed_budget_run_commits_nothing(self, db):
         before_ee, before_oe = db.ee, db.oe
