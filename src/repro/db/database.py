@@ -32,6 +32,7 @@ speculative work.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -107,6 +108,9 @@ class Database:
         self._definitions: dict[str, Definition] = {}
         self._def_types: dict[str, FuncType] = {}
         self._active_txn: Transaction | None = None
+        # serialises EE/OE installation when run_many overlaps readers
+        # with a committing writer (see repro.sched)
+        self._commit_lock = threading.RLock()
         self.machine = Machine(
             schema,
             self._definitions,
@@ -194,11 +198,12 @@ class Database:
         for a, v in fields:
             vt = check_query(ctx, v)
             ctx.require_subtype(vt, declared[a], f"insert {cname}.{a}")
-        oid = self.supply.fresh(cname, self.oe)
-        pre = self._state_version
-        self.oe = self.oe.with_object(oid, ObjectRecord(cname, fields))
-        self.ee = self.ee.with_member(self.schema.class_extent(cname), oid)
-        self._note_write(Effect.of(add_effect(cname)), pre)
+        with self._commit_lock:
+            oid = self.supply.fresh(cname, self.oe)
+            pre = self._state_version
+            self.oe = self.oe.with_object(oid, ObjectRecord(cname, fields))
+            self.ee = self.ee.with_member(self.schema.class_extent(cname), oid)
+            self._note_write(Effect.of(add_effect(cname)), pre)
         if self._active_txn is not None:
             self._active_txn.record(Effect.of(add_effect(cname)))
         return OidRef(oid)
@@ -472,9 +477,14 @@ class Database:
                     c_sp.set(
                         objects=len(result.oe), new_objects=new_objects
                     )
-                pre = self._state_version
-                self.ee, self.oe = result.ee, result.oe
-                self._note_write(result.effect, pre)
+                with self._commit_lock:
+                    pre = self._state_version
+                    # OE before EE: a concurrent snapshot reader loads
+                    # ee then oe, so this order can never pair a new
+                    # extent set with an object env missing its members
+                    self.oe = result.oe
+                    self.ee = result.ee
+                    self._note_write(result.effect, pre)
                 if self._active_txn is not None:
                     self._active_txn.record(result.effect)
         return result
@@ -540,6 +550,48 @@ class Database:
     def query(self, source: str | Query, **kw: Any) -> EvalResult:
         """Alias of :meth:`run` (reads nicely at call sites)."""
         return self.run(source, **kw)
+
+    # -- concurrent sessions (repro.sched) --------------------------------
+    def run_many(
+        self,
+        sources,
+        *,
+        workers: int = 4,
+        budget: Budget | None = None,
+        retry: RetryPolicy | None = None,
+        atomic: bool = False,
+    ):
+        """Run a batch of queries concurrently, observably as-if serial.
+
+        Admits every query (parse + Figure 3 effect inference) in list
+        order, builds the conflict graph over the static effects
+        (:meth:`Effect.interferes_with` plus the scheduler's
+        writer/update coarsening), then runs non-conflicting queries in
+        parallel on ``workers`` threads: read-only queries evaluate
+        against the immutable EE/OE snapshot they were scheduled
+        against, and conflicting queries — in particular all writers —
+        serialise in admission order.  Theorems 7/8 are what make the
+        interleaving invisible: the results and the final EE/OE equal a
+        sequential run of the same list (up to the oid bijection ∼ of
+        ``new``-containing queries).  Returns a
+        :class:`repro.sched.BatchResult`.
+        """
+        from repro.sched import QueryScheduler
+
+        return QueryScheduler(
+            self, workers=workers, budget=budget, retry=retry, atomic=atomic
+        ).run(list(sources))
+
+    def session(self, *, workers: int = 4, budget: Budget | None = None,
+                retry: RetryPolicy | None = None, atomic: bool = False):
+        """A :class:`repro.sched.Session`: submit queries from many
+        callers, then :meth:`~repro.sched.Session.dispatch` them as one
+        scheduled batch (context-manager form dispatches on exit)."""
+        from repro.sched import Session
+
+        return Session(
+            self, workers=workers, budget=budget, retry=retry, atomic=atomic
+        )
 
     def explore(
         self,

@@ -17,6 +17,7 @@ the whole database.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
@@ -236,9 +237,13 @@ class AttributeIndexes:
         self._indexes: dict[
             tuple[str, str], tuple[int, dict[Query, tuple[OidRef, ...]]]
         ] = {}
+        # concurrent scheduled readers share the index table; a build
+        # and a promotion must not interleave on the same key
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._indexes)
+        with self._lock:
+            return len(self._indexes)
 
     def get(
         self,
@@ -250,37 +255,40 @@ class AttributeIndexes:
     ) -> dict[Query, tuple[OidRef, ...]]:
         """The index for ``extent`` keyed by ``attr`` at ``version``."""
         key = (extent, attr)
-        hit = self._indexes.get(key)
-        if hit is not None and hit[0] == version:
-            return hit[1]
-        from repro.exec.runtime import build_attr_index
+        with self._lock:
+            hit = self._indexes.get(key)
+            if hit is not None and hit[0] == version:
+                return hit[1]
+            from repro.exec.runtime import build_attr_index
 
-        idx = build_attr_index(oe, ee.members(extent), attr)
-        self._indexes[key] = (version, idx)
-        return idx
+            idx = build_attr_index(oe, ee.members(extent), attr)
+            self._indexes[key] = (version, idx)
+            return idx
 
     def note_write(self, schema: Schema, effect, pre: int, post: int) -> None:
         """Effect-guided maintenance after a committed write."""
-        if effect.updates():
-            self._indexes.clear()
-            return
-        touched = set()
-        for cname in effect.adds():
-            try:
-                touched.add(schema.class_extent(cname))
-            except Exception:
-                continue  # extent-less class: no index to invalidate
-        if not touched:
-            return
-        for key in list(self._indexes):
-            version, idx = self._indexes[key]
-            if key[0] in touched:
-                del self._indexes[key]
-            elif version == pre:
-                self._indexes[key] = (post, idx)
+        with self._lock:
+            if effect.updates():
+                self._indexes.clear()
+                return
+            touched = set()
+            for cname in effect.adds():
+                try:
+                    touched.add(schema.class_extent(cname))
+                except Exception:
+                    continue  # extent-less class: no index to invalidate
+            if not touched:
+                return
+            for key in list(self._indexes):
+                version, idx = self._indexes[key]
+                if key[0] in touched:
+                    del self._indexes[key]
+                elif version == pre:
+                    self._indexes[key] = (post, idx)
 
     def clear(self) -> None:
-        self._indexes.clear()
+        with self._lock:
+            self._indexes.clear()
 
 
 class OidSupply:
@@ -295,13 +303,15 @@ class OidSupply:
 
     def __init__(self, start: int = 0):
         self._counter = itertools.count(start)
+        self._lock = threading.Lock()
 
     def fresh(self, cname: str, oe: ObjectEnv) -> str:
         """A fresh oid for a new ``cname`` object, not in ``oe``."""
-        while True:
-            oid = f"@{cname}_{next(self._counter)}"
-            if oid not in oe:
-                return oid
+        with self._lock:
+            while True:
+                oid = f"@{cname}_{next(self._counter)}"
+                if oid not in oe:
+                    return oid
 
 
 def populate(

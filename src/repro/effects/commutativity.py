@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.effects.algebra import Effect
-from repro.effects.checker import EffectChecker, effect_of
+from repro.effects.checker import EffectChecker
 from repro.errors import IOQLEffectError
 from repro.lang.ast import Query, SetOp
 from repro.model.schema import Schema
@@ -111,9 +111,18 @@ def may_commute(
     """May ``left op right`` be rewritten to ``right op left``?
 
     The pairwise side condition of Theorem 8: the operand effects must
-    not interfere.  (The operator itself must of course be commutative
-    as a set function — the optimizer checks that separately.)
+    not interfere, **and** the operands must not be lists — ``union``
+    on lists is concatenation, which is not commutative as a set
+    function, exactly the exemption :meth:`CommutativityChecker.on_setop`
+    applies.  (That the operator itself is commutative — ∪/∩, not
+    ``except`` — the optimizer checks separately.)
     """
-    le = effect_of(schema, left, defs=defs, var_types=var_types)
-    re_ = effect_of(schema, right, defs=defs, var_types=var_types)
+    from repro.model.types import ListType
+
+    ctx = TypeContext(schema, defs=dict(defs or {}), vars=dict(var_types or {}))
+    checker = EffectChecker()
+    lt, le = checker.check(ctx, left)
+    rt, re_ = checker.check(ctx, right)
+    if isinstance(lt, ListType) or isinstance(rt, ListType):
+        return False
     return not le.interferes_with(re_)

@@ -29,6 +29,7 @@ trace of any run is a subeffect of the static effect):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.effects.algebra import Effect
@@ -69,36 +70,48 @@ class PlanEntry:
 
 
 class PlanCache:
-    """Per-database cache of compiled plans, bounded, effect-evicted."""
+    """Per-database cache of compiled plans, bounded, effect-evicted.
+
+    All access is serialised on an internal lock: concurrent scheduled
+    readers (``Database.run_many``) share one cache, and eviction
+    bookkeeping must stay consistent under that interleaving.
+    """
 
     def __init__(self, fingerprint: tuple, max_entries: int = 256):
         self.fingerprint = fingerprint
         self.max_entries = max_entries
         self._entries: dict[tuple, PlanEntry] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def _key(self, q: Query, defs_version: int) -> tuple:
         return (q, self.fingerprint, defs_version)
 
     def get(self, q: Query, defs_version: int) -> PlanEntry | None:
-        entry = self._entries.get(self._key(q, defs_version))
-        if entry is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(self._key(q, defs_version))
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
 
     def put(self, q: Query, defs_version: int, entry: PlanEntry) -> None:
-        if len(self._entries) >= self.max_entries:
-            # drop the oldest insertion: plans recompile cheaply
-            self._entries.pop(next(iter(self._entries)))
-            self.evictions += 1
-        self._entries[self._key(q, defs_version)] = entry
+        key = self._key(q, defs_version)
+        with self._lock:
+            # a re-put overwrites in place and is size-neutral; only a
+            # genuinely new key at capacity pays an eviction
+            if key not in self._entries and len(self._entries) >= self.max_entries:
+                # drop the oldest insertion: plans recompile cheaply
+                self._entries.pop(next(iter(self._entries)))
+                self.evictions += 1
+            self._entries[key] = entry
 
     def note_write(self, effect: Effect, pre: int, post: int) -> None:
         """A write with this (dynamic) effect moved version pre → post.
@@ -114,22 +127,25 @@ class PlanCache:
         written = adds | updates
         if not written:
             return
-        for key in list(self._entries):
-            entry = self._entries[key]
-            if entry.reads & written:
-                del self._entries[key]
-                self.evictions += 1
-            elif updates:
-                entry.result = None
-                entry.result_effect = None
-                entry.result_version = -1
-            elif entry.result_version == pre:
-                entry.result_version = post
+        with self._lock:
+            for key in list(self._entries):
+                entry = self._entries[key]
+                if entry.reads & written:
+                    del self._entries[key]
+                    self.evictions += 1
+                elif updates:
+                    entry.result = None
+                    entry.result_effect = None
+                    entry.result_version = -1
+                elif entry.result_version == pre:
+                    entry.result_version = post
 
     def clear(self) -> None:
-        self.evictions += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self.evictions += len(self._entries)
+            self._entries.clear()
 
     def cached_queries(self) -> list[Query]:
         """The queries with a live entry (test/introspection helper)."""
-        return [key[0] for key in self._entries]
+        with self._lock:
+            return [key[0] for key in self._entries]

@@ -13,6 +13,7 @@ create path is one dict lookup on an interned ``(name, labels)`` key.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 # Exponential latency buckets in seconds: 10 µs … 10 s.  Chosen to
@@ -114,20 +115,25 @@ class Registry:
 
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, str, LabelKey], Metric] = {}
+        # get-or-create must be atomic: two scheduler workers asking
+        # for the same metric must share one object, not race two
+        self._lock = threading.Lock()
 
     # -- accessors -------------------------------------------------------
     def counter(self, name: str, **labels: str) -> Counter:
         key = ("counter", name, _label_key(labels))
-        m = self._metrics.get(key)
-        if m is None:
-            m = self._metrics[key] = Counter(name, key[2])
+        with self._lock:
+            m = self._metrics.get(key)
+            if m is None:
+                m = self._metrics[key] = Counter(name, key[2])
         return m  # type: ignore[return-value]
 
     def gauge(self, name: str, **labels: str) -> Gauge:
         key = ("gauge", name, _label_key(labels))
-        m = self._metrics.get(key)
-        if m is None:
-            m = self._metrics[key] = Gauge(name, key[2])
+        with self._lock:
+            m = self._metrics.get(key)
+            if m is None:
+                m = self._metrics[key] = Gauge(name, key[2])
         return m  # type: ignore[return-value]
 
     def histogram(
@@ -138,9 +144,10 @@ class Registry:
         **labels: str,
     ) -> Histogram:
         key = ("histogram", name, _label_key(labels))
-        m = self._metrics.get(key)
-        if m is None:
-            m = self._metrics[key] = Histogram(name, key[2], bounds)
+        with self._lock:
+            m = self._metrics.get(key)
+            if m is None:
+                m = self._metrics[key] = Histogram(name, key[2], bounds)
         return m  # type: ignore[return-value]
 
     # -- introspection ---------------------------------------------------

@@ -16,6 +16,7 @@ returns a shared do-nothing singleton: no allocation, no clock read.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -75,11 +76,25 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Owns the open-span stack and the finished-root buffer."""
+    """Owns the open-span stack and the finished-root buffer.
+
+    The open-span stack is **per thread**: scheduler workers each build
+    their own span tree, so one worker's ``eval`` never nests under
+    another worker's ``query``.  The finished-root buffer is shared
+    (appended under a lock) so exporters see every thread's roots.
+    """
 
     def __init__(self) -> None:
-        self.stack: list[Span] = []
+        self._local = threading.local()
         self.finished: list[Span] = []
+        self._finished_lock = threading.Lock()
+
+    @property
+    def stack(self) -> list[Span]:
+        st = getattr(self._local, "stack", None)
+        if st is None:
+            st = self._local.stack = []
+        return st
 
     def begin(self, name: str, attrs: dict[str, object]) -> Span:
         sp = Span(name, attrs, start=time.perf_counter(), _tracer=self)
@@ -88,25 +103,29 @@ class Tracer:
 
     def finish(self, sp: Span) -> None:
         sp.end = time.perf_counter()
+        stack = self.stack
         # Tolerate out-of-order exits (an exception unwinding through
         # several spans closes them innermost-first anyway).
-        if sp in self.stack:
-            while self.stack and self.stack[-1] is not sp:
-                self.stack.pop()
-            self.stack.pop()
-        if self.stack:
-            self.stack[-1].children.append(sp)
+        if sp in stack:
+            while stack and stack[-1] is not sp:
+                stack.pop()
+            stack.pop()
+        if stack:
+            stack[-1].children.append(sp)
         else:
-            self.finished.append(sp)
-            if len(self.finished) > MAX_FINISHED_ROOTS:
-                del self.finished[: -MAX_FINISHED_ROOTS]
+            with self._finished_lock:
+                self.finished.append(sp)
+                if len(self.finished) > MAX_FINISHED_ROOTS:
+                    del self.finished[: -MAX_FINISHED_ROOTS]
 
     def current(self) -> Span | None:
-        return self.stack[-1] if self.stack else None
+        stack = self.stack
+        return stack[-1] if stack else None
 
     def reset(self) -> None:
         self.stack.clear()
-        self.finished.clear()
+        with self._finished_lock:
+            self.finished.clear()
 
 
 #: The process-wide tracer behind :func:`span`.

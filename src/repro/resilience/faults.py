@@ -13,6 +13,7 @@ named **sites**:
 ``commit``                :meth:`Database.run` installs EE′/OE′
 ``persistence.save``      between temp-file write and ``os.replace``
 ``persistence.load``      before a dump file is parsed
+``sched.admit``           :meth:`Database.run_many` admits one query
 ========================  =============================================
 
 Sites guard themselves with one global-load-plus-``None``-check
@@ -28,6 +29,7 @@ probabilistic rules, so a failing CI run replays exactly.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -44,6 +46,7 @@ SITES: tuple[str, ...] = (
     "commit",
     "persistence.save",
     "persistence.load",
+    "sched.admit",
 )
 
 KINDS: tuple[str, ...] = ("transient", "latency")
@@ -125,6 +128,9 @@ class FaultPlan:
         self.hits: dict[str, int] = {}
         self.fired: dict[str, int] = {}
         self._rule_firings: dict[int, int] = {}
+        # scheduled workers hit one shared plan concurrently; counters
+        # and the seeded RNG must stay consistent under that interleaving
+        self._lock = threading.Lock()
 
     def add(self, rule: FaultRule) -> "FaultPlan":
         self.rules.append(rule)
@@ -132,26 +138,38 @@ class FaultPlan:
 
     # -- firing ----------------------------------------------------------
     def hit(self, site: str) -> None:
-        """Record one hit of ``site``; fire any matching rule."""
-        count = self.hits.get(site, 0) + 1
-        self.hits[site] = count
-        for idx, rule in enumerate(self.rules):
-            if rule.site != site:
-                continue
-            if not self._matches(idx, rule, count):
-                continue
-            self._rule_firings[idx] = self._rule_firings.get(idx, 0) + 1
-            self.fired[site] = self.fired.get(site, 0) + 1
-            if _OBS.enabled:
-                _METRICS.counter(
-                    "faults_injected_total", site=site, kind=rule.kind
-                ).inc()
-            if rule.delay:
-                self.sleep(rule.delay)
-            if rule.kind == "transient":
-                raise TransientFault(
-                    f"injected fault at {site} (hit #{count})", site=site
-                )
+        """Record one hit of ``site``; fire any matching rule.
+
+        The hit/firing bookkeeping runs under the plan's lock; the
+        *consequences* (sleeping, raising) happen outside it so a
+        latency rule never stalls other threads' fault decisions.
+        """
+        to_sleep = 0.0
+        to_raise: TransientFault | None = None
+        with self._lock:
+            count = self.hits.get(site, 0) + 1
+            self.hits[site] = count
+            for idx, rule in enumerate(self.rules):
+                if rule.site != site:
+                    continue
+                if not self._matches(idx, rule, count):
+                    continue
+                self._rule_firings[idx] = self._rule_firings.get(idx, 0) + 1
+                self.fired[site] = self.fired.get(site, 0) + 1
+                if _OBS.enabled:
+                    _METRICS.counter(
+                        "faults_injected_total", site=site, kind=rule.kind
+                    ).inc()
+                if rule.delay:
+                    to_sleep += rule.delay
+                if rule.kind == "transient" and to_raise is None:
+                    to_raise = TransientFault(
+                        f"injected fault at {site} (hit #{count})", site=site
+                    )
+        if to_sleep:
+            self.sleep(to_sleep)
+        if to_raise is not None:
+            raise to_raise
 
     def _matches(self, idx: int, rule: FaultRule, count: int) -> bool:
         if rule.times is not None and self._rule_firings.get(idx, 0) >= rule.times:

@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import TransientFault
+from repro.errors import ReproError, TransientFault
 
 
 @dataclass(frozen=True)
@@ -123,13 +123,22 @@ class RetryPolicy:
         return delay
 
 
-class RetryExhausted(TransientFault):
-    """Every permitted attempt failed; carries the last failure."""
+class RetryExhausted(ReproError):
+    """Every permitted attempt failed; carries the last failure.
+
+    Deliberately **not** a :class:`TransientFault`: exhaustion is a
+    *terminal* verdict on the whole replay loop.  If it were itself
+    transient, a nested/outer :class:`RetryPolicy` would treat "my
+    inner retries ran out" as one more retryable fault and multiply the
+    attempt count (inner × outer) against a persistently failing
+    backend.  ``site`` still carries the last failure's site so fault
+    dashboards can aggregate by origin.
+    """
 
     def __init__(self, attempts: int, last: BaseException):
         self.attempts = attempts
         self.last = last
+        self.site = getattr(last, "site", "")
         super().__init__(
-            f"query still failing after {attempts} attempt(s): {last}",
-            site=getattr(last, "site", ""),
+            f"query still failing after {attempts} attempt(s): {last}"
         )

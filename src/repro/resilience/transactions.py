@@ -90,20 +90,26 @@ class TransactionScope:
     def rollback(self, db: "Database") -> None:
         """Restore the scoped extents/objects; leave the rest alone."""
         with _span("rollback", scope="query", extents=len(self.extents)):
-            ee, oe = db.ee, db.oe
-            dropped = 0
-            for extent, prior in self.prior_members:
-                current = ee.members(extent)
-                added = current - prior
-                if added:
-                    oe = oe.without_objects(added)
-                    dropped += len(added)
-                if current != prior:
-                    ee = ee.with_members(extent, prior)
-            for oid, rec in self.prior_records:
-                if oe.get(oid) is not rec:
-                    oe = oe.with_object(oid, rec)
-            db.ee, db.oe = ee, oe
+            with db._commit_lock:
+                ee, oe = db.ee, db.oe
+                dropped = 0
+                for extent, prior in self.prior_members:
+                    current = ee.members(extent)
+                    added = current - prior
+                    if added:
+                        oe = oe.without_objects(added)
+                        dropped += len(added)
+                    if current != prior:
+                        ee = ee.with_members(extent, prior)
+                for oid, rec in self.prior_records:
+                    if oe.get(oid) is not rec:
+                        oe = oe.with_object(oid, rec)
+                # under the commit lock no writer interleaves; concurrent
+                # *disjoint* readers are safe in either order because the
+                # dropped oids were created by the failed attempt and
+                # cannot be referenced from outside its effect scope
+                db.ee = ee
+                db.oe = oe
             if _OBS.enabled:
                 _METRICS.counter("rollbacks_total", scope="query").inc()
                 if dropped:
@@ -177,21 +183,23 @@ class Transaction:
         self._ensure_active()
         db = self._db
         with _span("rollback", scope="transaction"):
-            extents = scope_extents(db, self.effect)
-            ee, oe = db.ee, db.oe
-            for extent in extents:
-                prior = self._entry_ee.members(extent)
-                current = ee.members(extent)
-                added = current - prior
-                if added:
-                    oe = oe.without_objects(added)
-                if current != prior:
-                    ee = ee.with_members(extent, prior)
-                for oid in prior:
-                    entry_rec = self._entry_oe.get(oid)
-                    if oe.get(oid) is not entry_rec:
-                        oe = oe.with_object(oid, entry_rec)
-            db.ee, db.oe = ee, oe
+            with db._commit_lock:
+                extents = scope_extents(db, self.effect)
+                ee, oe = db.ee, db.oe
+                for extent in extents:
+                    prior = self._entry_ee.members(extent)
+                    current = ee.members(extent)
+                    added = current - prior
+                    if added:
+                        oe = oe.without_objects(added)
+                    if current != prior:
+                        ee = ee.with_members(extent, prior)
+                    for oid in prior:
+                        entry_rec = self._entry_oe.get(oid)
+                        if oe.get(oid) is not entry_rec:
+                            oe = oe.with_object(oid, entry_rec)
+                db.ee = ee
+                db.oe = oe
             # definitions added inside the transaction are removed; the
             # dicts are restored wholesale (defs are never huge) and the
             # DE version is bumped so compiled plans against them retire

@@ -1,0 +1,28 @@
+"""repro.sched — effect-scheduled concurrent query sessions.
+
+The public surface is :meth:`repro.db.Database.run_many` and
+:meth:`repro.db.Database.session`; this package holds the machinery:
+the conflict predicate over Figure 3 effects, the admission-order
+conflict graph, and the worker pool that executes it.  See
+``docs/CONCURRENCY.md`` for the Theorem 7/8 argument and the limits.
+"""
+
+from repro.sched.scheduler import (
+    Admission,
+    BatchResult,
+    Outcome,
+    Pending,
+    QueryScheduler,
+    Session,
+    conflicts,
+)
+
+__all__ = [
+    "Admission",
+    "BatchResult",
+    "Outcome",
+    "Pending",
+    "QueryScheduler",
+    "Session",
+    "conflicts",
+]

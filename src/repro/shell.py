@@ -31,6 +31,11 @@ Commands::
     .budget [...]         resource budget applied to every query:
                           ``.budget steps=N time=SECS objects=K`` sets,
                           ``.budget off`` clears, bare shows
+    .workers [N|off]      scheduled batches: ``.workers N`` makes a
+                          line of ``;;``-separated queries run as one
+                          effect-scheduled batch on N threads
+                          (``Database.run_many``); ``off`` = 1; bare
+                          shows the setting
     .faults [...]         fault injection: ``.faults inject site=<s>
                           [at=N] [every=K] [p=0.5] [times=M]
                           [delay=SECS] [kind=transient|latency]
@@ -91,6 +96,7 @@ class Shell:
         self._obs_locked = obs_locked
         self._budget: Budget | None = None
         self._txn: Transaction | None = None
+        self._workers = 1
 
     # ------------------------------------------------------------------
     def handle(self, line: str) -> str:
@@ -106,6 +112,8 @@ class Shell:
                     line += ";"
                 ftype = self.db.define(line)
                 return f"defined : {ftype}"
+            if ";;" in line:
+                return self._batch(line)
             return self._query(line)
         except ReproError as exc:
             # all-or-nothing: a failing *statement* aborts the whole
@@ -136,6 +144,27 @@ class Shell:
         else:
             how = f"{result.steps} steps"
         return f"{result.value} : {t}{eff_str}   ({how})"
+
+    def _batch(self, line: str) -> str:
+        """A ``;;``-separated line runs as one effect-scheduled batch."""
+        parts = [p.strip() for p in line.split(";;") if p.strip()]
+        if not parts:
+            return ""
+        res = self.db.run_many(
+            parts, workers=self._workers, budget=self._budget
+        )
+        lines = []
+        for o in res:
+            if o.ok:
+                lines.append(f"[{o.index}] {o.value}")
+            else:
+                lines.append(f"[{o.index}] error: {o.error}")
+        lines.append(
+            f"({len(res)} queries, {res.conflict_edges} conflict edge(s), "
+            f"{res.workers} worker(s), {res.wall_time * 1e3:.1f} ms, "
+            f"speedup {res.speedup:.2f}x)"
+        )
+        return "\n".join(lines)
 
     def _command(self, line: str) -> str:
         cmd, _, rest = line.partition(" ")
@@ -234,6 +263,8 @@ class Shell:
             return "\n".join(rows) if rows else "(no extents)"
         if cmd == ".budget":
             return self._budget_cmd(rest)
+        if cmd == ".workers":
+            return self._workers_cmd(rest)
         if cmd == ".faults":
             return self._faults_cmd(rest)
         if cmd == ".transaction":
@@ -281,6 +312,25 @@ class Shell:
         except ValueError as exc:
             return f"error: {exc}"
         return f"budget per query: {self._budget.describe()}"
+
+    def _workers_cmd(self, rest: str) -> str:
+        if not rest:
+            how = "sequential" if self._workers == 1 else "scheduled"
+            return (
+                f"workers: {self._workers} ({how}; ';;'-separated lines "
+                "run as one batch)"
+            )
+        if rest == "off":
+            self._workers = 1
+            return "workers: 1 (sequential)"
+        try:
+            n = int(rest)
+        except ValueError:
+            return f"error: .workers takes a count or 'off', not {rest!r}"
+        if n < 1:
+            return "error: workers must be >= 1"
+        self._workers = n
+        return f"workers: {n}"
 
     def _faults_cmd(self, rest: str) -> str:
         if rest == "off":

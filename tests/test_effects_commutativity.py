@@ -109,3 +109,27 @@ class TestMayCommute:
         a = q(schema, '{new Person(name: "a", address: "x")}')
         b = q(schema, '{new Person(name: "b", address: "y")}')
         assert may_commute(schema, a, b)
+
+
+class TestListOperands:
+    """List concatenation is order-dependent: ⊢″ must never license it.
+
+    Regression: ``may_commute`` used to look only at the operands'
+    effects, so two *pure* list expressions (empty effects, trivially
+    non-interfering) were reported commutable even though swapping the
+    operands of ``@`` visibly reorders the answer.
+    """
+
+    def test_pure_lists_do_not_commute(self, schema):
+        l = q(schema, "list(1, 2)")
+        r = q(schema, "list(3)")
+        assert not may_commute(schema, l, r)
+        assert not may_commute(schema, r, l)
+
+    def test_list_against_set_does_not_commute(self, schema):
+        assert not may_commute(schema, q(schema, "list(1)"), q(schema, "{2}"))
+        assert not may_commute(schema, q(schema, "{2}"), q(schema, "list(1)"))
+
+    def test_sets_still_commute(self, schema):
+        # guard against over-rejection: the set case is unchanged
+        assert may_commute(schema, q(schema, "{1}"), q(schema, "{2}"))

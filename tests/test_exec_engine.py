@@ -202,6 +202,59 @@ class TestNoteWriteUnit:
         assert entry.result_version == 5
 
 
+class TestCapacityEviction:
+    """Size-neutral re-puts never evict (regression).
+
+    ``put`` used to evict the oldest entry whenever the cache was at
+    capacity, even when the key being written was *already resident* —
+    so a hot query that re-putting its own entry (result refresh) at a
+    full cache steadily evicted innocent plans and pumped the
+    ``evictions`` counter.
+    """
+
+    def _entry(self, db: Database) -> PlanEntry:
+        return PlanEntry(
+            plan=None,
+            reads=frozenset(),
+            static_effect=Effect.of(),
+            result=None,
+            result_version=-1,
+        )
+
+    def test_new_key_at_capacity_evicts_oldest(self):
+        db = Database.from_odl(ODL)
+        cache = PlanCache(schema_fingerprint(db.schema), max_entries=2)
+        cache.put(db.parse("1"), 0, self._entry(db))
+        cache.put(db.parse("2"), 0, self._entry(db))
+        cache.put(db.parse("3"), 0, self._entry(db))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(db.parse("1"), 0) is None  # oldest dropped
+        assert cache.get(db.parse("3"), 0) is not None
+
+    def test_re_put_at_capacity_is_eviction_free(self):
+        db = Database.from_odl(ODL)
+        cache = PlanCache(schema_fingerprint(db.schema), max_entries=2)
+        cache.put(db.parse("1"), 0, self._entry(db))
+        cache.put(db.parse("2"), 0, self._entry(db))
+        for _ in range(10):
+            cache.put(db.parse("2"), 0, self._entry(db))
+        # the overwrite is size-neutral: nothing leaves, counter flat
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get(db.parse("1"), 0) is not None
+
+    def test_re_put_replaces_the_entry(self):
+        db = Database.from_odl(ODL)
+        cache = PlanCache(schema_fingerprint(db.schema), max_entries=1)
+        first = self._entry(db)
+        second = self._entry(db)
+        cache.put(db.parse("1"), 0, first)
+        cache.put(db.parse("1"), 0, second)
+        assert cache.get(db.parse("1"), 0) is second
+        assert cache.evictions == 0
+
+
 class TestIndexMaintenance:
     def test_join_builds_persistent_index(self, db):
         q = (

@@ -142,7 +142,48 @@ class TestRetryExhausted:
         exc = RetryExhausted(3, last)
         assert exc.attempts == 3 and exc.last is last
         assert exc.site == "commit"
-        assert isinstance(exc, TransientFault)
+
+    def test_exhaustion_is_terminal_not_transient(self):
+        # regression: RetryExhausted used to subclass TransientFault, so
+        # an outer RetryPolicy saw "inner retries ran out" as one more
+        # retryable fault and multiplied attempts (inner × outer)
+        exc = RetryExhausted(3, TransientFault("boom", site="commit"))
+        assert not isinstance(exc, TransientFault)
+        assert not RetryPolicy().retryable(exc)
+
+    def test_nested_retry_does_not_amplify_attempts(self, db):
+        # a persistently failing commit site: every attempt faults
+        plan = FaultPlan((FaultRule(site="commit", every=1),))
+        inner = quiet_policy(max_attempts=3)
+        outer = quiet_policy(max_attempts=4)
+
+        def run_with_inner():
+            db.run(
+                'new Person(name: "x")',
+                atomic=True,
+                retry=inner,
+            )
+
+        with inject(plan):
+            # the outer loop is what a naive client stacks around run();
+            # exhaustion must escape it on the FIRST outer attempt
+            outer_attempts = 0
+            with pytest.raises(RetryExhausted) as excinfo:
+                while True:
+                    outer_attempts += 1
+                    try:
+                        run_with_inner()
+                        break
+                    except Exception as exc:
+                        if (
+                            outer_attempts >= outer.max_attempts
+                            or not outer.retryable(exc)
+                        ):
+                            raise
+        assert excinfo.value.attempts == inner.max_attempts
+        assert outer_attempts == 1
+        # the commit site was hit exactly once per *inner* attempt
+        assert plan.hits["commit"] == inner.max_attempts
 
 
 class TestEndToEndRetry:

@@ -1,0 +1,311 @@
+"""Unit tests for the effect-guided batch scheduler (repro.sched).
+
+The contract under test: ``run_many`` answers exactly as a sequential
+admission-order run would, and the conflict graph it builds from the
+Figure 3 effects is the licence for every overlap it performs.
+"""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.db.database import Database
+from repro.effects.algebra import EMPTY, Effect, add, read, update
+from repro.errors import IOQLTypeError, ReproError
+from repro.lang.values import from_value
+from repro.resilience.faults import FaultPlan, FaultRule, inject
+from repro.sched import QueryScheduler, Session, conflicts
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+}
+class Pet extends Object (extent Pets) {
+    attribute string species;
+}
+"""
+
+
+@pytest.fixture
+def db() -> Database:
+    d = Database.from_odl(ODL)
+    d.insert("Person", name="Ada", age=36)
+    d.insert("Person", name="Bob", age=17)
+    d.insert("Pet", species="cat")
+    return d
+
+
+class TestConflictPredicate:
+    def test_disjoint_reads_do_not_conflict(self):
+        a = Effect.of(read("Person"))
+        b = Effect.of(read("Pet"))
+        assert not conflicts(a, b)
+
+    def test_shared_reads_do_not_conflict(self):
+        a = Effect.of(read("Person"))
+        assert not conflicts(a, a)
+
+    def test_empty_effects_do_not_conflict(self):
+        assert not conflicts(EMPTY, EMPTY)
+
+    def test_read_vs_add_same_class_conflicts(self):
+        assert conflicts(Effect.of(read("Person")), Effect.of(add("Person")))
+        assert conflicts(Effect.of(add("Person")), Effect.of(read("Person")))
+
+    def test_read_vs_add_disjoint_class_is_free(self):
+        assert not conflicts(Effect.of(read("Pet")), Effect.of(add("Person")))
+
+    def test_writer_writer_always_conflicts(self):
+        # coarser than interferes_with: commit replaces EE/OE wholesale,
+        # so even class-disjoint writers must serialize
+        a = Effect.of(add("Person"))
+        b = Effect.of(add("Pet"))
+        assert not a.interferes_with(b)
+        assert conflicts(a, b)
+
+    def test_update_conflicts_with_everything(self):
+        # reference chasing escapes the R-set: no disjointness argument
+        u = Effect.of(update("Person"))
+        assert conflicts(u, Effect.of(read("Pet")))
+        assert conflicts(Effect.of(read("Pet")), u)
+        assert conflicts(u, EMPTY)
+        assert conflicts(EMPTY, u)
+
+
+class TestAdmission:
+    def test_kinds(self, db):
+        sched = QueryScheduler(db)
+        adms = sched.admit(
+            ["Persons", 'new Person(name: "x", age: 1)', "not a query ]["]
+        )
+        assert [a.kind for a in adms] == ["read", "write", "error"]
+        assert adms[0].ok and adms[1].ok and not adms[2].ok
+
+    def test_type_error_is_admission_error(self, db):
+        sched = QueryScheduler(db)
+        (adm,) = sched.admit(["1 + Persons"])
+        assert not adm.ok
+        assert isinstance(adm.error, IOQLTypeError)
+
+    def test_admit_fault_site(self, db):
+        sched = QueryScheduler(db)
+        with inject(FaultPlan((FaultRule(site="sched.admit", at=1),))):
+            adms = sched.admit(["Persons", "Pets"])
+        # the fault lands on the first admission only; the batch goes on
+        assert not adms[0].ok
+        assert adms[1].ok
+
+    def test_needs_a_worker(self, db):
+        with pytest.raises(ReproError):
+            QueryScheduler(db, workers=0)
+
+
+class TestConflictGraph:
+    def _graph(self, db, sources):
+        sched = QueryScheduler(db)
+        adms = sched.admit(sources)
+        return QueryScheduler.conflict_graph(adms)
+
+    def test_pure_reads_form_no_edges(self, db):
+        deps = self._graph(db, ["Persons", "Pets", "size(Persons)"])
+        assert deps == {0: set(), 1: set(), 2: set()}
+
+    def test_edges_point_backwards_only(self, db):
+        deps = self._graph(
+            db,
+            [
+                "Persons",
+                'new Person(name: "x", age: 1)',
+                "{ p.name | p <- Persons }",
+            ],
+        )
+        assert deps[0] == set()
+        assert deps[1] == {0}  # writer after the Person reader
+        assert deps[2] == {1}  # reader after the Person writer
+        for j, ds in deps.items():
+            assert all(i < j for i in ds)
+
+    def test_writers_chain_in_admission_order(self, db):
+        deps = self._graph(
+            db,
+            [
+                'new Person(name: "a", age: 1)',
+                'new Pet(species: "dog")',
+                'new Person(name: "b", age: 2)',
+            ],
+        )
+        # writer-writer coarsening: every later writer depends on every
+        # earlier one, even across disjoint classes
+        assert deps[1] == {0}
+        assert deps[2] == {0, 1}
+
+    def test_failed_admissions_are_excluded(self, db):
+        deps = self._graph(db, ["][", "Persons"])
+        assert 0 not in deps
+        assert deps[1] == set()
+
+    def test_disjoint_reader_skips_the_writer(self, db):
+        deps = self._graph(db, ['new Person(name: "x", age: 1)', "Pets"])
+        assert deps[1] == set()
+
+
+class TestRunMany:
+    def test_read_batch_matches_sequential(self, db):
+        sources = [
+            "{ p.name | p <- Persons }",
+            "size(Persons)",
+            "{ x.species | x <- Pets }",
+        ]
+        expected = [db.run(s).python() for s in sources]
+        result = db.run_many(sources, workers=4)
+        assert [from_value(o.value) for o in result] == expected
+
+    def test_values_in_admission_order(self, db):
+        sources = ["1 + 1", "2 + 2", "3 + 3"]
+        result = db.run_many(sources, workers=4)
+        assert [from_value(o.value) for o in result] == [2, 4, 6]
+
+    def test_writers_serialize_in_admission_order(self, db):
+        n0 = len(db.extent("Persons"))
+        sources = [
+            'new Person(name: "w1", age: 1)',
+            'new Person(name: "w2", age: 2)',
+            'new Person(name: "w3", age: 3)',
+        ]
+        result = db.run_many(sources, workers=4)
+        oids = [str(o.value) for o in result]
+        # oid allocation order is the admission order, exactly as a
+        # sequential run would allocate — not merely ∼-equivalent
+        seq = Database.from_odl(ODL)
+        seq.insert("Person", name="Ada", age=36)
+        seq.insert("Person", name="Bob", age=17)
+        seq.insert("Pet", species="cat")
+        expected = [str(seq.run(s).value) for s in sources]
+        assert oids == expected
+        assert len(db.extent("Persons")) == n0 + 3
+
+    def test_read_sees_snapshot_or_later_consistent_state(self, db):
+        # a reader that conflicts with an earlier writer must see it
+        sources = [
+            'new Person(name: "Cyd", age: 9)',
+            "size(Persons)",
+        ]
+        result = db.run_many(sources, workers=4)
+        assert from_value(result[1].value) == 3
+
+    def test_error_does_not_poison_the_batch(self, db):
+        sources = ["1 + 1", "][", "2 + 2"]
+        result = db.run_many(sources, workers=4)
+        assert result[0].ok and result[2].ok and not result[1].ok
+        assert len(result.errors) == 1
+        with pytest.raises(Exception):
+            result.values()
+
+    def test_workers_one_is_sequential(self, db):
+        result = db.run_many(["1", "2", "3"], workers=1)
+        assert [from_value(o.value) for o in result] == [1, 2, 3]
+
+    def test_batch_result_shape(self, db):
+        result = db.run_many(["1", "2"], workers=2)
+        assert len(result) == 2
+        assert [o.index for o in result] == [0, 1]
+        assert result.conflict_edges == 0
+        assert result.conflict_rate == 0.0
+        assert result.wall_time > 0
+
+    def test_conflict_rate_counts_edges(self, db):
+        result = db.run_many(
+            ['new Person(name: "a", age: 1)', 'new Person(name: "b", age: 2)'],
+            workers=2,
+        )
+        assert result.conflict_edges == 1
+        assert result.conflict_rate == 1.0
+
+    def test_empty_batch(self, db):
+        result = db.run_many([], workers=4)
+        assert len(result) == 0
+        assert result.values() == []
+
+    def test_concurrent_readers_all_answer_from_the_snapshot(self, db):
+        sources = ["{ p.name | p <- Persons }"] * 4
+        result = db.run_many(sources, workers=4)
+        assert all(from_value(o.value) == frozenset({"Ada", "Bob"}) for o in result)
+
+
+class TestSession:
+    def test_context_manager_dispatches(self, db):
+        with db.session(workers=2) as s:
+            a = s.submit("1 + 1")
+            b = s.submit("size(Persons)")
+        assert from_value(a.result()) == 2
+        assert from_value(b.result()) == 2
+
+    def test_result_before_dispatch_raises(self, db):
+        s = Session(db)
+        p = s.submit("1")
+        with pytest.raises(ReproError, match="not dispatched"):
+            p.result()
+
+    def test_double_dispatch_raises(self, db):
+        s = Session(db)
+        s.submit("1")
+        s.dispatch()
+        with pytest.raises(ReproError, match="already dispatched"):
+            s.dispatch()
+        with pytest.raises(ReproError, match="already dispatched"):
+            s.submit("2")
+
+    def test_exception_skips_dispatch(self, db):
+        with pytest.raises(ValueError):
+            with db.session() as s:
+                s.submit("1")
+                raise ValueError("client bug")
+        assert s.result is None
+
+    def test_submit_is_thread_safe(self, db):
+        s = Session(db, workers=4)
+        handles = []
+        lock = threading.Lock()
+
+        def client(i):
+            p = s.submit(f"{i} + 0")
+            with lock:
+                handles.append(p)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        s.dispatch()
+        # every handle resolves to its own submission's answer
+        for p in handles:
+            assert from_value(p.result()) == int(str(p.source).split(" ")[0])
+
+
+class TestObservability:
+    def test_batch_metrics_and_span(self, db):
+        obs.enable()
+        obs.reset()
+        try:
+            db.run_many(
+                ["Persons", 'new Person(name: "m", age: 5)'], workers=2
+            )
+            assert obs.REGISTRY.value("sched_batches_total") == 1
+            assert obs.REGISTRY.value("sched_queries_total", kind="read") == 1
+            assert obs.REGISTRY.value("sched_queries_total", kind="write") == 1
+            assert obs.REGISTRY.value("sched_conflict_edges_total") == 1
+            roots = [s.name for s in obs.TRACER.finished]
+            assert "sched.batch" in roots
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_obs_off_records_nothing(self, db):
+        obs.disable()
+        obs.reset()
+        db.run_many(["Persons"], workers=2)
+        assert obs.REGISTRY.counter_values("sched_batches_total") == {}
+        assert len(obs.TRACER.finished) == 0

@@ -1,0 +1,120 @@
+"""Scheduler stress: 8 workers under an adversarial fault plan.
+
+The CI concurrency job runs this file with ``-p no:cacheprovider`` as
+a smoke gate: a batch of mixed readers and writers, with transient
+faults and injected latency at the hot sites (including the scheduler's
+own ``sched.admit``), must still terminate, record every failure in its
+outcome slot, and leave the database in a state a sequential survivor
+run would recognise.
+"""
+
+import pytest
+
+from repro.db.database import Database
+from repro.errors import TransientFault
+from repro.lang.values import from_value
+from repro.resilience.faults import FaultPlan, FaultRule, inject
+from repro.resilience.retry import RetryPolicy
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute int age;
+}
+class Pet extends Object (extent Pets) {
+    attribute string species;
+}
+"""
+
+WORKERS = 8
+
+
+def _db() -> Database:
+    d = Database.from_odl(ODL)
+    for i in range(8):
+        d.insert("Person", name=f"p{i}", age=20 + i)
+    for i in range(4):
+        d.insert("Pet", species=f"s{i}")
+    return d
+
+
+def _batch() -> list[str]:
+    sources: list[str] = []
+    for i in range(24):
+        if i % 4 == 3:
+            sources.append(f'new Person(name: "w{i}", age: {i})')
+        elif i % 4 == 1:
+            sources.append(f"{{ p.name | p <- Persons, p.age > {18 + i % 7} }}")
+        else:
+            sources.append("size(Persons)" if i % 2 == 0 else "Pets")
+    return sources
+
+
+def _plan() -> FaultPlan:
+    plan = FaultPlan(
+        (
+            FaultRule(site="store.read", every=40, kind="transient"),
+            FaultRule(site="store.read", every=7, kind="latency", delay=0.0005),
+            FaultRule(site="sched.admit", at=5, kind="transient"),
+            FaultRule(site="commit", at=2, kind="transient"),
+        ),
+        seed=7,
+    )
+    return plan
+
+
+class TestStress:
+    def test_faulted_batch_terminates_with_errors_recorded(self):
+        db = _db()
+        sources = _batch()
+        with inject(_plan()):
+            result = db.run_many(sources, workers=WORKERS)
+        assert len(result) == len(sources)
+        # every slot resolved one way or the other
+        for o in result:
+            assert o.ok or o.error is not None
+        # the admission fault landed somewhere and was contained
+        assert any(
+            isinstance(o.error, TransientFault) for o in result.errors
+        )
+        assert len(result.errors) < len(sources)
+
+    def test_state_is_consistent_after_faults(self):
+        db = _db()
+        sources = _batch()
+        with inject(_plan()):
+            result = db.run_many(sources, workers=WORKERS)
+        # exactly the successful writers grew the extent
+        ok_writers = [o for o in result if o.ok and o.kind == "write"]
+        assert len(db.extent("Persons")) == 8 + len(ok_writers)
+        # no dangling oids: every extent member resolves in OE
+        for extent in ("Persons", "Pets"):
+            for oid in db.extent(extent):
+                assert oid in db.oe
+
+    def test_retry_masks_transient_faults(self):
+        db = _db()
+        sources = _batch()
+        retry = RetryPolicy.seeded(11, max_attempts=4, base_delay=0.0)
+        plan = FaultPlan(
+            (FaultRule(site="store.read", every=25, kind="transient"),),
+            seed=3,
+        )
+        with inject(plan):
+            result = db.run_many(sources, workers=WORKERS, retry=retry)
+        # with retries on, the sparse transient plan is fully absorbed
+        assert not result.errors
+        seq = _db()
+        expected = [from_value(seq.run(s).value) for s in sources]
+        got = [from_value(o.value) for o in result]
+        assert got == expected
+
+    def test_repeated_faulted_batches_stay_deterministic_in_shape(self):
+        # the smoke loop CI runs: several faulted batches back to back
+        db = _db()
+        for round_no in range(3):
+            with inject(_plan()):
+                result = db.run_many(_batch(), workers=WORKERS)
+            assert len(result) == 24, f"round {round_no}"
+            for o in result:
+                assert o.ok or o.error is not None
