@@ -1,10 +1,13 @@
 """The runtime database: EE/OE environments, oid supply, and the façade."""
 
 from repro.db.database import Database, Snapshot
-from repro.db.persistence import load, save
+from repro.db.persistence import PersistenceError, load, save
+from repro.db.recovery import RecoveryResult, recover
 from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply, populate
+from repro.db.wal import WalError, WriteAheadLog
 
 __all__ = [
     "Database", "ExtentEnv", "ObjectEnv", "ObjectRecord", "OidSupply",
-    "Snapshot", "load", "populate", "save",
+    "PersistenceError", "RecoveryResult", "Snapshot", "WalError",
+    "WriteAheadLog", "load", "populate", "recover", "save",
 ]

@@ -32,6 +32,7 @@ speculative work.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
 from typing import Any, Mapping
@@ -55,6 +56,9 @@ from repro.db.store import (
     ObjectRecord,
     OidSupply,
 )
+from repro.db.wal import WriteAheadLog
+from repro.errors import ReproError
+from repro.lang.pprint import pretty, pretty_definition
 from repro.exec.cache import PlanCache, schema_fingerprint
 from repro.exec.engine import PlanDecision, decide as _decide_engine, execute_plan
 from repro.obs._state import STATE as _OBS
@@ -109,8 +113,14 @@ class Database:
         self._def_types: dict[str, FuncType] = {}
         self._active_txn: Transaction | None = None
         # serialises EE/OE installation when run_many overlaps readers
-        # with a committing writer (see repro.sched)
+        # with a committing writer (see repro.sched); the same lock
+        # orders WAL appends, so the log order *is* the admission order
         self._commit_lock = threading.RLock()
+        # durability (repro.db.wal / repro.db.recovery); None = volatile
+        self._wal: WriteAheadLog | None = None
+        self._wal_dir: str | None = None
+        self._checkpoint_lsn = 0
+        self._odl_source: str | None = None
         self.machine = Machine(
             schema,
             self._definitions,
@@ -135,9 +145,50 @@ class Database:
             source,
             allow_method_effects=method_mode is AccessMode.EFFECTFUL,
         )
-        return Database(
+        db = Database(
             schema, method_mode=method_mode, method_fuel=method_fuel
         )
+        # retained for durability: checkpoints embed the ODL verbatim
+        db._odl_source = source
+        return db
+
+    @staticmethod
+    def open(
+        path: str,
+        odl: str | None = None,
+        *,
+        sync: bool = True,
+        method_mode: AccessMode = AccessMode.READ_ONLY,
+        method_fuel: int = 10_000,
+    ) -> "Database":
+        """Open (or create) a **durable** database under directory ``path``.
+
+        If ``path`` holds a checkpoint, the database is recovered from
+        it — the last checkpoint plus every intact write-ahead-log
+        record, truncating at the first torn record, so the result is
+        the state of some prefix of the committed sequence (see
+        ``docs/DURABILITY.md``).  Otherwise a fresh database is built
+        from ``odl`` (required in that case), an initial checkpoint is
+        written, and logging begins.  Either way every subsequent commit
+        is journalled before it is installed; call :meth:`checkpoint` to
+        fold the log and :meth:`close` when done.
+        """
+        from repro.db import recovery as _recovery
+
+        if os.path.exists(_recovery.checkpoint_path(path)):
+            return _recovery.recover(path, sync=sync).db
+        if odl is None:
+            from repro.db.persistence import PersistenceError
+
+            raise PersistenceError(
+                f"no checkpoint under {path!r} and no ODL source given: "
+                "cannot create a database from nothing"
+            )
+        db = Database.from_odl(
+            odl, method_mode=method_mode, method_fuel=method_fuel
+        )
+        db.attach_wal(path, sync=sync)
+        return db
 
     # -- state versioning ------------------------------------------------
     @property
@@ -177,6 +228,195 @@ class Database:
         self._plan_cache.note_write(effect, pre_version, post)
         self._indexes.note_write(self.schema, effect, pre_version, post)
 
+    # -- durability (repro.db.wal / repro.db.recovery) -------------------
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached write-ahead log, or ``None`` (volatile database)."""
+        return self._wal
+
+    @property
+    def wal_dir(self) -> str | None:
+        """The durable directory this database journals into, if any."""
+        return self._wal_dir
+
+    def attach_wal(
+        self, path: str, *, odl_source: str | None = None, sync: bool = True
+    ) -> "Database":
+        """Start journalling this database under directory ``path``.
+
+        Writes an initial checkpoint of the *current* state (so the log
+        alone never has to carry the whole history) and opens the log.
+        A database built straight from a :class:`Schema` object has no
+        retained ODL text; one is reconstructed via
+        :func:`repro.db.persistence.schema_to_odl` unless ``odl_source``
+        is given.
+        """
+        from repro.db import recovery as _recovery
+        from repro.db.persistence import schema_to_odl
+
+        if self._wal is not None:
+            raise ReproError(
+                f"a write-ahead log is already attached ({self._wal_dir})"
+            )
+        if odl_source is not None:
+            self._odl_source = odl_source
+        elif self._odl_source is None:
+            self._odl_source = schema_to_odl(self.schema)
+        os.makedirs(path, exist_ok=True)
+        self._wal_dir = os.path.abspath(path)
+        self._wal = WriteAheadLog(
+            _recovery.wal_path(self._wal_dir), next_lsn=1, sync=sync
+        )
+        self.checkpoint()
+        return self
+
+    def _adopt_wal(self, path: str, *, next_lsn: int, sync: bool) -> None:
+        """Recovery's attach: reuse an existing (already repaired) log."""
+        from repro.db import recovery as _recovery
+
+        self._wal_dir = os.path.abspath(path)
+        self._wal = WriteAheadLog(
+            _recovery.wal_path(self._wal_dir), next_lsn=next_lsn, sync=sync
+        )
+
+    def checkpoint(self) -> int:
+        """Fold the write-ahead log into a fresh checkpoint.
+
+        Under the commit lock: the full state (a sealed
+        :mod:`repro.db.persistence` dump plus the folded LSN and the
+        oid-supply counter) is written atomically, then the log is
+        truncated back to its header.  A crash *between* the two steps
+        is harmless — recovery skips records the checkpoint's LSN
+        already covers.  Recovery time is proportional to the log since
+        the last checkpoint, so long-running writers should checkpoint
+        periodically (the shell's ``.checkpoint``).  Returns the LSN
+        the new checkpoint folds through.
+        """
+        from repro.db import recovery as _recovery
+        from repro.db.persistence import dump_database, write_document
+
+        if self._wal is None:
+            raise ReproError(
+                "no write-ahead log attached (use Database.open or "
+                "attach_wal first)"
+            )
+        with _span("checkpoint"):
+            with self._commit_lock:
+                doc = dump_database(self, self._odl_source)
+                doc["durability"] = {
+                    "lsn": self._wal.last_lsn,
+                    "next_oid": self.supply.state(),
+                }
+                write_document(
+                    doc, _recovery.checkpoint_path(self._wal_dir)
+                )
+                self._checkpoint_lsn = self._wal.last_lsn
+                self._wal.reset()
+            if _OBS.enabled:
+                _METRICS.counter("wal_checkpoints_total").inc()
+            return self._checkpoint_lsn
+
+    def close(self) -> None:
+        """Detach and close the write-ahead log (state stays in memory)."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def _wal_commit_record(
+        self, stmt: str, effect: Effect, post_ee: ExtentEnv, post_oe: ObjectEnv
+    ) -> dict:
+        """The physical delta of one commit, bounded by its static effect.
+
+        Theorem 5 bounds the commit's dynamic trace by ``effect``, so an
+        ``A``-only commit can log just the extents its ``A`` atoms name
+        (new membership wholesale — replay is then idempotent) plus the
+        records of the objects that joined them.  Any ``U`` atom forces
+        a full record: in-place updates reach objects through reference
+        chains the ``R``-set does not name (the §5 caveat, the same
+        coarsening ``repro.sched`` applies to updaters).
+        """
+        from repro.db.persistence import value_to_json
+
+        if effect.updates():
+            return self._wal_full_record(stmt, effect, post_ee, post_oe)
+        pre_ee = self._ee
+        extents: dict[str, list[str]] = {}
+        objects: dict[str, dict] = {}
+        for cname in sorted(effect.adds()):
+            try:
+                extent = self.schema.class_extent(cname)
+            except Exception:
+                continue  # extent-less class: nothing durable to log
+            members = post_ee.members(extent)
+            extents[extent] = sorted(members)
+            for oid in sorted(members - pre_ee.members(extent)):
+                rec = post_oe.get(oid)
+                objects[oid] = {
+                    "class": rec.cname,
+                    "attrs": {a: value_to_json(v) for a, v in rec.attrs},
+                }
+        return {
+            "kind": "delta",
+            "stmt": stmt,
+            "defs_version": self._defs_version,
+            "effect": [str(a) for a in effect],
+            "extents": extents,
+            "objects": objects,
+            "next_oid": self.supply.state(),
+        }
+
+    def _wal_full_record(
+        self,
+        stmt: str,
+        effect: Effect | None = None,
+        ee: ExtentEnv | None = None,
+        oe: ObjectEnv | None = None,
+    ) -> dict:
+        """A record carrying the whole state (U commits, rollback, restore)."""
+        from repro.db.persistence import value_to_json
+
+        ee = self._ee if ee is None else ee
+        oe = self._oe if oe is None else oe
+        return {
+            "kind": "full",
+            "stmt": stmt,
+            "defs_version": self._defs_version,
+            "effect": [str(a) for a in effect] if effect is not None else [],
+            "extents": {e: sorted(ee.members(e)) for e in sorted(ee.names())},
+            "objects": {
+                oid: {
+                    "class": rec.cname,
+                    "attrs": {a: value_to_json(v) for a, v in rec.attrs},
+                }
+                for oid, rec in oe.items()
+            },
+            "definitions": [
+                pretty_definition(d) for d in self._definitions.values()
+            ],
+            "next_oid": self.supply.state(),
+        }
+
+    def _wal_log_unattributed(self, stmt: str) -> None:
+        """Journal a state change with no static effect (rollback, restore).
+
+        Logged as a full record *after* the change is installed.  If the
+        append itself fails the log can no longer describe the in-memory
+        state, and later effect-bounded deltas would replay onto the
+        wrong base — so durability is detached (loudly, via the
+        ``wal_detached_total`` metric and ``db.wal is None``) rather
+        than left inconsistent; the in-memory database stays correct.
+        """
+        if self._wal is None:
+            return
+        try:
+            self._wal.append(self._wal_full_record(stmt))
+        except BaseException:
+            self._wal.close()
+            self._wal = None
+            if _OBS.enabled:
+                _METRICS.counter("wal_detached_total").inc()
+            raise
+
     # -- population ------------------------------------------------------
     def insert(self, cname: str, **attrs: Any) -> OidRef:
         """Create an object directly (outside any query) and return its oid.
@@ -201,9 +441,20 @@ class Database:
         with self._commit_lock:
             oid = self.supply.fresh(cname, self.oe)
             pre = self._state_version
-            self.oe = self.oe.with_object(oid, ObjectRecord(cname, fields))
-            self.ee = self.ee.with_member(self.schema.class_extent(cname), oid)
-            self._note_write(Effect.of(add_effect(cname)), pre)
+            effect = Effect.of(add_effect(cname))
+            new_oe = self.oe.with_object(oid, ObjectRecord(cname, fields))
+            new_ee = self.ee.with_member(self.schema.class_extent(cname), oid)
+            if self._wal is not None:
+                # write-ahead: a failed append aborts the insert with
+                # nothing installed (the burnt oid is absorbed by ∼)
+                self._wal.append(
+                    self._wal_commit_record(
+                        f"insert {cname}", effect, new_ee, new_oe
+                    )
+                )
+            self.oe = new_oe
+            self.ee = new_ee
+            self._note_write(effect, pre)
         if self._active_txn is not None:
             self._active_txn.record(Effect.of(add_effect(cname)))
         return OidRef(oid)
@@ -227,6 +478,17 @@ class Database:
         ftype_plain = check_definition(ctx, d)
         # carry the latent effect on the stored type (Figure 3 view)
         eff_type = EffectChecker().check_definition(ctx, d)
+        if self._wal is not None:
+            # write-ahead: logged only once the definition is known good
+            self._wal.append(
+                {
+                    "kind": "define",
+                    "stmt": d.name,
+                    "source": pretty_definition(d),
+                    "defs_version": self._defs_version + 1,
+                    "next_oid": self.supply.state(),
+                }
+            )
         self._definitions[d.name] = d
         self._def_types[d.name] = eff_type
         self.machine.defs[d.name] = d
@@ -479,6 +741,16 @@ class Database:
                     )
                 with self._commit_lock:
                     pre = self._state_version
+                    if self._wal is not None and result.effect.writes():
+                        # write-ahead: the record must be durable before
+                        # the state it describes becomes observable; a
+                        # failed append fails the commit with nothing
+                        # installed, so log and memory always agree
+                        self._wal.append(
+                            self._wal_commit_record(
+                                pretty(q), result.effect, result.ee, result.oe
+                            )
+                        )
                     # OE before EE: a concurrent snapshot reader loads
                     # ee then oe, so this order can never pair a new
                     # extent set with an object env missing its members
@@ -640,6 +912,9 @@ class Database:
                 TypeContext(self.schema, defs=dict(self._def_types)), d
             )
         self.machine.defs = self._definitions
+        # a restore has no static effect to bound a delta: journal the
+        # whole state so recovery lands on the restored prefix
+        self._wal_log_unattributed("restore")
 
     def extent(self, name: str) -> frozenset[str]:
         """The oids currently in an extent."""

@@ -23,6 +23,7 @@ whose schema binds native methods raises, listing them.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -48,9 +49,44 @@ from repro.db.store import ObjectRecord
 
 FORMAT_VERSION = 1
 
+#: Key holding the dump's integrity digest (SHA-256 over the canonical
+#: serialisation of the rest of the document).  JSON itself detects torn
+#: files but not bit rot *inside* string/number payloads — without a
+#: digest a flipped bit in an attribute value would load as a silently
+#: wrong store.  Docs written before the digest existed still load.
+INTEGRITY_KEY = "integrity"
+
 
 class PersistenceError(ReproError):
     """Raised on unserialisable databases or malformed dump files."""
+
+
+def _canonical(doc: dict) -> bytes:
+    return json.dumps(
+        doc, ensure_ascii=False, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+
+
+def seal_document(doc: dict) -> dict:
+    """Return a copy of ``doc`` carrying its integrity digest."""
+    body = {k: v for k, v in doc.items() if k != INTEGRITY_KEY}
+    sealed = dict(body)
+    sealed[INTEGRITY_KEY] = hashlib.sha256(_canonical(body)).hexdigest()
+    return sealed
+
+
+def verify_document(doc: dict) -> None:
+    """Check ``doc``'s digest; absent digests pass (pre-digest dumps)."""
+    if INTEGRITY_KEY not in doc:
+        return
+    body = {k: v for k, v in doc.items() if k != INTEGRITY_KEY}
+    want = doc[INTEGRITY_KEY]
+    got = hashlib.sha256(_canonical(body)).hexdigest()
+    if got != want:
+        raise PersistenceError(
+            "dump integrity digest mismatch: the file is corrupt "
+            f"(expected {want!r}, recomputed {got!r})"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -210,16 +246,17 @@ def load_database(doc: dict) -> Database:
     return db
 
 
-def save(db: Database, odl_source: str, path: str) -> None:
-    """Serialise ``db`` to ``path`` as JSON — **atomically**.
+def write_document(doc: dict, path: str) -> None:
+    """Seal ``doc`` with its integrity digest and write it **atomically**.
 
     The document is written to a temporary file in the same directory,
     flushed and fsynced, and then :func:`os.replace`\\ d into place.  A
     crash (or an injected ``persistence.save`` fault) at any point
     leaves either the old file or the new one on disk, never a torn
-    mixture.
+    mixture.  Shared by :func:`save` and the durability layer's
+    checkpoints (:meth:`Database.checkpoint`).
     """
-    doc = dump_database(db, odl_source)
+    doc = seal_document(doc)
     target = os.path.abspath(path)
     directory = os.path.dirname(target) or "."
     fd, tmp = tempfile.mkstemp(
@@ -242,12 +279,13 @@ def save(db: Database, odl_source: str, path: str) -> None:
         raise
 
 
-def load(path: str) -> Database:
-    """Load a database saved with :func:`save`.
+def read_document(path: str) -> dict:
+    """Read and verify a document written by :func:`write_document`.
 
-    Malformed input — truncated or invalid JSON, or a document that is
-    not a dump object — raises :class:`PersistenceError`, never a raw
-    :class:`json.JSONDecodeError`.
+    Malformed input — truncated or invalid JSON, a non-object document,
+    or an integrity-digest mismatch — raises :class:`PersistenceError`,
+    never a raw :class:`json.JSONDecodeError` and never a silently
+    corrupted document.
     """
     maybe_fault("persistence.load")
     with open(path, encoding="utf-8") as f:
@@ -262,4 +300,48 @@ def load(path: str) -> Database:
             f"not a database dump: expected a JSON object, "
             f"got {type(doc).__name__}"
         )
-    return load_database(doc)
+    verify_document(doc)
+    return doc
+
+
+def save(db: Database, odl_source: str, path: str) -> None:
+    """Serialise ``db`` to ``path`` as sealed JSON — atomically."""
+    write_document(dump_database(db, odl_source), path)
+
+
+def load(path: str) -> Database:
+    """Load a database saved with :func:`save`."""
+    return load_database(read_document(path))
+
+
+# ---------------------------------------------------------------------------
+# schema -> ODL (for checkpointing databases built from Schema objects)
+# ---------------------------------------------------------------------------
+
+
+def schema_to_odl(schema) -> str:
+    """Render a :class:`~repro.model.schema.Schema` back to ODL source.
+
+    The dump format embeds ODL text (re-parsed and re-validated on
+    load); a database built straight from a :class:`Schema` object —
+    e.g. the metatheory generators' random schemas — has no retained
+    source, so the durability layer reconstructs one.  Attribute
+    declarations round-trip through ``str(type)``; method *bodies* do
+    not survive a schema object, so schemas with methods must supply
+    their original ODL text instead.
+    """
+    lines: list[str] = []
+    for cname, cd in schema.classes.items():
+        if cd.methods:
+            raise PersistenceError(
+                f"class {cname!r} declares methods; serialising methods "
+                "needs the original ODL source (Database.from_odl keeps "
+                "it — pass odl_source explicitly for hand-built schemas)"
+            )
+        lines.append(
+            f"class {cd.name} extends {cd.superclass} (extent {cd.extent}) {{"
+        )
+        for a in cd.attributes:
+            lines.append(f"    attribute {a.type} {a.name};")
+        lines.append("}")
+    return "\n".join(lines)

@@ -16,7 +16,6 @@ the whole database.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
@@ -299,19 +298,40 @@ class OidSupply:
     what the paper's side condition requires.  Forked explorations may
     share a supply safely: sharing only makes oids "fresher than
     necessary", which the bijection ∼ absorbs.
+
+    The counter is observable (:meth:`state`) and monotonically
+    restorable (:meth:`advance_to`) so the durability layer can persist
+    it: a recovered database must never re-issue an oid that a logged
+    commit already spent.  Like transaction rollback, recovery only ever
+    moves the counter *forward* — a rewound supply could collide with a
+    surviving object, while an over-advanced one merely yields oids
+    "fresher than necessary", which ∼ absorbs.
     """
 
     def __init__(self, start: int = 0):
-        self._counter = itertools.count(start)
+        self._next = start
         self._lock = threading.Lock()
 
     def fresh(self, cname: str, oe: ObjectEnv) -> str:
         """A fresh oid for a new ``cname`` object, not in ``oe``."""
         with self._lock:
             while True:
-                oid = f"@{cname}_{next(self._counter)}"
+                n = self._next
+                self._next += 1
+                oid = f"@{cname}_{n}"
                 if oid not in oe:
                     return oid
+
+    def state(self) -> int:
+        """The next counter value this supply would consider."""
+        with self._lock:
+            return self._next
+
+    def advance_to(self, n: int) -> None:
+        """Ensure the counter is at least ``n`` (never rewinds)."""
+        with self._lock:
+            if n > self._next:
+                self._next = n
 
 
 def populate(

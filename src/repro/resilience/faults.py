@@ -14,6 +14,9 @@ named **sites**:
 ``persistence.save``      between temp-file write and ``os.replace``
 ``persistence.load``      before a dump file is parsed
 ``sched.admit``           :meth:`Database.run_many` admits one query
+``wal.append``            before a WAL record's bytes are written
+``wal.fsync``             after a record is written, before its fsync
+``recovery.replay``       before each WAL record is replayed
 ========================  =============================================
 
 Sites guard themselves with one global-load-plus-``None``-check
@@ -47,6 +50,9 @@ SITES: tuple[str, ...] = (
     "persistence.save",
     "persistence.load",
     "sched.admit",
+    "wal.append",
+    "wal.fsync",
+    "recovery.replay",
 )
 
 KINDS: tuple[str, ...] = ("transient", "latency")

@@ -104,12 +104,17 @@ class TransactionScope:
                 for oid, rec in self.prior_records:
                     if oe.get(oid) is not rec:
                         oe = oe.with_object(oid, rec)
+                changed = ee is not db.ee or oe is not db.oe
                 # under the commit lock no writer interleaves; concurrent
                 # *disjoint* readers are safe in either order because the
                 # dropped oids were created by the failed attempt and
                 # cannot be referenced from outside its effect scope
                 db.ee = ee
                 db.oe = oe
+                if changed:
+                    # a rollback has no static effect bounding what it
+                    # undid: journal the whole state (see db.wal)
+                    db._wal_log_unattributed("rollback(query)")
             if _OBS.enabled:
                 _METRICS.counter("rollbacks_total", scope="query").inc()
                 if dropped:
@@ -209,6 +214,9 @@ class Transaction:
             db._def_types.clear()
             db._def_types.update(self._entry_def_types)
             db.machine.defs = db._definitions
+            # the statements this undid were individually journalled;
+            # only a full record can express their un-doing
+            db._wal_log_unattributed("rollback(transaction)")
             if _OBS.enabled:
                 _METRICS.counter("rollbacks_total", scope="transaction").inc()
         self._finish("rolled_back")

@@ -332,7 +332,11 @@ class QueryScheduler:
         Readers never commit — they answer from the snapshot they load;
         writers commit under the database's commit lock, and reach this
         point only after every earlier conflicting query finished, so
-        their oid allocations happen in admission order.  Each attempt
+        their oid allocations happen in admission order.  The same lock
+        orders write-ahead-log appends when a WAL is attached: log
+        order = commit order = admission order, so recovery replays the
+        batch exactly as a sequential run would have made it durable.
+        Each attempt
         gets a fresh copy of the batch budget (per-query fuel, matching
         ``Database.run``'s retry discipline).
         """

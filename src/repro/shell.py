@@ -44,6 +44,11 @@ Commands::
     .transaction <cmd>    begin / commit / rollback an all-or-nothing
                           scope; a failing statement inside rolls the
                           whole transaction back
+    .wal [open <dir>|off] durability: ``.wal open <dir>`` recovers the
+                          database stored there (or starts journalling
+                          the current one into a fresh directory),
+                          ``.wal off`` detaches, bare shows status
+    .checkpoint           fold the write-ahead log into the checkpoint
     .quit                 leave
 
 Instrumentation is **off** when the shell starts (interactive latency
@@ -175,7 +180,9 @@ class Shell:
             if self._txn is not None and self._txn.active:
                 return "error: commit or roll back the open transaction first"
             with open(rest, encoding="utf-8") as f:
-                self.db = Database.from_odl(f.read())
+                source = f.read()
+            self.db.close()  # release any attached write-ahead log
+            self.db = Database.from_odl(source)
             return f"loaded schema with classes {sorted(self.db.schema.class_names())}"
         if cmd == ".type":
             return str(self.db.typecheck(rest))
@@ -269,6 +276,13 @@ class Shell:
             return self._faults_cmd(rest)
         if cmd == ".transaction":
             return self._transaction_cmd(rest)
+        if cmd == ".wal":
+            return self._wal_cmd(rest)
+        if cmd == ".checkpoint":
+            if self.db.wal is None:
+                return "error: no write-ahead log attached (.wal open <dir>)"
+            lsn = self.db.checkpoint()
+            return f"checkpoint written (folded through lsn {lsn})"
         if cmd == ".snapshot":
             self._snapshot = self.db.snapshot()
             return "snapshot taken"
@@ -378,6 +392,48 @@ class Shell:
         if plan is None:
             return "fault injection off"
         return plan.describe()
+
+    def _wal_cmd(self, rest: str) -> str:
+        if rest == "off":
+            if self.db.wal is None:
+                return "error: no write-ahead log attached"
+            directory = self.db.wal_dir
+            self.db.close()
+            return f"detached from {directory} (the files stay recoverable)"
+        if rest.startswith("open"):
+            if self._txn is not None and self._txn.active:
+                return "error: commit or roll back the open transaction first"
+            directory = rest[len("open"):].strip()
+            if not directory:
+                return "error: .wal open needs a directory"
+            if self.db.wal is not None:
+                return (
+                    f"error: already journalling into {self.db.wal_dir} "
+                    "(.wal off first)"
+                )
+            import os as _os
+
+            from repro.db import recovery as _recovery
+
+            if _os.path.exists(_recovery.checkpoint_path(directory)):
+                result = _recovery.recover(directory)
+                self.db = result.db
+                return result.summary()
+            self.db.attach_wal(directory)
+            return (
+                f"journalling into {directory} (checkpoint written; every "
+                "commit is now durable)"
+            )
+        if rest:
+            return f"error: unknown .wal subcommand {rest!r}"
+        if self.db.wal is None:
+            return "durability off (.wal open <dir> to start journalling)"
+        wal = self.db.wal
+        return (
+            f"journalling into {self.db.wal_dir}: last lsn {wal.last_lsn}, "
+            f"log {wal.size()} byte(s), "
+            f"{'fsync per commit' if wal.sync else 'no fsync (flush only)'}"
+        )
 
     def _transaction_cmd(self, rest: str) -> str:
         if rest == "begin":

@@ -365,3 +365,92 @@ class TestDeterministicRecovery:
             return answers, dict(plan.hits), dict(plan.fired)
 
         assert run_once() == run_once()
+
+
+class TestWalFaults:
+    """Durability under injected faults at the three WAL sites.
+
+    A failed append must fail the *commit* (write-ahead ordering: the
+    record was not durable, so the state change must not happen) while
+    leaving both the in-memory database and the log file exactly as
+    they were; a retry after the fault clears succeeds normally.
+    """
+
+    def _durable_db(self, tmp_path) -> Database:
+        d = Database.open(str(tmp_path / "db"), ODL)
+        for name, age in [("Ada", 36), ("Grace", 45)]:
+            d.run(f'new Person(name: "{name}", age: {age})')
+        return d
+
+    @pytest.mark.parametrize("site", ["wal.append", "wal.fsync"])
+    def test_append_fault_fails_the_commit_cleanly(self, site, tmp_path):
+        d = self._durable_db(tmp_path)
+        ee, oe, size = d.ee, d.oe, d.wal.size()
+        with inject(FaultPlan((FaultRule(site=site, at=1),))):
+            with pytest.raises(TransientFault):
+                d.run('new Person(name: "Tim", age: 12)')
+        assert d.ee == ee and d.oe == oe, "state installed without a record"
+        assert d.wal.size() == size, "half a record left in the log"
+        d.close()
+
+    @pytest.mark.parametrize("site", ["wal.append", "wal.fsync"])
+    def test_retry_after_the_fault_clears_succeeds(self, site, tmp_path):
+        d = self._durable_db(tmp_path)
+        policy = RetryPolicy.seeded(7, max_attempts=3, sleep=noop_sleep)
+        with inject(FaultPlan((FaultRule(site=site, at=1, times=1),))):
+            # atomic=True so replay_decision can prove the failed
+            # attempt (which never installed anything) was rolled back
+            d.run(
+                'new Person(name: "Tim", age: 12)',
+                atomic=True,
+                retry=policy,
+            )
+        assert len(d.extent("Persons")) == 3
+        d.close()
+        from repro.db import recover
+
+        res = recover(str(tmp_path / "db"), attach=False)
+        assert len(res.db.extent("Persons")) == 3
+
+    def test_insert_append_fault_is_also_clean(self, tmp_path):
+        d = self._durable_db(tmp_path)
+        before = len(d.extent("Persons"))
+        with inject(FaultPlan((FaultRule(site="wal.append", at=1),))):
+            with pytest.raises(TransientFault):
+                d.insert("Person", name="Tim", age=12)
+        assert len(d.extent("Persons")) == before
+        d.close()
+
+    def test_rollback_append_fault_detaches_durability_loudly(self, tmp_path):
+        # an unattributed change (transaction rollback) whose full
+        # record cannot be appended leaves the log unable to describe
+        # the in-memory state: the database must drop durability, not
+        # keep journalling deltas against the wrong base
+        d = self._durable_db(tmp_path)
+        # hit 1 is the insert inside the transaction; hit 2 the
+        # rollback's full record
+        with inject(FaultPlan((FaultRule(site="wal.append", at=2),))):
+            with pytest.raises(TransientFault):
+                with d.transaction():
+                    d.run('new Person(name: "Tim", age: 12)')
+                    raise TransientFault("abort the transaction")
+        assert d.wal is None, "durability kept journalling after the gap"
+        assert len(d.extent("Persons")) == 2, "rollback itself must stand"
+        # the on-disk log still recovers a *committed prefix*: the
+        # insert happened, its un-doing was never made durable
+        from repro.db import recover
+
+        res = recover(str(tmp_path / "db"), attach=False)
+        assert len(res.db.extent("Persons")) == 3
+
+    def test_recovery_replay_fault_then_clean_run_converges(self, tmp_path):
+        from repro.db import recover
+
+        d = self._durable_db(tmp_path)
+        expected_ee, expected_oe = d.ee, d.oe
+        d.close()
+        with inject(FaultPlan((FaultRule(site="recovery.replay", at=1),))):
+            with pytest.raises(TransientFault):
+                recover(str(tmp_path / "db"), attach=False)
+        res = recover(str(tmp_path / "db"), attach=False)
+        assert res.db.ee == expected_ee and res.db.oe == expected_oe

@@ -394,3 +394,54 @@ class TestTransactionCommand:
         shell.handle("define inc(x: int) as x + 1")
         shell.handle(".transaction rollback")
         assert shell.handle("inc(41)").startswith("error:")
+
+
+class TestWalCommand:
+    def test_status_when_off(self, shell):
+        assert shell.handle(".wal").startswith("durability off")
+
+    def test_open_attaches_and_status_reports(self, shell, tmp_path):
+        out = shell.handle(f".wal open {tmp_path / 'state'}")
+        assert "journalling into" in out
+        status = shell.handle(".wal")
+        assert "last lsn" in status and "byte(s)" in status
+
+    def test_open_needs_a_directory(self, shell):
+        assert shell.handle(".wal open").startswith("error:")
+
+    def test_open_twice_is_refused(self, shell, tmp_path):
+        shell.handle(f".wal open {tmp_path / 'a'}")
+        out = shell.handle(f".wal open {tmp_path / 'b'}")
+        assert out.startswith("error: already journalling")
+
+    def test_open_refused_inside_transaction(self, shell, tmp_path):
+        shell.handle(".transaction begin")
+        out = shell.handle(f".wal open {tmp_path / 'state'}")
+        assert "commit or roll back" in out
+
+    def test_checkpoint_requires_wal(self, shell):
+        assert shell.handle(".checkpoint").startswith("error:")
+
+    def test_checkpoint_reports_folded_lsn(self, shell, tmp_path):
+        shell.handle(f".wal open {tmp_path / 'state'}")
+        shell.handle('new Person(name: "Bob", age: 1)')
+        out = shell.handle(".checkpoint")
+        assert "folded through lsn 1" in out
+
+    def test_off_detaches(self, shell, tmp_path):
+        shell.handle(f".wal open {tmp_path / 'state'}")
+        out = shell.handle(".wal off")
+        assert "detached" in out
+        assert shell.db.wal is None
+
+    def test_off_when_off_is_an_error(self, shell):
+        assert shell.handle(".wal off").startswith("error:")
+
+    def test_reopen_recovers_committed_state(self, shell, tmp_path):
+        d = str(tmp_path / "state")
+        shell.handle(f".wal open {d}")
+        shell.handle('new Person(name: "Bob", age: 1)')
+        shell.handle(".wal off")
+        out = shell.handle(f".wal open {d}")
+        assert out.startswith("recovered from checkpoint")
+        assert "Bob" in shell.handle("{ p.name | p <- Persons }")
