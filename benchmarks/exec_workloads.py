@@ -24,6 +24,12 @@ engine automatically):
 * ``cached_repeat``      — the same query issued repeatedly through
   ``Database.run`` (plan + result cache; the effect system proves no
   intervening write, so replays are O(1)).
+
+A second report, ``BENCH_obs.json``, records the cost of ``.explain
+analyze``'s per-operator instrumentation: profiled execution (prebuilt
+plan, compile cost excluded) must stay within ``PROFILE_BAR`` (1.5×)
+of the plain compiled engine, and a profiled run with observability
+off must leave the obs stores untouched.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ SCALE = dict(n_employees=150, n_managers=15) if QUICK else dict(
 )
 REPEATS = 3 if QUICK else 5
 JOIN_BAR = 10.0  # the PR's acceptance bar on the join workloads
+PROFILE_BAR = 1.5  # max allowed profiled/plain execution ratio
 
 WORKLOADS = {
     "join_nested_teams": (
@@ -116,6 +123,82 @@ def bench_cached_repeat(db, n: int = 200) -> dict:
     }
 
 
+def bench_profile_overhead(db, src: str) -> dict:
+    """Profiled vs plain execution on prebuilt plans (no compile cost)."""
+    from repro.exec.engine import compile_profiled, execute_profiled
+
+    q = db.parse(src)
+    entry = db.plan_decision(q).entry
+    plan, _, _ = compile_profiled(db, q)
+
+    plain_value, _, _ = execute_plan(db, entry)
+    prof_value, _, run, _ = execute_profiled(db, plan)
+    assert prof_value == plain_value, f"profiled value mismatch on {src!r}"
+    assert all(n >= 0 for n in run.rows)
+
+    plain_s = _best_of(lambda: execute_plan(db, entry))
+    profiled_s = _best_of(lambda: execute_profiled(db, plan))
+    return {
+        "query": " ".join(src.split()),
+        "plain_s": plain_s,
+        "profiled_s": profiled_s,
+        "overhead": profiled_s / plain_s if plain_s else 1.0,
+        "operators": len(plan.ops),
+    }
+
+
+def _assert_obs_off_untouched(db, src: str) -> None:
+    """A profiled run with obs disabled must not feed the obs stores."""
+    from repro import obs
+
+    was_enabled = obs.enabled()
+    obs.disable()
+    obs.reset()
+    try:
+        db.explain_analyze(src)
+        assert not obs.TRACER.finished, "spans recorded with obs off"
+        assert not obs.STREAM.events, "events recorded with obs off"
+        assert not obs.REGISTRY.collect(), "metrics recorded with obs off"
+    finally:
+        if was_enabled:
+            obs.enable()
+
+
+def bench_obs(db) -> int:
+    """The ``BENCH_obs.json`` report; returns the number of failures."""
+    report: dict = {"quick": QUICK, "scale": SCALE, "bar": PROFILE_BAR,
+                    "workloads": {}}
+    failures: list[str] = []
+    for name, src in WORKLOADS.items():
+        rec = bench_profile_overhead(db, src)
+        report["workloads"][name] = rec
+        status = "ok" if rec["overhead"] <= PROFILE_BAR else (
+            f"ABOVE {PROFILE_BAR:g}x BAR"
+        )
+        print(
+            f"{name:<22} plain    {rec['plain_s'] * 1e3:8.3f} ms   "
+            f"profiled {rec['profiled_s'] * 1e3:8.3f} ms   "
+            f"{rec['overhead']:7.2f}x   {status}"
+        )
+        if rec["overhead"] > PROFILE_BAR:
+            failures.append(
+                f"{name}: profiling overhead {rec['overhead']:.2f}x > "
+                f"{PROFILE_BAR:g}x"
+            )
+    _assert_obs_off_untouched(db, WORKLOADS["join_flat_pairs"])
+    print("obs-off check: profiled run left spans/events/metrics empty")
+    report["obs_off_untouched"] = True
+
+    path = os.environ.get("REPRO_BENCH_OBS_PATH", "BENCH_obs.json")
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(report, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"wrote {path}")
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+    return len(failures)
+
+
 def main() -> int:
     db = hr(**SCALE)
     report: dict = {
@@ -154,6 +237,8 @@ def main() -> int:
         fp.write("\n")
     print(f"wrote {path}")
 
+    if bench_obs(db):
+        return 1
     if failures:
         print("FAIL: " + "; ".join(failures), file=sys.stderr)
         return 1

@@ -41,7 +41,7 @@ from repro.effects.algebra import Effect, add as add_effect
 from repro.effects.checker import EffectChecker
 from repro.effects.commutativity import CommutationConflict, analyze_commutativity
 from repro.effects.determinism import Interference, analyze_determinism
-from repro.errors import IOQLEffectError, IOQLTypeError
+from repro.errors import BudgetExceeded, IOQLEffectError, IOQLTypeError
 from repro.lang.ast import Definition, OidRef, Query
 from repro.lang.parser import parse_program, parse_query
 from repro.lang.traversal import resolve_extents
@@ -61,6 +61,7 @@ from repro.errors import ReproError
 from repro.lang.pprint import pretty, pretty_definition
 from repro.exec.cache import PlanCache, schema_fingerprint
 from repro.exec.engine import PlanDecision, decide as _decide_engine, execute_plan
+from repro.obs import flight as _flight
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.obs.spans import span as _span
@@ -121,6 +122,20 @@ class Database:
         self._wal_dir: str | None = None
         self._checkpoint_lsn = 0
         self._odl_source: str | None = None
+        # always-on query statistics (plain int bumps) feeding health();
+        # the obs registry mirrors them only when instrumentation is on
+        self._qstats: dict[str, int] = {
+            "runs": 0,
+            "compiled": 0,
+            "reduction": 0,
+            "bigstep": 0,
+            "result_cache_hits": 0,
+            "failures": 0,
+            "budget_exhausted": 0,
+            "crash_dumps": 0,
+        }
+        # stats dict of the most recent run_many batch (repro.sched)
+        self._last_batch: dict | None = None
         self.machine = Machine(
             schema,
             self._definitions,
@@ -410,11 +425,20 @@ class Database:
             return
         try:
             self._wal.append(self._wal_full_record(stmt))
-        except BaseException:
+        except BaseException as exc:
             self._wal.close()
             self._wal = None
             if _OBS.enabled:
                 _METRICS.counter("wal_detached_total").inc()
+            # durability just went dark: preserve the black box next to
+            # the log it can no longer describe
+            _flight.record(
+                "wal-detach", stmt=stmt, error=f"{type(exc).__name__}: {exc}"
+            )
+            if _flight.crash_dump(
+                "wal-detach", error=exc, directory=self._wal_dir
+            ):
+                self._qstats["crash_dumps"] += 1
             raise
 
     # -- population ------------------------------------------------------
@@ -444,6 +468,12 @@ class Database:
             effect = Effect.of(add_effect(cname))
             new_oe = self.oe.with_object(oid, ObjectRecord(cname, fields))
             new_ee = self.ee.with_member(self.schema.class_extent(cname), oid)
+            _flight.record(
+                "commit",
+                stmt=f"insert {cname}",
+                effect=str(effect),
+                version=pre,
+            )
             if self._wal is not None:
                 # write-ahead: a failed append aborts the insert with
                 # nothing installed (the burnt oid is absorbed by ∼)
@@ -657,15 +687,18 @@ class Database:
                     if scope is not None:
                         scope.rollback(self)
                     if retry is None or not retry.retryable(exc):
+                        self._note_failure(exc)
                         raise
                     if attempt >= retry.max_attempts:
                         if _OBS.enabled:
                             _METRICS.counter("retries_exhausted_total").inc()
+                        self._note_failure(exc, reason="retry-exhausted")
                         raise RetryExhausted(attempt, exc) from exc
                     decision = replay_decision(self, q, rolled_back=atomic)
                     if not decision.safe:
                         if _OBS.enabled:
                             _METRICS.counter("retries_refused_total").inc()
+                        self._note_failure(exc)
                         raise
                     if _OBS.enabled:
                         _METRICS.counter("retry_attempts_total").inc()
@@ -693,6 +726,9 @@ class Database:
                     f"query cannot run on the compiled engine: "
                     f"{decision.reason}"
                 )
+        self._qstats["runs"] += 1
+        if engine in self._qstats:
+            self._qstats[engine] += 1
         with _span("eval", engine=engine) as ev_sp:
             if engine == "compiled":
                 result = self._run_compiled(decision, budget=budget)
@@ -741,6 +777,15 @@ class Database:
                     )
                 with self._commit_lock:
                     pre = self._state_version
+                    if result.effect.writes():
+                        # flight-record before the append so the ring
+                        # shows commit intent → fault → detach in order
+                        _flight.record(
+                            "commit",
+                            stmt=pretty(q)[:200],
+                            effect=str(result.effect),
+                            version=pre,
+                        )
                     if self._wal is not None and result.effect.writes():
                         # write-ahead: the record must be durable before
                         # the state it describes becomes observable; a
@@ -768,6 +813,7 @@ class Database:
         entry = decision.entry
         version = self._state_version
         if entry.result is not None and entry.result_version == version:
+            self._qstats["result_cache_hits"] += 1
             if _OBS.enabled:
                 _METRICS.counter("exec_result_cache_hits_total").inc()
             return EvalResult(
@@ -806,6 +852,126 @@ class Database:
         plan's operator notes for ``.explain``.
         """
         return _decide_engine(self, self.parse(source))
+
+    def _note_failure(self, exc: Exception, reason: str | None = None) -> None:
+        """Count one failed :meth:`run` and dump the flight ring.
+
+        The dump lands next to the WAL when one is attached (the same
+        place a crash post-mortem would look); an in-memory database
+        has nowhere durable to write, so only the counters move.
+        """
+        self._qstats["failures"] += 1
+        if reason is None:
+            if isinstance(exc, BudgetExceeded):
+                self._qstats["budget_exhausted"] += 1
+                reason = "budget-exhausted"
+            else:
+                reason = "query-error"
+        elif isinstance(exc, BudgetExceeded):
+            self._qstats["budget_exhausted"] += 1
+        if _flight.crash_dump(reason, error=exc, directory=self._wal_dir):
+            self._qstats["crash_dumps"] += 1
+
+    def explain_analyze(
+        self,
+        source: str | Query,
+        *,
+        budget: Budget | None = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> "QueryProfile":
+        """Run ``source`` with per-operator instrumentation; never commits.
+
+        Compiled-engine queries come back as a tree of operator nodes,
+        each carrying the optimizer's *estimated* cardinality next to
+        the *actual* row count and self/total time — the
+        estimated-vs-actual comparison ``.explain`` alone cannot give.
+        Queries the compiler refuses fall back to the reduction
+        machine and report a reduction-rule histogram instead of an
+        operator tree.  :meth:`~repro.obs.profile.QueryProfile.render`
+        pretty-prints; ``profile_dict()`` is the machine-readable form.
+        """
+        from repro.obs import events as _events
+        from repro.obs.profile import QueryProfile, build_nodes
+
+        q = self.parse(source)
+        self.typecheck(q)
+        src_text = source if isinstance(source, str) else pretty(q)
+        decision = self.plan_decision(q)
+        if decision.engine == "compiled":
+            from repro.exec.engine import compile_profiled, execute_profiled
+
+            plan, normalised, model = compile_profiled(self, q)
+            value, ctx, run, elapsed = execute_profiled(
+                self, plan, budget=budget
+            )
+            items = getattr(value, "items", None)
+            rows = len(items) if items is not None else 1
+            nodes = build_nodes(plan.ops, run, result_rows=rows)
+            return QueryProfile(
+                query=src_text,
+                engine="compiled",
+                elapsed_s=elapsed,
+                fuel=ctx.ops,
+                effect=str(ctx.effect()),
+                est_cost=model.eval_cost(normalised),
+                actual_steps=ctx.ops,
+                nodes=nodes,
+                summary={
+                    "rows": rows,
+                    "scans": run.scans,
+                    "index_lookups": run.index_lookups,
+                    "plan_notes": list(plan.notes),
+                    "decision": decision.reason,
+                },
+                value=value,
+            )
+        from repro.optimizer.cost import CostModel
+        from time import perf_counter
+
+        with _events.capture() as captured:
+            t0 = perf_counter()
+            result = evaluate(
+                self.machine, self.ee, self.oe, q,
+                strategy=FIRST, max_steps=max_steps, budget=budget,
+            )
+            elapsed = perf_counter() - t0
+        rules: dict[str, int] = {}
+        for ev in captured:
+            rules[ev.rule] = rules.get(ev.rule, 0) + 1
+        return QueryProfile(
+            query=src_text,
+            engine="reduction",
+            elapsed_s=elapsed,
+            fuel=result.steps,
+            effect=str(result.effect),
+            est_cost=CostModel.from_database(self).eval_cost(q),
+            actual_steps=result.steps,
+            nodes=[],
+            summary={
+                "rows": len(getattr(result.value, "items", ()) or ())
+                or 1,
+                "rules": rules,
+                "decision": decision.reason,
+            },
+            value=result.value,
+        )
+
+    def health(self) -> dict:
+        """A point-in-time health snapshot of every subsystem.
+
+        Nested dict (see ``docs/OBSERVABILITY.md`` for the field
+        reference): plan/result-cache hit rates, WAL applied LSN and
+        fsync latency percentiles, last scheduler batch, flight
+        recorder stats, index versions, fault counters.  When obs is
+        enabled the scalar fields are mirrored into the metrics
+        registry as gauges for the Prometheus exporter.
+        """
+        from repro.db import health as _health
+
+        h = _health.collect(self)
+        if _OBS.enabled:
+            _health.export_gauges(h)
+        return h
 
     def transaction(self) -> Transaction:
         """A multi-statement, all-or-nothing scope (context manager).

@@ -49,6 +49,7 @@ from repro.db.persistence import (
 from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord
 from repro.db.wal import WalError
 from repro.errors import EvalError
+from repro.obs import flight as _flight
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.obs.spans import span as _span
@@ -159,6 +160,19 @@ def recover(
                 skipped=skipped,
                 torn=torn,
             )
+        # a replay IS a crash post-mortem: leave the black box next to
+        # the files it recovered, with the replay's outcome as the tail
+        _flight.record(
+            "recovery-replay",
+            directory=directory,
+            checkpoint_lsn=ckpt_lsn,
+            last_lsn=last_lsn,
+            replayed=replayed,
+            skipped=skipped,
+            torn=torn,
+            truncated_bytes=truncated,
+        )
+        _flight.crash_dump("recovery-replay", directory=directory)
         if attach:
             db._adopt_wal(directory, next_lsn=last_lsn + 1, sync=sync)
             db._checkpoint_lsn = ckpt_lsn

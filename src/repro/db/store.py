@@ -289,6 +289,16 @@ class AttributeIndexes:
         with self._lock:
             self._indexes.clear()
 
+    def snapshot(self) -> dict[str, int]:
+        """``{"Extent.attr": built_at_version}`` for every live index."""
+        with self._lock:
+            return {
+                f"{extent}.{attr}": version
+                for (extent, attr), (version, _) in sorted(
+                    self._indexes.items()
+                )
+            }
+
 
 class OidSupply:
     """Fresh-oid generator: ``o ∉ dom(OE)`` of the (New) rule.

@@ -48,10 +48,13 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
+from collections import deque
 from typing import Any, Iterator
 
 from repro.errors import ReproError
+from repro.obs import flight as _flight
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.resilience.faults import maybe_fault
@@ -101,6 +104,9 @@ class WriteAheadLog:
         self.path = os.path.abspath(path)
         self.sync = sync
         self._next_lsn = next_lsn
+        # recent fsync latencies (seconds), always on: the health
+        # surface reports exact p50/p99 from here even with obs off
+        self.fsync_times: deque = deque(maxlen=256)
         existing = os.path.getsize(self.path) if os.path.exists(self.path) else 0
         self._fh = open(self.path, "ab")
         if existing == 0:
@@ -146,32 +152,58 @@ class WriteAheadLog:
         ).encode("utf-8")
         frame = _frame(payload)
         start = self._fh.tell()
+        fsync_s: float | None = None
         try:
             maybe_fault("wal.append")
             self._fh.write(frame)
             self._fh.flush()
             maybe_fault("wal.fsync")
             if self.sync:
+                t0 = time.monotonic()
                 os.fsync(self._fh.fileno())
-        except BaseException:
+                fsync_s = time.monotonic() - t0
+                self.fsync_times.append(fsync_s)
+        except BaseException as exc:
             # self-repair: the commit is failing, so the log must agree
             # that it never happened
             try:
                 self._fh.truncate(start)
                 self._fh.seek(start)
-            except OSError as exc:  # pragma: no cover - disk-level failure
+            except OSError as oserr:  # pragma: no cover - disk-level failure
                 self._fh.close()
                 raise WalError(
                     f"wal append failed and the partial record could not "
-                    f"be removed: {exc}"
-                ) from exc
+                    f"be removed: {oserr}"
+                ) from oserr
+            # black box: the failed append plus everything that led to
+            # it (the commit's effect, the injected fault) hits disk
+            # next to the log it concerns
+            _flight.record(
+                "wal-append-failed",
+                lsn=lsn,
+                kind=record.get("kind", "?"),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            _flight.crash_dump(
+                "wal-append-failed",
+                error=exc,
+                directory=os.path.dirname(self.path),
+            )
             raise
         self._next_lsn = lsn + 1
+        _flight.record(
+            "wal-append",
+            lsn=lsn,
+            kind=record.get("kind", "?"),
+            bytes=len(frame),
+        )
         if _OBS.enabled:
             _METRICS.counter("wal_records_total", kind=record.get("kind", "?")).inc()
             _METRICS.counter("wal_bytes_total").inc(len(frame))
             if self.sync:
                 _METRICS.counter("wal_fsyncs_total").inc()
+                if fsync_s is not None:
+                    _METRICS.histogram("wal_fsync_seconds").observe(fsync_s)
         return lsn
 
     def reset(self, *, next_lsn: int | None = None) -> None:

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from repro.effects.algebra import Effect
 from repro.exec.compiler import CompiledPlan
 from repro.lang.ast import Query
+from repro.obs import flight as _flight
 
 
 def schema_fingerprint(schema) -> tuple:
@@ -127,18 +128,27 @@ class PlanCache:
         written = adds | updates
         if not written:
             return
+        evicted = 0
         with self._lock:
             for key in list(self._entries):
                 entry = self._entries[key]
                 if entry.reads & written:
                     del self._entries[key]
                     self.evictions += 1
+                    evicted += 1
                 elif updates:
                     entry.result = None
                     entry.result_effect = None
                     entry.result_version = -1
                 elif entry.result_version == pre:
                     entry.result_version = post
+        if evicted:
+            _flight.record(
+                "cache-evict",
+                evicted=evicted,
+                written=",".join(sorted(written)),
+                version=post,
+            )
 
     def clear(self) -> None:
         with self._lock:

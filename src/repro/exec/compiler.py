@@ -38,7 +38,9 @@ raise :class:`NotCompilable`; the caller falls back to the machine.
 from __future__ import annotations
 
 import operator
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
 
 from repro.errors import StuckError
@@ -89,6 +91,7 @@ from repro.lang.values import (
     set_union,
 )
 from repro.methods.ast import AccessMode
+from repro.obs.profile import OpDescr
 
 _MISSING = object()
 
@@ -124,11 +127,18 @@ class NotCompilable(Exception):
 
 @dataclass(frozen=True)
 class CompiledPlan:
-    """A ready-to-run plan: the root closure plus its description."""
+    """A ready-to-run plan: the root closure plus its description.
+
+    ``ops`` is non-empty only for plans compiled with ``profile=True``:
+    one :class:`~repro.obs.profile.OpDescr` per pipeline operator, in
+    pipeline order, each carrying the cost model's estimated output
+    cardinality — the static half of ``.explain analyze``.
+    """
 
     fn: Callable
     source: Query = field(repr=False)
     notes: tuple[str, ...] = ()
+    ops: tuple = ()
 
 
 def is_pure(q: Query) -> bool:
@@ -139,6 +149,9 @@ def is_pure(q: Query) -> bool:
     )
 
 
+_COLLECTION_SYNTAX = (Comp, SetLit, BagLit, ListLit, SetOp, ToSet, ExtentRef)
+
+
 def compile_plan(
     schema,
     defs,
@@ -146,25 +159,141 @@ def compile_plan(
     *,
     method_mode: AccessMode = AccessMode.READ_ONLY,
     method_fuel: int = 10_000,
+    profile: bool = False,
+    cost_model=None,
 ) -> CompiledPlan:
-    """Compile one (typechecked, optimizer-normalised) query."""
-    c = _Compiler(schema, defs, method_mode=method_mode)
-    fn = c.compile(q)
-    return CompiledPlan(fn=fn, source=q, notes=tuple(c.notes))
+    """Compile one (typechecked, optimizer-normalised) query.
+
+    With ``profile=True`` every pipeline operator is wrapped with a
+    call/row counter and a clock, feeding a
+    :class:`~repro.exec.runtime.ExecContext`'s ``prof`` run (when one is
+    attached — a profiled plan run without one pays only a ``None``
+    check per operator call).  ``cost_model`` supplies the estimated
+    cardinalities recorded on each operator; defaults to an empty
+    :class:`~repro.optimizer.cost.CostModel` (all extents unknown).
+    """
+    model = cost_model
+    if profile and model is None:
+        from repro.optimizer.cost import CostModel
+
+        model = CostModel()
+    c = _Compiler(schema, defs, method_mode=method_mode, model=model)
+    if profile:
+        est = (
+            model.cardinality(q)
+            if isinstance(q, _COLLECTION_SYNTAX)
+            else 1.0
+        )
+        root = c._new_op(
+            "result", "result", parent=None, est_rows=est, est_calls=1.0
+        )
+        with c._under(root):
+            fn = c.compile(q)
+    else:
+        fn = c.compile(q)
+    return CompiledPlan(
+        fn=fn, source=q, notes=tuple(c.notes), ops=tuple(c.ops)
+    )
 
 
 class _Compiler:
-    def __init__(self, schema, defs, *, method_mode: AccessMode):
+    def __init__(self, schema, defs, *, method_mode: AccessMode, model=None):
         self.schema = schema
         self.defs = defs or {}
         self.method_mode = method_mode
         self.notes: list[str] = []
         self._def_bodies: dict[str, tuple[tuple[str, ...], Callable]] = {}
         self._next_sid = 0
+        # profiling state: a flat operator table plus the compile-time
+        # cursor (which operator encloses the expression being compiled,
+        # and its estimated call count — nested comprehensions scale
+        # their estimates by it)
+        self.model = model
+        self.ops: list[OpDescr] = []
+        self._cur_parent: int | None = None
+        self._mult = 1.0
 
     def _sid(self) -> int:
         self._next_sid += 1
         return self._next_sid - 1
+
+    # -- profiling scaffolding -------------------------------------------
+    @property
+    def profile(self) -> bool:
+        return self.model is not None
+
+    def _new_op(
+        self,
+        kind: str,
+        label: str,
+        *,
+        parent: int | None,
+        est_rows: float,
+        est_calls: float,
+    ) -> int:
+        op_id = len(self.ops)
+        self.ops.append(
+            OpDescr(
+                op_id=op_id,
+                parent=parent,
+                kind=kind,
+                label=label,
+                est_rows=est_rows,
+                rows_from=op_id,
+                extra={"est_calls": est_calls},
+            )
+        )
+        return op_id
+
+    @contextmanager
+    def _under(self, op_id: int | None):
+        """Compile sub-expressions as children of operator ``op_id``."""
+        if op_id is None:
+            yield
+            return
+        prev = (self._cur_parent, self._mult)
+        self._cur_parent = op_id
+        self._mult = self.ops[op_id].extra.get("est_calls", 1.0)
+        try:
+            yield
+        finally:
+            self._cur_parent, self._mult = prev
+
+    def _wrap_stage(self, op_id: int | None, stage: Callable) -> Callable:
+        """Count calls and accumulate inclusive time for one operator."""
+        if op_id is None:
+            return stage
+
+        def profiled_stage(ctx, env, acc, state):
+            prof = ctx.prof
+            if prof is None:
+                stage(ctx, env, acc, state)
+                return
+            prof.rows[op_id] += 1
+            t0 = perf_counter()
+            try:
+                stage(ctx, env, acc, state)
+            finally:
+                prof.times[op_id] += perf_counter() - t0
+
+        return profiled_stage
+
+    def _wrap_fn(self, op_id: int | None, fn: Callable) -> Callable:
+        if op_id is None:
+            return fn
+
+        def profiled_fn(ctx, env):
+            prof = ctx.prof
+            if prof is None:
+                return fn(ctx, env)
+            prof.rows[op_id] += 1
+            t0 = perf_counter()
+            try:
+                return fn(ctx, env)
+            finally:
+                prof.times[op_id] += perf_counter() - t0
+
+        return profiled_fn
 
     # -- expressions -----------------------------------------------------
     def compile(self, q: Query) -> Callable:
@@ -434,31 +563,56 @@ class _Compiler:
                     slot = g
                 slot_preds[slot].append(cq.cond)
 
-        # one stage per generator; pick hash joins where a pure equality
-        # in the generator's slot links it to earlier-bound variables
-        head_fn = self.compile(q.head)
+        # pick hash joins where a pure equality in a generator's slot
+        # links it to earlier-bound variables.  Join selection is
+        # slot-local, so it runs as a forward pre-pass (consuming the
+        # equalities from slot_preds) — profiling needs the per-
+        # generator operator kinds before the reversed build loop.
+        joins: list = [None] * n_gens
+        for i in range(1, n_gens + 1):
+            gen = gens[i - 1]
+            if not dup_vars and gen_uncorrelated[i - 1]:
+                joins[i - 1] = self._pick_join(gen, i, slot_preds[i], gens)
+
+        comp_op = pred_ops = gen_ops = emit_op = None
+        if self.profile:
+            comp_op, pred_ops, gen_ops, emit_op = self._comp_ops(
+                q, gens, slot_preds, joins
+            )
+
+        with self._under(emit_op):
+            head_fn = self.compile(q.head)
 
         def emit_stage(ctx, env, acc, state):
             ctx.charge()
             acc.append(head_fn(ctx, env))
 
-        stage = emit_stage
+        stage = self._wrap_stage(emit_op, emit_stage)
         for i in range(n_gens, 0, -1):
             gen = gens[i - 1]
-            preds = list(slot_preds[i])
-            join = None
-            if not dup_vars and gen_uncorrelated[i - 1]:
-                join = self._pick_join(gen, i, preds, gens)
-            for cond in reversed(preds):
-                stage = self._pred_stage(self.compile(cond), stage)
-            if join is not None:
-                stage = self._join_stage(gen, join, stage)
-            else:
-                stage = self._gen_stage(
-                    gen, gen_uncorrelated[i - 1], stage
+            preds = slot_preds[i]
+            gop = gen_ops[i - 1] if gen_ops is not None else None
+            for k in range(len(preds) - 1, -1, -1):
+                pop = pred_ops[i][k] if pred_ops is not None else None
+                with self._under(pop):
+                    cond_fn = self.compile(preds[k])
+                stage = self._wrap_stage(
+                    pop, self._pred_stage(cond_fn, stage)
                 )
-        for cond in reversed(slot_preds[0]):
-            stage = self._pred_stage(self.compile(cond), stage)
+            with self._under(gop):
+                if joins[i - 1] is not None:
+                    stage = self._join_stage(gen, joins[i - 1], stage)
+                else:
+                    stage = self._gen_stage(
+                        gen, gen_uncorrelated[i - 1], stage
+                    )
+            stage = self._wrap_stage(gop, stage)
+        preds = slot_preds[0]
+        for k in range(len(preds) - 1, -1, -1):
+            pop = pred_ops[0][k] if pred_ops is not None else None
+            with self._under(pop):
+                cond_fn = self.compile(preds[k])
+            stage = self._wrap_stage(pop, self._pred_stage(cond_fn, stage))
 
         first = stage
         n_states = self._next_sid
@@ -470,7 +624,78 @@ class _Compiler:
             first(ctx, env, acc, state)
             return make_set_value(acc)
 
-        return comp_fn
+        return self._wrap_fn(comp_op, comp_fn)
+
+    def _comp_ops(self, q: Comp, gens, slot_preds, joins):
+        """Lay out profiling operators for one comprehension, in
+        pipeline order, with cost-model estimates flowing through.
+
+        Returns ``(comp_op, pred_ops, gen_ops, emit_op)`` where
+        ``pred_ops`` mirrors the ``slot_preds`` structure.
+        """
+        from repro.lang.pprint import pretty
+        from repro.optimizer.cost import EQUALITY_SELECTIVITY
+
+        model = self.model
+        mult = self._mult  # estimated executions of this comprehension
+        comp_op = self._new_op(
+            "comp",
+            pretty(q),
+            parent=self._cur_parent,
+            est_rows=mult * model.cardinality(q),
+            est_calls=mult,
+        )
+        chain: list[int] = []
+        prev = comp_op
+        rows = 1.0  # estimated rows in flight, per comp execution
+
+        def add(kind: str, label: str, est_rows: float, calls: float) -> int:
+            nonlocal prev
+            op = self._new_op(
+                kind, label, parent=prev, est_rows=est_rows, est_calls=calls
+            )
+            chain.append(op)
+            prev = op
+            return op
+
+        pred_ops: list[list[int]] = [[] for _ in slot_preds]
+        gen_ops: list[int] = []
+
+        def add_filters(slot: int) -> None:
+            nonlocal rows
+            for cond in slot_preds[slot]:
+                calls = mult * rows
+                rows *= model.predicate_selectivity(cond)
+                pred_ops[slot].append(
+                    add("filter", f"filter {pretty(cond)}", mult * rows, calls)
+                )
+
+        add_filters(0)
+        for i, gen in enumerate(gens):
+            calls = mult * rows
+            card = model.cardinality(gen.source)
+            if joins[i] is not None:
+                rows *= card * EQUALITY_SELECTIVITY
+                probe_q, build_q, is_objeq = joins[i]
+                label = (
+                    f"hash join {gen.var} <- {pretty(gen.source)} on "
+                    f"{pretty(build_q)} {'==' if is_objeq else '='} "
+                    f"{pretty(probe_q)}"
+                )
+                gen_ops.append(add("hash-join", label, mult * rows, calls))
+            else:
+                rows *= card
+                label = f"scan {gen.var} <- {pretty(gen.source)}"
+                gen_ops.append(add("scan", label, mult * rows, calls))
+            add_filters(i + 1)
+        emit_op = add(
+            "emit", f"emit {pretty(q.head)}", mult * rows, mult * rows
+        )
+        for a, b in zip(chain, chain[1:]):
+            self.ops[a].rows_from = b
+        self.ops[emit_op].rows_from = emit_op
+        self.ops[comp_op].rows_from = emit_op
+        return comp_op, pred_ops, gen_ops, emit_op
 
     def _pick_join(
         self,

@@ -128,3 +128,65 @@ def execute_plan(db, entry: PlanEntry, *, budget=None):
         # obs-off fast path: no span/metric/label object is ever built
         value = entry.plan.fn(ctx, {})
     return value, ctx.effect(), ctx.ops
+
+
+def compile_profiled(db, q: Query):
+    """Compile ``q`` with per-operator instrumentation for
+    ``.explain analyze``.
+
+    Always compiles fresh (never the plan cache): profiled plans carry
+    wrappers a production run must not pay for, and the cost model is
+    snapshotted from the *current* catalog so estimates are the ones a
+    replanner would see now.  Returns ``(plan, normalised, model)``.
+    Raises :class:`NotCompilable` for queries outside the compiled
+    fragment — the caller falls back to instrumented reduction.
+    """
+    from repro.optimizer.cost import CostModel
+    from repro.optimizer.planner import optimize
+
+    model = CostModel.from_database(db)
+    normalised = optimize(db, q).query
+    plan = compile_plan(
+        db.schema,
+        db._definitions,
+        normalised,
+        method_mode=db.method_mode,
+        method_fuel=db.machine.method_fuel,
+        profile=True,
+        cost_model=model,
+    )
+    return plan, normalised, model
+
+
+def execute_profiled(db, plan: CompiledPlan, *, budget=None):
+    """Run a profiled plan; returns ``(value, ctx, run, elapsed_s)``.
+
+    The run's root operator (id 0) is credited with one call and the
+    whole wall-time, so ``build_nodes`` can report the plan total.
+    """
+    import time
+
+    from repro.obs.profile import ProfileRun
+
+    ctx = ExecContext(
+        db.ee,
+        db.oe,
+        db.schema,
+        db._definitions,
+        method_mode=db.method_mode,
+        method_fuel=db.machine.method_fuel,
+        supply=db.supply,
+        budget=budget,
+        indexes=db._indexes,
+        state_version=db._state_version,
+    )
+    run = ProfileRun(len(plan.ops))
+    ctx.prof = run
+    ctx.charge()
+    t0 = time.perf_counter()
+    value = plan.fn(ctx, {})
+    elapsed = time.perf_counter() - t0
+    if plan.ops:
+        run.rows[0] = 1
+        run.times[0] = elapsed
+    return value, ctx, run, elapsed

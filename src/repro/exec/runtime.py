@@ -55,6 +55,7 @@ class ExecContext:
         "indexes",
         "state_version",
         "obs",
+        "prof",
         "_extent_cache",
         "stage_cache",
     )
@@ -87,6 +88,9 @@ class ExecContext:
         self.indexes = indexes
         self.state_version = state_version
         self.obs = _OBS.enabled
+        # set by the profiled execution path (.explain analyze) only;
+        # plain runs pay nothing for it
+        self.prof = None
         self._extent_cache: dict[str, Query] = {}
         # tables/sources provably independent of the variable environment
         # (closed stages) are shared across re-executions of nested
@@ -124,6 +128,8 @@ class ExecContext:
         maybe_fault("store.read")
         cname, members = self.ee.get(extent)
         self.reads.add(cname)
+        if self.prof is not None:
+            self.prof.scans += 1
         cached = self._extent_cache.get(extent)
         if cached is None:
             cached = make_set_value(OidRef(o) for o in members)
@@ -136,6 +142,8 @@ class ExecContext:
         maybe_fault("store.read")
         cname, members = self.ee.get(extent)
         self.reads.add(cname)
+        if self.prof is not None:
+            self.prof.scans += 1
         return len(members)
 
     def attr_index(self, extent: str, attr: str) -> dict:
@@ -152,6 +160,8 @@ class ExecContext:
         maybe_fault("store.read")
         cname, members = self.ee.get(extent)
         self.reads.add(cname)
+        if self.prof is not None:
+            self.prof.index_lookups += 1
         if self.indexes is not None:
             return self.indexes.get(
                 self.ee, self.oe, self.state_version, extent, attr

@@ -33,9 +33,10 @@ to the paper's figures):
 
 from __future__ import annotations
 
-from repro.obs import events, export
+from repro.obs import events, export, flight, profile
 from repro.obs._state import STATE
 from repro.obs.events import ReductionEvent, STREAM, capture
+from repro.obs.flight import FlightRecorder, RECORDER
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -43,13 +44,18 @@ from repro.obs.metrics import (
     REGISTRY,
     Registry,
 )
+from repro.obs.profile import ProfileNode, QueryProfile
 from repro.obs.spans import NULL_SPAN, Span, TRACER, Tracer, span
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "NULL_SPAN",
+    "ProfileNode",
+    "QueryProfile",
+    "RECORDER",
     "REGISTRY",
     "ReductionEvent",
     "Registry",
@@ -63,6 +69,8 @@ __all__ = [
     "enabled",
     "events",
     "export",
+    "flight",
+    "profile",
     "reset",
     "span",
 ]
@@ -90,3 +98,4 @@ def reset() -> None:
     REGISTRY.reset()
     TRACER.reset()
     STREAM.clear()
+    RECORDER.clear()

@@ -13,6 +13,7 @@ the registry only (spans and events have no Prometheus analogue).
 from __future__ import annotations
 
 import json
+import threading
 from typing import IO, Iterable
 
 from repro.obs.events import ReductionEvent, STREAM, EventStream
@@ -34,6 +35,7 @@ def span_dicts(sp: Span, parent: str | None = None) -> Iterable[dict]:
         "kind": "span",
         "name": sp.name,
         "duration_ms": sp.duration * 1e3,
+        "wall": sp.wall,
         "attrs": {k: _plain(v) for k, v in sp.attrs.items()},
         "parent": parent,
         "children": len(sp.children),
@@ -78,6 +80,14 @@ def _plain(v: object) -> object:
 
 
 # -- JSONL ----------------------------------------------------------------
+
+# Concurrent exporters (scheduler workers under run_many, a crash hook
+# racing a periodic export) must not interleave lines.  Each export
+# serialises everything first, then emits ONE write under this lock —
+# a reader can never observe a torn or spliced JSON line.
+_WRITE_LOCK = threading.Lock()
+
+
 def export_jsonl(
     dest: str | IO[str],
     *,
@@ -94,13 +104,16 @@ def export_jsonl(
         records.extend(span_dicts(root))
     records.extend(event_dict(ev) for ev in stream)
     records.extend(metric_dict(m) for m in registry.collect())
+    text = "".join(
+        json.dumps(rec, ensure_ascii=False) + "\n" for rec in records
+    )
     if isinstance(dest, str):
-        with open(dest, "w", encoding="utf-8") as fp:
-            for rec in records:
-                fp.write(json.dumps(rec, ensure_ascii=False) + "\n")
+        with _WRITE_LOCK:
+            with open(dest, "w", encoding="utf-8") as fp:
+                fp.write(text)
     else:
-        for rec in records:
-            dest.write(json.dumps(rec, ensure_ascii=False) + "\n")
+        with _WRITE_LOCK:
+            dest.write(text)
     return len(records)
 
 
@@ -116,8 +129,15 @@ def read_jsonl(path: str) -> list[dict]:
 
 
 # -- Prometheus text format -----------------------------------------------
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_prom_escape(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""

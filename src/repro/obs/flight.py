@@ -1,0 +1,188 @@
+"""Flight recorder: an always-on black box for post-mortem forensics.
+
+The obs tracer/metrics layer is opt-in because instrumentation costs;
+the flight recorder inverts the trade.  It is **always on**, but all it
+does on the happy path is append a small dict to a bounded
+:class:`collections.deque` — no I/O, no JSON, no locks on read-mostly
+state beyond one short critical section.  When something goes wrong
+(unhandled query error, WAL detach, budget exhaustion, recovery
+replay, injected crash), the recent history is dumped as JSONL so the
+failure ships with its own context: the commits (and their static
+effects, Figure 3) that preceded it, the WAL LSNs involved, the faults
+injected, the scheduler admissions in flight.
+
+Design points:
+
+* Bounded: a ring of ``capacity`` events (default 512).  Overflow drops
+  the oldest and counts ``dropped`` so dumps are honest about gaps.
+* Timestamps are ``time.monotonic()`` deltas plus one wall-clock
+  annotation per dump header (same discipline as :mod:`repro.obs.spans`).
+* ``crash_dump`` never raises: diagnostics must not break the primary
+  path, so ``OSError`` during the dump is swallowed (and counted).
+* Leaf module: stdlib only, importable from anywhere in the stack.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+#: File name used for automatic crash dumps inside a database directory.
+DUMP_FILE = "flight.jsonl"
+
+
+class FlightRecorder:
+    """A bounded ring buffer of recent events with JSONL dumping."""
+
+    def __init__(self, capacity: int = 512, *, dump_dir: str | None = None):
+        self.capacity = capacity
+        self.enabled = True
+        #: default directory for :meth:`crash_dump` when the caller has none
+        self.dump_dir = dump_dir or os.environ.get("REPRO_FLIGHT_DIR") or None
+        self._ring: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+        self._dumps = 0
+        self._dump_errors = 0
+        self._last_dump: str | None = None
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------
+    def record(self, category: str, **fields) -> None:
+        """Append one event; near-free, safe from any thread."""
+        if not self.enabled:
+            return
+        ev = {"seq": 0, "t": time.monotonic(), "category": category}
+        ev.update(fields)
+        with self._lock:
+            self._seq += 1
+            ev["seq"] = self._seq
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
+            self._ring.append(ev)
+
+    # -- inspection ------------------------------------------------------
+    def events(self) -> list[dict]:
+        """A snapshot of the ring, oldest first."""
+        with self._lock:
+            return [dict(ev) for ev in self._ring]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "capacity": self.capacity,
+                "buffered": len(self._ring),
+                "recorded": self._seq,
+                "dropped": self._dropped,
+                "dumps": self._dumps,
+                "dump_errors": self._dump_errors,
+                "last_dump": self._last_dump,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._seq = 0
+            self._dropped = 0
+            self._dumps = 0
+            self._dump_errors = 0
+            self._last_dump = None
+
+    # -- dumping ---------------------------------------------------------
+    def dump(self, dest: str, *, reason: str = "manual") -> str:
+        """Write the ring to ``dest`` as JSONL (header line + events).
+
+        The whole dump is a single ``write`` of pre-joined text so a
+        concurrent dump from another thread cannot tear lines.
+        """
+        with self._lock:
+            events = [dict(ev) for ev in self._ring]
+            header = {
+                "category": "flight-header",
+                "reason": reason,
+                "wall": time.time(),
+                "events": len(events),
+                "recorded": self._seq,
+                "dropped": self._dropped,
+            }
+        lines = [json.dumps(header, default=str)]
+        lines.extend(json.dumps(ev, default=str) for ev in events)
+        text = "\n".join(lines) + "\n"
+        with open(dest, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        with self._lock:
+            self._dumps += 1
+            self._last_dump = dest
+        return dest
+
+    def crash_dump(
+        self,
+        reason: str,
+        *,
+        error: BaseException | None = None,
+        directory: str | None = None,
+    ) -> str | None:
+        """Best-effort automatic dump; returns the path or ``None``.
+
+        Records a terminal ``crash`` event first, so the dump's last
+        line names what killed the run.  Swallows ``OSError`` — the
+        black box must never turn a recoverable failure into a new one.
+        """
+        if not self.enabled:
+            return None
+        target_dir = directory or self.dump_dir
+        if target_dir is None:
+            return None
+        self.record(
+            "crash",
+            reason=reason,
+            error=(f"{type(error).__name__}: {error}" if error else None),
+        )
+        dest = os.path.join(target_dir, DUMP_FILE)
+        try:
+            return self.dump(dest, reason=reason)
+        except OSError:
+            with self._lock:
+                self._dump_errors += 1
+            return None
+
+
+#: The process-wide recorder every subsystem feeds.
+RECORDER = FlightRecorder()
+
+
+def record(category: str, **fields) -> None:
+    """Module-level shorthand for ``RECORDER.record``."""
+    RECORDER.record(category, **fields)
+
+
+def crash_dump(
+    reason: str,
+    *,
+    error: BaseException | None = None,
+    directory: str | None = None,
+) -> str | None:
+    """Module-level shorthand for ``RECORDER.crash_dump``."""
+    return RECORDER.crash_dump(reason, error=error, directory=directory)
+
+
+def configure(
+    *,
+    capacity: int | None = None,
+    dump_dir: str | None = None,
+    enabled: bool | None = None,
+) -> FlightRecorder:
+    """Adjust the process-wide recorder (tests, shell, embedders)."""
+    if capacity is not None and capacity != RECORDER.capacity:
+        RECORDER.capacity = capacity
+        with RECORDER._lock:
+            RECORDER._ring = deque(RECORDER._ring, maxlen=capacity)
+    if dump_dir is not None:
+        RECORDER.dump_dir = dump_dir or None
+    if enabled is not None:
+        RECORDER.enabled = enabled
+    return RECORDER

@@ -13,8 +13,30 @@ create path is one dict lookup on an interned ``(name, labels)`` key.
 
 from __future__ import annotations
 
+import re
 import threading
 from dataclasses import dataclass, field
+
+# The Prometheus exposition charsets.  Enforced at registration time so
+# a bad name fails at the call site that minted it, not as a silently
+# unscrapable exposition page hours later.
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+def _validate_names(name: str, labels: LabelKey) -> None:
+    """Reject names the Prometheus text format cannot carry."""
+    if not _METRIC_NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: must match "
+            "[a-zA-Z_:][a-zA-Z0-9_:]*"
+        )
+    for key, _ in labels:
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(
+                f"metric {name!r}: invalid label name {key!r}: must match "
+                "[a-zA-Z_][a-zA-Z0-9_]*"
+            )
 
 # Exponential latency buckets in seconds: 10 µs … 10 s.  Chosen to
 # resolve both a single reduction step (~µs) and a full exhaustive
@@ -101,6 +123,33 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 ≤ q ≤ 1) from the buckets.
+
+        Linear interpolation within the covering bucket, the same
+        scheme Prometheus's ``histogram_quantile`` uses, clamped to the
+        observed ``[min, max]`` so tails never extrapolate past real
+        data.  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        prev_bound, prev_cum = 0.0, 0
+        for bound, cum in zip(self.bounds, self.counts):
+            if cum >= rank:
+                in_bucket = cum - prev_cum
+                if in_bucket <= 0:
+                    est = bound
+                else:
+                    frac = (rank - prev_cum) / in_bucket
+                    est = prev_bound + (bound - prev_bound) * frac
+                return min(max(est, self.min), self.max)
+            prev_bound, prev_cum = bound, cum
+        # rank falls in the implicit +Inf bucket
+        return self.max
+
 
 Metric = Counter | Gauge | Histogram
 
@@ -125,6 +174,7 @@ class Registry:
         with self._lock:
             m = self._metrics.get(key)
             if m is None:
+                _validate_names(name, key[2])
                 m = self._metrics[key] = Counter(name, key[2])
         return m  # type: ignore[return-value]
 
@@ -133,6 +183,7 @@ class Registry:
         with self._lock:
             m = self._metrics.get(key)
             if m is None:
+                _validate_names(name, key[2])
                 m = self._metrics[key] = Gauge(name, key[2])
         return m  # type: ignore[return-value]
 
@@ -147,6 +198,7 @@ class Registry:
         with self._lock:
             m = self._metrics.get(key)
             if m is None:
+                _validate_names(name, key[2])
                 m = self._metrics[key] = Histogram(name, key[2], bounds)
         return m  # type: ignore[return-value]
 

@@ -29,12 +29,20 @@ MAX_FINISHED_ROOTS = 10_000
 
 @dataclass
 class Span:
-    """One timed region: name, attributes, children, wall-time."""
+    """One timed region: name, attributes, children, duration.
+
+    ``start``/``end`` are :func:`time.monotonic` readings, so a span's
+    duration can never go negative under wall-clock adjustments (NTP
+    slew, DST, manual changes).  ``wall`` is the wall-clock time at
+    entry, kept purely as an annotation for correlating exports with
+    external logs — never subtracted from anything.
+    """
 
     name: str
     attrs: dict[str, object] = field(default_factory=dict)
     start: float = 0.0
     end: float | None = None
+    wall: float = 0.0
     children: list["Span"] = field(default_factory=list)
     _tracer: "Tracer | None" = field(default=None, repr=False)
 
@@ -97,12 +105,18 @@ class Tracer:
         return st
 
     def begin(self, name: str, attrs: dict[str, object]) -> Span:
-        sp = Span(name, attrs, start=time.perf_counter(), _tracer=self)
+        sp = Span(
+            name,
+            attrs,
+            start=time.monotonic(),
+            wall=time.time(),
+            _tracer=self,
+        )
         self.stack.append(sp)
         return sp
 
     def finish(self, sp: Span) -> None:
-        sp.end = time.perf_counter()
+        sp.end = time.monotonic()
         stack = self.stack
         # Tolerate out-of-order exits (an exception unwinding through
         # several spans closes them innermost-first anyway).

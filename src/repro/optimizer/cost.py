@@ -32,6 +32,8 @@ from repro.lang.ast import (
     Gen,
     If,
     ListLit,
+    ObjEq,
+    PrimEq,
     Query,
     SetLit,
     SetOp,
@@ -43,6 +45,11 @@ from repro.optimizer.rules import RewriteContext, Rule
 
 DEFAULT_SELECTIVITY = 0.5
 """Fraction of elements assumed to survive one predicate qualifier."""
+
+EQUALITY_SELECTIVITY = 0.1
+"""Fraction assumed to survive an equality predicate (``=``/``==``):
+equalities are far more selective than arbitrary predicates — the
+System-R 1/10 default in place of per-attribute distinct counts."""
 
 UNKNOWN_CARDINALITY = 8.0
 """Guess for collections the model cannot see through (e.g. variables)."""
@@ -90,6 +97,19 @@ class CostModel:
         if isinstance(q, If):
             return max(self.cardinality(q.then), self.cardinality(q.els))
         return UNKNOWN_CARDINALITY
+
+    def predicate_selectivity(self, cond: Query) -> float:
+        """Estimated fraction of rows surviving one predicate.
+
+        Equalities get the sharper :data:`EQUALITY_SELECTIVITY`; every
+        other predicate keeps the model's default.  This is what the
+        profiler uses for per-operator estimates (``.explain analyze``),
+        so the estimated-vs-actual comparison exercises the very numbers
+        a cost-based replanner would act on.
+        """
+        if isinstance(cond, (PrimEq, ObjEq)):
+            return EQUALITY_SELECTIVITY
+        return self.selectivity
 
     # -- evaluation cost ------------------------------------------------------
     def eval_cost(self, q: Query) -> float:

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.errors import ReproError, TransientFault
+from repro.obs import flight as _flight
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
 
@@ -152,6 +153,7 @@ class FaultPlan:
         """
         to_sleep = 0.0
         to_raise: TransientFault | None = None
+        fired: list[tuple[str, int]] = []
         with self._lock:
             count = self.hits.get(site, 0) + 1
             self.hits[site] = count
@@ -162,6 +164,7 @@ class FaultPlan:
                     continue
                 self._rule_firings[idx] = self._rule_firings.get(idx, 0) + 1
                 self.fired[site] = self.fired.get(site, 0) + 1
+                fired.append((rule.kind, count))
                 if _OBS.enabled:
                     _METRICS.counter(
                         "faults_injected_total", site=site, kind=rule.kind
@@ -172,6 +175,9 @@ class FaultPlan:
                     to_raise = TransientFault(
                         f"injected fault at {site} (hit #{count})", site=site
                     )
+        # flight-record outside the plan lock: the ring has its own
+        for kind, hit_no in fired:
+            _flight.record("fault", site=site, kind=kind, hit=hit_no)
         if to_sleep:
             self.sleep(to_sleep)
         if to_raise is not None:

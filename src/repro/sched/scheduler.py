@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.effects.algebra import EMPTY, Effect
 from repro.errors import ReproError
 from repro.lang.ast import Query
+from repro.obs import flight as _flight
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.obs.spans import span as _span
@@ -195,6 +196,9 @@ class QueryScheduler:
         self.budget = budget
         self.retry = retry
         self.atomic = atomic
+        # deepest ready-queue depth seen while running this batch —
+        # always on (plain int compare), read by Database.health()
+        self.queue_peak = 0
 
     # -- admission -------------------------------------------------------
     def admit(self, sources: Sequence[str | Query]) -> list[Admission]:
@@ -214,6 +218,7 @@ class QueryScheduler:
             except BaseException as exc:  # noqa: BLE001 - recorded, not lost
                 adm.error = exc
             admissions.append(adm)
+            _flight.record("sched-admit", index=i, kind=adm.kind)
             if _OBS.enabled:
                 _METRICS.counter("sched_queries_total", kind=adm.kind).inc()
         return admissions
@@ -263,6 +268,22 @@ class QueryScheduler:
                     wall=wall,
                     speedup=round(result.speedup, 3),
                 )
+            n_ok = sum(1 for o in outcomes if o.ok)
+            batch_stats = {
+                "queries": len(sources),
+                "ok": n_ok,
+                "errors": len(sources) - n_ok,
+                "workers": self.workers,
+                "conflict_edges": edges,
+                "conflict_degree_mean": (
+                    2.0 * edges / len(sources) if sources else 0.0
+                ),
+                "queue_depth_peak": self.queue_peak,
+                "wall_s": wall,
+                "speedup": result.speedup,
+            }
+            self.db._last_batch = batch_stats
+            _flight.record("sched-batch", **batch_stats)
             return result
 
     def _execute(
@@ -304,6 +325,8 @@ class QueryScheduler:
                         cond.notify_all()
                         return
                     j = ready.popleft()
+                    if len(ready) > self.queue_peak:
+                        self.queue_peak = len(ready)
                     if _OBS.enabled:
                         _METRICS.gauge("sched_queue_depth").set(len(ready))
                 out = self._run_one(by_index[j])

@@ -21,6 +21,14 @@ Commands::
                           --json emits one JSON object per step
     .optimize <query>     effect-gated rewriting with provenance
     .explain <query>      cost estimate, statistics and chosen rewrites
+    .explain analyze <q>  run the query instrumented and print the
+                          per-operator tree: estimated vs actual rows,
+                          misestimate ratio, per-operator time (never
+                          commits; falls back to a reduction-rule
+                          histogram outside the compiled fragment)
+    .top                  live health board: query/cache counters, WAL
+                          lsn + fsync p50/p99, last scheduled batch,
+                          indexes, flight-recorder ring
     .stats [on|off|reset] observability: show collected metrics/spans,
                           or toggle instrumentation (off at startup)
     .stats export <file>  write everything collected as JSONL
@@ -231,6 +239,14 @@ class Shell:
             fired = ", ".join(res.rules_fired())
             return f"{res.query}\n(fired: {fired})"
         if cmd == ".explain":
+            if rest.startswith("analyze"):
+                src = rest[len("analyze"):].strip()
+                if not src:
+                    return "error: .explain analyze needs a query"
+                budget = (
+                    self._budget.fresh() if self._budget is not None else None
+                )
+                return self.db.explain_analyze(src, budget=budget).render()
             from repro.optimizer.cost import CostModel, optimize_with_costs
 
             q = self.db.parse(rest)
@@ -260,6 +276,10 @@ class Shell:
             return "\n".join(lines)
         if cmd == ".stats":
             return self._stats(rest)
+        if cmd == ".top":
+            from repro.db import health as db_health
+
+            return db_health.render(self.db.health())
         if cmd == ".profile":
             return self._profile(rest)
         if cmd == ".extents":

@@ -1,0 +1,156 @@
+"""Tests for the health surface (repro.db.health + Database.health)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.db import health as health_mod
+from repro.db.health import _percentile
+
+
+@pytest.fixture
+def clean_obs():
+    obs.enable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.99) == 0.0
+
+    def test_single_sample(self):
+        assert _percentile([0.25], 0.5) == 0.25
+
+    def test_median_interpolates(self):
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_p99_tracks_the_tail(self):
+        xs = [0.001] * 99 + [1.0]
+        assert _percentile(xs, 0.99) > _percentile(xs, 0.50)
+        assert _percentile(xs, 1.0) == 1.0
+        assert _percentile(xs, 0.50) == pytest.approx(0.001)
+
+    def test_order_independent(self):
+        assert _percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+class TestCollect:
+    def test_snapshot_is_json_safe(self, hr_db):
+        json.dumps(hr_db.health())
+
+    def test_sections_present(self, hr_db):
+        h = hr_db.health()
+        for key in ("plan_cache", "queries", "result_cache", "wal",
+                    "scheduler", "indexes", "store", "faults", "flight"):
+            assert key in h, key
+
+    def test_query_counters_track_runs(self, hr_db):
+        hr_db.run("{ p.name | p <- Persons }")
+        hr_db.run("{ p.name | p <- Persons }")
+        h = hr_db.health()
+        assert h["queries"]["runs"] == 2
+        assert h["queries"]["compiled"] == 2
+        # second run replays the cached result
+        assert h["result_cache"]["hits"] == 1
+        assert h["plan_cache"]["hit_rate"] > 0
+
+    def test_wal_section_reports_lsn_and_fsync_percentiles(
+        self, hr_db, tmp_path
+    ):
+        hr_db.attach_wal(str(tmp_path / "db"))
+        hr_db.insert("Manager", name="M", age=40, address="X", level=1)
+        h = hr_db.health()
+        assert h["wal"]["attached"] is True
+        assert h["wal"]["applied_lsn"] == 1
+        fs = h["wal"]["fsync"]
+        assert fs["samples"] >= 1
+        assert fs["p99_s"] >= fs["p50_s"] > 0.0
+        hr_db.close()
+
+    def test_detached_wal_section(self, hr_db):
+        h = hr_db.health()
+        assert h["wal"]["attached"] is False
+        assert h["wal"]["fsync"]["samples"] == 0
+
+    def test_scheduler_section_after_run_many(self, hr_db):
+        hr_db.run_many(
+            ["{ p.name | p <- Persons }", "size(Employees)"], workers=2
+        )
+        sched = hr_db.health()["scheduler"]
+        assert sched is not None
+        assert sched["queries"] == 2
+        assert sched["queue_depth_peak"] >= 0
+        assert sched["conflict_degree_mean"] >= 0.0
+
+    def test_index_versions_surface(self, hr_db):
+        hr_db.run(
+            "{ struct(e: e.EmpID, m: m.name) | e <- Employees, "
+            "m <- Managers, m == e.UniqueManager }"
+        )
+        idx = hr_db.health()["indexes"]
+        assert idx["store_version"] == hr_db._state_version
+        for name, version in idx["versions"].items():
+            assert "." in name
+            assert isinstance(version, int)
+
+
+class TestExportGauges:
+    def test_scalars_reach_the_prometheus_export(self, hr_db, clean_obs):
+        hr_db.run("{ p.name | p <- Persons }")
+        hr_db.health()
+        text = obs.export.prometheus_text()
+        for metric in ("plan_cache_hit_rate", "queries_total",
+                       "wal_applied_lsn"):
+            assert metric in text, metric
+
+    def test_gauge_names_pass_validation(self):
+        # registration itself validates: a bad name would raise here
+        for name in health_mod._GAUGES:
+            obs.metrics._validate_names(name, ())
+
+    def test_missing_sections_skip_their_gauges(self):
+        # no run_many batch yet -> scheduler is None -> its gauges skipped
+        health_mod.export_gauges({"scheduler": None})
+
+    def test_obs_off_health_touches_no_registry(self, hr_db):
+        assert not obs.enabled()
+        obs.reset()
+        hr_db.health()
+        assert obs.REGISTRY.collect() == []
+
+
+class TestRender:
+    def test_render_is_multiline_and_covers_subsystems(self, hr_db):
+        text = health_mod.render(hr_db.health())
+        for word in ("queries", "plan cache", "wal", "scheduler",
+                     "indexes", "store", "flight"):
+            assert word in text, word
+
+    def test_render_with_wal_and_batch(self, hr_db, tmp_path):
+        hr_db.attach_wal(str(tmp_path / "db"))
+        hr_db.insert("Manager", name="M", age=40, address="X", level=1)
+        hr_db.run_many(["size(Persons)"], workers=1)
+        text = health_mod.render(hr_db.health())
+        assert "fsync p50" in text
+        assert "last batch" in text
+        hr_db.close()
+
+
+class TestShellTop:
+    def test_top_command_renders_health(self, hr_db):
+        from repro.shell import Shell
+
+        sh = Shell(hr_db)
+        out = sh.handle(".top")
+        assert "database health" in out
+
+    def test_explain_analyze_command(self, hr_db):
+        from repro.shell import Shell
+
+        sh = Shell(hr_db)
+        out = sh.handle(".explain analyze { p.name | p <- Persons }")
+        assert "est rows" in out and "actual" in out

@@ -1,0 +1,112 @@
+"""Tests for the exporters (repro.obs.export): JSONL safety, escaping."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    _prom_escape,
+    export_jsonl,
+    prometheus_text,
+    read_jsonl,
+    span_dicts,
+)
+from repro.obs.metrics import Registry
+from repro.obs.spans import Tracer
+
+
+@pytest.fixture
+def clean_obs():
+    obs.enable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestJsonlConcurrency:
+    def test_concurrent_exports_never_tear_lines(self, clean_obs):
+        # populate the shared stores with enough records to make a
+        # torn interleaving overwhelmingly likely without the lock
+        reg = Registry()
+        for i in range(50):
+            reg.counter(f"c{i}", worker="w").inc(i)
+        tracer = Tracer()
+        for i in range(20):
+            sp = tracer.begin(f"span{i}", {"i": i})
+            tracer.finish(sp)
+        buf = io.StringIO()
+        errors: list[BaseException] = []
+
+        def export_many():
+            try:
+                for _ in range(20):
+                    export_jsonl(buf, registry=reg, tracer=tracer)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=export_many) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        lines = [l for l in buf.getvalue().splitlines() if l]
+        assert lines
+        for line in lines:
+            json.loads(line)  # a torn line would fail to parse
+
+    def test_file_export_round_trips(self, clean_obs, tmp_path):
+        obs.REGISTRY.counter("exported_total").inc(3)
+        path = str(tmp_path / "out.jsonl")
+        n = export_jsonl(path)
+        records = read_jsonl(path)
+        assert len(records) == n
+        assert any(
+            r["kind"] == "counter" and r["name"] == "exported_total"
+            for r in records
+        )
+
+
+class TestSpanWallAnnotation:
+    def test_span_dict_carries_wall_clock(self, clean_obs):
+        with obs.span("outer"):
+            pass
+        rec = next(span_dicts(obs.TRACER.finished[-1]))
+        assert rec["wall"] > 0
+
+    def test_duration_immune_to_wall_clock_regression(self, monkeypatch):
+        # wall clock jumps BACKWARDS mid-span (NTP step); the span's
+        # duration comes from time.monotonic and must stay >= 0
+        import repro.obs.spans as spans_mod
+
+        tracer = Tracer()
+        walls = iter([1_000_000.0, 999_000.0])  # time.time going backwards
+        monkeypatch.setattr(
+            spans_mod.time, "time", lambda: next(walls, 0.0)
+        )
+        sp = tracer.begin("regression", {})
+        tracer.finish(sp)
+        assert sp.duration >= 0.0
+        assert sp.end >= sp.start
+        assert sp.wall == 1_000_000.0  # annotation only, never subtracted
+
+
+class TestPrometheusEscaping:
+    def test_escape_backslash_quote_newline(self):
+        assert _prom_escape('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_label_values_escaped_in_exposition(self):
+        reg = Registry()
+        reg.counter("queries_total", query='{ p | p <- "Ps" }\n').inc()
+        text = prometheus_text(reg)
+        line = next(
+            l for l in text.splitlines()
+            if "queries_total" in l and not l.startswith("#")
+        )
+        assert '\\"Ps\\"' in line
+        assert "\\n" in line
+        assert "\n" not in line  # the newline never reaches the output raw

@@ -1,0 +1,200 @@
+"""Tests for the flight recorder (repro.obs.flight)."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import TransientFault
+from repro.obs.flight import DUMP_FILE, FlightRecorder, RECORDER, configure
+from repro.resilience.faults import FaultPlan, FaultRule, inject
+
+
+@pytest.fixture(autouse=True)
+def clean_global_recorder():
+    RECORDER.clear()
+    yield
+    RECORDER.clear()
+
+
+class TestRing:
+    def test_records_in_order_with_sequence_numbers(self):
+        fr = FlightRecorder(capacity=8)
+        fr.record("a", x=1)
+        fr.record("b", x=2)
+        evs = fr.events()
+        assert [e["category"] for e in evs] == ["a", "b"]
+        assert [e["seq"] for e in evs] == [1, 2]
+        assert all("t" in e for e in evs)
+
+    def test_overflow_drops_oldest_and_counts(self):
+        fr = FlightRecorder(capacity=3)
+        for i in range(5):
+            fr.record("ev", i=i)
+        evs = fr.events()
+        assert [e["i"] for e in evs] == [2, 3, 4]
+        assert fr.stats()["dropped"] == 2
+        assert fr.stats()["recorded"] == 5
+
+    def test_disabled_recorder_is_inert(self):
+        fr = FlightRecorder(capacity=4)
+        fr.enabled = False
+        fr.record("ev")
+        assert fr.events() == []
+        assert fr.crash_dump("why", directory="/nonexistent") is None
+
+    def test_clear_resets_everything(self):
+        fr = FlightRecorder(capacity=2)
+        fr.record("a")
+        fr.record("b")
+        fr.record("c")
+        fr.clear()
+        st = fr.stats()
+        assert st["buffered"] == st["recorded"] == st["dropped"] == 0
+
+
+class TestDump:
+    def test_dump_writes_header_plus_events(self, tmp_path):
+        fr = FlightRecorder(capacity=4)
+        fr.record("commit", effect="{A(C)}")
+        dest = str(tmp_path / "out.jsonl")
+        fr.dump(dest, reason="test")
+        lines = [json.loads(l) for l in open(dest, encoding="utf-8")]
+        assert lines[0]["category"] == "flight-header"
+        assert lines[0]["reason"] == "test"
+        assert lines[0]["events"] == 1
+        assert lines[1]["category"] == "commit"
+
+    def test_crash_dump_appends_terminal_crash_event(self, tmp_path):
+        fr = FlightRecorder(capacity=4)
+        fr.record("before")
+        path = fr.crash_dump(
+            "boom", error=ValueError("bad"), directory=str(tmp_path)
+        )
+        assert path == str(tmp_path / DUMP_FILE)
+        lines = [json.loads(l) for l in open(path, encoding="utf-8")]
+        last = lines[-1]
+        assert last["category"] == "crash"
+        assert last["reason"] == "boom"
+        assert last["error"] == "ValueError: bad"
+
+    def test_crash_dump_without_directory_is_a_noop(self):
+        fr = FlightRecorder(capacity=4)
+        assert fr.dump_dir is None or fr.dump_dir
+        fr.dump_dir = None
+        assert fr.crash_dump("boom") is None
+        assert fr.stats()["dumps"] == 0
+
+    def test_crash_dump_swallows_os_errors(self, tmp_path):
+        fr = FlightRecorder(capacity=4)
+        missing = str(tmp_path / "no" / "such" / "dir")
+        assert fr.crash_dump("boom", directory=missing) is None
+        assert fr.stats()["dump_errors"] == 1
+
+    def test_dump_lines_are_parseable_with_nonstring_payloads(self, tmp_path):
+        fr = FlightRecorder(capacity=4)
+        fr.record("odd", payload={"nested": (1, 2)}, exc=ValueError("x"))
+        dest = str(tmp_path / "odd.jsonl")
+        fr.dump(dest)
+        for line in open(dest, encoding="utf-8"):
+            json.loads(line)  # default=str keeps every line valid JSON
+
+
+class TestConfigure:
+    def test_capacity_change_preserves_recent_events(self):
+        configure(capacity=4)
+        try:
+            for i in range(4):
+                RECORDER.record("ev", i=i)
+            configure(capacity=2)
+            assert [e["i"] for e in RECORDER.events()] == [2, 3]
+        finally:
+            configure(capacity=512, enabled=True)
+
+    def test_enable_toggle(self):
+        configure(enabled=False)
+        try:
+            RECORDER.record("ev")
+            assert RECORDER.events() == []
+        finally:
+            configure(enabled=True)
+
+
+class TestPipelineIntegration:
+    def test_commit_and_wal_events_reach_the_ring(self, hr_db, tmp_path):
+        hr_db.attach_wal(str(tmp_path / "db"))
+        RECORDER.clear()
+        hr_db.insert("Manager", name="N", age=40, address="X", level=1)
+        cats = [e["category"] for e in RECORDER.events()]
+        assert "commit" in cats and "wal-append" in cats
+        commit = next(
+            e for e in RECORDER.events() if e["category"] == "commit"
+        )
+        assert commit["effect"] == "{A(Manager)}"
+        hr_db.close()
+
+    def test_fault_injection_is_recorded(self, hr_db):
+        plan = FaultPlan([FaultRule("commit", at=1)])
+        with inject(plan):
+            with pytest.raises(TransientFault):
+                hr_db.run('new Person(name: "x", age: 1, address: "y")')
+        cats = [e["category"] for e in RECORDER.events()]
+        assert "fault" in cats
+        fault = next(
+            e for e in RECORDER.events() if e["category"] == "fault"
+        )
+        assert fault["site"] == "commit"
+
+    def test_wal_fsync_fault_leaves_a_dump_with_the_commit_effect(
+        self, hr_db, tmp_path
+    ):
+        wal_dir = str(tmp_path / "db")
+        hr_db.attach_wal(wal_dir)
+        plan = FaultPlan([FaultRule("wal.fsync", at=1)])
+        with inject(plan):
+            with pytest.raises(TransientFault):
+                hr_db.insert(
+                    "Manager", name="doom", age=9, address="Z", level=2
+                )
+        dump = os.path.join(wal_dir, DUMP_FILE)
+        assert os.path.exists(dump)
+        lines = [json.loads(l) for l in open(dump, encoding="utf-8")]
+        cats = [l["category"] for l in lines]
+        assert cats[-1] == "crash"
+        tail = lines[-5:]
+        assert any(
+            l["category"] == "fault" and l["site"] == "wal.fsync"
+            for l in tail
+        )
+        commits = [l for l in lines if l["category"] == "commit"]
+        assert commits and "A(Manager)" in commits[-1]["effect"]
+        hr_db.close()
+
+    def test_recovery_leaves_a_replay_postmortem(self, hr_db, tmp_path):
+        from repro.db.recovery import recover
+
+        wal_dir = str(tmp_path / "db")
+        hr_db.attach_wal(wal_dir)
+        hr_db.insert("Manager", name="M", age=33, address="Y", level=1)
+        hr_db.close()
+        result = recover(wal_dir, attach=False)
+        assert result.replayed == 1
+        dump = os.path.join(wal_dir, DUMP_FILE)
+        lines = [json.loads(l) for l in open(dump, encoding="utf-8")]
+        replays = [
+            l for l in lines if l["category"] == "recovery-replay"
+        ]
+        assert replays and replays[-1]["replayed"] == 1
+
+    def test_failed_run_counts_in_qstats(self, hr_db):
+        from repro.errors import FuelExhausted
+        from repro.resilience.budget import Budget
+
+        with pytest.raises(FuelExhausted):
+            hr_db.run(
+                "{ p.name | p <- Persons }",
+                engine="reduction",
+                budget=Budget(max_steps=1),
+            )
+        assert hr_db._qstats["failures"] == 1
+        assert hr_db._qstats["budget_exhausted"] == 1

@@ -123,3 +123,59 @@ class TestPrometheusText:
 
     def test_empty_registry_renders_empty(self, reg):
         assert prometheus_text(reg) == ""
+
+
+class TestNameValidation:
+    def test_valid_names_accepted(self, reg):
+        reg.counter("wal_fsync_seconds_total")
+        reg.gauge("ns:subsystem:value")
+        reg.histogram("latency_seconds", rule="ND_comp")
+
+    def test_bad_metric_name_rejected_loudly(self, reg):
+        with pytest.raises(ValueError, match="metric name"):
+            reg.counter("wal fsync latency")
+        with pytest.raises(ValueError):
+            reg.gauge("9starts_with_digit")
+        with pytest.raises(ValueError):
+            reg.histogram("dash-not-allowed")
+
+    def test_bad_label_name_rejected(self, reg):
+        with pytest.raises(ValueError, match="label"):
+            reg.counter("ok_name", **{"bad-label": "v"})
+
+    def test_colon_invalid_in_label_names(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("ok_name", **{"ns:label": "v"})
+
+    def test_validation_only_on_creation_path(self, reg):
+        # the get-or-create hit path must stay one dict lookup
+        c = reg.counter("hot_path_total")
+        assert reg.counter("hot_path_total") is c
+
+
+class TestHistogramQuantile:
+    def test_empty_is_zero(self, reg):
+        assert reg.histogram("h").quantile(0.99) == 0.0
+
+    def test_out_of_range_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.histogram("h").quantile(1.5)
+
+    def test_interpolates_within_bucket(self, reg):
+        h = reg.histogram("h", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(1.5, abs=0.5)
+        assert h.quantile(1.0) == 3.5  # clamped to the observed max
+
+    def test_never_extrapolates_past_observed_range(self, reg):
+        h = reg.histogram("h", bounds=(10.0,))
+        h.observe(2.0)
+        h.observe(3.0)
+        assert h.quantile(0.99) <= 3.0
+        assert h.quantile(0.0) >= 2.0 - 10.0  # sanity: finite
+
+    def test_inf_bucket_returns_observed_max(self, reg):
+        h = reg.histogram("h", bounds=(1.0,))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 100.0

@@ -1,0 +1,180 @@
+"""Tests for the query profiler (repro.obs.profile + explain_analyze)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import (
+    OpDescr,
+    ProfileNode,
+    ProfileRun,
+    QueryProfile,
+    _ratio,
+    build_nodes,
+)
+
+JOIN = (
+    "{ struct(e: e.EmpID, m: m.name) "
+    "| e <- Employees, m <- Managers, m == e.UniqueManager }"
+)
+NESTED = (
+    "{ struct(m: m.name, team: { e.EmpID | e <- Employees, "
+    "e.UniqueManager == m }) | m <- Managers }"
+)
+
+
+class TestRatio:
+    def test_normal_division(self):
+        assert _ratio(20, 10.0) == 2.0
+
+    def test_both_zero_is_exact(self):
+        assert _ratio(0, 0.0) == 1.0
+
+    def test_rows_without_estimate_is_none_not_inf(self):
+        # None stays JSON-safe; float('inf') would not round-trip
+        assert _ratio(5, 0.0) is None
+
+
+class TestBuildNodes:
+    def _ops(self):
+        return [
+            OpDescr(0, None, "result", "result", 10.0, 0),
+            OpDescr(1, 0, "scan", "scan x <- Xs", 10.0, 2),
+            OpDescr(2, 1, "emit", "emit x", 10.0, 2),
+        ]
+
+    def test_rows_flow_through_rows_from(self):
+        run = ProfileRun(3)
+        run.rows = [1, 10, 7]
+        nodes = build_nodes(self._ops(), run)
+        scan = nodes[1]
+        assert scan.rows_in == 10  # calls of the scan op itself
+        assert scan.rows_out == 7  # calls of its rows_from op (emit)
+
+    def test_result_rows_override(self):
+        run = ProfileRun(3)
+        run.rows = [1, 10, 7]
+        nodes = build_nodes(self._ops(), run, result_rows=7)
+        assert nodes[0].rows_out == 7
+
+    def test_self_time_subtracts_direct_children(self):
+        run = ProfileRun(3)
+        run.times = [1.0, 0.6, 0.25]
+        nodes = build_nodes(self._ops(), run)
+        assert nodes[0].self_time_s == pytest.approx(0.4)  # 1.0 - 0.6
+        assert nodes[1].self_time_s == pytest.approx(0.35)  # 0.6 - 0.25
+        assert nodes[2].self_time_s == pytest.approx(0.25)
+
+    def test_clock_jitter_never_goes_negative(self):
+        run = ProfileRun(3)
+        run.times = [0.1, 0.2, 0.05]  # child measured longer than parent
+        nodes = build_nodes(self._ops(), run)
+        assert nodes[0].self_time_s == 0.0
+
+
+class TestExplainAnalyzeCompiled:
+    def test_every_node_has_estimate_and_actual(self, hr_db):
+        prof = hr_db.explain_analyze(JOIN)
+        assert prof.engine == "compiled"
+        assert prof.nodes
+        for node in prof.nodes:
+            assert node.est_rows is not None
+            assert node.rows_out >= 0
+            assert node.misestimate is None or node.misestimate >= 0
+
+    def test_scan_actual_matches_extent_size(self, hr_db):
+        prof = hr_db.explain_analyze(JOIN)
+        scans = [n for n in prof.nodes if n.kind == "scan"]
+        assert scans and scans[0].rows_out == len(hr_db.extent("Employees"))
+
+    def test_join_workload_has_a_hash_join_node(self, hr_db):
+        prof = hr_db.explain_analyze(JOIN)
+        assert any(n.kind == "hash-join" for n in prof.nodes)
+
+    def test_profile_dict_round_trips_through_json(self, hr_db):
+        prof = hr_db.explain_analyze(JOIN)
+        d = json.loads(json.dumps(prof.profile_dict()))
+        assert d["engine"] == "compiled"
+        assert len(d["nodes"]) == len(prof.nodes)
+        assert d["summary"]["rows"] == 2
+
+    def test_render_shows_the_comparison_columns(self, hr_db):
+        text = hr_db.explain_analyze(JOIN).render()
+        assert "est rows" in text and "actual" in text and "ratio" in text
+        assert "hash join" in text
+
+    def test_nested_comprehension_profiles_inner_operators(self, hr_db):
+        prof = hr_db.explain_analyze(NESTED)
+        comps = [n for n in prof.nodes if n.kind == "comp"]
+        assert len(comps) == 2  # outer and inner
+        inner = comps[1]
+        # the inner pipeline runs once per outer row
+        assert inner.rows_in == len(hr_db.extent("Managers"))
+
+    def test_never_commits(self, hr_db):
+        before = hr_db._state_version
+        hr_db.explain_analyze(JOIN)
+        assert hr_db._state_version == before
+
+
+class TestExplainAnalyzeReductionFallback:
+    def test_write_query_falls_back_with_rule_histogram(self, hr_db):
+        prof = hr_db.explain_analyze(
+            '{ new Manager(name: "x", age: 40, address: "n", level: 1) '
+            "| e <- Employees }"
+        )
+        assert prof.engine == "reduction"
+        assert prof.nodes == []
+        rules = prof.summary["rules"]
+        assert rules.get("New") == len(hr_db.extent("Employees"))
+
+    def test_fallback_never_commits(self, hr_db):
+        managers = len(hr_db.extent("Managers"))
+        hr_db.explain_analyze(
+            '{ new Manager(name: "x", age: 40, address: "n", level: 1) '
+            "| e <- Employees }"
+        )
+        assert len(hr_db.extent("Managers")) == managers
+
+    def test_fallback_render_mentions_rules(self, hr_db):
+        text = hr_db.explain_analyze(
+            'struct(p: new Person(name: "q", age: 1, address: "r")).p.name'
+        ).render()
+        assert "reduction engine" in text
+        assert "rules fired:" in text
+
+
+class TestObsOffFastPath:
+    def test_analyze_feeds_no_obs_stores_when_disabled(self, hr_db):
+        assert not obs.enabled()
+        obs.reset()
+        hr_db.explain_analyze(JOIN)
+        hr_db.explain_analyze("size(Persons)")  # reduction fallback too
+        assert obs.TRACER.finished == []
+        assert len(obs.STREAM.events) == 0
+        assert obs.REGISTRY.collect() == []
+
+    def test_span_machinery_never_invoked_when_disabled(
+        self, hr_db, monkeypatch
+    ):
+        def boom(*a, **kw):  # pragma: no cover - the point is it never runs
+            raise AssertionError("span allocated with obs disabled")
+
+        monkeypatch.setattr(obs.TRACER, "begin", boom)
+        prof = hr_db.explain_analyze(JOIN)
+        assert prof.engine == "compiled"
+
+
+class TestQueryProfileRendering:
+    def test_missing_estimate_renders_as_inf(self):
+        node = ProfileNode(
+            op_id=0, parent=None, kind="result", label="result",
+            est_rows=0.0, rows_in=1, rows_out=3, time_s=0.0,
+            self_time_s=0.0, misestimate=None,
+        )
+        prof = QueryProfile(
+            query="q", engine="compiled", elapsed_s=0.0, fuel=0,
+            effect="", est_cost=0.0, actual_steps=0, nodes=[node],
+        )
+        assert "inf" in prof.render()
