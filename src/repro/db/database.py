@@ -60,7 +60,12 @@ from repro.db.wal import WriteAheadLog
 from repro.errors import ReproError
 from repro.lang.pprint import pretty, pretty_definition
 from repro.exec.cache import PlanCache, schema_fingerprint
-from repro.exec.engine import PlanDecision, decide as _decide_engine, execute_plan
+from repro.exec.engine import (
+    PlanDecision,
+    decide as _decide_engine,
+    execute_plan,
+    route_read as _route_read,
+)
 from repro.obs import flight as _flight
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
@@ -122,6 +127,18 @@ class Database:
         self._wal_dir: str | None = None
         self._checkpoint_lsn = 0
         self._odl_source: str | None = None
+        # replication (repro.replication): per-extent LSN watermarks —
+        # the last WAL LSN whose static write effect touched each class
+        # — plus a "star" mark for commits any query may observe through
+        # reference chains (U/define/unattributed full records, the §5
+        # caveat).  A replica covers a query's R-set iff its own marks
+        # reach these.  Updated under _commit_lock right after the
+        # append that assigned the LSN.
+        self._write_marks: dict[str, int] = {}
+        self._star_mark = 0
+        self._replicas = None  # ReplicaSet | None
+        # a fenced primary lost a failover: it must never commit again
+        self._fenced = False
         # always-on query statistics (plain int bumps) feeding health();
         # the obs registry mirrors them only when instrumentation is on
         self._qstats: dict[str, int] = {
@@ -133,6 +150,7 @@ class Database:
             "failures": 0,
             "budget_exhausted": 0,
             "crash_dumps": 0,
+            "routed_reads": 0,
         }
         # stats dict of the most recent run_many batch (repro.sched)
         self._last_batch: dict | None = None
@@ -282,6 +300,9 @@ class Database:
         self._wal = WriteAheadLog(
             _recovery.wal_path(self._wal_dir), next_lsn=1, sync=sync
         )
+        # marks refer to LSNs of *this* log; a fresh log restarts them
+        self._write_marks = {}
+        self._star_mark = 0
         self.checkpoint()
         return self
 
@@ -293,6 +314,81 @@ class Database:
         self._wal = WriteAheadLog(
             _recovery.wal_path(self._wal_dir), next_lsn=next_lsn, sync=sync
         )
+        self._write_marks = {}
+        self._star_mark = 0
+
+    # -- replication (repro.replication) ---------------------------------
+    def _mark_written(self, lsn: int, effect: Effect | None) -> None:
+        """Advance the per-extent watermarks for the record at ``lsn``.
+
+        ``effect=None`` is an unattributed full record; a ``U`` commit
+        is also logged full, and either may be observed by *any* query
+        through reference chains (§5), so both advance the star mark
+        every coverage check folds in.  An ``A``-only commit advances
+        exactly the marks its atoms name — a freshly added object is
+        unreachable from records no class in the write set owns, so a
+        query not reading those classes cannot observe it.
+        """
+        with self._commit_lock:
+            if effect is None or effect.updates():
+                # the full record subsumes every per-class mark too:
+                # covers() takes max(star, class mark) on both sides
+                self._star_mark = max(self._star_mark, lsn)
+            else:
+                for cname in effect.adds():
+                    if lsn > self._write_marks.get(cname, 0):
+                        self._write_marks[cname] = lsn
+
+    def write_marks(self) -> dict[str, int]:
+        """Snapshot of the freshness requirement: class → LSN, ``"*"`` →
+        the star mark.  A replica may serve a query iff its own marks
+        reach these for every class in the query's R-set (and the star)."""
+        with self._commit_lock:
+            marks = dict(self._write_marks)
+            marks["*"] = self._star_mark
+            return marks
+
+    @property
+    def replicas(self):
+        """The attached :class:`repro.replication.ReplicaSet` (or None)."""
+        return self._replicas
+
+    def replicate(self, n: int = 2, **kw):
+        """Attach ``n`` WAL-shipped in-process read replicas.
+
+        Requires an attached write-ahead log (the ship medium).  Each
+        replica bootstraps from the checkpoint + intact log and then
+        tails the log, replaying records physically; ``Database.run``
+        routes effect-proven read-only queries to the least-loaded
+        replica whose watermarks cover the query's R-set.  Keyword
+        options are forwarded to :class:`repro.replication.ReplicaSet`
+        (``lag_threshold``, ``audit_every``, ``auto_poll``, ``retry``).
+        """
+        from repro.replication import ReplicaSet
+
+        self._check_fenced()
+        if self._wal is None or self._wal_dir is None:
+            raise ReproError(
+                "replication ships the write-ahead log; attach one first "
+                "(Database.open / attach_wal)"
+            )
+        if self._replicas is not None:
+            raise ReproError("replicas are already attached (detach first)")
+        self._replicas = ReplicaSet(self, n, **kw)
+        return self._replicas
+
+    def detach_replicas(self) -> None:
+        """Stop and drop the attached replica set (idempotent)."""
+        replicas, self._replicas = self._replicas, None
+        if replicas is not None:
+            replicas.close()
+
+    def _check_fenced(self) -> None:
+        if self._fenced:
+            raise ReproError(
+                "this primary was fenced by a failover; use the promoted "
+                "database"
+            )
 
     def checkpoint(self) -> int:
         """Fold the write-ahead log into a fresh checkpoint.
@@ -310,6 +406,7 @@ class Database:
         from repro.db import recovery as _recovery
         from repro.db.persistence import dump_database, write_document
 
+        self._check_fenced()
         if self._wal is None:
             raise ReproError(
                 "no write-ahead log attached (use Database.open or "
@@ -332,10 +429,19 @@ class Database:
             return self._checkpoint_lsn
 
     def close(self) -> None:
-        """Detach and close the write-ahead log (state stays in memory)."""
-        if self._wal is not None:
-            self._wal.close()
-            self._wal = None
+        """Detach and close the write-ahead log (state stays in memory).
+
+        Idempotent, and safe in any order with a fault-driven WAL
+        detach (:meth:`_wal_log_unattributed`): close → detach → close
+        neither raises nor double-counts ``wal_detached_total``.  Any
+        attached replicas are stopped first — their databases remain
+        readable, but no longer ship.
+        """
+        self.detach_replicas()
+        with self._commit_lock:
+            wal, self._wal = self._wal, None
+        if wal is not None:
+            wal.close()
 
     def _wal_commit_record(
         self, stmt: str, effect: Effect, post_ee: ExtentEnv, post_oe: ObjectEnv
@@ -421,13 +527,21 @@ class Database:
         ``wal_detached_total`` metric and ``db.wal is None``) rather
         than left inconsistent; the in-memory database stays correct.
         """
-        if self._wal is None:
+        wal = self._wal
+        if wal is None:
             return
         try:
-            self._wal.append(self._wal_full_record(stmt))
+            lsn = wal.append(self._wal_full_record(stmt))
         except BaseException as exc:
-            self._wal.close()
-            self._wal = None
+            # idempotent detach: a concurrent (or earlier) close/detach
+            # already cleared the slot — don't count the loss twice
+            with self._commit_lock:
+                detached_here = self._wal is wal
+                if detached_here:
+                    self._wal = None
+            wal.close()
+            if not detached_here:
+                raise
             if _OBS.enabled:
                 _METRICS.counter("wal_detached_total").inc()
             # durability just went dark: preserve the black box next to
@@ -440,6 +554,7 @@ class Database:
             ):
                 self._qstats["crash_dumps"] += 1
             raise
+        self._mark_written(lsn, None)
 
     # -- population ------------------------------------------------------
     def insert(self, cname: str, **attrs: Any) -> OidRef:
@@ -449,6 +564,7 @@ class Database:
         values.  Performs the same extent maintenance as the (New)
         rule, and type-checks the attributes against the schema.
         """
+        self._check_fenced()
         declared = dict(self.schema.atypes(cname))
         if set(attrs) != set(declared):
             raise IOQLTypeError(
@@ -477,11 +593,12 @@ class Database:
             if self._wal is not None:
                 # write-ahead: a failed append aborts the insert with
                 # nothing installed (the burnt oid is absorbed by ∼)
-                self._wal.append(
+                lsn = self._wal.append(
                     self._wal_commit_record(
                         f"insert {cname}", effect, new_ee, new_oe
                     )
                 )
+                self._mark_written(lsn, effect)
             self.oe = new_oe
             self.ee = new_ee
             self._note_write(effect, pre)
@@ -495,6 +612,7 @@ class Database:
         Definitions are non-recursive and may reference earlier ones,
         exactly as in the ⊢_prog rule.
         """
+        self._check_fenced()
         if isinstance(source, Definition):
             d = source
         else:
@@ -510,7 +628,7 @@ class Database:
         eff_type = EffectChecker().check_definition(ctx, d)
         if self._wal is not None:
             # write-ahead: logged only once the definition is known good
-            self._wal.append(
+            lsn = self._wal.append(
                 {
                     "kind": "define",
                     "stmt": d.name,
@@ -519,6 +637,9 @@ class Database:
                     "next_oid": self.supply.state(),
                 }
             )
+            # a definition changes what any later query may mean: it
+            # advances the star mark, like a full record
+            self._mark_written(lsn, None)
         self._definitions[d.name] = d
         self._def_types[d.name] = eff_type
         self.machine.defs[d.name] = d
@@ -658,6 +779,7 @@ class Database:
           wrapped in :class:`~repro.resilience.retry.RetryExhausted`
           when attempts run out).
         """
+        self._check_fenced()
         with _span("query", engine=engine):
             q = self.parse(source)
             if typecheck:
@@ -718,6 +840,18 @@ class Database:
         decision: PlanDecision | None = None
         if engine == "auto":
             decision = self.plan_decision(q)
+            if self._replicas is not None:
+                # effect-proven read-only: try a fresh-enough replica;
+                # None means none covers the R-set right now, and the
+                # primary serves (counted by the router, never wrong)
+                routed = _route_read(
+                    self, q, decision,
+                    strategy=strategy, max_steps=max_steps, budget=budget,
+                )
+                if routed is not None:
+                    self._qstats["runs"] += 1
+                    self._qstats["routed_reads"] += 1
+                    return routed
             engine = decision.engine
         elif engine == "compiled":
             decision = self.plan_decision(q)
@@ -791,11 +925,12 @@ class Database:
                         # the state it describes becomes observable; a
                         # failed append fails the commit with nothing
                         # installed, so log and memory always agree
-                        self._wal.append(
+                        lsn = self._wal.append(
                             self._wal_commit_record(
                                 pretty(q), result.effect, result.ee, result.oe
                             )
                         )
+                        self._mark_written(lsn, result.effect)
                     # OE before EE: a concurrent snapshot reader loads
                     # ee then oe, so this order can never pair a new
                     # extent set with an object env missing its members
@@ -839,6 +974,42 @@ class Database:
             steps=ops,
             effect=effect,
             engine="compiled",
+        )
+
+    def _run_snapshot(
+        self,
+        q: Query,
+        ee: ExtentEnv,
+        oe: ObjectEnv,
+        *,
+        budget: Budget | None = None,
+        strategy: Strategy = FIRST,
+    ) -> EvalResult:
+        """Evaluate a read-only query against a pinned ``(ee, oe)`` pair.
+
+        The scheduler's routed reads use this: the pair was captured at
+        admission (before any batch writer ran), so the answer is the
+        sequential one regardless of what this database — typically a
+        replica that kept applying shipped records — has installed
+        since.  Never commits, never touches the live caches' results.
+        """
+        decision = self.plan_decision(q)
+        if decision.engine == "compiled":
+            value, effect, ops = execute_plan(
+                self, decision.entry, budget=budget, ee=ee, oe=oe
+            )
+            return EvalResult(
+                value=value, ee=ee, oe=oe, steps=ops,
+                effect=effect, engine="compiled",
+            )
+        from repro.semantics.bigstep import evaluate_bigstep
+
+        big = evaluate_bigstep(
+            self.machine, ee, oe, q, strategy=strategy, budget=budget
+        )
+        return EvalResult(
+            value=big.value, ee=big.ee, oe=big.oe, steps=0,
+            effect=big.effect, engine="bigstep",
         )
 
     def plan_decision(self, source: str | Query) -> PlanDecision:

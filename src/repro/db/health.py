@@ -81,6 +81,9 @@ def collect(db: "Database") -> dict:
             },
         },
         "scheduler": dict(db._last_batch) if db._last_batch else None,
+        "replication": (
+            db._replicas.snapshot() if db._replicas is not None else None
+        ),
         "indexes": {
             "entries": len(db._indexes),
             "versions": db._indexes.snapshot(),
@@ -117,6 +120,10 @@ _GAUGES: dict[str, tuple[str, ...]] = {
     "wal_fsync_p99_seconds": ("wal", "fsync", "p99_s"),
     "sched_queue_depth_peak": ("scheduler", "queue_depth_peak"),
     "sched_conflict_degree_mean": ("scheduler", "conflict_degree_mean"),
+    "replica_count": ("replication", "count"),
+    "replica_routed_reads_total": ("replication", "routed"),
+    "replica_pinned_reads_total": ("replication", "pinned"),
+    "replica_degraded_reads_total": ("replication", "degraded"),
     "index_entries": ("indexes", "entries"),
     "live_objects_snapshot": ("store", "objects"),
     "flight_events_recorded": ("flight", "recorded"),
@@ -189,6 +196,17 @@ def render(snapshot: dict) -> str:
         )
     else:
         lines.append("  scheduler   no batches yet")
+    rep = snapshot.get("replication")
+    if rep:
+        states = ", ".join(
+            f"{r['name']}={r['state']}(lag {r['lag']})"
+            for r in rep["replicas"]
+        )
+        lines.append(
+            "  replication "
+            f"routed={rep['routed']} pinned={rep['pinned']} "
+            f"degraded={rep['degraded']} [{states}]"
+        )
     idx = snapshot["indexes"]
     lines.append(
         "  indexes     "

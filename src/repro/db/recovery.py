@@ -187,6 +187,42 @@ def recover(
         )
 
 
+def bootstrap(directory: str) -> tuple["Database", int, int]:
+    """Non-mutating recover: seed a **replica** from a primary's files.
+
+    Rebuilds the state from the checkpoint plus the intact log prefix
+    exactly like :func:`recover`, but never repairs the log (the
+    primary is alive and owns its files), never attaches a WAL to the
+    result, and never dumps the flight ring (replicas resync routinely;
+    a resync is not a crash).  Returns ``(db, last_lsn, valid_bytes)``:
+    the replayed database, the highest LSN it contains, and the byte
+    offset just past the last intact record — the shipper resumes
+    tailing from there.
+    """
+    ckpt = checkpoint_path(directory)
+    if not os.path.exists(ckpt):
+        raise PersistenceError(
+            f"no checkpoint under {directory!r}: not a durable database "
+            "directory (Database.open creates one)"
+        )
+    doc = read_document(ckpt)
+    records, valid_bytes, _scan_error = _wal.scan(wal_path(directory))
+    db = load_database(doc)
+    durability = doc.get("durability", {})
+    ckpt_lsn = int(durability.get("lsn", 0))
+    db.supply.advance_to(int(durability.get("next_oid", 0)))
+    last_lsn = ckpt_lsn
+    for rec in records:
+        lsn = rec["lsn"]
+        if lsn <= ckpt_lsn:
+            continue
+        if lsn <= last_lsn:
+            raise WalError(f"non-monotone record lsn {lsn} after {last_lsn}")
+        apply_record(db, rec)
+        last_lsn = lsn
+    return db, last_lsn, valid_bytes
+
+
 # ---------------------------------------------------------------------------
 # Record replay
 # ---------------------------------------------------------------------------

@@ -51,6 +51,7 @@ import struct
 import time
 import zlib
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.errors import ReproError
@@ -278,6 +279,61 @@ def _read_one(raw: bytes, offset: int) -> tuple[dict, int]:
     if zlib.crc32(payload) != crc:
         raise WalError(f"record at byte {offset}: checksum mismatch")
     return _decode_payload(payload, offset), body_end
+
+
+@dataclass(frozen=True)
+class TailResult:
+    """One :func:`tail` poll: the intact frames past a byte offset.
+
+    ``offset`` is the position just past the last intact record — the
+    next poll's starting point.  ``reset=True`` means the file shrank
+    below the requested offset (a checkpoint folded the log); the
+    caller's offset is meaningless and it must resynchronise from the
+    checkpoint.  ``error`` is the first torn/corrupt frame at
+    ``offset`` — for a live log that is usually an append still in
+    flight, which the next poll will see completed; a *persistent*
+    error while the file keeps growing is mid-file corruption.
+    """
+
+    records: tuple[dict, ...]
+    offset: int
+    size: int
+    reset: bool = False
+    error: WalError | None = None
+
+
+def tail(path: str, offset: int) -> TailResult:
+    """Incrementally read intact frames of ``path`` from byte ``offset``.
+
+    This is the replication shipper's reader: tolerant like
+    :func:`scan`, but resumable — it never re-reads shipped frames and
+    never mutates the file (the primary owns repair).  A missing file
+    or one shorter than ``offset`` reports ``reset`` rather than
+    raising: both mean the stream the offset referred to is gone.
+    """
+    if not os.path.exists(path):
+        return TailResult((), len(MAGIC), 0, reset=offset > len(MAGIC))
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    size = len(raw)
+    if size < len(MAGIC) or raw[: len(MAGIC)] != MAGIC:
+        raise WalError(
+            f"{path}: not a write-ahead log (bad or truncated header)"
+        )
+    offset = max(offset, len(MAGIC))
+    if size < offset:
+        return TailResult((), offset, size, reset=True)
+    records: list[dict] = []
+    error: WalError | None = None
+    while offset < size:
+        try:
+            record, end = _read_one(raw, offset)
+        except WalError as exc:
+            error = exc
+            break
+        records.append(record)
+        offset = end
+    return TailResult(tuple(records), offset, size, error=error)
 
 
 def read_records(path: str) -> list[dict]:

@@ -96,23 +96,50 @@ def _compile_entry(db, q: Query, eff: Effect) -> PlanEntry:
         )
 
 
-def execute_plan(db, entry: PlanEntry, *, budget=None):
+def route_read(db, q: Query, decision: PlanDecision, **run_kw):
+    """The replication routing hook behind ``Database.run(engine="auto")``.
+
+    A query whose Figure 3 effect has an **empty write set** is exactly
+    one Theorem 4 makes schedule-invariant — so it may be answered by
+    any replica whose per-extent watermarks cover its R-set (plus the
+    star mark that tracks ``U``/``define`` commits, per the §5
+    reference-chasing caveat) without the answer being distinguishable
+    from the primary's.  Returns the replica's :class:`EvalResult`, or
+    ``None`` when no replica qualifies (the caller degrades to the
+    primary: counted, never wrong).
+    """
+    replicas = getattr(db, "_replicas", None)
+    if replicas is None:
+        return None
+    eff = decision.static_effect
+    if eff is None or eff.writes():
+        return None
+    return replicas.try_serve(q, eff, **run_kw)
+
+
+def execute_plan(db, entry: PlanEntry, *, budget=None, ee=None, oe=None):
     """Run a compiled plan against the database's current EE/OE.
 
     Returns ``(value, dynamic_effect, ops)``; the environments are
-    untouched by construction (the plan is read-only).
+    untouched by construction (the plan is read-only).  ``ee``/``oe``
+    override the live environments for pinned snapshot reads (the
+    scheduler's routed reads evaluate against the immutable pair they
+    captured at admission, not whatever the replica has applied since).
     """
+    pinned = ee is not None or oe is not None
     ctx = ExecContext(
-        db.ee,
-        db.oe,
+        ee if ee is not None else db.ee,
+        oe if oe is not None else db.oe,
         db.schema,
         db._definitions,
         method_mode=db.method_mode,
         method_fuel=db.machine.method_fuel,
         supply=db.supply,
         budget=budget,
-        indexes=db._indexes,
-        state_version=db._state_version,
+        # attribute indexes are versioned against the *live* store; a
+        # pinned snapshot may be older, so it scans without them
+        indexes=None if pinned else db._indexes,
+        state_version=-1 if pinned else db._state_version,
     )
     # one charge per execution: every machine run takes at least one
     # step, so the compiled engine exposes the same fault/budget site

@@ -125,12 +125,16 @@ class FlightRecorder:
         *,
         error: BaseException | None = None,
         directory: str | None = None,
+        filename: str | None = None,
     ) -> str | None:
         """Best-effort automatic dump; returns the path or ``None``.
 
         Records a terminal ``crash`` event first, so the dump's last
         line names what killed the run.  Swallows ``OSError`` — the
         black box must never turn a recoverable failure into a new one.
+        ``filename`` overrides the default ``flight.jsonl`` so dumps
+        about a *specific* casualty (a quarantined replica) survive
+        later generic dumps into the same directory.
         """
         if not self.enabled:
             return None
@@ -142,7 +146,7 @@ class FlightRecorder:
             reason=reason,
             error=(f"{type(error).__name__}: {error}" if error else None),
         )
-        dest = os.path.join(target_dir, DUMP_FILE)
+        dest = os.path.join(target_dir, filename or DUMP_FILE)
         try:
             return self.dump(dest, reason=reason)
         except OSError:
@@ -165,9 +169,12 @@ def crash_dump(
     *,
     error: BaseException | None = None,
     directory: str | None = None,
+    filename: str | None = None,
 ) -> str | None:
     """Module-level shorthand for ``RECORDER.crash_dump``."""
-    return RECORDER.crash_dump(reason, error=error, directory=directory)
+    return RECORDER.crash_dump(
+        reason, error=error, directory=directory, filename=filename
+    )
 
 
 def configure(

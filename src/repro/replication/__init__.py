@@ -1,0 +1,52 @@
+"""WAL-shipped read replicas with effect-guided freshness routing.
+
+The replication layer turns the PR 5 write-ahead log into a ship
+stream: a primary :class:`~repro.db.database.Database` journals every
+commit (delta records for ``A``-only effects, full records for ``U``),
+and each :class:`~repro.replication.replica.Replica` tails the same
+bytes with a :class:`~repro.replication.shipper.WalShipper` and
+replays them through the crash-recovery ``apply_record`` path —
+replication *is* recovery that never stops.
+
+Freshness is decided by the Figure 3 effect system, not clocks: the
+primary stamps per-extent LSN watermarks from each commit's static
+write effect, and a read routes to a replica exactly when the
+replica's watermarks cover the read's R-set (with a *star* mark for
+``U``/``define`` commits, per the §5 reference-chasing caveat).  A
+read that cannot be proven fresh degrades to the primary — counted,
+never wrong.
+
+Entry points: ``Database.replicate(n)`` builds a
+:class:`~repro.replication.router.ReplicaSet`;
+:func:`~repro.replication.failover.promote` turns a survivor into the
+new primary and fences the old one.
+"""
+
+from repro.replication.failover import promote
+from repro.replication.replica import (
+    CATCHING_UP,
+    LAGGING,
+    QUARANTINED,
+    SERVING,
+    Divergence,
+    Replica,
+    state_digest,
+)
+from repro.replication.router import PinnedRead, ReplicaSet
+from repro.replication.shipper import ReplicationError, ShipGap, WalShipper
+
+__all__ = [
+    "CATCHING_UP",
+    "Divergence",
+    "LAGGING",
+    "PinnedRead",
+    "QUARANTINED",
+    "Replica",
+    "ReplicaSet",
+    "ReplicationError",
+    "SERVING",
+    "ShipGap",
+    "WalShipper",
+    "promote",
+    "state_digest",
+]

@@ -1,0 +1,123 @@
+"""Primary failover: promote a replica, fence the old primary.
+
+Promotion is recovery with a survivor's head start.  The replica
+already holds a prefix of the primary's committed history; ``promote``
+replays whatever intact records the log holds past the replica's
+``applied_lsn`` (the same :func:`~repro.db.recovery.apply_record`
+path), adopts the log for writing with ``next_lsn`` past the last
+durable record, and checkpoints — so the promoted database *is* a
+sequential prefix of the old primary's history, equal up to the oid
+bijection ∼ (:func:`repro.db.recovery.apply_record` advances the
+:class:`~repro.model.oids.OidSupply` past every logged ``next_oid``,
+so no promoted commit can ever reuse a pre-failover oid).
+
+The old primary, if still reachable in-process, is **fenced**: its WAL
+handle is closed and every state-changing entry point
+(``run``/``insert``/``define``/``checkpoint``/``replicate``) raises —
+a split brain needs two writers, and fencing leaves exactly one.
+
+Surviving, non-quarantined replicas are re-homed onto the promoted
+primary (same directory, same ship protocol) and resynced from its
+post-promotion checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.db import recovery as _recovery
+from repro.db import wal as _wal
+from repro.db.wal import WalError
+from repro.obs import flight as _flight
+from repro.replication.replica import QUARANTINED, Replica
+from repro.replication.shipper import ReplicationError
+from repro.resilience.faults import maybe_fault
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+
+def promote(
+    replica: Replica, *, directory: str | None = None, sync: bool = True
+) -> "Database":
+    """Promote ``replica`` to primary; returns the promoted database.
+
+    ``directory`` defaults to the replica's ship directory (always the
+    old primary's).  Works both in-process (the old primary is fenced
+    and its surviving replicas re-homed) and cross-process (the old
+    primary is simply gone — e.g. ``examples/replica_failover.py``'s
+    ``kill -9`` smoke — in which case there is nothing to fence and the
+    log on disk is the whole estate).
+    """
+    maybe_fault("failover.promote")
+    if replica.state == QUARANTINED:
+        raise ReplicationError(
+            f"cannot promote quarantined replica {replica.name}: "
+            f"{replica.quarantine_reason}"
+        )
+    directory = directory or replica.directory
+    old = replica._primary
+
+    # 1. fence the old primary first: no new record may land after the
+    #    prefix we are about to declare authoritative
+    old_set = None
+    if old is not None:
+        with old._commit_lock:
+            old._fenced = True
+            wal, old._wal = old._wal, None
+        if wal is not None:
+            wal.close()
+        old_set, old._replicas = old._replicas, None
+        if old_set is not None:
+            old_set.close()
+
+    # 2. replay the intact tail of the fenced log into the survivor
+    records, valid_bytes, _scan_error = _wal.scan(
+        _recovery.wal_path(directory)
+    )
+    last_lsn = replica.applied_lsn
+    for rec in records:
+        lsn = rec["lsn"]
+        if lsn <= last_lsn:
+            continue
+        try:
+            _recovery.apply_record(replica.db, rec)
+        except WalError as exc:
+            replica._quarantine(
+                f"promotion replay refused record lsn {lsn}: {exc}", exc
+            )
+            raise ReplicationError(
+                f"replica {replica.name} cannot be promoted: {exc}"
+            ) from exc
+        last_lsn = lsn
+
+    # 3. the survivor becomes the writer: adopt the log past the last
+    #    durable record, then checkpoint so the estate is self-contained
+    newdb = replica.db
+    replica._primary = None
+    newdb._adopt_wal(directory, next_lsn=last_lsn + 1, sync=sync)
+    newdb.checkpoint()
+
+    # 4. re-home the other survivors onto the promoted primary
+    survivors = []
+    if old_set is not None:
+        from repro.replication.router import ReplicaSet
+
+        for r in old_set.replicas:
+            if r is replica or r.state == QUARANTINED:
+                continue
+            r._primary = newdb
+            r.resync(backoff=False)
+            survivors.append(r)
+        if survivors:
+            newdb._replicas = ReplicaSet(
+                newdb, replicas=survivors, auto_poll=old_set.auto_poll
+            )
+    _flight.record(
+        "failover-promote",
+        promoted=replica.name,
+        directory=directory,
+        last_lsn=last_lsn,
+        survivors=[r.name for r in survivors],
+    )
+    return newdb

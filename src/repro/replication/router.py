@@ -1,0 +1,218 @@
+"""The replica set: freshness-aware routing over N read replicas.
+
+:class:`ReplicaSet` owns the replicas a primary created with
+``Database.replicate(n)`` and answers two questions:
+
+* **live routing** (``try_serve``): ``Database.run(engine="auto")``
+  asks it to serve an effect-proven read-only query.  The set picks the
+  least-loaded replica whose per-extent watermarks cover the query's
+  R-set against the primary's current write marks; if none qualifies
+  it polls once (ship + apply is cheap) and re-picks, and if the set
+  still cannot prove freshness it returns ``None`` — the primary
+  answers, the degrade is counted, and the answer is never wrong.
+
+* **pinned routing** (``pin`` / ``serve_pinned``): the scheduler asks
+  at admission time for an immutable ``(ee, oe)`` snapshot from a
+  covering replica.  A pinned read leaves the batch's conflict graph
+  entirely — writers stop serialising behind it — which is where the
+  replica read-throughput win comes from (``benchmarks/
+  replica_workloads.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.effects.algebra import Effect
+from repro.obs import flight as _flight
+from repro.replication.replica import (
+    LAGGING,
+    QUARANTINED,
+    SERVING,
+    Replica,
+)
+from repro.replication.shipper import ReplicationError
+from repro.resilience.retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+    from repro.semantics.evaluator import EvalResult
+
+#: Preference order when several replicas cover a read.
+_STATE_RANK = {SERVING: 0, LAGGING: 1}
+
+
+@dataclass(frozen=True)
+class PinnedRead:
+    """An immutable snapshot a scheduler-admitted read will run against."""
+
+    replica: Replica
+    ee: object
+    oe: object
+
+
+class ReplicaSet:
+    """N replicas of one primary, plus the routing policy over them."""
+
+    def __init__(
+        self,
+        db: "Database",
+        n: int = 2,
+        *,
+        names: Sequence[str] | None = None,
+        lag_threshold: int = 8,
+        audit_every: int = 32,
+        auto_poll: bool = True,
+        retry: RetryPolicy | None = None,
+        replicas: Sequence[Replica] | None = None,
+    ):
+        if replicas is None and n < 1:
+            raise ReplicationError("a replica set needs at least one replica")
+        self.db = db
+        self.auto_poll = auto_poll
+        self._closed = False
+        self._lock = threading.Lock()
+        self.routed_total = 0
+        self.pinned_total = 0
+        self.degraded_total = 0
+        self.degraded_reasons: dict[str, int] = {}
+        if replicas is not None:
+            # failover re-homes survivors under a fresh set
+            self.replicas = list(replicas)
+        else:
+            self.replicas = [
+                Replica(
+                    (names[i] if names else f"replica-{i + 1}"),
+                    db,
+                    lag_threshold=lag_threshold,
+                    audit_every=audit_every,
+                    retry=retry
+                    or RetryPolicy.seeded(
+                        i, base_delay=0.005, max_delay=0.25
+                    ),
+                )
+                for i in range(n)
+            ]
+
+    # -- maintenance -----------------------------------------------------
+    def poll(self) -> int:
+        """Ship-and-apply on every replica; returns records applied."""
+        return sum(
+            r.poll() for r in self.replicas if r.state != QUARANTINED
+        )
+
+    def audit_all(self) -> bool:
+        """Digest-audit every caught-up replica; ``False`` on divergence."""
+        return all(
+            r.audit() for r in self.replicas if r.state != QUARANTINED
+        )
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __iter__(self):
+        return iter(self.replicas)
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def get(self, name: str) -> Replica:
+        for r in self.replicas:
+            if r.name == name:
+                return r
+        raise ReplicationError(f"no replica named {name!r}")
+
+    # -- routing ---------------------------------------------------------
+    def _pick(
+        self, required: dict[str, int], classes: frozenset[str]
+    ) -> Replica | None:
+        candidates = [
+            r
+            for r in self.replicas
+            if r.state in _STATE_RANK and r.covers(required, classes)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda r: (
+                _STATE_RANK[r.state],
+                r.inflight,
+                r.served_total,
+                r.name,
+            ),
+        )
+
+    def _degrade(self, reason: str) -> None:
+        with self._lock:
+            self.degraded_total += 1
+            self.degraded_reasons[reason] = (
+                self.degraded_reasons.get(reason, 0) + 1
+            )
+        _flight.record("replica-degrade", reason=reason)
+
+    def try_serve(
+        self, q, eff: Effect, **run_kw
+    ) -> "EvalResult | None":
+        """Serve one live routed read, or ``None`` to degrade."""
+        if self._closed:
+            return None
+        required = self.db.write_marks()
+        classes = eff.reads()
+        pick = self._pick(required, classes)
+        if pick is None and self.auto_poll:
+            # one cheap catch-up attempt before giving the read back:
+            # most misses are just records not yet shipped
+            self.poll()
+            pick = self._pick(required, classes)
+        if pick is None:
+            self._degrade("no-fresh-replica")
+            return None
+        try:
+            result = pick.serve(q, **run_kw)
+        except ReplicationError:
+            self._degrade("replica-error")
+            return None
+        with self._lock:
+            self.routed_total += 1
+        return result
+
+    # -- pinned routing (scheduler) --------------------------------------
+    def pin(self, eff: Effect) -> PinnedRead | None:
+        """Pin a covering replica's current snapshot for a batch read."""
+        if self._closed:
+            return None
+        required = self.db.write_marks()
+        classes = eff.reads()
+        pick = self._pick(required, classes)
+        if pick is None and self.auto_poll:
+            self.poll()
+            pick = self._pick(required, classes)
+        if pick is None:
+            self._degrade("no-pinnable-replica")
+            return None
+        ee, oe = pick.snapshot_envs()
+        return PinnedRead(pick, ee, oe)
+
+    def serve_pinned(self, pin: PinnedRead, q, **run_kw) -> "EvalResult":
+        """Run a scheduler-admitted read against its pinned snapshot."""
+        result = pin.replica.serve_snapshot(q, pin.ee, pin.oe, **run_kw)
+        with self._lock:
+            self.routed_total += 1
+            self.pinned_total += 1
+        return result
+
+    # -- health ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            out = {
+                "count": len(self.replicas),
+                "routed": self.routed_total,
+                "pinned": self.pinned_total,
+                "degraded": self.degraded_total,
+                "degraded_reasons": dict(self.degraded_reasons),
+            }
+        out["replicas"] = [r.health() for r in self.replicas]
+        return out

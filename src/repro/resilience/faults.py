@@ -17,6 +17,9 @@ named **sites**:
 ``wal.append``            before a WAL record's bytes are written
 ``wal.fsync``             after a record is written, before its fsync
 ``recovery.replay``       before each WAL record is replayed
+``replica.ship``          a replica's shipper polls the primary's log
+``replica.apply``         before a shipped record is applied to a replica
+``failover.promote``      a replica is promoted to primary
 ========================  =============================================
 
 Sites guard themselves with one global-load-plus-``None``-check
@@ -54,6 +57,9 @@ SITES: tuple[str, ...] = (
     "wal.append",
     "wal.fsync",
     "recovery.replay",
+    "replica.ship",
+    "replica.apply",
+    "failover.promote",
 )
 
 KINDS: tuple[str, ...] = ("transient", "latency")
@@ -110,6 +116,30 @@ class FaultRule:
         return f"{self.site} [{', '.join(conds) or 'always'}] -> {what}"
 
 
+def _validated_rule(rule: FaultRule) -> FaultRule:
+    """Reject anything that is not a known-site :class:`FaultRule`.
+
+    ``FaultRule.__post_init__`` already validates genuine rules, but a
+    plan built from duck-typed objects (or a rule whose fields were
+    mutated via ``object.__setattr__``) would otherwise sit silently in
+    the plan and never fire — a typo'd site must fail at construction,
+    not during the experiment it was supposed to run.
+    """
+    if not isinstance(rule, FaultRule):
+        raise ReproError(
+            f"fault plans take FaultRule instances, got {type(rule).__name__}"
+        )
+    if rule.site not in SITES:
+        raise ReproError(
+            f"unknown fault site {rule.site!r} (known: {', '.join(SITES)})"
+        )
+    if rule.kind not in KINDS:
+        raise ReproError(
+            f"unknown fault kind {rule.kind!r} (known: {', '.join(KINDS)})"
+        )
+    return rule
+
+
 class FaultPlan:
     """A seeded, deterministic set of fault rules plus firing state.
 
@@ -128,7 +158,9 @@ class FaultPlan:
         seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
     ):
-        self.rules: list[FaultRule] = list(rules)
+        self.rules: list[FaultRule] = [
+            _validated_rule(rule) for rule in rules
+        ]
         self.seed = seed
         self.sleep = sleep
         self.rng = random.Random(seed)
@@ -140,7 +172,7 @@ class FaultPlan:
         self._lock = threading.Lock()
 
     def add(self, rule: FaultRule) -> "FaultPlan":
-        self.rules.append(rule)
+        self.rules.append(_validated_rule(rule))
         return self
 
     # -- firing ----------------------------------------------------------

@@ -96,6 +96,9 @@ class Admission:
     query: Query | None = None
     effect: Effect = EMPTY
     error: BaseException | None = None
+    #: a replica snapshot this read will answer from (repro.replication
+    #: PinnedRead), letting it leave the conflict graph entirely
+    pinned: object | None = None
 
     @property
     def ok(self) -> bool:
@@ -199,6 +202,8 @@ class QueryScheduler:
         # deepest ready-queue depth seen while running this batch —
         # always on (plain int compare), read by Database.health()
         self.queue_peak = 0
+        # the replica set pinned reads were captured against (admit())
+        self._rset = None
 
     # -- admission -------------------------------------------------------
     def admit(self, sources: Sequence[str | Query]) -> list[Admission]:
@@ -207,7 +212,19 @@ class QueryScheduler:
         Admission is the serial prefix of the batch: it touches only
         the (already consistent) current state and the static analyses,
         and it fixes the admission order every later tie-break uses.
+
+        When the database has replicas attached, admission also tries
+        to **pin** each read: a read-only query that no earlier batch
+        writer can affect — no earlier ``U`` (reference chasing escapes
+        the R-set) and no earlier ``A`` on a class it reads — answers
+        the same against the pre-batch state, so it captures an
+        immutable (EE, OE) snapshot from a covering replica *now* and
+        leaves the conflict graph entirely.  Writers stop serialising
+        behind reads they happen to touch.
         """
+        self._rset = self.db.replicas
+        batch_adds: set[str] = set()
+        batch_star = False
         admissions: list[Admission] = []
         for i, src in enumerate(sources):
             adm = Admission(i, src)
@@ -217,8 +234,23 @@ class QueryScheduler:
                 _, adm.effect = self.db.typecheck_with_effect(adm.query)
             except BaseException as exc:  # noqa: BLE001 - recorded, not lost
                 adm.error = exc
+            if adm.ok:
+                if adm.effect.writes():
+                    batch_star = batch_star or bool(adm.effect.updates())
+                    batch_adds |= adm.effect.adds()
+                elif (
+                    self._rset is not None
+                    and not batch_star
+                    and not (batch_adds & adm.effect.reads())
+                ):
+                    adm.pinned = self._rset.pin(adm.effect)
             admissions.append(adm)
-            _flight.record("sched-admit", index=i, kind=adm.kind)
+            _flight.record(
+                "sched-admit",
+                index=i,
+                kind=adm.kind,
+                pinned=adm.pinned is not None,
+            )
             if _OBS.enabled:
                 _METRICS.counter("sched_queries_total", kind=adm.kind).inc()
         return admissions
@@ -231,15 +263,27 @@ class QueryScheduler:
         dependency set: the graph is a DAG by construction, and running
         every query after all of its dependencies reproduces admission
         order along every conflicting pair.
+
+        A **pinned** read takes no part in the graph at all: it already
+        holds the immutable snapshot it will answer from, so it neither
+        waits for anything nor makes any later query wait — in
+        particular a writer that touches the classes it reads starts
+        immediately instead of serialising behind it.
         """
         deps: dict[int, set[int]] = {}
-        ok = [a for a in admissions if a.ok]
-        for pos, a in enumerate(ok):
+        earlier: list[Admission] = []
+        for a in admissions:
+            if not a.ok:
+                continue
+            if a.pinned is not None:
+                deps[a.index] = set()
+                continue
             deps[a.index] = {
                 b.index
-                for b in ok[:pos]
+                for b in earlier
                 if conflicts(b.effect, a.effect)
             }
+            earlier.append(a)
         return deps
 
     # -- execution -------------------------------------------------------
@@ -274,6 +318,9 @@ class QueryScheduler:
                 "ok": n_ok,
                 "errors": len(sources) - n_ok,
                 "workers": self.workers,
+                "pinned_reads": sum(
+                    1 for a in admissions if a.pinned is not None
+                ),
                 "conflict_edges": edges,
                 "conflict_degree_mean": (
                     2.0 * edges / len(sources) if sources else 0.0
@@ -367,14 +414,22 @@ class QueryScheduler:
         budget = self.budget.fresh() if self.budget is not None else None
         t0 = time.perf_counter()
         try:
-            res = self.db.run(
-                adm.query,
-                typecheck=False,  # Figures 1/3 already ran at admission
-                commit=writer,
-                budget=budget,
-                atomic=self.atomic if writer else False,
-                retry=self.retry,
-            )
+            if adm.pinned is not None and self._rset is not None:
+                # routed batch read: answers from the replica snapshot
+                # captured at admission (pre-batch state, which the
+                # pinning condition proved equivalent)
+                res = self._rset.serve_pinned(
+                    adm.pinned, adm.query, budget=budget
+                )
+            else:
+                res = self.db.run(
+                    adm.query,
+                    typecheck=False,  # Figures 1/3 already ran at admission
+                    commit=writer,
+                    budget=budget,
+                    atomic=self.atomic if writer else False,
+                    retry=self.retry,
+                )
             return Outcome(
                 adm.index,
                 adm.source,

@@ -57,6 +57,13 @@ Commands::
                           the current one into a fresh directory),
                           ``.wal off`` detaches, bare shows status
     .checkpoint           fold the write-ahead log into the checkpoint
+    .replicas [N|poll|off] replication: ``.replicas N`` attaches N
+                          WAL-shipped read replicas (needs ``.wal``),
+                          ``poll`` ships+applies, ``off`` detaches,
+                          bare shows each replica's state, lag and
+                          watermarks plus routing counters
+    .promote <name>       fail over: promote the named replica to
+                          primary (the old primary is fenced)
     .quit                 leave
 
 Instrumentation is **off** when the shell starts (interactive latency
@@ -298,6 +305,10 @@ class Shell:
             return self._transaction_cmd(rest)
         if cmd == ".wal":
             return self._wal_cmd(rest)
+        if cmd == ".replicas":
+            return self._replicas_cmd(rest)
+        if cmd == ".promote":
+            return self._promote_cmd(rest)
         if cmd == ".checkpoint":
             if self.db.wal is None:
                 return "error: no write-ahead log attached (.wal open <dir>)"
@@ -453,6 +464,83 @@ class Shell:
             f"journalling into {self.db.wal_dir}: last lsn {wal.last_lsn}, "
             f"log {wal.size()} byte(s), "
             f"{'fsync per commit' if wal.sync else 'no fsync (flush only)'}"
+        )
+
+    def _replicas_cmd(self, rest: str) -> str:
+        rset = self.db.replicas
+        if rest == "off":
+            if rset is None:
+                return "error: no replicas attached"
+            self.db.detach_replicas()
+            return "replicas detached"
+        if rest == "poll":
+            if rset is None:
+                return "error: no replicas attached (.replicas N)"
+            applied = rset.poll()
+            return f"shipped and applied {applied} record(s)"
+        if rest:
+            try:
+                n = int(rest)
+            except ValueError:
+                return (
+                    f"error: .replicas takes a count, 'poll' or 'off', "
+                    f"not {rest!r}"
+                )
+            if rset is not None:
+                return (
+                    f"error: {len(rset)} replica(s) already attached "
+                    "(.replicas off first)"
+                )
+            rset = self.db.replicate(n)  # may raise ReproError -> handle()
+            return (
+                f"{len(rset)} replica(s) attached; effect-proven reads "
+                "now route to the freshest covering replica"
+            )
+        if rset is None:
+            return "replication off (.replicas N to attach; needs .wal)"
+        snap = rset.snapshot()
+        lines = [
+            f"{len(rset)} replica(s): routed={snap['routed']} "
+            f"pinned={snap['pinned']} degraded={snap['degraded']}"
+        ]
+        for r in snap["replicas"]:
+            marks = ", ".join(
+                f"{c}@{l}" for c, l in sorted(r["marks"].items())
+            )
+            lines.append(
+                f"  {r['name']:<12} {r['state']:<12} "
+                f"lsn={r['applied_lsn']} lag={r['lag']} "
+                f"star={r['star_mark']} served={r['served']} "
+                f"resyncs={r['resyncs']}"
+                + (f" [{marks}]" if marks else "")
+                + (
+                    f" — {r['quarantine_reason']}"
+                    if r["quarantine_reason"]
+                    else ""
+                )
+            )
+        return "\n".join(lines)
+
+    def _promote_cmd(self, rest: str) -> str:
+        rset = self.db.replicas
+        if rset is None:
+            return "error: no replicas attached (.replicas N)"
+        if not rest:
+            names = ", ".join(r.name for r in rset)
+            return f"error: .promote needs a replica name ({names})"
+        from repro.replication import promote as _promote
+
+        replica = rset.get(rest)  # may raise ReproError -> handle()
+        old_dir = self.db.wal_dir
+        self.db = _promote(replica)
+        survivors = (
+            ", ".join(r.name for r in self.db.replicas)
+            if self.db.replicas is not None
+            else "none"
+        )
+        return (
+            f"promoted {rest} to primary of {old_dir} (old primary "
+            f"fenced; surviving replicas: {survivors})"
         )
 
     def _transaction_cmd(self, rest: str) -> str:
