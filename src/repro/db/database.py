@@ -49,6 +49,7 @@ from repro.methods.ast import AccessMode
 from repro.methods.typing import check_schema_methods
 from repro.model.schema import Schema
 from repro.model.types import ClassType, FuncType, Type
+from repro.db.shards import ShardedExtents
 from repro.db.store import (
     AttributeIndexes,
     ExtentEnv,
@@ -109,8 +110,15 @@ class Database:
         self._defs_version = 0
         self._ee: ExtentEnv | None = None
         self._oe: ObjectEnv | None = None
+        # oid→ClassType map memoised per store version: every typecheck
+        # needs it, and between writes it cannot change (any EE/OE
+        # install bumps _state_version through the setters above)
+        self._oid_types_cache: tuple[int, dict[str, Type]] | None = None
         self._plan_cache = PlanCache(schema_fingerprint(schema))
         self._indexes = AttributeIndexes()
+        # hash-sharded extents (repro.db.shards): empty = every path
+        # behaves exactly as the unsharded database
+        self._shards = ShardedExtents()
         self.ee = ExtentEnv.for_schema(schema)
         self.oe = ObjectEnv()
         self.supply = OidSupply()
@@ -244,7 +252,9 @@ class Database:
             self._state_version += 1
             self._oe = value
 
-    def _note_write(self, effect: Effect, pre_version: int) -> None:
+    def _note_write(
+        self, effect: Effect, pre_version: int, shard_writes=None
+    ) -> None:
         """Effect-guided cache maintenance after a committed write.
 
         By Theorem 5 the dynamic trace of the committed statement is a
@@ -254,11 +264,17 @@ class Database:
         evicted.  State changes with *unknown* effects (restore,
         persistence load, rollback) never reach this method — their
         version bump alone lazily invalidates every cached result.
+
+        ``shard_writes`` (class → exact shard ids, per-shard commits
+        only) lets the plan cache keep entries whose recorded reads
+        were confined to disjoint shards of the written classes.
         """
         post = self._state_version
         if post == pre_version:
             return
-        self._plan_cache.note_write(effect, pre_version, post)
+        self._plan_cache.note_write(
+            effect, pre_version, post, shard_writes=shard_writes
+        )
         self._indexes.note_write(self.schema, effect, pre_version, post)
 
     # -- durability (repro.db.wal / repro.db.recovery) -------------------
@@ -318,7 +334,9 @@ class Database:
         self._star_mark = 0
 
     # -- replication (repro.replication) ---------------------------------
-    def _mark_written(self, lsn: int, effect: Effect | None) -> None:
+    def _mark_written(
+        self, lsn: int, effect: Effect | None, shard_writes=None
+    ) -> None:
         """Advance the per-extent watermarks for the record at ``lsn``.
 
         ``effect=None`` is an unattributed full record; a ``U`` commit
@@ -328,6 +346,12 @@ class Database:
         exactly the marks its atoms name — a freshly added object is
         unreachable from records no class in the write set owns, so a
         query not reading those classes cannot observe it.
+
+        ``shard_writes`` (class → exact shard ids written, sharded
+        classes only) refines a class mark to per-shard keys
+        ``"C#k"`` — ``#`` cannot appear in a class name — so a reader
+        provably confined to other shards needs no freshness from this
+        commit at all.
         """
         with self._commit_lock:
             if effect is None or effect.updates():
@@ -336,7 +360,12 @@ class Database:
                 self._star_mark = max(self._star_mark, lsn)
             else:
                 for cname in effect.adds():
-                    if lsn > self._write_marks.get(cname, 0):
+                    if shard_writes is not None and cname in shard_writes:
+                        for s in sorted(shard_writes[cname]):
+                            key = f"{cname}#{s}"
+                            if lsn > self._write_marks.get(key, 0):
+                                self._write_marks[key] = lsn
+                    elif lsn > self._write_marks.get(cname, 0):
                         self._write_marks[cname] = lsn
 
     def write_marks(self) -> dict[str, int]:
@@ -517,6 +546,119 @@ class Database:
             "next_oid": self.supply.state(),
         }
 
+    def _shard_delta_record(
+        self, stmt: str, effect: Effect, extent_adds, shard_adds, result_oe
+    ) -> dict:
+        """A shard-scoped refinement of the ``delta`` record.
+
+        ``adds`` carries only the oids that *joined* each touched extent
+        (additive — replay unions them in, which is idempotent and
+        commutes with the disjoint deltas of overlapped writers), and
+        ``shards`` buckets them by shard id for extents sharded at
+        commit time, so replicas can refine their watermarks per shard
+        without re-deriving the layout.
+        """
+        from repro.db.persistence import value_to_json
+
+        objects: dict[str, dict] = {}
+        for added in extent_adds.values():
+            for oid in sorted(added):
+                rec = result_oe.get(oid)
+                objects[oid] = {
+                    "class": rec.cname,
+                    "attrs": {a: value_to_json(v) for a, v in rec.attrs},
+                }
+        return {
+            "kind": "shard-delta",
+            "stmt": stmt,
+            "defs_version": self._defs_version,
+            "effect": [str(a) for a in effect],
+            "adds": {
+                e: sorted(a) for e, a in sorted(extent_adds.items())
+            },
+            "shards": {
+                e: {str(s): sorted(oids) for s, oids in sorted(per.items())}
+                for e, per in sorted(shard_adds.items())
+            },
+            "objects": objects,
+            "next_oid": self.supply.state(),
+        }
+
+    def _install_sharded(
+        self,
+        stmt: str,
+        effect: Effect,
+        base_ee: ExtentEnv,
+        base_oe: ObjectEnv,
+        result_ee: ExtentEnv,
+        result_oe: ObjectEnv,
+        pre: int,
+    ) -> None:
+        """Commit an ``A``-only evaluation by per-shard delta install.
+
+        Caller holds the commit lock.  Instead of replacing EE/OE with
+        the evaluation's own post-environments wholesale, the commit's
+        delta (new objects + extent joins, bounded by the static ``A``
+        atoms per Theorem 5) is *merged* into the current environments.
+        This is what lets the scheduler overlap writers: deltas of
+        concurrent ``A``-only commits are disjoint (the oid supply is
+        globally monotone, so fresh oids never collide) and set union
+        commutes, so merge order only permutes oid names — absorbed by
+        ∼.  Ordering within the commit:
+
+        1. ``shard.install`` fault sites fire per touched shard *first*
+           — an injected fault aborts the whole commit atomically, with
+           nothing logged and nothing installed;
+        2. the ``shard-delta`` WAL record becomes durable;
+        3. OE then EE install (the documented reader discipline);
+        4. the staged per-shard partitions swap in under their new
+           per-shard versions, and caches/watermarks refine to the
+           exact ``(class, shard)`` pairs written.
+        """
+        from repro.db.shards import commit_deltas
+
+        extent_adds, shard_adds = commit_deltas(
+            self._shards,
+            self.schema,
+            base_ee,
+            result_ee,
+            result_oe,
+            effect.adds(),
+        )
+        cur_ee, cur_oe = self._ee, self._oe
+        if cur_ee is base_ee and cur_oe is base_oe:
+            new_ee, new_oe = result_ee, result_oe
+        else:
+            # another writer installed since this evaluation started:
+            # merge this commit's (disjoint, fresh-oid) delta on top
+            fresh: dict[str, ObjectRecord] = {}
+            for added in extent_adds.values():
+                for oid in added:
+                    fresh[oid] = result_oe.get(oid)
+            new_oe = cur_oe.with_objects(fresh)
+            new_ee = cur_ee
+            for extent, added in extent_adds.items():
+                if added:
+                    new_ee = new_ee.with_members(
+                        extent, cur_ee.members(extent) | added
+                    )
+        staged = self._shards.prepare_install(pre, shard_adds)
+        shard_writes = {
+            self.schema.extent_class(extent): frozenset(per)
+            for extent, per in shard_adds.items()
+        }
+        if self._wal is not None:
+            lsn = self._wal.append(
+                self._shard_delta_record(
+                    stmt, effect, extent_adds, shard_adds, result_oe
+                )
+            )
+            self._mark_written(lsn, effect, shard_writes=shard_writes)
+        self.oe = new_oe
+        self.ee = new_ee
+        self._shards.commit_staged(staged, shard_adds, self._state_version)
+        self._note_write(effect, pre, shard_writes=shard_writes)
+
     def _wal_log_unattributed(self, stmt: str) -> None:
         """Journal a state change with no static effect (rollback, restore).
 
@@ -590,18 +732,24 @@ class Database:
                 effect=str(effect),
                 version=pre,
             )
-            if self._wal is not None:
-                # write-ahead: a failed append aborts the insert with
-                # nothing installed (the burnt oid is absorbed by ∼)
-                lsn = self._wal.append(
-                    self._wal_commit_record(
-                        f"insert {cname}", effect, new_ee, new_oe
-                    )
+            if self._shards.enabled:
+                self._install_sharded(
+                    f"insert {cname}", effect,
+                    self.ee, self.oe, new_ee, new_oe, pre,
                 )
-                self._mark_written(lsn, effect)
-            self.oe = new_oe
-            self.ee = new_ee
-            self._note_write(effect, pre)
+            else:
+                if self._wal is not None:
+                    # write-ahead: a failed append aborts the insert with
+                    # nothing installed (the burnt oid is absorbed by ∼)
+                    lsn = self._wal.append(
+                        self._wal_commit_record(
+                            f"insert {cname}", effect, new_ee, new_oe
+                        )
+                    )
+                    self._mark_written(lsn, effect)
+                self.oe = new_oe
+                self.ee = new_ee
+                self._note_write(effect, pre)
         if self._active_txn is not None:
             self._active_txn.record(Effect.of(add_effect(cname)))
         return OidRef(oid)
@@ -652,10 +800,20 @@ class Database:
 
     # -- contexts ----------------------------------------------------------
     def oid_types(self) -> dict[str, Type]:
-        """The oid fragment of Q: every live oid at its dynamic class."""
-        return {
+        """The oid fragment of Q: every live oid at its dynamic class.
+
+        Memoised on the store version: callers must not mutate the
+        returned dict (``TypeContext.extend`` copies before binding).
+        """
+        cached = self._oid_types_cache
+        version = self._state_version
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        vars = {
             oid: ClassType(rec.cname) for oid, rec in self.oe.items()
         }
+        self._oid_types_cache = (version, vars)
+        return vars
 
     def type_context(self) -> TypeContext:
         """(E; D; Q) for this database's current state."""
@@ -863,6 +1021,10 @@ class Database:
         self._qstats["runs"] += 1
         if engine in self._qstats:
             self._qstats[engine] += 1
+        # the evaluation's base environments: the per-shard commit path
+        # computes this run's delta against exactly what it read, then
+        # merges the delta into whatever is current at install time
+        base_ee, base_oe = self.ee, self.oe
         with _span("eval", engine=engine) as ev_sp:
             if engine == "compiled":
                 result = self._run_compiled(decision, budget=budget)
@@ -870,7 +1032,7 @@ class Database:
                 from repro.semantics.bigstep import evaluate_bigstep
 
                 big = evaluate_bigstep(
-                    self.machine, self.ee, self.oe, q,
+                    self.machine, base_ee, base_oe, q,
                     strategy=strategy, budget=budget,
                 )
                 result = EvalResult(
@@ -879,7 +1041,7 @@ class Database:
                 )
             elif engine == "reduction":
                 result = evaluate(
-                    self.machine, self.ee, self.oe, q,
+                    self.machine, base_ee, base_oe, q,
                     strategy=strategy, max_steps=max_steps, budget=budget,
                 )
             else:
@@ -920,23 +1082,38 @@ class Database:
                             effect=str(result.effect),
                             version=pre,
                         )
-                    if self._wal is not None and result.effect.writes():
-                        # write-ahead: the record must be durable before
-                        # the state it describes becomes observable; a
-                        # failed append fails the commit with nothing
-                        # installed, so log and memory always agree
-                        lsn = self._wal.append(
-                            self._wal_commit_record(
-                                pretty(q), result.effect, result.ee, result.oe
-                            )
+                    if (
+                        self._shards.enabled
+                        and result.effect.writes()
+                        and not result.effect.updates()
+                    ):
+                        # A-only commit with sharding on: per-shard
+                        # delta install instead of wholesale replacement
+                        self._install_sharded(
+                            pretty(q), result.effect,
+                            base_ee, base_oe, result.ee, result.oe, pre,
                         )
-                        self._mark_written(lsn, result.effect)
-                    # OE before EE: a concurrent snapshot reader loads
-                    # ee then oe, so this order can never pair a new
-                    # extent set with an object env missing its members
-                    self.oe = result.oe
-                    self.ee = result.ee
-                    self._note_write(result.effect, pre)
+                    else:
+                        if self._wal is not None and result.effect.writes():
+                            # write-ahead: the record must be durable
+                            # before the state it describes becomes
+                            # observable; a failed append fails the
+                            # commit with nothing installed, so log and
+                            # memory always agree
+                            lsn = self._wal.append(
+                                self._wal_commit_record(
+                                    pretty(q), result.effect,
+                                    result.ee, result.oe,
+                                )
+                            )
+                            self._mark_written(lsn, result.effect)
+                        # OE before EE: a concurrent snapshot reader
+                        # loads ee then oe, so this order can never pair
+                        # a new extent set with an object env missing
+                        # its members
+                        self.oe = result.oe
+                        self.ee = result.ee
+                        self._note_write(result.effect, pre)
                 if self._active_txn is not None:
                     self._active_txn.record(result.effect)
         return result
@@ -959,11 +1136,17 @@ class Database:
                 effect=entry.result_effect,
                 engine="compiled",
             )
-        value, effect, ops = execute_plan(self, entry, budget=budget)
+        trace: dict = {}
+        value, effect, ops = execute_plan(
+            self, entry, budget=budget, trace=trace
+        )
         entry.result = value
         entry.result_effect = effect
         entry.result_steps = ops
         entry.result_version = version
+        # the dynamic (class, shard) read trace keys the result under
+        # per-shard invalidation (PlanCache.note_write shard_writes)
+        entry.result_shard_reads = trace.get("shard_reads")
         if _OBS.enabled:
             _METRICS.counter("exec_compiled_total").inc()
             _METRICS.counter("exec_ops_total").inc(ops)
@@ -1023,6 +1206,46 @@ class Database:
         plan's operator notes for ``.explain``.
         """
         return _decide_engine(self, self.parse(source))
+
+    # -- sharding ----------------------------------------------------------
+    def shard(self, cname: str, *, k: int = 8, by: str | None = None):
+        """Partition ``cname``'s extent into ``k`` hash shards.
+
+        ``by=None`` hashes object identity (oids); ``by="attr"``
+        hashes that attribute's value, which lets the compiled engine
+        prune equality-predicate scans to a single shard and lets the
+        per-``(class, shard)`` caches survive writes to other shards.
+        Re-declaring replaces the previous layout.  Commits touching a
+        sharded extent install per-shard (see ``docs/PERFORMANCE.md``);
+        results and final states are provably identical to the
+        unsharded database.  The spec is persisted by checkpoints, not
+        by the WAL — re-declare after a WAL-only recovery.
+        """
+        from repro.db.shards import validate_spec
+
+        self._check_fenced()
+        spec = validate_spec(self.schema, cname, by, k)
+        with self._commit_lock:
+            self._shards.set_spec(spec)
+            # plans compiled without the spec carry no pruning stage;
+            # recompiling is cheap and the layout change is rare
+            self._plan_cache.clear()
+        return spec
+
+    def explain_cost(self, source: str | Query):
+        """A TD2-style distributed cost report for one query.
+
+        Estimates, per extent access, how many shards the compiled
+        plan would touch, the rows scanned after shard pruning, the
+        predicate selectivities applied, and the rows/bytes moved at
+        each merge point — without executing the query.  Returns a
+        :class:`~repro.exec.cost_report.CostReport` whose ``render()``
+        pretty-prints and whose ``to_dict()`` is JSON-safe (the shell's
+        ``.explain cost``).
+        """
+        from repro.exec.cost_report import build_cost_report
+
+        return build_cost_report(self, self.parse(source))
 
     def _note_failure(self, exc: Exception, reason: str | None = None) -> None:
         """Count one failed :meth:`run` and dump the flight ring.

@@ -81,6 +81,7 @@ def collect(db: "Database") -> dict:
             },
         },
         "scheduler": dict(db._last_batch) if db._last_batch else None,
+        "sharding": _sharding_section(db),
         "replication": (
             db._replicas.snapshot() if db._replicas is not None else None
         ),
@@ -105,6 +106,23 @@ def collect(db: "Database") -> dict:
     }
 
 
+def _sharding_section(db: "Database") -> dict | None:
+    """The ``"sharding"`` stanza: layout, skew, installs, pool usage."""
+    shards = getattr(db, "_shards", None)
+    if shards is None or not shards.enabled:
+        return None
+    from repro.exec import parallel as _parallel
+
+    snap = shards.snapshot(db.ee)
+    snap["pool"] = _parallel.snapshot()
+    snap["sharded_classes"] = len(snap["extents"])
+    versions = [
+        e["version_skew"] for e in snap["extents"].values()
+    ]
+    snap["version_skew_max"] = max(versions) if versions else 0
+    return snap
+
+
 #: scalar gauge name → path into the snapshot dict (all Prometheus-legal)
 _GAUGES: dict[str, tuple[str, ...]] = {
     "plan_cache_entries": ("plan_cache", "entries"),
@@ -124,6 +142,15 @@ _GAUGES: dict[str, tuple[str, ...]] = {
     "replica_routed_reads_total": ("replication", "routed"),
     "replica_pinned_reads_total": ("replication", "pinned"),
     "replica_degraded_reads_total": ("replication", "degraded"),
+    "shard_extents_total": ("sharding", "sharded_classes"),
+    "shard_installs_total": ("sharding", "installs"),
+    "shard_rebuilds_total": ("sharding", "rebuilds"),
+    "shard_epoch": ("sharding", "epoch"),
+    "shard_version_skew_max": ("sharding", "version_skew_max"),
+    "shard_pool_workers": ("sharding", "pool", "workers"),
+    "shard_pool_tasks_total": ("sharding", "pool", "tasks"),
+    "shard_pool_batches_total": ("sharding", "pool", "batches"),
+    "shard_pool_utilization": ("sharding", "pool", "utilization"),
     "index_entries": ("indexes", "entries"),
     "live_objects_snapshot": ("store", "objects"),
     "flight_events_recorded": ("flight", "recorded"),
@@ -196,6 +223,27 @@ def render(snapshot: dict) -> str:
         )
     else:
         lines.append("  scheduler   no batches yet")
+    sh = snapshot.get("sharding")
+    if sh:
+        layout = ", ".join(
+            f"{name}:k={e['k']}"
+            + (f" by {e['by']}" if e["by"] else " by oid")
+            + (
+                f" skew={e['size_skew']}"
+                if e["size_skew"] is not None
+                else ""
+            )
+            for name, e in sorted(sh["extents"].items())
+        )
+        pool = sh.get("pool") or {}
+        util = pool.get("utilization")
+        lines.append(
+            "  sharding    "
+            f"installs={sh['installs']} rebuilds={sh['rebuilds']} "
+            f"pool tasks={pool.get('tasks', 0)}"
+            + (f" util={util:.0%}" if util is not None else "")
+            + f" [{layout}]"
+        )
     rep = snapshot.get("replication")
     if rep:
         states = ", ".join(

@@ -179,7 +179,7 @@ def dump_database(db: Database, odl_source: str) -> dict:
     }
     from repro.lang.pprint import pretty_definition
 
-    return {
+    doc = {
         "format": FORMAT_VERSION,
         "odl": odl_source,
         "method_mode": db.method_mode.value,
@@ -189,6 +189,18 @@ def dump_database(db: Database, odl_source: str) -> dict:
             pretty_definition(d) for d in db.definitions.values()
         ],
     }
+    shards = getattr(db, "_shards", None)
+    if shards is not None and shards.enabled:
+        # layout only — the partition itself is recomputed on load.
+        # Shard declarations travel in checkpoints, not the WAL, so a
+        # WAL-only recovery must re-declare (see Database.shard).
+        doc["sharding"] = [
+            {"class": spec.cname, "by": spec.by, "k": spec.k}
+            for spec in sorted(
+                shards.specs.values(), key=lambda s: s.cname
+            )
+        ]
+    return doc
 
 
 def load_database(doc: dict) -> Database:
@@ -243,6 +255,17 @@ def load_database(doc: dict) -> Database:
     db.ee = ee
     for d in doc.get("definitions", []):
         db.define(d)
+    for entry in doc.get("sharding", []):
+        try:
+            db.shard(
+                entry["class"],
+                k=int(entry.get("k", 8)),
+                by=entry.get("by"),
+            )
+        except Exception as exc:
+            raise PersistenceError(
+                f"sharding stanza {entry!r} does not apply: {exc}"
+            ) from exc
     return db
 
 

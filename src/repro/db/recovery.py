@@ -241,6 +241,8 @@ def apply_record(db: "Database", rec: dict) -> None:
             db.define(rec["source"])
         elif kind == "delta":
             _apply_state(db, rec, full=False)
+        elif kind == "shard-delta":
+            _apply_shard_delta(db, rec)
         elif kind == "full":
             _apply_state(db, rec, full=True)
             _restore_definitions(db, rec.get("definitions", []))
@@ -290,6 +292,60 @@ def _apply_state(db: "Database", rec: dict, *, full: bool) -> None:
                     f"{oe.class_of(oid)!r}, expected {want!r}"
                 )
         ee = ee.with_members(extent, frozenset(members))
+    # OE before EE: same installation order as Database commit
+    db.oe = oe
+    db.ee = ee
+
+
+def _apply_shard_delta(db: "Database", rec: dict) -> None:
+    """Replay one per-shard install: an additive extent-membership union.
+
+    ``shard-delta`` records carry only the commit's *added* members per
+    extent (plus the new objects), never whole extents — so replay is a
+    set union, which is idempotent and order-insensitive within the
+    LSN-ordered prefix.  The record's ``"shards"`` stanza (which shard
+    each oid was installed into) is observability metadata: replay
+    recomputes the partition from the live layout rather than trusting
+    the log, so a database recovered under a different (or no) shard
+    declaration still reaches the identical extent state.
+    """
+    schema = db.schema
+    oe = db.oe
+    for oid, entry in sorted(rec.get("objects", {}).items()):
+        cname = entry["class"]
+        if cname not in schema:
+            raise WalError(f"object {oid}: unknown class {cname!r}")
+        declared = [a for a, _ in schema.atypes(cname)]
+        given = entry.get("attrs", {})
+        if sorted(given) != sorted(declared):
+            raise WalError(
+                f"object {oid}: attribute set {sorted(given)} does not "
+                f"match class {cname} ({sorted(declared)})"
+            )
+        try:
+            attrs = tuple((a, value_from_json(given[a])) for a in declared)
+            oe = oe.with_object(oid, ObjectRecord(cname, attrs))
+        except (PersistenceError, EvalError) as exc:
+            raise WalError(f"object {oid}: {exc}") from exc
+    ee = db.ee
+    for extent, added in sorted(rec.get("adds", {}).items()):
+        if extent not in ee:
+            raise WalError(f"unknown extent {extent!r} in record")
+        want = schema.extent_class(extent)
+        for oid in added:
+            if oid not in oe:
+                raise WalError(
+                    f"extent {extent!r} references missing object {oid}"
+                )
+            if oe.class_of(oid) != want:
+                raise WalError(
+                    f"extent {extent!r} holds {oid} of class "
+                    f"{oe.class_of(oid)!r}, expected {want!r}"
+                )
+        if added:
+            ee = ee.with_members(
+                extent, ee.members(extent) | frozenset(added)
+            )
     # OE before EE: same installation order as Database commit
     db.oe = oe
     db.ee = ee

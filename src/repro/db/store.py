@@ -106,6 +106,19 @@ class ObjectEnv:
         new[oid] = rec
         return ObjectEnv._adopt(new)
 
+    def with_objects(self, objects: Mapping[str, ObjectRecord]) -> "ObjectEnv":
+        """OE with a batch of objects added in one copy.
+
+        The per-shard commit path merges a whole commit's fresh objects
+        into the *current* environment; doing it object-by-object would
+        copy the dict once per object.
+        """
+        if not objects:
+            return self
+        new = dict(self._objects)
+        new.update(objects)
+        return ObjectEnv._adopt(new)
+
     def without_objects(self, oids: Iterable[str]) -> "ObjectEnv":
         """OE with the given oids removed (transaction rollback of (New)).
 
@@ -236,6 +249,17 @@ class AttributeIndexes:
         self._indexes: dict[
             tuple[str, str], tuple[int, dict[Query, tuple[OidRef, ...]]]
         ] = {}
+        # sharded extents build the index as per-shard partials so a
+        # per-shard commit only rebuilds the touched shards' pieces:
+        # key -> (parts tuple, [partial per shard], merged index).
+        # Validity is object *identity* on the partition frozensets —
+        # every partition rebuild makes fresh frozensets, and an A-only
+        # install reuses only untouched shards, whose member records an
+        # A-only commit cannot have changed.
+        self._sharded: dict[
+            tuple[str, str],
+            tuple[tuple, list, dict[Query, tuple[OidRef, ...]]],
+        ] = {}
         # concurrent scheduled readers share the index table; a build
         # and a promotion must not interleave on the same key
         self._lock = threading.RLock()
@@ -251,9 +275,14 @@ class AttributeIndexes:
         version: int,
         extent: str,
         attr: str,
+        shards=None,
     ) -> dict[Query, tuple[OidRef, ...]]:
         """The index for ``extent`` keyed by ``attr`` at ``version``."""
         key = (extent, attr)
+        if shards is not None:
+            parts = shards.partition(extent, ee, oe, version)
+            if parts is not None:
+                return self._get_sharded(key, parts, oe, attr)
         with self._lock:
             hit = self._indexes.get(key)
             if hit is not None and hit[0] == version:
@@ -264,11 +293,89 @@ class AttributeIndexes:
             self._indexes[key] = (version, idx)
             return idx
 
+    def get_shard(
+        self,
+        ee: "ExtentEnv",
+        oe: "ObjectEnv",
+        version: int,
+        extent: str,
+        attr: str,
+        shard: int,
+        shards,
+    ) -> dict[Query, tuple[OidRef, ...]] | None:
+        """One shard's index partial alone (a shard-pruned probe).
+
+        Builds (and caches) only the requested shard's partial, so a
+        probe whose key hashes to shard *s* never pays for the other
+        shards' index maintenance.  ``None`` when the extent is not
+        sharded under the live layout — the caller falls back to the
+        full index.
+        """
+        parts = shards.partition(extent, ee, oe, version)
+        if parts is None:
+            return None
+        return self._get_sharded((extent, attr), parts, oe, attr, shard=shard)
+
+    def _get_sharded(
+        self,
+        key: tuple[str, str],
+        parts: tuple,
+        oe: "ObjectEnv",
+        attr: str,
+        shard: int | None = None,
+    ) -> dict[Query, tuple[OidRef, ...]]:
+        """Per-shard partials, rebuilt lazily and only when stale.
+
+        ``shard=None`` returns the merged full index (building every
+        missing partial); a specific ``shard`` returns just that
+        partial.  ``merged`` is built from the partials of the *same*
+        parts tuple, so it can never be stale while the identity check
+        holds; it is dropped (set to ``None``) whenever the parts
+        change.
+        """
+        from repro.exec.runtime import build_attr_index
+
+        with self._lock:
+            hit = self._sharded.get(key)
+            if hit is not None and hit[0] is parts:
+                _, partials, merged = hit
+            else:
+                old_parts = hit[0] if hit is not None else ()
+                old_partials = hit[1] if hit is not None else []
+                partials = [
+                    old_partials[i]
+                    if i < len(old_parts) and old_parts[i] is part
+                    else None
+                    for i, part in enumerate(parts)
+                ]
+                merged = None
+            if shard is not None:
+                if partials[shard] is None:
+                    partials[shard] = build_attr_index(
+                        oe, parts[shard], attr
+                    )
+                self._sharded[key] = (parts, partials, merged)
+                return partials[shard]
+            for i, part in enumerate(parts):
+                if partials[i] is None:
+                    partials[i] = build_attr_index(oe, part, attr)
+            if merged is None:
+                merged = {}
+                for partial in partials:
+                    for value, refs in partial.items():
+                        have = merged.get(value)
+                        merged[value] = (
+                            refs if have is None else have + refs
+                        )
+            self._sharded[key] = (parts, partials, merged)
+            return merged
+
     def note_write(self, schema: Schema, effect, pre: int, post: int) -> None:
         """Effect-guided maintenance after a committed write."""
         with self._lock:
             if effect.updates():
                 self._indexes.clear()
+                self._sharded.clear()
                 return
             touched = set()
             for cname in effect.adds():
@@ -288,6 +395,7 @@ class AttributeIndexes:
     def clear(self) -> None:
         with self._lock:
             self._indexes.clear()
+            self._sharded.clear()
 
     def snapshot(self) -> dict[str, int]:
         """``{"Extent.attr": built_at_version}`` for every live index."""

@@ -68,6 +68,11 @@ class PlanEntry:
     result_effect: Effect | None = field(default=None, repr=False)
     result_steps: int = 0
     result_version: int = -1
+    # the dynamic shard trace of the cached result's execution:
+    # class -> frozenset of shard ids read, or None for all shards.
+    # A class the execution read but that is missing here must be
+    # treated as all-shards (conservative).
+    result_shard_reads: dict | None = field(default=None, repr=False)
 
 
 class PlanCache:
@@ -114,7 +119,9 @@ class PlanCache:
                 self.evictions += 1
             self._entries[key] = entry
 
-    def note_write(self, effect: Effect, pre: int, post: int) -> None:
+    def note_write(
+        self, effect: Effect, pre: int, post: int, shard_writes=None
+    ) -> None:
         """A write with this (dynamic) effect moved version pre → post.
 
         Evicts entries whose ``R`` set intersects the written classes
@@ -122,6 +129,14 @@ class PlanCache:
         surviving entries' cached results to the new version, except
         under ``U`` atoms, where results are dropped wholesale (see the
         module docstring for the reference-chasing caveat).
+
+        ``shard_writes`` (class → frozenset of shard ids, exact and
+        dynamic, sharded classes only) refines ``A``-only eviction to
+        ``(class, shard)``: an entry whose recorded result read only
+        shards disjoint from every written shard keeps both its plan
+        and its result — an object added to shard *i* carries a shard
+        attribute hashing to *i*, so it could never have survived the
+        equality predicate that confined the cached run to shard *j*.
         """
         adds = effect.adds()
         updates = effect.updates()
@@ -132,7 +147,16 @@ class PlanCache:
         with self._lock:
             for key in list(self._entries):
                 entry = self._entries[key]
-                if entry.reads & written:
+                hit = entry.reads & written
+                if hit:
+                    if (
+                        not updates
+                        and shard_writes is not None
+                        and self._shard_disjoint(entry, hit, shard_writes)
+                    ):
+                        if entry.result_version == pre:
+                            entry.result_version = post
+                        continue
                     del self._entries[key]
                     self.evictions += 1
                     evicted += 1
@@ -149,6 +173,19 @@ class PlanCache:
                 written=",".join(sorted(written)),
                 version=post,
             )
+
+    @staticmethod
+    def _shard_disjoint(entry: PlanEntry, hit, shard_writes) -> bool:
+        """Every overlapping class read provably disjoint shards?"""
+        reads = entry.result_shard_reads
+        if reads is None:
+            return False
+        for cname in hit:
+            wrote = shard_writes.get(cname)
+            read = reads.get(cname)
+            if wrote is None or read is None or (wrote & read):
+                return False
+        return True
 
     def clear(self) -> None:
         with self._lock:

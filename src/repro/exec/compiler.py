@@ -43,7 +43,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable
 
-from repro.errors import StuckError
+from repro.errors import EvalError, StuckError
+from repro.exec import parallel as _parallel
 from repro.lang.ast import (
     BagLit,
     BoolLit,
@@ -92,6 +93,7 @@ from repro.lang.values import (
 )
 from repro.methods.ast import AccessMode
 from repro.obs.profile import OpDescr
+from repro.resilience.faults import maybe_fault
 
 _MISSING = object()
 
@@ -161,6 +163,7 @@ def compile_plan(
     method_fuel: int = 10_000,
     profile: bool = False,
     cost_model=None,
+    shards=None,
 ) -> CompiledPlan:
     """Compile one (typechecked, optimizer-normalised) query.
 
@@ -177,7 +180,9 @@ def compile_plan(
         from repro.optimizer.cost import CostModel
 
         model = CostModel()
-    c = _Compiler(schema, defs, method_mode=method_mode, model=model)
+    c = _Compiler(
+        schema, defs, method_mode=method_mode, model=model, shards=shards
+    )
     if profile:
         est = (
             model.cardinality(q)
@@ -197,10 +202,17 @@ def compile_plan(
 
 
 class _Compiler:
-    def __init__(self, schema, defs, *, method_mode: AccessMode, model=None):
+    def __init__(
+        self, schema, defs, *, method_mode: AccessMode, model=None, shards=None
+    ):
         self.schema = schema
         self.defs = defs or {}
         self.method_mode = method_mode
+        # the database's ShardedExtents view (or None): decides whether
+        # generator stages get the shard-pruning/fan-out wrapper.  The
+        # wrapper re-validates at run time, so a spec change after
+        # compilation only costs the optimisation, never correctness.
+        self.shards = shards
         self.notes: list[str] = []
         self._def_bodies: dict[str, tuple[tuple[str, ...], Callable]] = {}
         self._next_sid = 0
@@ -580,6 +592,18 @@ class _Compiler:
                 q, gens, slot_preds, joins
             )
 
+        # a single-generator comprehension whose predicates and head are
+        # all pure may fan its scan out per shard: the downstream chain
+        # touches only per-worker env/acc and the immutable store
+        par_ok = (
+            n_gens == 1
+            and joins[0] is None
+            and not self.profile
+            and is_pure(q.head)
+            and all(is_pure(c) for c in slot_preds[0])
+            and all(is_pure(c) for c in slot_preds[1])
+        )
+
         with self._under(emit_op):
             head_fn = self.compile(q.head)
 
@@ -602,6 +626,31 @@ class _Compiler:
             with self._under(gop):
                 if joins[i - 1] is not None:
                     stage = self._join_stage(gen, joins[i - 1], stage)
+                elif (
+                    not dup_vars
+                    and self.shards is not None
+                    and isinstance(gen.source, ExtentRef)
+                    and self.shards.spec(gen.source.name) is not None
+                ):
+                    spec = self.shards.spec(gen.source.name)
+                    probe_q = (
+                        self._pick_shard_probe(
+                            gen.var,
+                            slot_preds[i],
+                            {g.var for g in gens[: i - 1]},
+                            {g.var for g in gens},
+                            spec.by,
+                        )
+                        if spec.by is not None
+                        else None
+                    )
+                    stage = self._sharded_gen_stage(
+                        gen,
+                        gen_uncorrelated[i - 1],
+                        probe_q,
+                        par_ok,
+                        stage,
+                    )
                 else:
                     stage = self._gen_stage(
                         gen, gen_uncorrelated[i - 1], stage
@@ -781,6 +830,107 @@ class _Compiler:
 
         return stage
 
+    def _pick_shard_probe(
+        self,
+        var: str,
+        preds: list[Query],
+        earlier: set[str],
+        comp_vars: set[str],
+        by: str,
+    ):
+        """Find (without consuming) a shard-pruning equality.
+
+        A pure predicate ``x.by = probe`` in the new generator's slot,
+        with ``probe`` independent of this and later generators, confines
+        the surviving rows to the shard ``probe`` hashes to.  The
+        predicate stays in the pipeline — it still filters hash
+        collisions within the shard, so pruning changes which rows are
+        *scanned*, never which rows are *kept*.
+        """
+        for cond in preds:
+            if not isinstance(cond, PrimEq):
+                continue
+            for fld, probe in (
+                (cond.left, cond.right),
+                (cond.right, cond.left),
+            ):
+                if (
+                    isinstance(fld, Field)
+                    and isinstance(fld.target, Var)
+                    and fld.target.name == var
+                    and fld.name == by
+                    and is_pure(probe)
+                    and (free_vars(probe) & comp_vars) <= earlier
+                ):
+                    return probe
+        return None
+
+    def _sharded_gen_stage(
+        self,
+        gen: Gen,
+        uncorrelated: bool,
+        probe_q,
+        parallel_ok: bool,
+        nxt: Callable,
+    ) -> Callable:
+        """A generator over a sharded extent: prune or fan out.
+
+        Three run-time regimes, re-validated against the live shard
+        layout on every execution (falling back to the plain stage keeps
+        the unsharded semantics bit-for-bit):
+
+        * a shard-probe equality confines the scan to one shard;
+        * a big enough whole-extent scan with a pure downstream chain
+          runs per-shard on the worker pool, merged in shard order;
+        * otherwise the plain sequential stage runs.
+        """
+        from repro.db.shards import shard_of as _shard_of
+
+        var = gen.var
+        extent = gen.source.name
+        probe_fn = self.compile(probe_q) if probe_q is not None else None
+        plain = self._gen_stage(gen, uncorrelated, nxt)
+        if probe_q is not None:
+            self.notes.append(
+                f"shard-prune: {var} <- {extent} confined by "
+                f"{extent}-shard of {probe_q}"
+            )
+
+        def stage(ctx, env, acc, state):
+            spec, parts = ctx.shard_view(extent)
+            if spec is None:
+                plain(ctx, env, acc, state)
+                return
+            if probe_fn is not None and spec.by is not None:
+                try:
+                    key = probe_fn(ctx, env)
+                except (StuckError, EvalError):
+                    key = None  # the plain path will (re)surface this
+                if isinstance(key, _PRIMS):
+                    items = ctx.shard_items(
+                        extent, _shard_of(key, spec.k), parts
+                    )
+                    old = env.get(var, _MISSING)
+                    try:
+                        for item in items:
+                            ctx.charge()
+                            env[var] = item
+                            nxt(ctx, env, acc, state)
+                    finally:
+                        if old is _MISSING:
+                            env.pop(var, None)
+                        else:
+                            env[var] = old
+                    return
+            if parallel_ok and _parallel.should_parallelize(
+                len(ctx.ee.members(extent)), len(parts)
+            ):
+                _parallel_scan(ctx, env, acc, state, var, extent, parts, nxt)
+                return
+            plain(ctx, env, acc, state)
+
+        return stage
+
     def _join_stage(self, gen: Gen, join, nxt: Callable) -> Callable:
         var = gen.var
         probe_q, build_q, is_objeq = join
@@ -801,6 +951,14 @@ class _Compiler:
                 f"hash join: {var} <- {extent} via index "
                 f"{extent}.{attr} {'==' if is_objeq else '='} {probe_q}"
             )
+            spec = (
+                self.shards.spec(extent) if self.shards is not None else None
+            )
+            if spec is not None and spec.by == attr:
+                self.notes.append(
+                    f"shard-prune: index probe {extent}.{attr} confined "
+                    f"to the shard of {probe_q}"
+                )
             source_fn = build_fn = None
         else:
             extent = attr = None
@@ -812,29 +970,59 @@ class _Compiler:
             )
 
         def stage(ctx, env, acc, state):
-            table = ctx.stage_cache.get(sid) if closed else state[sid]
-            if table is None:
-                if use_index:
-                    table = ctx.attr_index(extent, attr)
-                else:
-                    src = source_fn(ctx, env)
-                    if not isinstance(src, (SetLit, BagLit, ListLit)):
-                        raise StuckError(f"generator over {src}")
-                    built: dict[Query, list[Query]] = {}
+            if use_index:
+                # probe first: when the indexed attribute is the live
+                # shard key, the bucket for this probe lives entirely in
+                # the shard the key hashes to (see pruned_attr_index) —
+                # only that shard's partial is built and only that
+                # (class, shard) enters the dynamic trace
+                key = probe_fn(ctx, env)
+                _check_key(ctx, key, is_objeq)
+                table = ctx.pruned_attr_index(extent, attr, key)
+                if table is None:
+                    table = (
+                        ctx.stage_cache.get(sid) if closed else state[sid]
+                    )
+                    if table is None:
+                        table = ctx.attr_index(extent, attr)
+                        if closed:
+                            ctx.stage_cache[sid] = table
+                        else:
+                            state[sid] = table
+                bucket = table.get(key)
+                if bucket:
                     old = env.get(var, _MISSING)
                     try:
-                        for item in src.items:
+                        for item in bucket:
                             ctx.charge()
                             env[var] = item
-                            key = build_fn(ctx, env)
-                            _check_key(ctx, key, is_objeq)
-                            built.setdefault(key, []).append(item)
+                            nxt(ctx, env, acc, state)
                     finally:
                         if old is _MISSING:
                             env.pop(var, None)
                         else:
                             env[var] = old
-                    table = {k: tuple(v) for k, v in built.items()}
+                return
+            table = ctx.stage_cache.get(sid) if closed else state[sid]
+            if table is None:
+                src = source_fn(ctx, env)
+                if not isinstance(src, (SetLit, BagLit, ListLit)):
+                    raise StuckError(f"generator over {src}")
+                built: dict[Query, list[Query]] = {}
+                old = env.get(var, _MISSING)
+                try:
+                    for item in src.items:
+                        ctx.charge()
+                        env[var] = item
+                        key = build_fn(ctx, env)
+                        _check_key(ctx, key, is_objeq)
+                        built.setdefault(key, []).append(item)
+                finally:
+                    if old is _MISSING:
+                        env.pop(var, None)
+                    else:
+                        env[var] = old
+                table = {k: tuple(v) for k, v in built.items()}
                 if closed:
                     ctx.stage_cache[sid] = table
                 else:
@@ -856,6 +1044,47 @@ class _Compiler:
                         env[var] = old
 
         return stage
+
+
+def _parallel_scan(ctx, env, acc, state, var, extent, parts, nxt) -> None:
+    """Fan one whole-extent generator out per shard on the worker pool.
+
+    Each worker runs the (pure, therefore thread-safe) downstream chain
+    against a forked context and its own env/acc/state; results merge
+    in shard order and the final ``make_set_value`` canonicalisation
+    makes the order immaterial.  Per-worker row charges fold back into
+    the parent context, so ops and budget match the sequential run; a
+    transient fault in any shard's task fails the whole query, exactly
+    like its sequential counterpart.
+    """
+    ctx.charge()
+    maybe_fault("store.read")
+    cname = ctx.ee.class_of(extent)
+    ctx.reads.add(cname)
+    ctx.note_shard_read(cname, None)
+    n_state = len(state) if state is not None else 0
+
+    def make_task(members):
+        def task():
+            maybe_fault("exec.shard")
+            sub = ctx.fork()
+            senv = dict(env)
+            sacc: list[Query] = []
+            sstate = [None] * n_state if n_state else None
+            for oid in sorted(members):
+                sub.charge()
+                senv[var] = OidRef(oid)
+                nxt(sub, senv, sacc, sstate)
+            return sacc, sub.ops
+
+        return task
+
+    results = _parallel.run_sharded([make_task(m) for m in parts])
+    total_ops = 0
+    for sacc, ops in results:
+        acc.extend(sacc)
+        total_ops += ops
+    ctx.absorb(total_ops)
 
 
 def _check_key(ctx, key: Query, is_objeq: bool) -> None:

@@ -85,6 +85,7 @@ def _compile_entry(db, q: Query, eff: Effect) -> PlanEntry:
             normalised,
             method_mode=db.method_mode,
             method_fuel=db.machine.method_fuel,
+            shards=getattr(db, "_shards", None),
         )
         return PlanEntry(plan=plan, reads=eff.reads(), static_effect=eff)
     except NotCompilable as exc:
@@ -117,7 +118,9 @@ def route_read(db, q: Query, decision: PlanDecision, **run_kw):
     return replicas.try_serve(q, eff, **run_kw)
 
 
-def execute_plan(db, entry: PlanEntry, *, budget=None, ee=None, oe=None):
+def execute_plan(
+    db, entry: PlanEntry, *, budget=None, ee=None, oe=None, trace=None
+):
     """Run a compiled plan against the database's current EE/OE.
 
     Returns ``(value, dynamic_effect, ops)``; the environments are
@@ -125,6 +128,9 @@ def execute_plan(db, entry: PlanEntry, *, budget=None, ee=None, oe=None):
     override the live environments for pinned snapshot reads (the
     scheduler's routed reads evaluate against the immutable pair they
     captured at admission, not whatever the replica has applied since).
+    ``trace``, when a dict, receives ``"shard_reads"``: the dynamic
+    per-class shard sets this execution actually touched (``None`` =
+    all shards) — the result cache's per-``(class, shard)`` key.
     """
     pinned = ee is not None or oe is not None
     ctx = ExecContext(
@@ -140,6 +146,7 @@ def execute_plan(db, entry: PlanEntry, *, budget=None, ee=None, oe=None):
         # pinned snapshot may be older, so it scans without them
         indexes=None if pinned else db._indexes,
         state_version=-1 if pinned else db._state_version,
+        shards=None if pinned else getattr(db, "_shards", None),
     )
     # one charge per execution: every machine run takes at least one
     # step, so the compiled engine exposes the same fault/budget site
@@ -154,6 +161,11 @@ def execute_plan(db, entry: PlanEntry, *, budget=None, ee=None, oe=None):
     else:
         # obs-off fast path: no span/metric/label object is ever built
         value = entry.plan.fn(ctx, {})
+    if trace is not None:
+        trace["shard_reads"] = {
+            c: (None if s is None else frozenset(s))
+            for c, s in ctx.shard_reads.items()
+        }
     return value, ctx.effect(), ctx.ops
 
 

@@ -56,6 +56,8 @@ class ExecContext:
         "state_version",
         "obs",
         "prof",
+        "shards",
+        "shard_reads",
         "_extent_cache",
         "stage_cache",
     )
@@ -73,6 +75,7 @@ class ExecContext:
         budget: Budget | None = None,
         indexes=None,
         state_version: int = -1,
+        shards=None,
     ):
         self.ee = ee
         self.oe = oe
@@ -91,6 +94,10 @@ class ExecContext:
         # set by the profiled execution path (.explain analyze) only;
         # plain runs pay nothing for it
         self.prof = None
+        self.shards = shards
+        # dynamic shard trace: class -> set of shard ids read, or None
+        # once any whole-extent read happened (= all shards)
+        self.shard_reads: dict[str, set | None] = {}
         self._extent_cache: dict[str, Query] = {}
         # tables/sources provably independent of the variable environment
         # (closed stages) are shared across re-executions of nested
@@ -115,6 +122,62 @@ class ExecContext:
         eff = Effect.of(*(read_effect(c) for c in self.reads))
         return eff | self.extra_effect if self.extra_effect.atoms else eff
 
+    def note_shard_read(self, cname: str, shard: int | None) -> None:
+        """Refine the dynamic trace to ``(class, shard)`` granularity.
+
+        ``shard=None`` records a whole-extent read (all shards), which
+        is absorbing: once a class was read unpruned, no later pruned
+        read narrows it again.
+        """
+        if shard is None:
+            self.shard_reads[cname] = None
+        else:
+            have = self.shard_reads.get(cname, set())
+            if have is not None:
+                have.add(shard)
+                self.shard_reads[cname] = have
+
+    def absorb(self, ops: int) -> None:
+        """Fold a forked worker context's row charges into this one.
+
+        Budget fuel is charged in one lump after the fan-out completes,
+        so a budget can overshoot by at most one parallel scan — the
+        documented granularity of partition-parallel accounting.
+        """
+        self.ops += ops
+        if self.budget is not None and ops:
+            self.budget.charge_steps(ops)
+
+    def fork(self) -> "ExecContext":
+        """A lightweight per-worker context sharing the immutable state.
+
+        Workers get their own accounting, caches and shard trace; the
+        parent folds the ops back via :meth:`absorb` and keeps its own
+        (whole-extent) dynamic trace, so budgets and effects stay
+        equivalent to the sequential run.
+        """
+        sub = object.__new__(ExecContext)
+        sub.ee = self.ee
+        sub.oe = self.oe
+        sub.schema = self.schema
+        sub.defs = self.defs
+        sub.method_mode = self.method_mode
+        sub.method_fuel = self.method_fuel
+        sub.supply = self.supply
+        sub.budget = None
+        sub.reads = set()
+        sub.extra_effect = EMPTY
+        sub.ops = 0
+        sub.indexes = self.indexes
+        sub.state_version = self.state_version
+        sub.obs = False
+        sub.prof = None
+        sub.shards = self.shards
+        sub.shard_reads = {}
+        sub._extent_cache = {}
+        sub.stage_cache = {}
+        return sub
+
     # -- store access ----------------------------------------------------
     def scan(self, extent: str) -> Query:
         """The (Extent) read: the extent's members as a canonical set.
@@ -128,6 +191,7 @@ class ExecContext:
         maybe_fault("store.read")
         cname, members = self.ee.get(extent)
         self.reads.add(cname)
+        self.note_shard_read(cname, None)
         if self.prof is not None:
             self.prof.scans += 1
         cached = self._extent_cache.get(extent)
@@ -142,6 +206,7 @@ class ExecContext:
         maybe_fault("store.read")
         cname, members = self.ee.get(extent)
         self.reads.add(cname)
+        self.note_shard_read(cname, None)
         if self.prof is not None:
             self.prof.scans += 1
         return len(members)
@@ -160,13 +225,99 @@ class ExecContext:
         maybe_fault("store.read")
         cname, members = self.ee.get(extent)
         self.reads.add(cname)
+        self.note_shard_read(cname, None)
         if self.prof is not None:
             self.prof.index_lookups += 1
         if self.indexes is not None:
             return self.indexes.get(
-                self.ee, self.oe, self.state_version, extent, attr
+                self.ee,
+                self.oe,
+                self.state_version,
+                extent,
+                attr,
+                shards=self.shards,
             )
         return build_attr_index(self.oe, members, attr)
+
+    def pruned_attr_index(self, extent: str, attr: str, key: Query):
+        """One shard's index partial when ``attr`` is the shard key.
+
+        For an index probe with key *k* over an extent sharded
+        ``by=attr``, every object whose ``attr`` equals *k* lives (by
+        construction of the partition) in the shard *k* hashes to — so
+        that shard's partial contains exactly the full index's bucket
+        for *k*.  Records a single-``(class, shard)`` dynamic read, the
+        confinement the per-shard result cache keys on.  ``None`` when
+        pruning does not apply (unsharded, sharded by a different
+        attribute or by oid, pinned snapshot) — the caller uses the
+        full index.
+        """
+        shards = self.shards
+        if shards is None or self.indexes is None:
+            return None
+        spec = shards.spec(extent)
+        if spec is None or spec.by != attr:
+            return None
+        from repro.db.shards import shard_of
+
+        s = shard_of(key, spec.k)
+        self.charge()
+        maybe_fault("store.read")
+        cname = self.ee.class_of(extent)
+        self.reads.add(cname)
+        partial = self.indexes.get_shard(
+            self.ee, self.oe, self.state_version, extent, attr, s, shards
+        )
+        if partial is None:
+            self.note_shard_read(cname, None)
+            return None
+        self.note_shard_read(cname, s)
+        if self.prof is not None:
+            self.prof.index_lookups += 1
+        return partial
+
+    # -- sharded access --------------------------------------------------
+    def shard_view(self, extent: str):
+        """``(spec, parts)`` for a sharded extent, or ``(None, None)``.
+
+        Re-validated at execution time: the plan was compiled against a
+        shard *spec view* that may have changed since (``.shard`` can be
+        re-declared), and pinned snapshots never partition.
+        """
+        shards = self.shards
+        if shards is None:
+            return None, None
+        spec = shards.spec(extent)
+        if spec is None:
+            return None, None
+        parts = shards.partition(extent, self.ee, self.oe, self.state_version)
+        if parts is None:
+            return None, None
+        return spec, parts
+
+    def shard_items(
+        self, extent: str, shard: int, parts: tuple
+    ) -> tuple[OidRef, ...]:
+        """One shard's members as oid refs — a pruned (Extent) read.
+
+        Accounts exactly like :meth:`scan` (charge, ``store.read``
+        fault, dynamic ``R`` atom) plus the ``exec.shard`` site, but
+        records only the single shard in the shard trace.
+        """
+        self.charge()
+        maybe_fault("store.read")
+        maybe_fault("exec.shard")
+        cname = self.ee.class_of(extent)
+        self.reads.add(cname)
+        self.note_shard_read(cname, shard)
+        if self.prof is not None:
+            self.prof.scans += 1
+        key = (extent, shard)
+        cached = self._extent_cache.get(key)
+        if cached is None:
+            cached = tuple(OidRef(o) for o in sorted(parts[shard]))
+            self._extent_cache[key] = cached
+        return cached
 
     # -- methods ---------------------------------------------------------
     def call_method(self, target: OidRef, mname: str, args: tuple) -> Query:

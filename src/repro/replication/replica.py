@@ -252,13 +252,30 @@ class Replica:
             )
         _recovery.apply_record(self.db, rec)
         self.applied_lsn = lsn
-        if rec.get("kind") == "delta":
+        kind = rec.get("kind")
+        if kind == "delta":
             for extent in rec.get("extents", {}):
                 try:
                     cname = self.db.schema.extent_class(extent)
                 except Exception:
                     continue
                 self.marks[cname] = lsn
+        elif kind == "shard-delta":
+            # per-shard marks mirror the primary's _mark_written exactly:
+            # a sharded extent advances only its touched shards' keys, so
+            # a reader confined to other shards stays served; extents the
+            # commit touched without a shard stanza advance the class mark
+            shard_map = rec.get("shards", {})
+            for extent in rec.get("adds", {}):
+                try:
+                    cname = self.db.schema.extent_class(extent)
+                except Exception:
+                    continue
+                if extent in shard_map:
+                    for s in shard_map[extent]:
+                        self.marks[f"{cname}#{s}"] = lsn
+                else:
+                    self.marks[cname] = lsn
         else:
             # full (U commit, rollback, restore) and define records may
             # be observed by any query (§5): star mark
@@ -335,21 +352,50 @@ class Replica:
         )
 
     # -- serving ---------------------------------------------------------
-    def covers(self, required: dict[str, int], classes: Iterable[str]) -> bool:
+    def covers(
+        self,
+        required: dict[str, int],
+        classes: Iterable[str],
+        shard_reads: dict | None = None,
+    ) -> bool:
         """Do this replica's watermarks reach ``required`` on ``classes``?
 
         ``required`` is :meth:`Database.write_marks` — class → LSN plus
         the ``"*"`` star mark every query must respect (U/define
         commits are observable through reference chains regardless of
-        the R-set).
+        the R-set).  Sharded extents also carry ``"Class#shard"`` keys;
+        ``shard_reads`` (class → frozenset of shard ids the query is
+        statically confined to, from
+        :func:`repro.db.shards.static_read_shards`) lets a pruned
+        reader be served while *other* shards of the same class are
+        still catching up.  A class with no (or ``None``) entry needs
+        every one of its shard marks.
         """
         star_need = required.get("*", 0)
         if self.star < star_need:
             return False
         for cname in classes:
-            need = max(star_need, required.get(cname, 0))
-            if max(self.star, self.marks.get(cname, 0)) < need:
+            class_need = max(star_need, required.get(cname, 0))
+            have_class = max(self.star, self.marks.get(cname, 0))
+            confined = (
+                shard_reads.get(cname) if shard_reads is not None else None
+            )
+            if confined is not None:
+                for s in confined:
+                    key = f"{cname}#{s}"
+                    need = max(class_need, required.get(key, 0))
+                    if max(have_class, self.marks.get(key, 0)) < need:
+                        return False
+                continue
+            if have_class < class_need:
                 return False
+            prefix = cname + "#"
+            for key, need in required.items():
+                if key.startswith(prefix):
+                    if max(have_class, self.marks.get(key, 0)) < max(
+                        class_need, need
+                    ):
+                        return False
         return True
 
     def serve(self, q, **run_kw) -> "EvalResult":

@@ -125,13 +125,37 @@ class ReplicaSet:
         raise ReplicationError(f"no replica named {name!r}")
 
     # -- routing ---------------------------------------------------------
+    def _shard_reads(self, q) -> dict | None:
+        """The query's static per-class shard confinement (or ``None``).
+
+        Computed against the *primary's* live layout — marks were
+        written under the same layout, so shard ids line up.  ``None``
+        (unsharded primary, or analysis refused) keeps the class-level
+        rule, which is always sufficient.
+        """
+        if q is None:
+            return None
+        shards = getattr(self.db, "_shards", None)
+        if shards is None or not shards.enabled:
+            return None
+        try:
+            from repro.db.shards import static_read_shards
+
+            return static_read_shards(shards, self.db.schema, q)
+        except Exception:
+            return None
+
     def _pick(
-        self, required: dict[str, int], classes: frozenset[str]
+        self,
+        required: dict[str, int],
+        classes: frozenset[str],
+        shard_reads: dict | None = None,
     ) -> Replica | None:
         candidates = [
             r
             for r in self.replicas
-            if r.state in _STATE_RANK and r.covers(required, classes)
+            if r.state in _STATE_RANK
+            and r.covers(required, classes, shard_reads)
         ]
         if not candidates:
             return None
@@ -161,12 +185,13 @@ class ReplicaSet:
             return None
         required = self.db.write_marks()
         classes = eff.reads()
-        pick = self._pick(required, classes)
+        shard_reads = self._shard_reads(q)
+        pick = self._pick(required, classes, shard_reads)
         if pick is None and self.auto_poll:
             # one cheap catch-up attempt before giving the read back:
             # most misses are just records not yet shipped
             self.poll()
-            pick = self._pick(required, classes)
+            pick = self._pick(required, classes, shard_reads)
         if pick is None:
             self._degrade("no-fresh-replica")
             return None
@@ -180,16 +205,22 @@ class ReplicaSet:
         return result
 
     # -- pinned routing (scheduler) --------------------------------------
-    def pin(self, eff: Effect) -> PinnedRead | None:
-        """Pin a covering replica's current snapshot for a batch read."""
+    def pin(self, eff: Effect, q=None) -> PinnedRead | None:
+        """Pin a covering replica's current snapshot for a batch read.
+
+        ``q`` (optional) enables shard-confined coverage: a read the
+        static analysis proves touches only certain shards can pin a
+        replica that is behind on the *other* shards of those classes.
+        """
         if self._closed:
             return None
         required = self.db.write_marks()
         classes = eff.reads()
-        pick = self._pick(required, classes)
+        shard_reads = self._shard_reads(q)
+        pick = self._pick(required, classes, shard_reads)
         if pick is None and self.auto_poll:
             self.poll()
-            pick = self._pick(required, classes)
+            pick = self._pick(required, classes, shard_reads)
         if pick is None:
             self._degrade("no-pinnable-replica")
             return None

@@ -20,6 +20,8 @@ named **sites**:
 ``replica.ship``          a replica's shipper polls the primary's log
 ``replica.apply``         before a shipped record is applied to a replica
 ``failover.promote``      a replica is promoted to primary
+``shard.install``         before one shard's partition install in a commit
+``exec.shard``            a per-shard pipeline task starts on the pool
 ========================  =============================================
 
 Sites guard themselves with one global-load-plus-``None``-check
@@ -60,6 +62,8 @@ SITES: tuple[str, ...] = (
     "replica.ship",
     "replica.apply",
     "failover.promote",
+    "shard.install",
+    "exec.shard",
 )
 
 KINDS: tuple[str, ...] = ("transient", "latency")

@@ -81,6 +81,65 @@ def conflicts(a: Effect, b: Effect) -> bool:
     return False
 
 
+def shard_conflicts(
+    a: "Admission", b: "Admission", *, allow_writer_overlap: bool = False
+) -> bool:
+    """:func:`conflicts`, refined to ``(class, shard)`` granularity.
+
+    An edge :func:`conflicts` demands may be dropped when the static
+    shard analyses (:func:`repro.db.shards.static_read_shards` /
+    ``static_write_shards``) prove the two queries touch **disjoint
+    shards** of every class they share:
+
+    * a reader confined to shards *S* of class *C* cannot observe an
+      ``A(C)`` commit into shards disjoint from *S* — the new objects'
+      shard-attribute values hash outside *S*, so the confining
+      equality predicate rejects them whether or not the scan was
+      pruned at run time (pruning changes what is *scanned*, never
+      what is *kept*);
+    * two ``A``-only writers into disjoint shards commute under the
+      per-shard merge-install (fresh oids are globally unique and set
+      union is order-insensitive), so they may overlap when the caller
+      allows it (``allow_writer_overlap`` is off under ``atomic``
+      batches, whose rollback restores extents wholesale).
+
+    Any missing analysis (``None`` dicts: sharding disabled, calls in
+    the query, a class the analysis could not confine) or any ``U``
+    atom keeps the conservative edge.
+    """
+    eff_a, eff_b = a.effect, b.effect
+    if not conflicts(eff_a, eff_b):
+        return False
+    if eff_a.updates() or eff_b.updates():
+        return True
+
+    def overlap(writer, write_shards, reader, read_shards) -> bool:
+        for cname in writer.adds() & reader.reads():
+            wrote = write_shards.get(cname) if write_shards else None
+            read = read_shards.get(cname) if read_shards else None
+            if wrote is None or read is None or (wrote & read):
+                return True
+        return False
+
+    if overlap(eff_a, a.write_shards, eff_b, b.read_shards):
+        return True
+    if overlap(eff_b, b.write_shards, eff_a, a.read_shards):
+        return True
+    if eff_a.writes() and eff_b.writes():
+        if (
+            not allow_writer_overlap
+            or a.write_shards is None
+            or b.write_shards is None
+        ):
+            return True
+        for cname in eff_a.adds() & eff_b.adds():
+            w1 = a.write_shards.get(cname)
+            w2 = b.write_shards.get(cname)
+            if w1 is None or w2 is None or (w1 & w2):
+                return True
+    return False
+
+
 @dataclass
 class Admission:
     """One query's entry into a batch: its slot, AST and static effect.
@@ -99,6 +158,12 @@ class Admission:
     #: a replica snapshot this read will answer from (repro.replication
     #: PinnedRead), letting it leave the conflict graph entirely
     pinned: object | None = None
+    #: static per-class shard confinement (class → frozenset of shard
+    #: ids, or missing = unconfined); ``None`` when the primary is
+    #: unsharded or the analysis refused — shard_conflicts degrades to
+    #: the class-level rule
+    read_shards: dict | None = None
+    write_shards: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -235,6 +300,23 @@ class QueryScheduler:
             except BaseException as exc:  # noqa: BLE001 - recorded, not lost
                 adm.error = exc
             if adm.ok:
+                shards = getattr(self.db, "_shards", None)
+                if shards is not None and shards.enabled:
+                    try:
+                        from repro.db.shards import (
+                            static_read_shards,
+                            static_write_shards,
+                        )
+
+                        adm.read_shards = static_read_shards(
+                            shards, self.db.schema, adm.query
+                        )
+                        if adm.effect.writes():
+                            adm.write_shards = static_write_shards(
+                                shards, self.db.schema, adm.query
+                            )
+                    except Exception:
+                        adm.read_shards = adm.write_shards = None
                 if adm.effect.writes():
                     batch_star = batch_star or bool(adm.effect.updates())
                     batch_adds |= adm.effect.adds()
@@ -243,7 +325,7 @@ class QueryScheduler:
                     and not batch_star
                     and not (batch_adds & adm.effect.reads())
                 ):
-                    adm.pinned = self._rset.pin(adm.effect)
+                    adm.pinned = self._rset.pin(adm.effect, adm.query)
             admissions.append(adm)
             _flight.record(
                 "sched-admit",
@@ -256,13 +338,23 @@ class QueryScheduler:
         return admissions
 
     @staticmethod
-    def conflict_graph(admissions: Sequence[Admission]) -> dict[int, set[int]]:
-        """``deps[j] = {i < j : conflicts(εᵢ, εⱼ)}`` over admitted queries.
+    def conflict_graph(
+        admissions: Sequence[Admission],
+        *,
+        allow_writer_overlap: bool = False,
+    ) -> dict[int, set[int]]:
+        """``deps[j] = {i < j : shard_conflicts(εᵢ, εⱼ)}`` over admitted
+        queries.
 
         Only the *earlier* endpoint of each edge appears in a
         dependency set: the graph is a DAG by construction, and running
         every query after all of its dependencies reproduces admission
-        order along every conflicting pair.
+        order along every conflicting pair.  Edges are
+        :func:`conflicts` refined by :func:`shard_conflicts` — pairs
+        provably confined to disjoint shards of every shared class
+        drop their edge, including (when ``allow_writer_overlap``)
+        ``A``-only writer pairs, which the per-shard merge-install
+        makes commutative.
 
         A **pinned** read takes no part in the graph at all: it already
         holds the immutable snapshot it will answer from, so it neither
@@ -281,7 +373,9 @@ class QueryScheduler:
             deps[a.index] = {
                 b.index
                 for b in earlier
-                if conflicts(b.effect, a.effect)
+                if shard_conflicts(
+                    b, a, allow_writer_overlap=allow_writer_overlap
+                )
             }
             earlier.append(a)
         return deps
@@ -291,7 +385,12 @@ class QueryScheduler:
         started = time.perf_counter()
         with _span("sched.batch", queries=len(sources), workers=self.workers) as sp:
             admissions = self.admit(sources)
-            deps = self.conflict_graph(admissions)
+            # atomic rollback restores extents wholesale, which two
+            # overlapped writers would race — disjoint-shard writer
+            # overlap is only sound for plain (merge-install) batches
+            deps = self.conflict_graph(
+                admissions, allow_writer_overlap=not self.atomic
+            )
             edges = sum(len(d) for d in deps.values())
             outcomes = self._execute(admissions, deps)
             wall = time.perf_counter() - started

@@ -26,6 +26,10 @@ Commands::
                           misestimate ratio, per-operator time (never
                           commits; falls back to a reduction-rule
                           histogram outside the compiled fragment)
+    .explain cost <q>     TD2-style sharded cost report: per-extent
+                          shard access counts, estimated selectivities
+                          and rows/bytes moved at merge points (never
+                          executes the query)
     .top                  live health board: query/cache counters, WAL
                           lsn + fsync p50/p99, last scheduled batch,
                           indexes, flight-recorder ring
@@ -64,6 +68,14 @@ Commands::
                           watermarks plus routing counters
     .promote <name>       fail over: promote the named replica to
                           primary (the old primary is fenced)
+    .shard <Class> [k=N] [by=attr]  hash-partition the class's extent
+                          into N shards (default 8); ``by=attr``
+                          shards on that attribute's value so equality
+                          scans prune to one shard; bare ``.shards``
+                          shows the layout
+    .shards               sharding health: layout, per-shard sizes and
+                          version skew, install/rebuild counters and
+                          worker-pool utilization
     .quit                 leave
 
 Instrumentation is **off** when the shell starts (interactive latency
@@ -254,6 +266,11 @@ class Shell:
                     self._budget.fresh() if self._budget is not None else None
                 )
                 return self.db.explain_analyze(src, budget=budget).render()
+            if rest.startswith("cost"):
+                src = rest[len("cost"):].strip()
+                if not src:
+                    return "error: .explain cost needs a query"
+                return self.db.explain_cost(src).render()
             from repro.optimizer.cost import CostModel, optimize_with_costs
 
             q = self.db.parse(rest)
@@ -309,6 +326,10 @@ class Shell:
             return self._replicas_cmd(rest)
         if cmd == ".promote":
             return self._promote_cmd(rest)
+        if cmd == ".shard":
+            return self._shard_cmd(rest)
+        if cmd == ".shards":
+            return self._shards_cmd()
         if cmd == ".checkpoint":
             if self.db.wal is None:
                 return "error: no write-ahead log attached (.wal open <dir>)"
@@ -542,6 +563,58 @@ class Shell:
             f"promoted {rest} to primary of {old_dir} (old primary "
             f"fenced; surviving replicas: {survivors})"
         )
+
+    def _shard_cmd(self, rest: str) -> str:
+        if not rest:
+            return "error: .shard needs a class name (.shard Person k=8 by=region)"
+        parts = rest.split()
+        cname = parts[0]
+        k, by = 8, None
+        for tok in parts[1:]:
+            key, _, value = tok.partition("=")
+            if key == "k" and value:
+                try:
+                    k = int(value)
+                except ValueError:
+                    return f"error: k must be an integer, got {value!r}"
+            elif key == "by" and value:
+                by = value
+            else:
+                return f"error: unknown .shard option {tok!r} (k=N, by=attr)"
+        spec = self.db.shard(cname, k=k, by=by)  # ReproError -> handle()
+        return f"sharded: {spec.describe()}"
+
+    def _shards_cmd(self) -> str:
+        sh = self.db.health().get("sharding")
+        if not sh:
+            return "no sharded extents (.shard <Class> [k=N] [by=attr])"
+        lines = ["sharding"]
+        for name, e in sorted(sh["extents"].items()):
+            key = f"by {e['by']}" if e["by"] else "by oid"
+            if e["shard_sizes"] is None:
+                sizes = "partition not built yet"
+            else:
+                sizes = (
+                    f"sizes={e['shard_sizes']} (skew {e['size_skew']})"
+                )
+            lines.append(
+                f"  {name} ({e['class']}) k={e['k']} {key}: "
+                f"{e.get('rows', 0)} rows, {sizes}, version skew "
+                f"{e['version_skew']}"
+            )
+        pool = sh.get("pool") or {}
+        util = pool.get("utilization")
+        lines.append(
+            f"  installs={sh['installs']} rebuilds={sh['rebuilds']} "
+            f"epoch={sh['epoch']}"
+        )
+        lines.append(
+            f"  pool workers={pool.get('workers', 0)} "
+            f"tasks={pool.get('tasks', 0)} "
+            f"batches={pool.get('batches', 0)}"
+            + (f" utilization={util:.0%}" if util is not None else "")
+        )
+        return "\n".join(lines)
 
     def _transaction_cmd(self, rest: str) -> str:
         if rest == "begin":

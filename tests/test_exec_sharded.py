@@ -1,0 +1,373 @@
+"""Partition-parallel execution: pruning, caches, conflicts, surfaces.
+
+Certifies the compiled engine's sharded paths against the unsharded
+engine (scan pruning, pruned index probes, forced pool fan-out), the
+per-``(class, shard)`` refinement of plan/result-cache invalidation,
+the scheduler's ``shard_conflicts`` rule, the TD2-style cost report,
+and the operator surfaces (``health()["sharding"]``, ``shard_*``
+gauges, ``.shard``/``.shards``/``.explain cost``).
+"""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.shards import shard_of
+from repro.effects.algebra import EMPTY, Effect, add, read, update
+from repro.exec import parallel
+from repro.lang.ast import StrLit
+from repro.resilience.faults import FaultPlan, FaultRule, inject
+from repro.sched.scheduler import Admission, shard_conflicts
+from repro.shell import Shell
+
+ODL = """
+class Person extends Object (extent Persons) {
+    attribute string name;
+    attribute string region;
+    attribute int age;
+}
+class Order extends Object (extent Orders) {
+    attribute string item;
+    attribute string region;
+    attribute int qty;
+}
+"""
+
+K = 4
+REGIONS = 8
+
+
+def make_pair(n: int = 64) -> tuple[Database, Database]:
+    """Twin databases with identical contents; one sharded."""
+    out = []
+    for sharded in (True, False):
+        db = Database.from_odl(ODL)
+        if sharded:
+            db.shard("Person", k=K, by="region")
+            db.shard("Order", k=K, by="region")
+        for i in range(n):
+            db.insert(
+                "Person", name=f"p{i}", region=f"r{i % REGIONS}", age=i
+            )
+        for i in range(n // 2):
+            db.insert(
+                "Order", item=f"it{i}", region=f"r{i % REGIONS}", qty=i % 7
+            )
+        out.append(db)
+    return out[0], out[1]
+
+
+def canon(value) -> list:
+    return sorted(value.items, key=repr)
+
+
+QUERIES = [
+    '{ p.name | p <- Persons, p.region = "r1" }',
+    '{ p.name | p <- Persons, p.region = "r1", p.age > 10 }',
+    "{ p.name | p <- Persons, p.age > 20 }",
+    '{ struct(n: p.name, it: o.item) | p <- Persons, p.region = "r2", '
+    "o <- Orders, p.region = o.region, o.qty > 1 }",
+    '{ p.age | p <- Persons, p.region = "nowhere" }',
+]
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("src", QUERIES)
+    def test_sharded_run_equals_unsharded(self, src):
+        sharded, plain = make_pair()
+        assert canon(sharded.run(src).value) == canon(plain.run(src).value)
+
+    def test_forced_pool_fanout_equals_unsharded(self, monkeypatch):
+        # MIN_ROWS = 0 forces every whole-extent scan through the
+        # worker pool regardless of size
+        monkeypatch.setattr(parallel, "MIN_ROWS", 0)
+        sharded, plain = make_pair()
+        src = "{ p.name | p <- Persons, p.age > 5 }"
+        before = parallel.snapshot()["batches"]
+        got = sharded.run(src).value
+        assert parallel.snapshot()["batches"] > before, "pool not used"
+        assert canon(got) == canon(plain.run(src).value)
+
+    def test_pool_task_fault_fails_query_but_not_database(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(parallel, "MIN_ROWS", 0)
+        sharded, _ = make_pair()
+        plan = FaultPlan(
+            (FaultRule(site="exec.shard", at=2, kind="transient"),)
+        )
+        src = "{ p.name | p <- Persons, p.age > 5 }"
+        with inject(plan):
+            with pytest.raises(Exception):
+                sharded.run(src)
+        assert sharded.run(src).value.items  # next run is fine
+
+
+class TestPruning:
+    def test_confined_query_records_single_shard_dynamic_read(self):
+        sharded, _ = make_pair()
+        src = '{ p.name | p <- Persons, p.region = "r1" }'
+        sharded.run(src)
+        entry = sharded._plan_cache.get(
+            sharded.parse(src), sharded._defs_version
+        )
+        assert entry is not None
+        confined = entry.result_shard_reads["Person"]
+        assert confined == frozenset({shard_of(StrLit("r1"), K)})
+
+    def test_unconfined_query_records_whole_class_read(self):
+        sharded, _ = make_pair()
+        src = "{ p.name | p <- Persons, p.age > 3 }"
+        sharded.run(src)
+        entry = sharded._plan_cache.get(
+            sharded.parse(src), sharded._defs_version
+        )
+        reads = (entry.result_shard_reads or {}).get("Person")
+        assert reads is None  # None = all shards
+
+    def test_plan_notes_mention_pruning(self):
+        sharded, _ = make_pair()
+        decision = sharded.plan_decision(
+            '{ p.name | p <- Persons, p.region = "r1" }'
+        )
+        notes = " ".join(decision.plan.notes)
+        assert "shard" in notes
+
+
+class TestPerShardInvalidation:
+    def test_result_survives_disjoint_shard_write(self):
+        sharded, _ = make_pair()
+        src = '{ p.name | p <- Persons, p.region = "r1" }'
+        q = sharded.parse(src)
+        sharded.run(q)
+        hits0 = sharded._qstats["result_cache_hits"]
+        # write into a *different* shard of the same class
+        target = shard_of(StrLit("r1"), K)
+        other = next(
+            f"s{i}"
+            for i in range(100)
+            if shard_of(StrLit(f"s{i}"), K) != target
+        )
+        sharded.insert("Person", name="w", region=other, age=1)
+        sharded.run(q)
+        assert sharded._qstats["result_cache_hits"] == hits0 + 1
+
+    def test_result_evicts_on_same_shard_write(self):
+        sharded, _ = make_pair()
+        src = '{ p.name | p <- Persons, p.region = "r1" }'
+        q = sharded.parse(src)
+        before = canon(sharded.run(q).value)
+        hits0 = sharded._qstats["result_cache_hits"]
+        sharded.insert("Person", name="w", region="r1", age=99)
+        after = sharded.run(q).value
+        assert sharded._qstats["result_cache_hits"] == hits0
+        assert len(after.items) == len(before) + 1
+
+    def test_unsharded_twin_loses_cache_on_any_write(self):
+        _, plain = make_pair()
+        src = '{ p.name | p <- Persons, p.region = "r1" }'
+        q = plain.parse(src)
+        plain.run(q)
+        hits0 = plain._qstats["result_cache_hits"]
+        plain.insert("Person", name="w", region="zzz", age=1)
+        plain.run(q)
+        assert plain._qstats["result_cache_hits"] == hits0
+
+
+class TestShardConflicts:
+    def _adm(self, idx, effect, reads=None, writes=None):
+        return Admission(
+            index=idx,
+            source="",
+            effect=effect,
+            read_shards=reads,
+            write_shards=writes,
+        )
+
+    def test_non_conflicting_effects_stay_free(self):
+        a = self._adm(0, Effect.of(read("Person")))
+        b = self._adm(1, Effect.of(add("Order")))
+        assert not shard_conflicts(a, b)
+
+    def test_disjoint_shard_reader_writer_drop_edge(self):
+        a = self._adm(
+            0, Effect.of(read("Person")), reads={"Person": frozenset({1})}
+        )
+        b = self._adm(
+            1, Effect.of(add("Person")), writes={"Person": frozenset({2})}
+        )
+        assert not shard_conflicts(a, b)
+        assert not shard_conflicts(b, a)
+
+    def test_same_shard_reader_writer_keep_edge(self):
+        a = self._adm(
+            0, Effect.of(read("Person")), reads={"Person": frozenset({2})}
+        )
+        b = self._adm(
+            1, Effect.of(add("Person")), writes={"Person": frozenset({2})}
+        )
+        assert shard_conflicts(a, b)
+
+    def test_missing_analysis_keeps_edge(self):
+        a = self._adm(0, Effect.of(read("Person")), reads=None)
+        b = self._adm(
+            1, Effect.of(add("Person")), writes={"Person": frozenset({2})}
+        )
+        assert shard_conflicts(a, b)
+
+    def test_update_always_keeps_edge(self):
+        a = self._adm(
+            0,
+            Effect.of(update("Person")),
+            reads={"Person": frozenset({1})},
+            writes={"Person": frozenset({1})},
+        )
+        b = self._adm(
+            1, Effect.of(add("Person")), writes={"Person": frozenset({2})}
+        )
+        assert shard_conflicts(a, b)
+
+    def test_disjoint_writers_overlap_only_when_allowed(self):
+        a = self._adm(
+            0, Effect.of(add("Person")), writes={"Person": frozenset({1})}
+        )
+        b = self._adm(
+            1, Effect.of(add("Person")), writes={"Person": frozenset({2})}
+        )
+        assert shard_conflicts(a, b)  # atomic default: keep the edge
+        assert not shard_conflicts(a, b, allow_writer_overlap=True)
+
+    def test_same_shard_writers_conflict_even_when_allowed(self):
+        a = self._adm(
+            0, Effect.of(add("Person")), writes={"Person": frozenset({1})}
+        )
+        b = self._adm(
+            1, Effect.of(add("Person")), writes={"Person": frozenset({1})}
+        )
+        assert shard_conflicts(a, b, allow_writer_overlap=True)
+
+    def test_run_many_overlaps_disjoint_shard_writers(self):
+        sharded, _ = make_pair(n=16)
+        batch = [
+            f'new Person(name: "b{i}", region: "r{i}", age: {i})'
+            for i in range(6)
+        ]
+        res = sharded.run_many(batch, workers=4)
+        # 6 A(Person) writers: the class-level graph would be a clique
+        # (15 edges); per-shard refinement keeps only same-shard pairs
+        clique = 6 * 5 // 2
+        assert res.conflict_edges < clique
+        assert len(sharded.ee.members("Persons")) == 16 + 6
+
+    def test_atomic_batch_still_serialises_writers(self):
+        sharded, _ = make_pair(n=8)
+        batch = [
+            f'new Person(name: "b{i}", region: "r{i}", age: {i})'
+            for i in range(4)
+        ]
+        res = sharded.run_many(batch, workers=4, atomic=True)
+        assert len(sharded.ee.members("Persons")) == 8 + 4
+        assert res.conflict_edges == 4 * 3 // 2
+
+
+class TestCostReport:
+    def test_pruned_access_reported(self):
+        sharded, _ = make_pair()
+        report = sharded.explain_cost(
+            '{ p.name | p <- Persons, p.region = "r1" }'
+        )
+        (access,) = report.accesses
+        assert access.sharded and access.pruned
+        assert access.shards_accessed == 1
+        assert access.rows_scanned < access.rows
+        assert report.merges[0].pipelines == 1
+
+    def test_unconfined_access_prices_all_shards(self):
+        sharded, _ = make_pair()
+        report = sharded.explain_cost("{ p.name | p <- Persons, p.age > 3 }")
+        (access,) = report.accesses
+        assert access.shards_accessed == K and not access.pruned
+        assert report.merges[0].pipelines == K
+        assert report.predicates  # the filter's selectivity is listed
+
+    def test_report_is_json_safe(self):
+        import json
+
+        sharded, _ = make_pair()
+        report = sharded.explain_cost(
+            '{ p.name | p <- Persons, p.region = "r1", p.age > 2 }'
+        )
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["accesses"][0]["sharded"] is True
+        assert doc["total_rows_scanned"] == report.total_rows_scanned
+
+    def test_unsharded_database_reports_plain_scan(self):
+        _, plain = make_pair()
+        report = plain.explain_cost('{ p.name | p <- Persons }')
+        (access,) = report.accesses
+        assert not access.sharded
+        assert access.rows_scanned == access.rows
+
+
+class TestHealthSurface:
+    def test_sharding_section_present_and_gauged(self):
+        from repro import obs
+        from repro.obs.export import prometheus_text
+
+        sharded, _ = make_pair()
+        sharded.run('{ p.name | p <- Persons, p.region = "r1" }')
+        obs.enable()
+        obs.reset()
+        try:
+            snap = sharded.health()  # obs on: mirrors gauges
+            sh = snap["sharding"]
+            assert sh["sharded_classes"] == 2
+            assert sh["extents"]["Persons"]["k"] == K
+            assert "pool" in sh and sh["pool"]["workers"] >= 1
+            gauges = prometheus_text()
+            assert "shard_extents_total 2" in gauges
+            assert "shard_pool_workers" in gauges
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_unsharded_database_has_no_sharding_section(self):
+        _, plain = make_pair(n=4)
+        assert plain.health()["sharding"] is None
+
+
+class TestShellSurface:
+    @pytest.fixture
+    def shell(self):
+        db = Database.from_odl(ODL)
+        for i in range(8):
+            db.insert(
+                "Person", name=f"p{i}", region=f"r{i % 4}", age=20 + i
+            )
+        return Shell(db)
+
+    def test_shard_command_declares_and_reports(self, shell):
+        out = shell.handle(".shard Person k=4 by=region")
+        assert "Persons k=4 by=region" in out
+        out = shell.handle(".shards")
+        assert "Persons" in out and "k=4" in out
+
+    def test_shard_command_rejects_bad_input(self, shell):
+        assert "error" in shell.handle(".shard Ghost").lower()
+        assert "error" in shell.handle(".shard Person k=zero").lower()
+
+    def test_shards_before_any_declaration(self, shell):
+        assert "no sharded extents" in shell.handle(".shards").lower()
+
+    def test_explain_cost_renders(self, shell):
+        shell.handle(".shard Person k=4 by=region")
+        out = shell.handle(
+            '.explain cost { p.name | p <- Persons, p.region = "r1" }'
+        )
+        assert "cost report" in out
+        assert "1/4 shard(s)" in out and "[pruned]" in out
+
+    def test_explain_cost_unsharded_still_works(self, shell):
+        out = shell.handle(
+            ".explain cost { p.name | p <- Persons, p.age > 21 }"
+        )
+        assert "cost report" in out and "unsharded" in out

@@ -610,9 +610,15 @@ class TestCloseDetachIdempotence:
 
 
 class TestFaultPlanValidation:
-    def test_all_thirteen_sites_known(self):
-        assert len(SITES) == 13
-        for site in ("replica.ship", "replica.apply", "failover.promote"):
+    def test_all_fifteen_sites_known(self):
+        assert len(SITES) == 15
+        for site in (
+            "replica.ship",
+            "replica.apply",
+            "failover.promote",
+            "shard.install",
+            "exec.shard",
+        ):
             assert site in SITES
 
     def test_rule_rejects_unknown_site(self):
