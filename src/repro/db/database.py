@@ -50,6 +50,7 @@ from repro.methods.typing import check_schema_methods
 from repro.model.schema import Schema
 from repro.model.types import ClassType, FuncType, Type
 from repro.db.shards import ShardedExtents
+from repro.db.statistics import StatisticsCatalog
 from repro.db.store import (
     AttributeIndexes,
     ExtentEnv,
@@ -116,6 +117,14 @@ class Database:
         self._oid_types_cache: tuple[int, dict[str, Type]] | None = None
         self._plan_cache = PlanCache(schema_fingerprint(schema))
         self._indexes = AttributeIndexes()
+        # per-(extent, attribute) statistics for the cost-based
+        # optimizer v2; maintained by the same Theorem 5 effect logic
+        # as the caches (see _note_write)
+        self._stats = StatisticsCatalog()
+        # adaptive replanning: re-optimize mid-query when an observed
+        # source cardinality diverges from the estimate by this factor
+        # (None/0 disables the guards entirely)
+        self.replan_ratio: float | None = 4.0
         # hash-sharded extents (repro.db.shards): empty = every path
         # behaves exactly as the unsharded database
         self._shards = ShardedExtents()
@@ -159,6 +168,7 @@ class Database:
             "budget_exhausted": 0,
             "crash_dumps": 0,
             "routed_reads": 0,
+            "replans": 0,
         }
         # stats dict of the most recent run_many batch (repro.sched)
         self._last_batch: dict | None = None
@@ -253,7 +263,7 @@ class Database:
             self._oe = value
 
     def _note_write(
-        self, effect: Effect, pre_version: int, shard_writes=None
+        self, effect: Effect, pre_version: int, shard_writes=None, adds=None
     ) -> None:
         """Effect-guided cache maintenance after a committed write.
 
@@ -268,6 +278,9 @@ class Database:
         ``shard_writes`` (class → exact shard ids, per-shard commits
         only) lets the plan cache keep entries whose recorded reads
         were confined to disjoint shards of the written classes.
+        ``adds`` (extent → newly added oids, when the commit path knows
+        them) lets the statistics catalog fold an ``A``-only commit's
+        rows into its column stats instead of evicting them.
         """
         post = self._state_version
         if post == pre_version:
@@ -276,6 +289,15 @@ class Database:
             effect, pre_version, post, shard_writes=shard_writes
         )
         self._indexes.note_write(self.schema, effect, pre_version, post)
+        self._stats.note_write(
+            self.schema,
+            effect,
+            pre_version,
+            post,
+            adds=adds,
+            oe=self.oe,
+            ee=self.ee,
+        )
 
     # -- durability (repro.db.wal / repro.db.recovery) -------------------
     @property
@@ -657,7 +679,9 @@ class Database:
         self.oe = new_oe
         self.ee = new_ee
         self._shards.commit_staged(staged, shard_adds, self._state_version)
-        self._note_write(effect, pre, shard_writes=shard_writes)
+        self._note_write(
+            effect, pre, shard_writes=shard_writes, adds=extent_adds
+        )
 
     def _wal_log_unattributed(self, stmt: str) -> None:
         """Journal a state change with no static effect (rollback, restore).
@@ -749,7 +773,11 @@ class Database:
                     self._mark_written(lsn, effect)
                 self.oe = new_oe
                 self.ee = new_ee
-                self._note_write(effect, pre)
+                self._note_write(
+                    effect,
+                    pre,
+                    adds={self.schema.class_extent(cname): (oid,)},
+                )
         if self._active_txn is not None:
             self._active_txn.record(Effect.of(add_effect(cname)))
         return OidRef(oid)
@@ -1113,7 +1141,28 @@ class Database:
                         # its members
                         self.oe = result.oe
                         self.ee = result.ee
-                        self._note_write(result.effect, pre)
+                        adds = None
+                        if (
+                            result.effect.adds()
+                            and not result.effect.updates()
+                        ):
+                            # A-only: the new members per extent are
+                            # exactly the EE delta (Theorem 5 bounds the
+                            # touched extents by the static A atoms), so
+                            # the stats catalog can fold them in rather
+                            # than rebuild from scratch
+                            adds = {
+                                self.schema.class_extent(c): (
+                                    result.ee.members(
+                                        self.schema.class_extent(c)
+                                    )
+                                    - base_ee.members(
+                                        self.schema.class_extent(c)
+                                    )
+                                )
+                                for c in result.effect.adds()
+                            }
+                        self._note_write(result.effect, pre, adds=adds)
                 if self._active_txn is not None:
                     self._active_txn.record(result.effect)
         return result
@@ -1366,6 +1415,20 @@ class Database:
         if _OBS.enabled:
             _health.export_gauges(h)
         return h
+
+    def analyze(self) -> dict:
+        """Eagerly build optimizer statistics for every column.
+
+        Scans each extent once per attribute, populating the
+        per-(extent, attribute) distinct counts and integer histograms
+        the cost model's selectivity estimates consume (the shell's
+        ``.analyze``).  Stats also build lazily on first use, so this
+        is an optional warm-up, not a prerequisite.  Returns a
+        JSON-safe summary keyed ``"Extent.attr"``.
+        """
+        return self._stats.analyze(
+            self.schema, self.ee, self.oe, self._state_version
+        )
 
     def transaction(self) -> Transaction:
         """A multi-statement, all-or-nothing scope (context manager).

@@ -90,6 +90,7 @@ def collect(db: "Database") -> dict:
             "versions": db._indexes.snapshot(),
             "store_version": db._state_version,
         },
+        "optimizer": _optimizer_section(db),
         "store": {
             "objects": len(db.oe),
             "extents": {
@@ -104,6 +105,17 @@ def collect(db: "Database") -> dict:
         },
         "flight": _RECORDER.stats(),
     }
+
+
+def _optimizer_section(db: "Database") -> dict | None:
+    """The ``"optimizer"`` stanza: stats catalog state and replans."""
+    stats = getattr(db, "_stats", None)
+    if stats is None:
+        return None
+    snap = stats.snapshot()
+    snap["replans"] = db._qstats.get("replans", 0)
+    snap["replan_ratio"] = getattr(db, "replan_ratio", None)
+    return snap
 
 
 def _sharding_section(db: "Database") -> dict | None:
@@ -151,6 +163,9 @@ _GAUGES: dict[str, tuple[str, ...]] = {
     "shard_pool_tasks_total": ("sharding", "pool", "tasks"),
     "shard_pool_batches_total": ("sharding", "pool", "batches"),
     "shard_pool_utilization": ("sharding", "pool", "utilization"),
+    "optimizer_stats_epoch": ("optimizer", "epoch"),
+    "optimizer_analyzed_columns": ("optimizer", "analyzed_columns"),
+    "optimizer_replans_total": ("optimizer", "replans"),
     "index_entries": ("indexes", "entries"),
     "live_objects_snapshot": ("store", "objects"),
     "flight_events_recorded": ("flight", "recorded"),
@@ -260,6 +275,16 @@ def render(snapshot: dict) -> str:
         "  indexes     "
         f"entries={idx['entries']} store_version={idx['store_version']}"
     )
+    opt = snapshot.get("optimizer")
+    if opt:
+        ratio = opt.get("replan_ratio")
+        lines.append(
+            "  optimizer   "
+            f"stats epoch={opt['epoch']} "
+            f"columns={opt['analyzed_columns']} "
+            f"replans={opt['replans']}"
+            + (f" (ratio {ratio:g}x)" if ratio else " (replanning off)")
+        )
     st = snapshot["store"]
     extents = ", ".join(
         f"{name}={n}" for name, n in st["extents"].items()

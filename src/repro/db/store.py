@@ -452,6 +452,20 @@ class OidSupply:
                 self._next = n
 
 
+def column_values(
+    oe: ObjectEnv, members: Iterable[str], attr: str
+) -> Iterator[Query]:
+    """Yield ``attr``'s value for each member oid — one column's data.
+
+    The single scan primitive shared by the statistics catalog's column
+    builds and incremental folds (:mod:`repro.db.statistics`): callers
+    see values in membership-iteration order and never touch the
+    records themselves.
+    """
+    for oid in members:
+        yield oe.get(oid).attr(attr)
+
+
 def populate(
     schema: Schema,
     ee: ExtentEnv,

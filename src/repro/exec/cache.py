@@ -64,6 +64,12 @@ class PlanEntry:
     reads: frozenset[str]
     static_effect: Effect
     reason: str = ""
+    # the statistics epoch the plan was costed against; the engine
+    # treats a mismatch with the live catalog as a cache miss, so a
+    # generator order chosen against a materially different catalog
+    # (e.g. an extent grown 0 -> 10k) is re-costed instead of surviving
+    # shard-disjoint promotions forever
+    stats_epoch: int = -1
     result: Query | None = field(default=None, repr=False)
     result_effect: Effect | None = field(default=None, repr=False)
     result_steps: int = 0

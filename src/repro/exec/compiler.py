@@ -172,8 +172,12 @@ def compile_plan(
     :class:`~repro.exec.runtime.ExecContext`'s ``prof`` run (when one is
     attached — a profiled plan run without one pays only a ``None``
     check per operator call).  ``cost_model`` supplies the estimated
-    cardinalities recorded on each operator; defaults to an empty
-    :class:`~repro.optimizer.cost.CostModel` (all extents unknown).
+    cardinalities recorded on each operator and drives join selection
+    and the replan guards; for profiled compiles it defaults to an
+    empty :class:`~repro.optimizer.cost.CostModel` (all extents
+    unknown).  A model may also be passed *without* profiling — the
+    engine's normal compile path does, so plans carry stats-driven
+    estimates for adaptive replanning at zero per-row cost.
     """
     model = cost_model
     if profile and model is None:
@@ -181,7 +185,12 @@ def compile_plan(
 
         model = CostModel()
     c = _Compiler(
-        schema, defs, method_mode=method_mode, model=model, shards=shards
+        schema,
+        defs,
+        method_mode=method_mode,
+        model=model,
+        profile=profile,
+        shards=shards,
     )
     if profile:
         est = (
@@ -203,7 +212,14 @@ def compile_plan(
 
 class _Compiler:
     def __init__(
-        self, schema, defs, *, method_mode: AccessMode, model=None, shards=None
+        self,
+        schema,
+        defs,
+        *,
+        method_mode: AccessMode,
+        model=None,
+        profile=False,
+        shards=None,
     ):
         self.schema = schema
         self.defs = defs or {}
@@ -221,6 +237,7 @@ class _Compiler:
         # and its estimated call count — nested comprehensions scale
         # their estimates by it)
         self.model = model
+        self._profile = profile
         self.ops: list[OpDescr] = []
         self._cur_parent: int | None = None
         self._mult = 1.0
@@ -232,7 +249,7 @@ class _Compiler:
     # -- profiling scaffolding -------------------------------------------
     @property
     def profile(self) -> bool:
-        return self.model is not None
+        return self._profile
 
     def _new_op(
         self,
@@ -575,6 +592,14 @@ class _Compiler:
                     slot = g
                 slot_preds[slot].append(cq.cond)
 
+        # variable → extent bindings, for stats-driven selectivity of
+        # join candidates and the replan guards' source estimates
+        var_extents: dict[str, str] = {
+            g.var: g.source.name
+            for g in gens
+            if isinstance(g.source, ExtentRef)
+        }
+
         # pick hash joins where a pure equality in a generator's slot
         # links it to earlier-bound variables.  Join selection is
         # slot-local, so it runs as a forward pre-pass (consuming the
@@ -584,7 +609,9 @@ class _Compiler:
         for i in range(1, n_gens + 1):
             gen = gens[i - 1]
             if not dup_vars and gen_uncorrelated[i - 1]:
-                joins[i - 1] = self._pick_join(gen, i, slot_preds[i], gens)
+                joins[i - 1] = self._pick_join(
+                    gen, i, slot_preds[i], gens, var_extents
+                )
 
         comp_op = pred_ops = gen_ops = emit_op = None
         if self.profile:
@@ -653,7 +680,12 @@ class _Compiler:
                     )
                 else:
                     stage = self._gen_stage(
-                        gen, gen_uncorrelated[i - 1], stage
+                        gen,
+                        gen_uncorrelated[i - 1],
+                        stage,
+                        est=self._source_estimate(
+                            gen, gen_uncorrelated[i - 1], var_extents
+                        ),
                     )
             stage = self._wrap_stage(gop, stage)
         preds = slot_preds[0]
@@ -683,7 +715,6 @@ class _Compiler:
         ``pred_ops`` mirrors the ``slot_preds`` structure.
         """
         from repro.lang.pprint import pretty
-        from repro.optimizer.cost import EQUALITY_SELECTIVITY
 
         model = self.model
         mult = self._mult  # estimated executions of this comprehension
@@ -697,6 +728,9 @@ class _Compiler:
         chain: list[int] = []
         prev = comp_op
         rows = 1.0  # estimated rows in flight, per comp execution
+        # the same env the reorder rule prices with, so the profiler's
+        # per-operator estimates and the optimizer's choice always agree
+        env: dict[str, str] = {}
 
         def add(kind: str, label: str, est_rows: float, calls: float) -> int:
             nonlocal prev
@@ -714,7 +748,7 @@ class _Compiler:
             nonlocal rows
             for cond in slot_preds[slot]:
                 calls = mult * rows
-                rows *= model.predicate_selectivity(cond)
+                rows *= model.predicate_selectivity(cond, env)
                 pred_ops[slot].append(
                     add("filter", f"filter {pretty(cond)}", mult * rows, calls)
                 )
@@ -722,10 +756,14 @@ class _Compiler:
         add_filters(0)
         for i, gen in enumerate(gens):
             calls = mult * rows
-            card = model.cardinality(gen.source)
+            card = model.cardinality(gen.source, env)
+            if isinstance(gen.source, ExtentRef):
+                env[gen.var] = gen.source.name
+            else:
+                env.pop(gen.var, None)
             if joins[i] is not None:
-                rows *= card * EQUALITY_SELECTIVITY
-                probe_q, build_q, is_objeq = joins[i]
+                probe_q, build_q, is_objeq, cond = joins[i]
+                rows *= card * model.predicate_selectivity(cond, env)
                 label = (
                     f"hash join {gen.var} <- {pretty(gen.source)} on "
                     f"{pretty(build_q)} {'==' if is_objeq else '='} "
@@ -752,8 +790,9 @@ class _Compiler:
         slot: int,
         preds: list[Query],
         gens: list[Gen],
+        var_extents: dict[str, str] | None = None,
     ):
-        """Find (and consume) a hash-joinable equality in this slot.
+        """Find (and consume) the best hash-joinable equality here.
 
         Eligible: ``PrimEq``/``ObjEq`` where one side mentions, among
         this comprehension's variables, exactly the new variable, and
@@ -761,10 +800,18 @@ class _Compiler:
         comprehension variables and enclosing-scope variables may appear
         freely on the probe side; the build side must depend on the new
         variable only, so one table serves every probe row.
+
+        With a cost model, candidates are *ranked*: an index-backed key
+        (bare extent keyed by one attribute — served by the persistent
+        :class:`~repro.db.store.AttributeIndexes`) beats an ad-hoc hash
+        build, and among those the most selective equality (smallest
+        estimated bucket) wins.  Without a model the first eligible
+        equality is taken, as before.
         """
         comp_vars = {g.var for g in gens}
         earlier = {g.var for g in gens[: slot - 1]}
         var = gen.var
+        candidates = []
         for idx, cond in enumerate(preds):
             if not isinstance(cond, (PrimEq, ObjEq)):
                 continue
@@ -775,9 +822,36 @@ class _Compiler:
                 build_fv = free_vars(build_q) & comp_vars
                 probe_fv = free_vars(probe_q) & comp_vars
                 if build_fv == {var} and probe_fv <= earlier:
-                    preds.pop(idx)
-                    return (probe_q, build_q, isinstance(cond, ObjEq))
-        return None
+                    candidates.append((idx, probe_q, build_q, cond))
+                    break
+        if not candidates:
+            return None
+        if self.model is not None and len(candidates) > 1:
+            env = dict(var_extents or {})
+
+            def rank(cand):
+                idx, probe_q, build_q, cond = cand
+                indexed = (
+                    isinstance(gen.source, ExtentRef)
+                    and isinstance(build_q, Field)
+                    and isinstance(build_q.target, Var)
+                    and build_q.target.name == var
+                )
+                sel = self.model.predicate_selectivity(cond, env)
+                return (0 if indexed else 1, sel, idx)
+
+            candidates.sort(key=rank)
+            if candidates[0][0] != sorted(c[0] for c in candidates)[0]:
+                from repro.lang.pprint import pretty
+
+                self.notes.append(
+                    f"join-choice: {var} keyed by "
+                    f"{pretty(candidates[0][3])} "
+                    f"(most selective of {len(candidates)} candidates)"
+                )
+        idx, probe_q, build_q, cond = candidates[0]
+        preds.pop(idx)
+        return (probe_q, build_q, isinstance(cond, ObjEq), cond)
 
     def _pred_stage(self, cond_fn: Callable, nxt: Callable) -> Callable:
         def stage(ctx, env, acc, state):
@@ -789,8 +863,35 @@ class _Compiler:
 
         return stage
 
+    def _source_estimate(
+        self, gen: Gen, uncorrelated: bool, var_extents: dict[str, str]
+    ) -> float | None:
+        """Compile-time cardinality estimate for one generator's source,
+        baked into the stage as the adaptive-replan reference point.
+
+        Only *derived* uncorrelated sources (nested comprehensions,
+        definition calls, set operations…) get one: a bare extent's size
+        is read exactly off the live EE at costing time, so it cannot
+        misestimate — whereas a derived source's estimate rests on
+        selectivity guesses, which is where skew bites.
+        """
+        if (
+            self.model is None
+            or not uncorrelated
+            or isinstance(gen.source, ExtentRef)
+        ):
+            return None
+        try:
+            return max(1.0, self.model.cardinality(gen.source, var_extents))
+        except Exception:
+            return None
+
     def _gen_stage(
-        self, gen: Gen, uncorrelated: bool, nxt: Callable
+        self,
+        gen: Gen,
+        uncorrelated: bool,
+        nxt: Callable,
+        est: float | None = None,
     ) -> Callable:
         var = gen.var
         source_fn = self.compile(gen.source)
@@ -799,6 +900,7 @@ class _Compiler:
         # (closed sources once per *plan* execution)
         sid = self._sid() if uncorrelated else None
         closed = uncorrelated and not free_vars(gen.source)
+        source = gen.source
 
         def stage(ctx, env, acc, state):
             items = None
@@ -811,6 +913,8 @@ class _Compiler:
                 if not isinstance(src, (SetLit, BagLit, ListLit)):
                     raise StuckError(f"generator over {src}")
                 items = src.items
+                if est is not None and ctx.replan is not None:
+                    ctx.replan.check(source, est, len(items))
                 if sid is not None:
                     if closed:
                         ctx.stage_cache[sid] = items
@@ -933,7 +1037,7 @@ class _Compiler:
 
     def _join_stage(self, gen: Gen, join, nxt: Callable) -> Callable:
         var = gen.var
-        probe_q, build_q, is_objeq = join
+        probe_q, build_q, is_objeq, _cond = join
         probe_fn = self.compile(probe_q)
         sid = self._sid()
         closed = not (free_vars(gen.source) | (free_vars(build_q) - {var}))

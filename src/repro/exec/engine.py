@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.effects.algebra import Effect
 from repro.exec.cache import PlanEntry
 from repro.exec.compiler import CompiledPlan, NotCompilable, compile_plan
-from repro.exec.runtime import ExecContext
+from repro.exec.runtime import ExecContext, ReplanGuard, ReplanSignal
 from repro.lang.ast import Query
 
 
@@ -59,6 +59,11 @@ def decide(db, q: Query) -> PlanDecision:
             static_effect=eff,
         )
     entry = db._plan_cache.get(q, db._defs_version)
+    if entry is not None and _stats_stale(db, entry):
+        # the catalog the plan was costed against has materially
+        # changed (stats-epoch drift): recompile rather than keep a
+        # generator order chosen for a different data shape
+        entry = None
     if entry is None:
         entry = _compile_entry(db, q, eff)
         db._plan_cache.put(q, db._defs_version, entry)
@@ -74,26 +79,46 @@ def decide(db, q: Query) -> PlanDecision:
     )
 
 
+def _stats_stale(db, entry: PlanEntry) -> bool:
+    """Has the statistics epoch drifted since ``entry`` was costed?"""
+    catalog = getattr(db, "_stats", None)
+    if catalog is None:
+        return False
+    return entry.stats_epoch != catalog.observe(db.ee)
+
+
 def _compile_entry(db, q: Query, eff: Effect) -> PlanEntry:
+    from repro.optimizer.cost import CostModel, cost_rules
     from repro.optimizer.planner import optimize
 
+    # cost-based pipeline: the reorder rule prices generator orders
+    # with the stats catalog, and the model rides into the compiler
+    # for join selection and the replan guards' baked-in estimates
+    model = CostModel.from_database(db)
     try:
-        normalised = optimize(db, q).query
+        normalised = optimize(db, q, cost_rules(model), model=model).query
         plan = compile_plan(
             db.schema,
             db._definitions,
             normalised,
             method_mode=db.method_mode,
             method_fuel=db.machine.method_fuel,
+            cost_model=model,
             shards=getattr(db, "_shards", None),
         )
-        return PlanEntry(plan=plan, reads=eff.reads(), static_effect=eff)
+        return PlanEntry(
+            plan=plan,
+            reads=eff.reads(),
+            static_effect=eff,
+            stats_epoch=model.stats_epoch,
+        )
     except NotCompilable as exc:
         return PlanEntry(
             plan=None,
             reads=eff.reads(),
             static_effect=eff,
             reason=f"not compilable: {exc}",
+            stats_epoch=model.stats_epoch,
         )
 
 
@@ -131,42 +156,114 @@ def execute_plan(
     ``trace``, when a dict, receives ``"shard_reads"``: the dynamic
     per-class shard sets this execution actually touched (``None`` =
     all shards) — the result cache's per-``(class, shard)`` key.
+
+    **Adaptive replanning**: on a non-pinned execution the context
+    carries a :class:`~repro.exec.runtime.ReplanGuard`; when an
+    observed source cardinality diverges from the plan's compile-time
+    estimate by ``db.replan_ratio`` or more, the plan raises
+    :class:`~repro.exec.runtime.ReplanSignal`, the entry is recompiled
+    with the observation as a cardinality override, and execution
+    restarts (at most once).  Abandoning the partial run is safe —
+    the plan is read-only, so by Theorem 4 re-execution yields the
+    same observables — and the restarted attempt gets a fresh budget
+    start, so a budget can overshoot by at most one aborted attempt.
     """
     pinned = ee is not None or oe is not None
-    ctx = ExecContext(
-        ee if ee is not None else db.ee,
-        oe if oe is not None else db.oe,
-        db.schema,
-        db._definitions,
-        method_mode=db.method_mode,
-        method_fuel=db.machine.method_fuel,
-        supply=db.supply,
-        budget=budget,
-        # attribute indexes are versioned against the *live* store; a
-        # pinned snapshot may be older, so it scans without them
-        indexes=None if pinned else db._indexes,
-        state_version=-1 if pinned else db._state_version,
-        shards=None if pinned else getattr(db, "_shards", None),
-    )
-    # one charge per execution: every machine run takes at least one
-    # step, so the compiled engine exposes the same fault/budget site
-    # even for constant plans
-    ctx.charge()
-    if ctx.obs:
-        from repro.obs.spans import span as _span
+    ratio = getattr(db, "replan_ratio", None)
+    for attempt in (0, 1):
+        ctx = ExecContext(
+            ee if ee is not None else db.ee,
+            oe if oe is not None else db.oe,
+            db.schema,
+            db._definitions,
+            method_mode=db.method_mode,
+            method_fuel=db.machine.method_fuel,
+            supply=db.supply,
+            budget=budget,
+            # attribute indexes are versioned against the *live* store; a
+            # pinned snapshot may be older, so it scans without them
+            indexes=None if pinned else db._indexes,
+            state_version=-1 if pinned else db._state_version,
+            shards=None if pinned else getattr(db, "_shards", None),
+        )
+        if attempt == 0 and not pinned and ratio:
+            ctx.replan = ReplanGuard(ratio)
+        # one charge per execution: every machine run takes at least one
+        # step, so the compiled engine exposes the same fault/budget site
+        # even for constant plans
+        ctx.charge()
+        try:
+            if ctx.obs:
+                from repro.obs.spans import span as _span
 
-        with _span("exec.plan") as sp:
-            value = entry.plan.fn(ctx, {})
-            sp.set(ops=ctx.ops, reads=len(ctx.reads))
-    else:
-        # obs-off fast path: no span/metric/label object is ever built
-        value = entry.plan.fn(ctx, {})
+                with _span("exec.plan") as sp:
+                    value = entry.plan.fn(ctx, {})
+                    sp.set(ops=ctx.ops, reads=len(ctx.reads))
+            else:
+                # obs-off fast path: no span/metric/label object built
+                value = entry.plan.fn(ctx, {})
+        except ReplanSignal as sig:
+            _replan_entry(db, entry, sig)
+            continue
+        break
     if trace is not None:
         trace["shard_reads"] = {
             c: (None if s is None else frozenset(s))
             for c, s in ctx.shard_reads.items()
         }
     return value, ctx.effect(), ctx.ops
+
+
+def _replan_entry(db, entry: PlanEntry, sig) -> None:
+    """Mid-query re-optimization after a caught :class:`ReplanSignal`.
+
+    Recompiles the entry's plan with the *observed* cardinality of the
+    misestimated source installed as an override, so the join-order
+    search prices the permutations against reality; the refreshed plan
+    replaces the cached one in place (later executions keep it).
+    """
+    from repro.lang.pprint import pretty
+    from repro.obs import flight as _flight
+    from repro.obs._state import STATE as _OBS
+    from repro.obs.metrics import REGISTRY as _METRICS
+    from repro.optimizer.cost import CostModel, cost_rules
+    from repro.optimizer.planner import optimize
+
+    model = CostModel.from_database(db)
+    model.card_overrides[sig.source] = float(sig.actual)
+    base = entry.plan.source
+    normalised = optimize(db, base, cost_rules(model), model=model).query
+    plan = compile_plan(
+        db.schema,
+        db._definitions,
+        normalised,
+        method_mode=db.method_mode,
+        method_fuel=db.machine.method_fuel,
+        cost_model=model,
+        shards=getattr(db, "_shards", None),
+    )
+    note = (
+        f"replan: {pretty(sig.source)} estimated {sig.est:.0f} rows, "
+        f"observed {sig.actual}"
+    )
+    entry.plan = CompiledPlan(
+        fn=plan.fn,
+        source=plan.source,
+        notes=plan.notes + (note,),
+        ops=plan.ops,
+    )
+    entry.stats_epoch = model.stats_epoch
+    qstats = getattr(db, "_qstats", None)
+    if qstats is not None and "replans" in qstats:
+        qstats["replans"] += 1
+    if _OBS.enabled:
+        _METRICS.counter("exec_replans_total").inc()
+    _flight.record(
+        "exec-replan",
+        source=pretty(sig.source),
+        est=round(sig.est, 1),
+        actual=sig.actual,
+    )
 
 
 def compile_profiled(db, q: Query):
@@ -180,11 +277,11 @@ def compile_profiled(db, q: Query):
     Raises :class:`NotCompilable` for queries outside the compiled
     fragment — the caller falls back to instrumented reduction.
     """
-    from repro.optimizer.cost import CostModel
+    from repro.optimizer.cost import CostModel, cost_rules
     from repro.optimizer.planner import optimize
 
     model = CostModel.from_database(db)
-    normalised = optimize(db, q).query
+    normalised = optimize(db, q, cost_rules(model), model=model).query
     plan = compile_plan(
         db.schema,
         db._definitions,

@@ -24,6 +24,54 @@ from repro.resilience.budget import Budget
 from repro.resilience.faults import maybe_fault
 
 
+class ReplanSignal(Exception):
+    """Raised mid-execution when an observed cardinality diverges from
+    the plan's compile-time estimate by at least the configured ratio.
+
+    Carries the misestimated source sub-query and both numbers; the
+    engine catches it, recompiles with the observation as a cardinality
+    override, and re-executes.  Only read-only plans carry replan
+    guards, so abandoning the partial execution is always safe
+    (Theorem 4: a write-free query cannot have changed the store).
+    """
+
+    def __init__(self, source: Query, est: float, actual: int):
+        self.source = source
+        self.est = est
+        self.actual = actual
+        super().__init__(
+            f"cardinality misestimate: estimated {est:.1f} rows, "
+            f"observed {actual}"
+        )
+
+
+class ReplanGuard:
+    """The divergence test compiled generator stages consult.
+
+    Attached to an :class:`ExecContext` (``ctx.replan``) only on
+    non-pinned first executions; ``None`` disables every guard at the
+    cost of one attribute check per source materialization.
+    """
+
+    __slots__ = ("ratio",)
+
+    #: Sources smaller than this (both estimated and observed) never
+    #: trigger — replanning a handful of rows costs more than it saves.
+    MIN_ROWS = 8
+
+    def __init__(self, ratio: float):
+        self.ratio = ratio
+
+    def check(self, source: Query, est: float, actual: int) -> None:
+        if max(est, float(actual)) < self.MIN_ROWS:
+            return
+        e = max(est, 1.0)
+        a = max(float(actual), 1.0)
+        r = a / e
+        if r >= self.ratio or 1.0 / r >= self.ratio:
+            raise ReplanSignal(source, est, actual)
+
+
 def build_attr_index(oe, members, attr: str) -> dict[Query, tuple[OidRef, ...]]:
     """Hash the objects of one extent by one attribute's value.
 
@@ -58,6 +106,7 @@ class ExecContext:
         "prof",
         "shards",
         "shard_reads",
+        "replan",
         "_extent_cache",
         "stage_cache",
     )
@@ -98,6 +147,9 @@ class ExecContext:
         # dynamic shard trace: class -> set of shard ids read, or None
         # once any whole-extent read happened (= all shards)
         self.shard_reads: dict[str, set | None] = {}
+        # adaptive replanning: a ReplanGuard on non-pinned first
+        # executions, None everywhere else (guards become no-ops)
+        self.replan: ReplanGuard | None = None
         self._extent_cache: dict[str, Query] = {}
         # tables/sources provably independent of the variable environment
         # (closed stages) are shared across re-executions of nested
@@ -174,6 +226,7 @@ class ExecContext:
         sub.prof = None
         sub.shards = self.shards
         sub.shard_reads = {}
+        sub.replan = None  # workers never replan; the parent decides
         sub._extent_cache = {}
         sub.stage_cache = {}
         return sub

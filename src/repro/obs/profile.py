@@ -102,6 +102,37 @@ def _ratio(actual: int, est: float) -> float | None:
     return 1.0 if actual == 0 else None
 
 
+def misestimate_percentile(
+    nodes: "list[ProfileNode]", q: float = 0.9
+) -> float:
+    """The ``q``-percentile misestimate factor across a plan's nodes.
+
+    The factor is symmetric — ``max(actual/est, est/actual)`` — so a
+    10× *under*-estimate scores the same as a 10× *over*-estimate, and
+    a node with no estimate basis (``misestimate is None``) is scored
+    at the benchmark's worst observed factor rather than skipped.
+    Returns 1.0 for an empty plan (every estimate exact).  This is the
+    quality gate the optimizer benchmark's ``misestimate_p90`` uses.
+    """
+    factors: list[float] = []
+    worst = 1.0
+    missing = 0
+    for n in nodes:
+        r = n.misestimate
+        if r is None:
+            missing += 1
+            continue
+        f = max(r, 1.0 / r) if r > 0 else 1.0
+        factors.append(f)
+        worst = max(worst, f)
+    factors.extend([worst] * missing)
+    if not factors:
+        return 1.0
+    factors.sort()
+    pos = min(len(factors) - 1, int(q * len(factors)))
+    return factors[pos]
+
+
 def build_nodes(
     ops, run: ProfileRun, *, result_rows: int | None = None
 ) -> list[ProfileNode]:

@@ -118,11 +118,19 @@ def _bind(ctx: TypeContext, var: str, source: Query) -> TypeContext:
     return ctx
 
 
-def optimize(db, q: Query, rules: tuple[Rule, ...] = DEFAULT_RULES) -> OptimizationResult:
+def optimize(
+    db,
+    q: Query,
+    rules: tuple[Rule, ...] = DEFAULT_RULES,
+    model=None,
+) -> OptimizationResult:
     """Optimize ``q`` against a :class:`~repro.db.database.Database`.
 
     Typechecks first (ill-typed queries are not rewritten), then runs
-    the pipeline and returns query + provenance.
+    the pipeline and returns query + provenance.  ``model`` (a
+    :class:`~repro.optimizer.cost.CostModel`) is only used to price the
+    before/after for the obs span; passing the caller's model avoids a
+    second catalog snapshot.
     """
     ctx = db.type_context()
     check_query(ctx, q)  # raise early; rules assume well-typedness
@@ -132,9 +140,10 @@ def optimize(db, q: Query, rules: tuple[Rule, ...] = DEFAULT_RULES) -> Optimizat
         if _OBS.enabled:
             _METRICS.counter("optimize_total").inc()
             _METRICS.counter("optimize_rewrites_total").inc(len(planner.steps))
-            from repro.optimizer.cost import CostModel
+            if model is None:
+                from repro.optimizer.cost import CostModel
 
-            model = CostModel.from_database(db)
+                model = CostModel.from_database(db)
             sp.set(
                 rewrites=len(planner.steps),
                 cost_before=model.eval_cost(q),

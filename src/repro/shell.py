@@ -30,9 +30,16 @@ Commands::
                           shard access counts, estimated selectivities
                           and rows/bytes moved at merge points (never
                           executes the query)
+    .analyze              eagerly build optimizer statistics for every
+                          (extent, attribute) column and print rows,
+                          distinct counts and histogram buckets
+    .replan [RATIO|off]   adaptive replanning: ``.replan 4`` aborts and
+                          re-optimizes a plan whose observed source
+                          cardinality is 4x off the estimate, ``off``
+                          disables, bare shows the setting
     .top                  live health board: query/cache counters, WAL
                           lsn + fsync p50/p99, last scheduled batch,
-                          indexes, flight-recorder ring
+                          optimizer stats, indexes, flight ring
     .stats [on|off|reset] observability: show collected metrics/spans,
                           or toggle instrumentation (off at startup)
     .stats export <file>  write everything collected as JSONL
@@ -298,6 +305,40 @@ class Shell:
                 for note in dec.plan.notes:
                     lines.append(f"plan note      : {note}")
             return "\n".join(lines)
+        if cmd == ".analyze":
+            summary = self.db.analyze()
+            if not summary:
+                return "(no columns)"
+            lines = ["column                     rows  distinct  hist"]
+            for name, col in summary.items():
+                exact = "" if col["exact"] else " (sketch)"
+                lines.append(
+                    f"{name:<24} {col['rows']:>6} "
+                    f"{col['distinct']:>9g}{exact} "
+                    f"{col['histogram_buckets']:>5}"
+                )
+            return "\n".join(lines)
+        if cmd == ".replan":
+            if rest == "off":
+                self.db.replan_ratio = None
+                return "adaptive replanning off"
+            if rest:
+                try:
+                    ratio = float(rest)
+                    if ratio <= 1.0:
+                        raise ValueError
+                except ValueError:
+                    return "error: .replan needs a ratio > 1, or 'off'"
+                self.db.replan_ratio = ratio
+                return f"replanning at {ratio:g}x misestimate"
+            ratio = self.db.replan_ratio
+            done = self.db._qstats.get("replans", 0)
+            if ratio is None:
+                return f"adaptive replanning off ({done} replans so far)"
+            return (
+                f"replanning at {ratio:g}x misestimate "
+                f"({done} replans so far)"
+            )
         if cmd == ".stats":
             return self._stats(rest)
         if cmd == ".top":

@@ -119,8 +119,182 @@ class TestReorderRule:
         assert report.equal, report.reason
 
     def test_reorder_actually_saves_steps(self, db):
+        # the reduction machine executes the literal qualifier order
+        # (the compiled engine would re-optimize both queries the same
+        # way, erasing the comparison)
         q = db.parse("{struct(a: b.n, c: s.n) | b <- Bigs, s <- Smalls}")
         res = optimize_with_costs(db, q)
-        before = db.run(q, commit=False).steps
-        after = db.run(res.query, commit=False).steps
+        before = db.run(q, commit=False, engine="reduction").steps
+        after = db.run(res.query, commit=False, engine="reduction").steps
         assert after < before
+
+
+SKEW_ODL = """
+class Fact extends Object (extent Facts) {
+    attribute int grp;
+    attribute int key;
+}
+class Dim extends Object (extent Dims) {
+    attribute int id;
+}
+"""
+
+
+@pytest.fixture
+def skew_db():
+    d = Database.from_odl(SKEW_ODL)
+    for i in range(60):
+        d.insert("Fact", grp=i % 2, key=i)
+    for i in range(30):
+        d.insert("Dim", id=i)
+    return d
+
+
+class TestStatsDrivenSelectivity:
+    """The v2 estimators: 1/distinct equality, histogram ranges."""
+
+    def test_equality_uses_distinct_count(self, skew_db):
+        m = CostModel.from_database(skew_db)
+        # grp has 2 distinct values over 60 rows -> selectivity 1/2
+        card = m.cardinality(skew_db.parse("{f | f <- Facts, f.grp = 1}"))
+        assert card == pytest.approx(30.0)
+        # key has 60 distinct values -> selectivity 1/60
+        card = m.cardinality(skew_db.parse("{f | f <- Facts, f.key = 7}"))
+        assert card == pytest.approx(1.0)
+
+    def test_join_selectivity_from_matching_distincts(self, skew_db):
+        m = CostModel.from_database(skew_db)
+        # |Facts|*|Dims| / max(d(key), d(id)) = 60*30/60 = 30
+        card = m.cardinality(
+            skew_db.parse("{1 | f <- Facts, d <- Dims, f.key = d.id}")
+        )
+        assert card == pytest.approx(30.0)
+
+    def test_range_uses_histogram(self, skew_db):
+        m = CostModel.from_database(skew_db)
+        # key uniform 0..59: key < 15 keeps ~a quarter
+        card = m.cardinality(skew_db.parse("{f | f <- Facts, f.key < 15}"))
+        assert card == pytest.approx(15.0, rel=0.2)
+
+    def test_constants_remain_fallback_without_stats(self, skew_db):
+        m = CostModel(
+            {e: len(skew_db.ee.members(e)) for e in skew_db.ee.names()}
+        )
+        card = m.cardinality(skew_db.parse("{f | f <- Facts, f.grp = 1}"))
+        assert card == pytest.approx(60 * 0.1)  # EQUALITY_SELECTIVITY
+
+    def test_mirrored_range_operand(self, skew_db):
+        m = CostModel.from_database(skew_db)
+        a = m.cardinality(skew_db.parse("{f | f <- Facts, f.key < 15}"))
+        b = m.cardinality(skew_db.parse("{f | f <- Facts, 15 > f.key}"))
+        assert a == pytest.approx(b)
+
+
+class TestProfilerAgreement:
+    """Regression for the v1 bug: ``cardinality``/``eval_cost`` priced
+    filter qualifiers with the flat default selectivity while the
+    reorder rule used ``predicate_selectivity`` — the two halves of the
+    optimizer disagreed about the same plan.  v2 routes every consumer
+    through ``predicate_selectivity``, so the compiled plan's operator
+    estimates must equal the model's comprehension cardinality."""
+
+    def _emit_est(self, db, src):
+        from repro.exec.compiler import compile_plan
+        from repro.optimizer.cost import cost_rules
+        from repro.optimizer.planner import optimize
+
+        m = CostModel.from_database(db)
+        q = optimize(db, db.parse(src), cost_rules(m), model=m).query
+        plan = compile_plan(
+            db.schema, {}, q, profile=True, cost_model=m
+        )
+        emits = [op for op in plan.ops if op.kind == "emit"]
+        assert emits
+        return emits[-1].est_rows, m.cardinality(q), m
+
+    def test_cardinality_uses_predicate_selectivity(self, skew_db):
+        m = CostModel.from_database(skew_db)
+        eq = m.cardinality(skew_db.parse("{f | f <- Facts, f.key = 3}"))
+        flat = m.cardinality(skew_db.parse("{f | f <- Facts}"))
+        # the regression: with the v1 bug both came out as 60*0.5
+        assert eq == pytest.approx(1.0)
+        assert flat == pytest.approx(60.0)
+
+    def test_eval_cost_uses_predicate_selectivity(self, skew_db):
+        m = CostModel.from_database(skew_db)
+        # downstream work after a selective filter must be cheaper than
+        # after a non-selective one
+        selective = skew_db.parse(
+            "{1 | f <- Facts, f.key = 3, d <- Dims}"
+        )
+        broad = skew_db.parse("{1 | f <- Facts, f.grp = 1, d <- Dims}")
+        assert m.eval_cost(selective) < m.eval_cost(broad)
+
+    def test_emit_estimate_matches_model_cardinality(self, skew_db):
+        est, card, _ = self._emit_est(
+            skew_db, "{f.key | f <- Facts, f.grp = 1, f.key < 15}"
+        )
+        assert est == pytest.approx(card)
+
+    def test_join_plan_estimate_matches_model(self, skew_db):
+        est, card, _ = self._emit_est(
+            skew_db, "{f.key | f <- Facts, d <- Dims, f.key = d.id}"
+        )
+        assert est == pytest.approx(card)
+
+
+class TestPlanStaleness:
+    """Regression for the v1 bug: cached plans were never re-costed as
+    the catalog drifted, so a join order chosen when an extent was
+    empty survived its growth to 10k rows."""
+
+    def test_plan_recompiled_after_geometric_growth(self, skew_db):
+        q = "{struct(a: f.key, b: d.id) | f <- Facts, d <- Dims}"
+        parsed = skew_db.parse(q)
+        d1 = skew_db.plan_decision(parsed)
+        e1 = skew_db._plan_cache.get(parsed, skew_db._defs_version)
+        assert d1.engine == "compiled"
+        # grow Dims well past the 2x+8 drift threshold
+        for i in range(500):
+            skew_db.insert("Dim", id=1000 + i)
+        d2 = skew_db.plan_decision(parsed)
+        e2 = skew_db._plan_cache.get(parsed, skew_db._defs_version)
+        assert e2 is not e1
+        assert e2.stats_epoch > e1.stats_epoch
+
+    @staticmethod
+    def _outer_extent(decision):
+        from repro.lang.ast import Gen
+
+        gens = [
+            cq
+            for cq in decision.plan.source.qualifiers
+            if isinstance(cq, Gen)
+        ]
+        return gens[0].source.name
+
+    def test_join_order_flips_when_sizes_invert(self):
+        d = Database.from_odl(SKEW_ODL)
+        for i in range(40):
+            d.insert("Fact", grp=0, key=i)
+        d.insert("Dim", id=0)
+        q = "{struct(a: f.key, b: d.id) | f <- Facts, d <- Dims}"
+        parsed = d.parse(q)
+        assert self._outer_extent(d.plan_decision(parsed)) == "Dims"
+        # 1 -> 1k rows: Dims becomes the big side
+        for i in range(1000):
+            d.insert("Dim", id=i)
+        assert self._outer_extent(d.plan_decision(parsed)) == "Facts"
+
+    def test_steady_state_commits_do_not_thrash(self, skew_db):
+        # commits to an extent the query does not read: the Theorem 5
+        # eviction leaves the entry alone, and sub-geometric growth
+        # must not bump the epoch out from under it either
+        q = "{f | f <- Facts, f.grp = 1}"
+        parsed = skew_db.parse(q)
+        skew_db.plan_decision(parsed)
+        e1 = skew_db._plan_cache.get(parsed, skew_db._defs_version)
+        skew_db.insert("Dim", id=999)  # small growth elsewhere: no bump
+        skew_db.plan_decision(parsed)
+        e2 = skew_db._plan_cache.get(parsed, skew_db._defs_version)
+        assert e2 is e1
