@@ -217,3 +217,57 @@ def random_suite(
     }
     ctx = TypeContext(schema, vars=oid_types)
     return schema, ee, oe, machine, ctx, queries
+
+
+REF_GRAPH_ODL = """
+class Node extends Object (extent nodes) {
+    attribute int tag;
+}
+class Ref extends Node (extent refs) {
+    attribute Node next;
+}
+"""
+
+
+def ref_graph(edges: dict) -> Database:
+    """A Node/Ref database holding an arbitrary reference graph.
+
+    ``edges`` maps node names to their ``next`` target (or None for a
+    leaf).  Installed by direct env construction — the public
+    ``insert`` cannot create cycles, and the traverse benchmarks need
+    both cyclic and acyclic shapes at scale.
+    """
+    from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord
+    from repro.lang.ast import IntLit, OidRef
+
+    db = Database.from_odl(REF_GRAPH_ODL)
+    recs, refs, nodes = {}, set(), set()
+    for i, (name, tgt) in enumerate(sorted(edges.items())):
+        oid = f"@{name}"
+        if tgt is None:
+            recs[oid] = ObjectRecord("Node", (("tag", IntLit(i)),))
+            nodes.add(oid)
+        else:
+            recs[oid] = ObjectRecord(
+                "Ref", (("tag", IntLit(i)), ("next", OidRef(f"@{tgt}")))
+            )
+            refs.add(oid)
+    db.ee = ExtentEnv(
+        {"nodes": ("Node", frozenset(nodes)), "refs": ("Ref", frozenset(refs))}
+    )
+    db.oe = ObjectEnv(recs)
+    return db
+
+
+def random_tree(n: int, seed: int = 1) -> dict:
+    """A seeded random ``n``-node tree (edges point child -> parent)."""
+    rng = random.Random(seed)
+    edges = {"n00000": None}
+    for i in range(1, n):
+        edges[f"n{i:05d}"] = f"n{rng.randrange(i):05d}"
+    return edges
+
+
+def ring(n: int) -> dict:
+    """One ``n``-node cycle."""
+    return {f"c{i:05d}": f"c{(i + 1) % n:05d}" for i in range(n)}

@@ -53,6 +53,7 @@ from repro.db.shards import ShardedExtents
 from repro.db.statistics import StatisticsCatalog
 from repro.db.store import (
     AttributeIndexes,
+    ClosureIndexes,
     ExtentEnv,
     ObjectEnv,
     ObjectRecord,
@@ -117,6 +118,9 @@ class Database:
         self._oid_types_cache: tuple[int, dict[str, Type]] | None = None
         self._plan_cache = PlanCache(schema_fingerprint(schema))
         self._indexes = AttributeIndexes()
+        # persistent interval (pre/post-order) indexes for unbounded
+        # `traverse` (RED route); same Theorem 5 discipline as above
+        self._closure_indexes = ClosureIndexes()
         # per-(extent, attribute) statistics for the cost-based
         # optimizer v2; maintained by the same Theorem 5 effect logic
         # as the caches (see _note_write)
@@ -289,6 +293,7 @@ class Database:
             effect, pre_version, post, shard_writes=shard_writes
         )
         self._indexes.note_write(self.schema, effect, pre_version, post)
+        self._closure_indexes.note_write(self.schema, effect, pre_version, post)
         self._stats.note_write(
             self.schema,
             effect,
@@ -1279,6 +1284,9 @@ class Database:
             # plans compiled without the spec carry no pruning stage;
             # recompiling is cheap and the layout change is rare
             self._plan_cache.clear()
+            # closure indexes record partition signatures; a new layout
+            # invalidates them wholesale rather than lazily per lookup
+            self._closure_indexes.clear()
         return spec
 
     def explain_cost(self, source: str | Query):

@@ -90,6 +90,11 @@ def collect(db: "Database") -> dict:
             "versions": db._indexes.snapshot(),
             "store_version": db._state_version,
         },
+        "closure_indexes": {
+            "entries": len(db._closure_indexes),
+            "rebuilds": db._closure_indexes.rebuilds,
+            "versions": db._closure_indexes.snapshot(),
+        },
         "optimizer": _optimizer_section(db),
         "store": {
             "objects": len(db.oe),
@@ -275,6 +280,15 @@ def render(snapshot: dict) -> str:
         "  indexes     "
         f"entries={idx['entries']} store_version={idx['store_version']}"
     )
+    cix = snapshot.get("closure_indexes")
+    if cix and cix["entries"]:
+        spans = ", ".join(
+            f"{label}: {e['nodes']} nodes"
+            + (" (cyclic)" if e["cyclic"] else "")
+            + ("" if e["usable"] else " (unusable)")
+            for label, e in cix["versions"].items()
+        )
+        lines.append(f"  closures    entries={cix['entries']} [{spans}]")
     opt = snapshot.get("optimizer")
     if opt:
         ratio = opt.get("replan_ratio")

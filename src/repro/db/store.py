@@ -25,6 +25,29 @@ from repro.lang.ast import OidRef, Query
 from repro.lang.values import is_value
 from repro.model.schema import Schema
 
+_np = None
+_np_checked = False
+
+
+def _numpy():
+    """numpy, imported lazily on the first large closure query.
+
+    The store module loads on every import of the package; deferring
+    the (slow, optional) numpy import to the first vectorised interval
+    stab keeps startup unchanged and lets the index degrade to the
+    parent-walk strategy when numpy is absent.
+    """
+    global _np, _np_checked
+    if not _np_checked:
+        _np_checked = True
+        try:
+            import numpy
+
+            _np = numpy
+        except Exception:
+            _np = None
+    return _np
+
 
 @dataclass(frozen=True)
 class ObjectRecord:
@@ -406,6 +429,329 @@ class AttributeIndexes:
                     self._indexes.items()
                 )
             }
+
+
+class ClosureIndex:
+    """Interval (pre/post-order) encoding of one attribute's reference forest.
+
+    Covers every object of one reachable-closure ``classes`` cone; the
+    attribute is single-valued, so the reference graph is *functional*
+    (out-degree ≤ 1) and its reverse is a forest whenever the graph is
+    acyclic.  A DFS over that reverse forest assigns each node a
+    ``[pre, post)`` interval with the standard nesting property:
+
+        y is forward-reachable from x  ⇔  pre(y) ≤ pre(x) < post(y)
+
+    so the unbounded closure of a start set is pure integer work — no
+    store access, no per-node record decoding — reusable across queries
+    until a covered class is written (Theorem 5 discipline in
+    :class:`ClosureIndexes`).  Two answer strategies share the
+    numbering: small start sets walk the ``parent`` position array
+    (O(|closure|), optimal for ancestor queries from a few objects),
+    large ones stab every interval with two vectorised ``searchsorted``
+    passes when numpy is importable (falling back to the walk when it
+    is not).  Pre-numbers are assigned in DFS visitation order, so
+    ``pre(order[i]) == i``: a pre-number doubles as the node's position
+    in ``order``/``posts``/``parent``.
+
+    ``cyclic`` / ``usable`` are fallback markers: a cycle breaks the
+    forest property and a link leaving the indexed node set (dangling
+    oid, schema-escaping store) breaks coverage — either way the RED
+    route must fall back to the semi-naive chase, which also surfaces
+    the dangling-oid error with the machine's exact message.
+    """
+
+    __slots__ = (
+        "attr", "classes", "cyclic", "usable",
+        "pre", "pres", "posts", "order", "parent",
+        "_np_arrays", "_extent_stabs",
+    )
+
+    def __init__(
+        self,
+        attr: str,
+        classes: frozenset[str],
+        *,
+        cyclic: bool = False,
+        usable: bool = True,
+        pre: dict[str, int] | None = None,
+        pres: list[int] | None = None,
+        posts: list[int] | None = None,
+        order: list[str] | None = None,
+        parent: list[int] | None = None,
+    ):
+        self.attr = attr
+        self.classes = classes
+        self.cyclic = cyclic
+        self.usable = usable
+        self.pre = pre or {}
+        self.pres = pres or []
+        self.posts = posts or []
+        self.order = order or []
+        self.parent = parent or []
+        self._np_arrays = None
+        self._extent_stabs: dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def _arrays(self, np):
+        arrays = self._np_arrays
+        if arrays is None:
+            arrays = (
+                np.arange(len(self.order), dtype=np.int64),
+                np.asarray(self.posts, dtype=np.int64),
+                np.asarray(self.order, dtype=object),
+            )
+            self._np_arrays = arrays
+        return arrays
+
+    def _stab(self, np, stabs) -> frozenset[str]:
+        """All nodes whose ``[pre, post)`` interval contains a stab."""
+        pres_a, posts_a, order_a = self._arrays(np)
+        # a node i is hit iff some stab lands in [i, posts[i])
+        lo = np.searchsorted(stabs, pres_a, side="left")
+        hi = np.searchsorted(stabs, posts_a, side="left")
+        return frozenset(order_a[hi > lo].tolist())
+
+    def closure_of_extent(self, ee, extent: str) -> frozenset[str] | None:
+        """The closure of a whole extent, memoized on the index.
+
+        The Theorem 5 discipline guarantees a cone extent's membership
+        cannot change while this index lives (any ``A``/``U`` touching
+        a cone class evicts it), so both the member stab array and the
+        final closure answer are computed once per (index, extent) and
+        reused verbatim by every later query: repeated extent-sourced
+        traversals are a dictionary hit, with the vectorised interval
+        stab paid only on the first ask.
+        """
+        if self.cyclic or not self.usable:
+            return None
+        cached = self._extent_stabs.get(extent)
+        if cached is not None:
+            return cached
+        np = _numpy()
+        if np is None:
+            return None  # the generic path walks parents instead
+        pre = self.pre
+        positions = []
+        for oid in ee.members(extent):
+            p = pre.get(oid)
+            if p is None:
+                return None  # extent escapes the indexed cone
+            positions.append(p)
+        result = self._stab(np, np.asarray(sorted(positions), dtype=np.int64))
+        self._extent_stabs[extent] = result
+        return result
+
+    def closure_of(self, start: Iterable[str]) -> frozenset[str] | None:
+        """The unbounded reachable set of ``start``, or None on fallback."""
+        if self.cyclic or not self.usable:
+            return None
+        pre = self.pre
+        stabs: list[int] = []
+        for oid in start:
+            p = pre.get(oid)
+            if p is None:
+                return None  # a start object outside the indexed cone
+            stabs.append(p)
+        order = self.order
+        n = len(order)
+        np = _numpy() if len(stabs) * 16 > n else None
+        if np is not None:
+            return self._stab(
+                np, np.asarray(sorted(set(stabs)), dtype=np.int64)
+            )
+        # small start set: walk parent positions — O(|closure|)
+        parent = self.parent
+        seen: set[int] = set()
+        add = seen.add
+        for i in stabs:
+            while i >= 0 and i not in seen:
+                add(i)
+                i = parent[i]
+        return frozenset(order[i] for i in seen)
+
+
+def build_closure_index(
+    schema: Schema,
+    ee: "ExtentEnv",
+    oe: "ObjectEnv",
+    attr: str,
+    classes: frozenset[str],
+) -> ClosureIndex:
+    """DFS-number the reverse reference forest of ``attr`` over ``classes``."""
+
+    def target_of(rec: ObjectRecord) -> str | None:
+        for a, v in rec.attrs:
+            if a == attr:
+                return v.name if isinstance(v, OidRef) else None
+        return None
+
+    nodes: dict[str, str | None] = {}  # oid -> parent oid (its attr target)
+    for cname in sorted(classes):
+        try:
+            extent = schema.class_extent(cname)
+        except Exception:
+            continue
+        for oid in ee.members(extent):
+            nodes[oid] = target_of(oe.get(oid))
+
+    children: dict[str, list[str]] = {}
+    roots: list[str] = []
+    for oid in sorted(nodes):
+        parent = nodes[oid]
+        if parent is None:
+            roots.append(oid)
+        elif parent not in nodes:
+            # the chain leaves the cone: dangling oid or a store that
+            # escaped the declared schema — the chase must handle it
+            return ClosureIndex(attr, classes, usable=False)
+        else:
+            children.setdefault(parent, []).append(oid)
+
+    pre: dict[str, int] = {}
+    pres: list[int] = []
+    posts: list[int] = []
+    order: list[str] = []
+    counter = 0
+    for root in roots:
+        # iterative DFS: (oid, enter?) — post-numbers patch on exit
+        stack: list[tuple[str, bool]] = [(root, True)]
+        slot: dict[str, int] = {}
+        while stack:
+            oid, enter = stack.pop()
+            if enter:
+                slot[oid] = len(order)
+                pre[oid] = counter
+                pres.append(counter)
+                posts.append(-1)
+                order.append(oid)
+                counter += 1
+                stack.append((oid, False))
+                for child in reversed(children.get(oid, ())):
+                    stack.append((child, True))
+            else:
+                posts[slot[oid]] = counter
+    if len(order) != len(nodes):
+        # some node was never reached from a root: the functional graph
+        # contains a cycle — mark it and let the chase converge instead
+        return ClosureIndex(attr, classes, cyclic=True)
+    parent = [
+        pre[target] if (target := nodes[oid]) is not None else -1
+        for oid in order
+    ]
+    return ClosureIndex(
+        attr, classes, pre=pre, pres=pres, posts=posts, order=order,
+        parent=parent,
+    )
+
+
+class ClosureIndexes:
+    """Persistent interval indexes for unbounded ``traverse`` (RED route).
+
+    Same discipline as :class:`AttributeIndexes`, but the invalidation
+    granularity is the *reachable-closure cone* an index covers, not a
+    single extent: an ``A(C)`` commit drops exactly the indexes whose
+    cone contains ``C`` (a new ``C`` object joins their node set) and
+    promotes every other index to the new version; ``U`` atoms rewrite
+    reference values anywhere, so everything drops — the Theorem 5
+    bound, verbatim.  Sharded stores additionally pin each index to the
+    partition identities it was built over, so a per-shard install or a
+    re-declared layout forces a rebuild per (class, shard) generation.
+    """
+
+    def __init__(self):
+        self._indexes: dict[
+            tuple[str, frozenset[str]], tuple[int, tuple | None, ClosureIndex]
+        ] = {}
+        self.rebuilds = 0
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._indexes)
+
+    def _parts_sig(
+        self, schema: Schema, ee, oe, version: int, classes: frozenset[str], shards
+    ) -> tuple | None:
+        if shards is None:
+            return None
+        sig = []
+        for cname in sorted(classes):
+            try:
+                extent = schema.class_extent(cname)
+            except Exception:
+                continue
+            parts = shards.partition(extent, ee, oe, version)
+            if parts is not None:
+                sig.append((extent, parts))
+        return tuple(sig) or None
+
+    def get(
+        self,
+        schema: Schema,
+        ee: "ExtentEnv",
+        oe: "ObjectEnv",
+        version: int,
+        attr: str,
+        classes: frozenset[str],
+        shards=None,
+    ) -> ClosureIndex:
+        """The interval index for ``attr`` over ``classes`` at ``version``."""
+        key = (attr, classes)
+        sig = self._parts_sig(schema, ee, oe, version, classes, shards)
+        with self._lock:
+            hit = self._indexes.get(key)
+            if hit is not None and hit[0] == version and _same_parts(hit[1], sig):
+                return hit[2]
+            idx = build_closure_index(schema, ee, oe, attr, classes)
+            self._indexes[key] = (version, sig, idx)
+            self.rebuilds += 1
+            return idx
+
+    def note_write(self, schema: Schema, effect, pre: int, post: int) -> None:
+        """Theorem 5 maintenance: evict by cone membership, else promote."""
+        with self._lock:
+            if effect.updates():
+                self._indexes.clear()
+                return
+            writes = effect.writes()
+            for key in list(self._indexes):
+                version, sig, idx = self._indexes[key]
+                if writes & idx.classes:
+                    del self._indexes[key]
+                elif version == pre:
+                    self._indexes[key] = (post, sig, idx)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._indexes.clear()
+
+    def snapshot(self) -> dict[str, dict]:
+        """``{"attr over {classes}": {...}}`` for the health surface."""
+        with self._lock:
+            out: dict[str, dict] = {}
+            for (attr, classes), (version, _sig, idx) in sorted(
+                self._indexes.items(), key=lambda kv: (kv[0][0], sorted(kv[0][1]))
+            ):
+                label = f"{attr} over {{{', '.join(sorted(classes))}}}"
+                out[label] = {
+                    "version": version,
+                    "nodes": len(idx),
+                    "cyclic": idx.cyclic,
+                    "usable": idx.usable,
+                }
+            return out
+
+
+def _same_parts(a: tuple | None, b: tuple | None) -> bool:
+    """Partition signatures match by *identity* of each parts tuple."""
+    if a is None or b is None:
+        return a is b
+    if len(a) != len(b):
+        return False
+    return all(ea == eb and pa is pb for (ea, pa), (eb, pb) in zip(a, b))
 
 
 class OidSupply:

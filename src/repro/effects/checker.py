@@ -57,8 +57,10 @@ from repro.lang.ast import (
     StrLit,
     Sum,
     ToSet,
+    Traverse,
     Var,
 )
+from repro.model.closure import closure_read_set, result_lub
 from repro.model.schema import Schema
 from repro.obs._state import STATE as _OBS
 from repro.obs.metrics import REGISTRY as _METRICS
@@ -321,6 +323,29 @@ class EffectChecker:
             tt, te = self.check(ctx, q.then)
             et, ee = self.check(ctx, q.els)
             return self._lub(ctx, tt, et, "if branches"), ce | te | ee
+
+        # (Traverse): R over the subclass-widened reachable closure of
+        # the source class under ``attr``.  When a chain escapes the
+        # declared schema, closure_read_set already widened to every
+        # class — the conservative, U-like read footprint.  Everything
+        # downstream (Theorem 4 routing, Theorem 5 invalidation, the
+        # conflict graph, replica freshness) consumes these R atoms.
+        if isinstance(q, Traverse):
+            if q.depth is not None and q.depth < 0:
+                raise IOQLTypeError(
+                    f"traverse depth bound must be non-negative, got {q.depth}"
+                )
+            st, eff = self.check(ctx, q.source)
+            if isinstance(st, NeverType) or (
+                isinstance(st, SetType) and isinstance(st.elem, NeverType)
+            ):
+                return SetType(NEVER), eff
+            if not isinstance(st, SetType) or not isinstance(st.elem, ClassType):
+                raise IOQLTypeError(f"traverse needs a set of objects, got {st}")
+            reads = closure_read_set(ctx.schema, st.elem.name, q.attr)
+            eff |= Effect.of(*(read(c) for c in sorted(reads)))
+            elem = result_lub(ctx.schema, st.elem.name, q.attr)
+            return SetType(ClassType(elem)), eff
 
         # (Comp1)/(Comp2): the recursive decomposition of Figure 3
         if isinstance(q, Comp):

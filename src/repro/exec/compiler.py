@@ -76,6 +76,7 @@ from repro.lang.ast import (
     StrLit,
     Sum,
     ToSet,
+    Traverse,
     Var,
 )
 from repro.lang.traversal import free_vars, walk
@@ -86,6 +87,7 @@ from repro.lang.values import (
     collection_to_set,
     list_concat,
     make_bag_value,
+    make_oid_set,
     make_set_value,
     set_except,
     set_intersect,
@@ -151,7 +153,49 @@ def is_pure(q: Query) -> bool:
     )
 
 
-_COLLECTION_SYNTAX = (Comp, SetLit, BagLit, ListLit, SetOp, ToSet, ExtentRef)
+_COLLECTION_SYNTAX = (
+    Comp,
+    SetLit,
+    BagLit,
+    ListLit,
+    SetOp,
+    ToSet,
+    ExtentRef,
+    Traverse,
+)
+
+#: Bounded depths up to this limit compile to the GREEN route: the hop
+#: loop is unrolled into a tuple of per-hop step closures at compile
+#: time.  Deeper bounds go YELLOW (iterative semi-naive chase);
+#: unbounded goes RED (persistent interval index, chase fallback).
+GREEN_TRAVERSE_DEPTH = 8
+
+
+def _traverse_hop(attr: str):
+    """One unrolled GREEN hop: advance the frontier by one link.
+
+    Mirrors the chase's discipline exactly — one ``charge`` per frontier
+    node, a missing attribute or non-object value is a leaf, an already
+    seen target is skipped (semi-naive), a dangling reference raises.
+    """
+    from repro.semantics.traverse import attr_value
+
+    def step(ctx, seen: set, frontier: list) -> list:
+        oe = ctx.oe
+        nxt: list = []
+        for o in frontier:
+            ctx.charge()
+            val = attr_value(oe.get(o), attr)
+            if not isinstance(val, OidRef) or val.name in seen:
+                continue
+            seen.add(val.name)
+            cname = oe.get(val.name).cname
+            ctx.reads.add(cname)
+            ctx.note_shard_read(cname, None)
+            nxt.append(val.name)
+        return nxt
+
+    return step
 
 
 def compile_plan(
@@ -507,7 +551,116 @@ class _Compiler:
             return if_fn
         if isinstance(q, Comp):
             return self._compile_comp(q)
+        if isinstance(q, Traverse):
+            return self._compile_traverse(q)
         raise NotCompilable(f"unknown query node {type(q).__name__}")
+
+    def _compile_traverse(self, q: Traverse) -> Callable:
+        """Complexity-routed recursive closure (see module docstring).
+
+        GREEN (depth <= :data:`GREEN_TRAVERSE_DEPTH`) unrolls the hop
+        loop into a fixed tuple of step closures; YELLOW (deeper bounds)
+        runs the shared semi-naive chase; RED (unbounded) answers from
+        the persistent interval index when the reference graph over the
+        cone is acyclic and falls back to the chase otherwise.  All
+        three charge one budget unit per visited node and record their
+        reads in the context's dynamic ``R`` trace, so the compiled
+        effect stays inside the static closure bound.
+        """
+        attr = q.attr
+        depth = q.depth
+        if depth is not None and depth <= GREEN_TRAVERSE_DEPTH:
+            route = "green"
+        elif depth is not None:
+            route = "yellow"
+        else:
+            route = "red"
+        bound = f"depth<={depth}" if depth is not None else "unbounded"
+        self.notes.append(f"traverse route: {route} ({attr!r}, {bound})")
+
+        static_cone: frozenset[str] | None = None
+        extent_hint: str | None = None
+        if isinstance(q.source, ExtentRef):
+            # extent-sourced traversal: the start oids come straight
+            # from the extent (no canonical-set materialisation), and
+            # the element class is statically known, so the RED cone is
+            # the compile-time reachable closure — identical to the
+            # effect rule's bound
+            extent_name = extent_hint = q.source.name
+            try:
+                from repro.model.closure import closure_read_set
+
+                static_cone = closure_read_set(
+                    self.schema, self.schema.extent_class(extent_name), attr
+                )
+            except Exception:
+                static_cone = None
+
+            def start_oids(ctx, env):
+                return ctx.extent_members(extent_name)
+
+        else:
+            sf = self.compile(q.source)
+
+            def start_oids(ctx, env):
+                source = sf(ctx, env)
+                if not isinstance(source, SetLit):
+                    raise StuckError(f"traverse over non-set {source}")
+                start = []
+                for item in source.items:
+                    if not isinstance(item, OidRef):
+                        raise StuckError(f"traverse over non-object {item}")
+                    start.append(item.name)
+                return start
+
+        if route == "green":
+            steps = tuple(_traverse_hop(attr) for _ in range(depth))
+
+            def green_fn(ctx, env):
+                start = start_oids(ctx, env)
+                maybe_fault("exec.traverse")
+                seen: set = set()
+                frontier: list = []
+                for o in start:
+                    if o in seen:
+                        continue
+                    seen.add(o)
+                    ctx.charge()
+                    cname = ctx.oe.get(o).cname
+                    ctx.reads.add(cname)
+                    ctx.note_shard_read(cname, None)
+                    frontier.append(o)
+                for step in steps:
+                    if not frontier:
+                        break
+                    frontier = step(ctx, seen, frontier)
+                if ctx.obs:
+                    from repro.obs.metrics import REGISTRY
+
+                    REGISTRY.counter(
+                        "exec_traverse_total", route="green"
+                    ).inc()
+                return make_oid_set(seen)
+
+            return green_fn
+
+        if route == "yellow":
+
+            def yellow_fn(ctx, env):
+                start = start_oids(ctx, env)
+                oids = ctx.traverse_chase(start, attr, depth)
+                return make_oid_set(oids)
+
+            return yellow_fn
+
+        def red_fn(ctx, env):
+            start = start_oids(ctx, env)
+            oids = ctx.traverse_indexed(start, attr, static_cone, extent_hint)
+            if oids is None:
+                oids = ctx.traverse_chase(start, attr, None)
+            return make_oid_set(oids)
+
+        return red_fn
 
     def _compile_setop(self, q: SetOp) -> Callable:
         lf, rf = self.compile(q.left), self.compile(q.right)

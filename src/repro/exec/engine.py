@@ -185,6 +185,7 @@ def execute_plan(
             indexes=None if pinned else db._indexes,
             state_version=-1 if pinned else db._state_version,
             shards=None if pinned else getattr(db, "_shards", None),
+            closure_indexes=None if pinned else db._closure_indexes,
         )
         if attempt == 0 and not pinned and ratio:
             ctx.replan = ReplanGuard(ratio)
@@ -315,6 +316,7 @@ def execute_profiled(db, plan: CompiledPlan, *, budget=None):
         budget=budget,
         indexes=db._indexes,
         state_version=db._state_version,
+        closure_indexes=db._closure_indexes,
     )
     run = ProfileRun(len(plan.ops))
     ctx.prof = run

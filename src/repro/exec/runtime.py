@@ -24,6 +24,12 @@ from repro.resilience.budget import Budget
 from repro.resilience.faults import maybe_fault
 
 
+def _metrics():
+    from repro.obs.metrics import REGISTRY
+
+    return REGISTRY
+
+
 class ReplanSignal(Exception):
     """Raised mid-execution when an observed cardinality diverges from
     the plan's compile-time estimate by at least the configured ratio.
@@ -107,6 +113,7 @@ class ExecContext:
         "shards",
         "shard_reads",
         "replan",
+        "closure_indexes",
         "_extent_cache",
         "stage_cache",
     )
@@ -125,6 +132,7 @@ class ExecContext:
         indexes=None,
         state_version: int = -1,
         shards=None,
+        closure_indexes=None,
     ):
         self.ee = ee
         self.oe = oe
@@ -150,6 +158,9 @@ class ExecContext:
         # adaptive replanning: a ReplanGuard on non-pinned first
         # executions, None everywhere else (guards become no-ops)
         self.replan: ReplanGuard | None = None
+        # persistent interval indexes for unbounded traverse (None on
+        # pinned snapshots — the RED route then degrades to the chase)
+        self.closure_indexes = closure_indexes
         self._extent_cache: dict[str, Query] = {}
         # tables/sources provably independent of the variable environment
         # (closed stages) are shared across re-executions of nested
@@ -227,6 +238,7 @@ class ExecContext:
         sub.shards = self.shards
         sub.shard_reads = {}
         sub.replan = None  # workers never replan; the parent decides
+        sub.closure_indexes = self.closure_indexes
         sub._extent_cache = {}
         sub.stage_cache = {}
         return sub
@@ -263,6 +275,23 @@ class ExecContext:
         if self.prof is not None:
             self.prof.scans += 1
         return len(members)
+
+    def extent_members(self, extent: str) -> frozenset[str]:
+        """The extent's member oids, skipping canonical-value build.
+
+        Same accounting as :meth:`scan` — one charge, the
+        ``store.read`` fault site, the dynamic ``R`` atom — but
+        traversal sources consume raw oids, so sorting the members
+        into a canonical :class:`SetLit` would be pure waste.
+        """
+        self.charge()
+        maybe_fault("store.read")
+        cname, members = self.ee.get(extent)
+        self.reads.add(cname)
+        self.note_shard_read(cname, None)
+        if self.prof is not None:
+            self.prof.scans += 1
+        return members
 
     def attr_index(self, extent: str, attr: str) -> dict:
         """A hash index over one extent keyed by one attribute.
@@ -371,6 +400,86 @@ class ExecContext:
             cached = tuple(OidRef(o) for o in sorted(parts[shard]))
             self._extent_cache[key] = cached
         return cached
+
+    # -- traverse --------------------------------------------------------
+    def traverse_chase(
+        self, start: list[str], attr: str, depth: int | None
+    ) -> frozenset[str]:
+        """GREEN/YELLOW traverse: the shared semi-naive frontier chase.
+
+        Charges one budget unit per visited node (matching the big-step
+        evaluator's fuel discipline, so exhaustion mid-fixpoint raises
+        the same :class:`~repro.errors.FuelExhausted`) and records the
+        classes actually visited in the dynamic ``R`` trace.
+        """
+        maybe_fault("exec.traverse")
+        from repro.semantics.traverse import chase
+
+        oids, classes = chase(self.oe, start, attr, depth, tick=self.charge)
+        self.reads |= classes
+        for c in classes:
+            self.note_shard_read(c, None)
+        if self.obs:
+            route = "yellow" if depth is not None else "red-fallback"
+            _metrics().counter("exec_traverse_total", route=route).inc()
+        return oids
+
+    def traverse_indexed(
+        self,
+        start,
+        attr: str,
+        cone: frozenset[str] | None = None,
+        extent: str | None = None,
+    ) -> frozenset[str] | None:
+        """RED traverse: answer from the persistent interval index.
+
+        Returns None when the route must degrade to the chase: pinned
+        snapshot (no index store), empty start, a cyclic or uncovered
+        graph, or a start object outside the indexed cone.  A served
+        answer records the whole cone in the dynamic trace — the index
+        was (re)built from every cone extent, which is exactly the
+        static closure bound of the effect rule.
+
+        ``cone`` is the reachable-closure class set when the compiler
+        already knows it statically (extent-sourced traversals); when
+        None it is recovered from the start objects' runtime classes.
+        ``extent`` marks a start set that IS a whole extent, unlocking
+        the index's cached per-extent stab array.
+        """
+        if self.closure_indexes is None or not start:
+            return None
+        maybe_fault("exec.traverse")
+        if cone is None:
+            from repro.model.closure import closure_read_set
+
+            cone = frozenset()
+            for cname in {self.oe.get(o).cname for o in start}:
+                cone |= closure_read_set(self.schema, cname, attr)
+        idx = self.closure_indexes.get(
+            self.schema,
+            self.ee,
+            self.oe,
+            self.state_version,
+            attr,
+            cone,
+            shards=self.shards,
+        )
+        result = None
+        if extent is not None:
+            result = idx.closure_of_extent(self.ee, extent)
+        if result is None:
+            result = idx.closure_of(start)
+        if result is None:
+            return None
+        self.charge(max(1, len(result)))
+        self.reads |= cone
+        for c in cone:
+            self.note_shard_read(c, None)
+        if self.prof is not None:
+            self.prof.index_lookups += 1
+        if self.obs:
+            _metrics().counter("exec_traverse_total", route="red").inc()
+        return result
 
     # -- methods ---------------------------------------------------------
     def call_method(self, target: OidRef, mname: str, args: tuple) -> Query:

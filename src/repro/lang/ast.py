@@ -419,6 +419,30 @@ class Comp(Query):
     qualifiers: tuple[Qualifier, ...]
 
 
+@dataclass(frozen=True, slots=True)
+class Traverse(Query):
+    """``traverse(x in q over a [depth <= k])`` — recursive reference closure.
+
+    Starting from the objects of the set ``source``, repeatedly follow
+    the reference-valued attribute ``attr`` and collect every object
+    reached (the transitive closure of the one-hop ``x.a`` chase; the
+    start set is included at depth 0).  ``depth`` bounds the number of
+    hops; ``None`` means unbounded — termination on cyclic graphs comes
+    from the closure being finite and evaluation being fuel-charged.
+
+    ``var`` is presentational (it names the traversal cursor in the
+    concrete syntax) — there is no body, so it binds nothing.  Objects
+    whose class lacks ``attr``, and non-reference ``attr`` values, stop
+    the chain at that object rather than getting stuck: a traversal is
+    a reachability query, not an attribute projection.
+    """
+
+    var: str
+    source: Query
+    attr: str
+    depth: int | None = None
+
+
 # ---------------------------------------------------------------------------
 # programs
 # ---------------------------------------------------------------------------

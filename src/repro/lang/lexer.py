@@ -50,6 +50,9 @@ KEYWORDS = frozenset(
         "list",
         "toset",
         "sum",
+        "traverse",
+        "over",
+        "depth",
         "int",
         "bool",
         "string",

@@ -31,6 +31,8 @@ Grammar (EBNF, binding loosest→tightest)::
     postfix    ::= primary ("." IDENT ["(" args ")"])*
     primary    ::= INT | STRING | "true" | "false"
                  | "size" "(" expr ")"
+                 | "traverse" "(" IDENT "in" expr "over" IDENT
+                   ["depth" "<=" INT] ")"
                  | "new" IDENT "(" IDENT ":" expr ("," IDENT ":" expr)* ")"
                  | "struct" "(" IDENT ":" expr ("," …)* ")"
                  | IDENT ["(" args ")"]        -- variable / definition call
@@ -87,6 +89,7 @@ from repro.lang.ast import (
     StrLit,
     Sum,
     ToSet,
+    Traverse,
     Var,
 )
 from repro.lang.lexer import Token, TokenStream
@@ -112,6 +115,7 @@ _EXPR_START = frozenset(
         "list",
         "toset",
         "sum",
+        "traverse",
         "select",
         "exists",
         "forall",
@@ -451,6 +455,8 @@ class Parser:
             arg = self.expr()
             ts.expect(")")
             return Sum(arg)
+        if ts.accept("traverse"):
+            return self._traverse()
         if ts.accept("bag"):
             ts.expect("(")
             return BagLit(self._args())
@@ -517,6 +523,23 @@ class Parser:
             items.append(self.expr())
         ts.expect("}")
         return SetLit(tuple(items))
+
+    def _traverse(self) -> Query:
+        """``traverse ( x in expr over a [depth <= INT] )``."""
+        ts = self.ts
+        ts.expect("(")
+        var = ts.expect("IDENT").text
+        ts.expect("in")
+        source = self.expr()
+        ts.expect("over")
+        attr = ts.expect("IDENT").text
+        depth: int | None = None
+        if ts.accept("depth"):
+            ts.expect("<=")
+            tok = ts.expect("INT")
+            depth = int(tok.text)
+        ts.expect(")")
+        return Traverse(var, source, attr, depth)
 
     def _qualifier(self) -> Qualifier:
         ts = self.ts

@@ -41,6 +41,7 @@ from repro.lang.ast import (
     StrLit,
     Sum,
     ToSet,
+    Traverse,
     Var,
 )
 
@@ -159,6 +160,9 @@ def _pp(q: Query, outer: int) -> str:
             f"else {_pp(q.els, _PREC_IF)}"
         )
         return _paren(s, _PREC_IF, outer)
+    if isinstance(q, Traverse):
+        bound = f" depth <= {q.depth}" if q.depth is not None else ""
+        return f"traverse({q.var} in {_pp(q.source, 0)} over {q.attr}{bound})"
     if isinstance(q, Comp):
         quals = ", ".join(pretty_qualifier(cq) for cq in q.qualifiers)
         if not quals:

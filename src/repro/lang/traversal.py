@@ -50,6 +50,7 @@ from repro.lang.ast import (
     StrLit,
     Sum,
     ToSet,
+    Traverse,
     Var,
 )
 
@@ -89,6 +90,8 @@ def subqueries(q: Query) -> Iterator[Query]:
         yield q.cond
         yield q.then
         yield q.els
+    elif isinstance(q, Traverse):
+        yield q.source
     elif isinstance(q, Comp):
         yield q.head
         for cq in q.qualifiers:
@@ -142,6 +145,10 @@ def map_subqueries(q: Query, f: Callable[[Query], Query]) -> Query:
         return New(q.cname, tuple((l, f(sub)) for l, sub in q.fields))
     if isinstance(q, If):
         return If(f(q.cond), f(q.then), f(q.els))
+    if isinstance(q, Traverse):
+        # ``var`` is presentational, not a binder (there is no body),
+        # so the generic binder-oblivious rebuild is exact
+        return Traverse(q.var, f(q.source), q.attr, q.depth)
     if isinstance(q, Comp):
         quals: list[Qualifier] = []
         for cq in q.qualifiers:

@@ -126,6 +126,18 @@ def make_set_value(items: Iterable[Query]) -> SetLit:
     return SetLit(tuple(sorted(canon, key=value_sort_key)))
 
 
+def make_oid_set(names: Iterable[str]) -> SetLit:
+    """The canonical set value ``{@n1, @n2, ...}`` from oid names.
+
+    Exactly ``make_set_value(OidRef(n) for n in names)``: oids
+    canonicalise to themselves and :func:`value_sort_key` orders them
+    by name alone, so deduplicating and sorting the names first gives
+    the canonical tuple directly — without the per-item
+    canonicalisation that dominates large traversal results.
+    """
+    return SetLit(tuple(OidRef(n) for n in sorted(set(names))))
+
+
 def make_bag_value(items) -> BagLit:
     """Construct a canonical bag value: items sorted, duplicates kept."""
     return BagLit(tuple(sorted(items, key=value_sort_key)))

@@ -51,6 +51,7 @@ from repro.lang.ast import (
     SetOpKind,
     StrLit,
     ToSet,
+    Traverse,
     Var,
 )
 from repro.lang.traversal import free_vars, subqueries
@@ -183,6 +184,28 @@ class CostModel:
             return card
         if isinstance(q, If):
             return max(self.cardinality(q.then, env), self.cardinality(q.els, env))
+        if isinstance(q, Traverse):
+            src = self.cardinality(q.source, env)
+            total = float(sum(self.extent_sizes.values()))
+            # statistics-driven fan-out: the traversed attribute is
+            # single-valued, so each hop's frontier is bounded by the
+            # column's distinct target count (heavy fan-in — many
+            # objects sharing one target — collapses the frontier)
+            fan = None
+            if self.stats is not None and isinstance(q.source, ExtentRef):
+                col = self.stats.column(q.source.name, q.attr)
+                if col is not None and col.rows > 0:
+                    fan = col.distinct()
+            if q.depth is not None:
+                # each start object contributes at most one new node per
+                # hop; the whole store is a hard ceiling when the
+                # catalog knows its size
+                card = src * float(q.depth + 1)
+                if fan is not None:
+                    card = min(card, src + fan * float(q.depth))
+                return min(card, total) if self.extent_sizes else card
+            # unbounded: the closure can saturate the reachable cone
+            return total if self.extent_sizes else max(src, UNKNOWN_CARDINALITY)
         return UNKNOWN_CARDINALITY
 
     def predicate_selectivity(
@@ -278,6 +301,15 @@ class CostModel:
                     iterations *= self.predicate_selectivity(cq.cond, inner)
             cost += iterations * self.eval_cost(q.head, inner)
             return cost
+        if isinstance(q, Traverse):
+            # the chase charges one step per visited node; the RED
+            # route's index lookup is cheaper but the model prices the
+            # fallback (an over-estimate can only cost performance)
+            return (
+                1.0
+                + self.eval_cost(q.source, env)
+                + max(self.cardinality(q, env), 1.0)
+            )
         base = 1.0
         for sub in subqueries(q):
             base += self.eval_cost(sub, env)

@@ -22,6 +22,7 @@ named **sites**:
 ``failover.promote``      a replica is promoted to primary
 ``shard.install``         before one shard's partition install in a commit
 ``exec.shard``            a per-shard pipeline task starts on the pool
+``exec.traverse``         a compiled ``traverse`` closure starts chasing
 ========================  =============================================
 
 Sites guard themselves with one global-load-plus-``None``-check
@@ -64,6 +65,7 @@ SITES: tuple[str, ...] = (
     "failover.promote",
     "shard.install",
     "exec.shard",
+    "exec.traverse",
 )
 
 KINDS: tuple[str, ...] = ("transient", "latency")

@@ -68,6 +68,7 @@ from repro.lang.ast import (
     StrLit,
     Sum,
     ToSet,
+    Traverse,
     Var,
 )
 from repro.lang.values import (
@@ -91,6 +92,7 @@ from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply
 from repro.resilience.budget import Budget
 from repro.resilience.faults import maybe_fault
 from repro.semantics.strategy import FIRST, Strategy
+from repro.semantics.traverse import chase
 from typing import Mapping
 
 
@@ -327,6 +329,23 @@ class BigStepEvaluator:
             if not isinstance(cond, BoolLit):
                 raise StuckError("non-boolean guard")
             return self._eval(env, q.then if cond.value else q.els)
+        if isinstance(q, Traverse):
+            source = self._eval(env, q.source)
+            if not isinstance(source, SetLit):
+                raise StuckError(f"traverse over non-set {source}")
+            start: list[str] = []
+            for item in source.items:
+                if not isinstance(item, OidRef):
+                    raise StuckError(f"traverse over non-object {item}")
+                start.append(item.name)
+            # the chase charges fuel per visited node, so an unbounded
+            # fixpoint over a pathological store degrades loudly
+            # (FuelExhausted) rather than silently stalling
+            oids, classes = chase(
+                self.oe, start, q.attr, q.depth, tick=self._tick
+            )
+            self.effect |= Effect.of(*(read_effect(c) for c in sorted(classes)))
+            return make_set_value(OidRef(o) for o in sorted(oids))
         if isinstance(q, Comp):
             acc: list[Query] = []
             self._comp(env, q.head, q.qualifiers, acc)

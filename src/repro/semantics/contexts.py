@@ -50,6 +50,7 @@ from repro.lang.ast import (
     Size,
     Sum,
     ToSet,
+    Traverse,
 )
 from repro.lang.values import is_value
 
@@ -183,6 +184,15 @@ def _decompose(q: Query) -> Decomposition:
                     _decompose(sub),
                     lambda v: New(q.cname, (*before, (label, v), *after)),
                 )
+        return Decomposition(q, _IDENTITY)
+
+    # -- traverse: source first, then the closure fires as one redex ------------------
+    if isinstance(q, Traverse):
+        if not is_value(q.source):
+            return _under(
+                _decompose(q.source),
+                lambda s: Traverse(q.var, s, q.attr, q.depth),
+            )
         return Decomposition(q, _IDENTITY)
 
     # -- conditional: guard only ----------------------------------------------------

@@ -86,6 +86,7 @@ from repro.lang.ast import (
     StrLit,
     Sum,
     ToSet,
+    Traverse,
 )
 from repro.lang.traversal import subst, subst_many
 from repro.lang.values import (
@@ -112,6 +113,7 @@ from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord, OidSupply
 from repro.resilience.faults import maybe_fault
 from repro.semantics.contexts import Decomposition, decompose
 from repro.semantics.strategy import FIRST, Strategy
+from repro.semantics.traverse import chase
 
 
 @dataclass(frozen=True)
@@ -385,6 +387,24 @@ class Machine:
                 new_ee=outcome.ee,
                 new_oe=outcome.oe,
             )
+
+        # (Traverse): the whole closure fires as one reduction — the
+        # chase over a finite OE always terminates (semi-naive frontier
+        # drains), so a single step keeps the machine's unique-
+        # decomposition story intact while agreeing with the big-step
+        # fixpoint on the value and the visited-class effect
+        if isinstance(r, Traverse):
+            if not isinstance(r.source, SetLit):
+                raise StuckError(f"traverse over non-set in {r}")
+            start = []
+            for item in r.source.items:
+                if not isinstance(item, OidRef):
+                    raise StuckError(f"traverse over non-object in {r}")
+                start.append(item.name)
+            oids, classes = chase(oe, start, r.attr, r.depth)
+            v = make_set_value(OidRef(o) for o in sorted(oids))
+            eff = Effect.of(*(read_effect(c) for c in sorted(classes)))
+            return out(v, "Traverse", eff)
 
         # comprehension rules
         if isinstance(r, Comp):

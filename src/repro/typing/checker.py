@@ -54,8 +54,10 @@ from repro.lang.ast import (
     StrLit,
     Sum,
     ToSet,
+    Traverse,
     Var,
 )
+from repro.model.closure import attr_declared, reachable_closure, result_lub
 from repro.model.schema import Schema
 from repro.model.subtyping import check_type_well_formed
 from repro.model.types import (
@@ -281,6 +283,36 @@ def check_query(ctx: TypeContext, q: Query) -> Type:
         tt = check_query(ctx, q.then)
         et = check_query(ctx, q.els)
         return _lub(ctx, tt, et, "branches of if")
+
+    # -- (Traverse): recursive reference closure (§ traverse extension) ----------------------
+    # The result element type is the lub over the subclass-widened
+    # reachable closure of the source class under ``attr`` — the chase
+    # may surface objects of any class the static closure names, and
+    # single inheritance guarantees the lub exists (Object at worst).
+    if isinstance(q, Traverse):
+        if q.depth is not None and q.depth < 0:
+            raise IOQLTypeError(
+                f"traverse depth bound must be non-negative, got {q.depth}"
+            )
+        st = _expect_set(ctx, q.source, f"traverse source for {q.var}")
+        if isinstance(st.elem, NeverType):
+            return SetType(NEVER)
+        if not isinstance(st.elem, ClassType):
+            raise IOQLTypeError(
+                f"traverse needs a set of objects, got {st}"
+            )
+        # A primitive-typed attribute is a legitimate chase leaf, but an
+        # attribute declared *nowhere* in the widened closure can only
+        # be a typo — the traversal would be the identity on its source.
+        cone, escaped = reachable_closure(ctx.schema, st.elem.name, q.attr)
+        if not escaped and not any(
+            attr_declared(ctx.schema, c, q.attr) for c in cone
+        ):
+            raise IOQLTypeError(
+                f"traverse attribute {q.attr!r} is not declared by any "
+                f"class reachable from {st.elem.name}"
+            )
+        return SetType(ClassType(result_lub(ctx.schema, st.elem.name, q.attr)))
 
     # -- (Comp1)/(Comp2): qualifiers left-to-right, generators bind --------------------------
     if isinstance(q, Comp):

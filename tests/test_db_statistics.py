@@ -295,3 +295,125 @@ class TestAnalyzeSurface:
         assert h["optimizer"]["analyzed_columns"] == 3
         assert h["optimizer"]["replans"] == 0
         assert h["optimizer"]["replan_ratio"] == 4.0
+
+
+class TestDegenerateHistograms:
+    """Regression pins for the degenerate paths feeding traversal
+    fan-out estimates (ISSUE 10 satellite): a constant column collapses
+    every equi-depth bucket to equal bounds (``hi == lo``), and a KMV
+    sketch holding fewer than ``k`` values must stay exact.  Extensive
+    randomized probing certified both paths correct; these tests keep
+    them that way.
+    """
+
+    def constant_column(self, value=7, rows=25):
+        db = Database.from_odl(ODL)
+        for _ in range(rows):
+            db.insert("Item", price=value, label="c")
+        return ColumnStats.build("Items", "price", db.oe, db.ee.members("Items"))
+
+    def test_single_bucket_equal_bounds(self):
+        col = self.constant_column(7)
+        assert col.has_histogram
+        # the whole mass sits at 7: a step function, not a ramp
+        assert col.le_fraction(6) == 0.0
+        assert col.le_fraction(7) == 1.0
+        assert col.le_fraction(8) == 1.0
+
+    def test_single_bucket_range_ops(self):
+        col = self.constant_column(7)
+        assert col.range_selectivity("<", 7) == 0.0
+        assert col.range_selectivity("<=", 7) == 1.0
+        assert col.range_selectivity(">", 7) == 0.0
+        assert col.range_selectivity(">=", 7) == 1.0
+
+    def test_negative_constant(self):
+        col = self.constant_column(-3)
+        assert col.le_fraction(-4) == 0.0
+        assert col.le_fraction(-3) == 1.0
+
+    def test_two_value_column_boundaries_exact(self):
+        db = Database.from_odl(ODL)
+        for i in range(20):
+            db.insert("Item", price=0 if i < 10 else 100, label="x")
+        col = ColumnStats.build("Items", "price", db.oe, db.ee.members("Items"))
+        assert col.le_fraction(-1) == 0.0
+        assert col.le_fraction(100) == 1.0
+        assert col.le_fraction(0) == pytest.approx(0.5, abs=0.05)
+
+    def test_le_fraction_monotone(self):
+        db = Database.from_odl(ODL)
+        import random
+
+        rng = random.Random(42)
+        for _ in range(200):
+            db.insert("Item", price=rng.randrange(-50, 50), label="x")
+        col = ColumnStats.build("Items", "price", db.oe, db.ee.members("Items"))
+        prev = 0.0
+        for v in range(-60, 61):
+            cur = col.le_fraction(v)
+            assert cur >= prev - 1e-12, f"non-monotone at {v}"
+            prev = cur
+        assert col.le_fraction(-51) == 0.0
+        assert col.le_fraction(50) == 1.0
+
+    def test_monotone_survives_fold(self):
+        db = Database.from_odl(ODL)
+        for i in range(30):
+            db.insert("Item", price=i, label="x")
+        col = ColumnStats.build("Items", "price", db.oe, db.ee.members("Items"))
+        new = db.insert("Item", price=500, label="x")
+        col.fold(db.oe, [new.name])
+        prev = 0.0
+        for v in range(-5, 510, 7):
+            cur = col.le_fraction(v)
+            assert cur >= prev - 1e-12
+            prev = cur
+        assert col.le_fraction(500) == 1.0
+
+
+class TestSketchBelowK:
+    @pytest.mark.parametrize("k", (2, 3, 4, 8, 16))
+    def test_exact_below_k(self, k):
+        s = DistinctSketch(k=k)
+        for i in range(k - 1):
+            s.add(IntLit(i))
+        assert s.estimate() == float(k - 1)
+
+    @pytest.mark.parametrize("k", (2, 4, 16))
+    def test_duplicates_do_not_inflate(self, k):
+        s = DistinctSketch(k=k)
+        for _ in range(3):
+            for i in range(k - 1):
+                s.add(IntLit(i))
+        assert s.estimate() == float(k - 1)
+
+    def test_empty_sketch(self):
+        assert DistinctSketch(k=4).estimate() == 0.0
+
+    def test_exactly_at_k_boundary(self):
+        # n == k is the first point the estimator may engage; it must
+        # stay within trivial error of the truth
+        k = 8
+        s = DistinctSketch(k=k)
+        for i in range(k):
+            s.add(IntLit(i))
+        assert s.estimate() >= float(k) * 0.5
+
+
+class TestTraverseFanOut:
+    """The stats feed `traverse` cardinality: distinct(next) caps the
+    per-hop fan-out (see CostModel.cardinality)."""
+
+    def test_distinct_caps_traverse_estimate(self):
+        from repro.optimizer.cost import CostModel
+        from tests.traverse_helpers import graph_db
+
+        edges = {f"r{i}": "hub" for i in range(30)}
+        edges["hub"] = None
+        db = graph_db(edges)
+        model = CostModel.from_database(db)
+        bounded = db.parse("traverse(x in refs over next depth <= 5)")
+        naive = 30.0 * 6  # |start| * (depth + 1) without the fan-out cap
+        assert model.cardinality(bounded) < naive
+        assert model.cardinality(bounded) <= 31.0

@@ -610,14 +610,15 @@ class TestCloseDetachIdempotence:
 
 
 class TestFaultPlanValidation:
-    def test_all_fifteen_sites_known(self):
-        assert len(SITES) == 15
+    def test_all_sixteen_sites_known(self):
+        assert len(SITES) == 16
         for site in (
             "replica.ship",
             "replica.apply",
             "failover.promote",
             "shard.install",
             "exec.shard",
+            "exec.traverse",
         ):
             assert site in SITES
 

@@ -1,0 +1,98 @@
+"""Shared graph-construction helpers for the `traverse` test suites.
+
+`Database.insert` type-checks every attribute and demands all of them,
+so reference cycles cannot be created through the public API (a `Ref`
+cannot point at an object that does not exist yet).  The differential
+harness therefore builds object graphs by constructing `ObjectEnv` /
+`ExtentEnv` directly and assigning them to the database — the same
+idiom `tests/test_exec_differential.py` uses for curated stores.
+
+The two-class schema is chosen to exercise the semantics' edge rules:
+
+* `Ref` declares the traversed attribute `next`, so `Ref` objects have
+  an outgoing link;
+* `Node` (the superclass) does not, so reaching a `Node` object ends
+  the chain as a *leaf* (missing attribute != stuck);
+* `Ref extends Node` makes the declared closure subclass-widened: the
+  static effect of `traverse(x in refs over next)` is {R(Node), R(Ref)}
+  because a `Node`-typed link may dynamically hold a `Ref`.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.db.store import ExtentEnv, ObjectEnv, ObjectRecord
+from repro.lang.ast import IntLit, OidRef
+
+NODE_REF_ODL = """
+class Node extends Object (extent nodes) {
+    attribute int tag;
+}
+class Ref extends Node (extent refs) {
+    attribute Node next;
+}
+class Other extends Object (extent others) {
+    attribute int x;
+}
+"""
+
+
+def graph_db(edges: dict[str, str | None], **db_kwargs) -> Database:
+    """A database over ``NODE_REF_ODL`` holding the given object graph.
+
+    ``edges`` maps a node name to the name of its ``next`` target, or
+    ``None`` for a leaf.  Names become oids ``@<name>``; a node with an
+    out-edge is a ``Ref``, a leaf is a plain ``Node``.  Any graph shape
+    is allowed — self-loops, cycles, diamonds — because the envs are
+    installed directly.
+    """
+    db = Database.from_odl(NODE_REF_ODL, **db_kwargs)
+    recs: dict[str, ObjectRecord] = {}
+    refs: set[str] = set()
+    nodes: set[str] = set()
+    for i, (name, tgt) in enumerate(sorted(edges.items())):
+        oid = f"@{name}"
+        if tgt is None:
+            recs[oid] = ObjectRecord("Node", (("tag", IntLit(i)),))
+            nodes.add(oid)
+        else:
+            if tgt not in edges:
+                raise ValueError(f"edge target {tgt!r} is not a node")
+            recs[oid] = ObjectRecord(
+                "Ref", (("tag", IntLit(i)), ("next", OidRef(f"@{tgt}")))
+            )
+            refs.add(oid)
+    db.ee = ExtentEnv(
+        {
+            "nodes": ("Node", frozenset(nodes)),
+            "refs": ("Ref", frozenset(refs)),
+            "others": ("Other", frozenset()),
+        }
+    )
+    db.oe = ObjectEnv(recs)
+    return db
+
+
+def reachable(edges: dict[str, str | None], start, depth=None) -> set[str]:
+    """Reference closure computed independently of the implementation."""
+    seen = {f"@{s}" for s in start}
+    frontier = list(seen)
+    hops = 0
+    while frontier and (depth is None or hops < depth):
+        hops += 1
+        nxt = []
+        for oid in frontier:
+            tgt = edges.get(oid[1:])
+            if tgt is None:
+                continue
+            toid = f"@{tgt}"
+            if toid not in seen:
+                seen.add(toid)
+                nxt.append(toid)
+        frontier = nxt
+    return seen
+
+
+def oids(value) -> set[str]:
+    """The oid names inside a SetLit-of-OidRefs result value."""
+    return {item.name for item in value.items}
